@@ -1,0 +1,95 @@
+/// \file bench_ch8_user_study.cc
+/// \brief Chapter 8 reproduction: Table 8.1 (participant experience),
+/// §8.1's Finding 1/2 means, Table 8.2 (Tukey's HSD on task completion
+/// time), and Figure 8.2 (accuracy over time), from the analyst-agent
+/// simulation (DESIGN.md §4, substitution 3).
+///
+/// Paper values for comparison:
+///   times  : drag-drop 74s (sd 15.1), custom 115s (sd 51.6),
+///            baseline 172.5s (sd 50.5)
+///   accuracy: drag-drop 85.3%, custom 96.3%, baseline 69.9%
+///   Tukey  : dd-vs-custom q=3.35 p=0.061 (insignificant),
+///            dd-vs-baseline q=7.97 p=0.001, custom-vs-baseline q=4.62
+///            p=0.007 (both significant at p<0.01)
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "study/user_study.h"
+
+namespace {
+
+using zv::bench::PrintHeader;
+using zv::bench::PrintSubHeader;
+
+const char* ShortName(zv::StudyInterface i) {
+  switch (i) {
+    case zv::StudyInterface::kDragDrop:
+      return "drag-and-drop";
+    case zv::StudyInterface::kCustomBuilder:
+      return "custom builder";
+    case zv::StudyInterface::kBaseline:
+      return "baseline";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Chapter 8: simulated user study");
+
+  PrintSubHeader("Table 8.1: participants' prior tool experience");
+  std::printf("%-45s %s\n", "Tools", "Count");
+  for (const auto& row : zv::ParticipantExperience()) {
+    std::printf("%-45s %d\n", row.tools.c_str(), row.count);
+  }
+
+  const zv::StudyResult result = zv::RunUserStudy();
+
+  PrintSubHeader("Findings 1+2: completion time and accuracy by interface");
+  std::printf("%-16s %10s %8s %11s\n", "interface", "time(s)", "sd", "accuracy");
+  for (zv::StudyInterface iface :
+       {zv::StudyInterface::kDragDrop, zv::StudyInterface::kCustomBuilder,
+        zv::StudyInterface::kBaseline}) {
+    const auto times = result.Times(iface);
+    const auto accs = result.Accuracies(iface);
+    std::printf("%-16s %10.1f %8.1f %10.1f%%\n", ShortName(iface),
+                zv::Mean(times), zv::StdDev(times), 100 * zv::Mean(accs));
+  }
+
+  PrintSubHeader("Table 8.2: Tukey's HSD on task completion time");
+  std::printf("ANOVA: F=%.2f, p=%.5f (df %g/%g)\n", result.anova.f_statistic,
+              result.anova.p_value, result.anova.df_between,
+              result.anova.df_within);
+  std::printf("%-42s %12s %10s %s\n", "Treatments", "Q statistic", "p-value",
+              "inference");
+  for (const auto& c : result.tukey) {
+    std::printf("%-20s vs. %-17s %12.4f %10.4f %s\n",
+                ShortName(static_cast<zv::StudyInterface>(c.group_a)),
+                ShortName(static_cast<zv::StudyInterface>(c.group_b)),
+                c.q_statistic, c.p_value,
+                c.significant_01   ? "significant (p<0.01)"
+                : c.significant_05 ? "significant (p<0.05)"
+                                   : "insignificant");
+  }
+
+  PrintSubHeader("Figure 8.2: accuracy over time");
+  std::printf("%-8s %14s %16s %10s\n", "t(s)", "drag-and-drop",
+              "custom builder", "baseline");
+  const double max_t = 300;
+  const size_t steps = 12;
+  const auto dd = AccuracyOverTime(result, zv::StudyInterface::kDragDrop,
+                                   max_t, steps);
+  const auto cb = AccuracyOverTime(result, zv::StudyInterface::kCustomBuilder,
+                                   max_t, steps);
+  const auto base = AccuracyOverTime(result, zv::StudyInterface::kBaseline,
+                                     max_t, steps);
+  for (size_t i = 0; i <= steps; ++i) {
+    std::printf("%-8.0f %13.1f%% %15.1f%% %9.1f%%\n", dd[i].first,
+                100 * dd[i].second, 100 * cb[i].second,
+                100 * base[i].second);
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+/// \file bench_distance.cc
+/// \brief Ablation (DESIGN.md §3): per-comparison cost of the distance
+/// metrics available for D and of the trend primitive T, across series
+/// lengths. The Process column's computation time in Fig 7.4 is
+/// #comparisons x these unit costs; DTW's quadratic cost explains why the
+/// prototype defaults to L2.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "tasks/distance.h"
+#include "tasks/kmeans.h"
+#include "tasks/primitives.h"
+
+namespace {
+
+using zv::DistanceMetric;
+using zv::Rng;
+using zv::Visualization;
+
+Visualization MakeSeries(size_t n, uint64_t seed) {
+  Visualization v;
+  v.x_attr = "t";
+  v.y_attr = "y";
+  Rng rng(seed);
+  zv::Series s;
+  s.name = "y";
+  for (size_t i = 0; i < n; ++i) {
+    v.xs.push_back(zv::Value::Int(static_cast<int64_t>(i)));
+    s.ys.push_back(rng.Normal(0, 1) + 0.1 * static_cast<double>(i));
+  }
+  v.series.push_back(std::move(s));
+  return v;
+}
+
+void BM_Distance(benchmark::State& state) {
+  const auto metric = static_cast<DistanceMetric>(state.range(0));
+  const size_t n = static_cast<size_t>(state.range(1));
+  const Visualization a = MakeSeries(n, 1), b = MakeSeries(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zv::Distance(a, b, metric));
+  }
+  state.SetLabel(std::string(zv::DistanceMetricToString(metric)) + "/n=" +
+                 std::to_string(n));
+}
+BENCHMARK(BM_Distance)
+    ->Args({static_cast<int>(DistanceMetric::kEuclidean), 12})
+    ->Args({static_cast<int>(DistanceMetric::kEuclidean), 100})
+    ->Args({static_cast<int>(DistanceMetric::kDtw), 12})
+    ->Args({static_cast<int>(DistanceMetric::kDtw), 100})
+    ->Args({static_cast<int>(DistanceMetric::kKlDivergence), 100})
+    ->Args({static_cast<int>(DistanceMetric::kEmd), 100});
+
+void BM_Trend(benchmark::State& state) {
+  const Visualization a = MakeSeries(static_cast<size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zv::Trend(a));
+  }
+}
+BENCHMARK(BM_Trend)->Arg(12)->Arg(100);
+
+// R's cost: k-means over n aligned visualizations of width w.
+void BM_KMeansRepresentatives(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<std::vector<double>> points(n);
+  for (auto& p : points) {
+    p.resize(12);
+    for (double& x : p) x = rng.Normal(0, 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zv::KMeans(points, 10, 42));
+  }
+}
+BENCHMARK(BM_KMeansRepresentatives)->Arg(100)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+/// \file bench_fig7_4.cc
+/// \brief Figure 7.4: task-processor performance as a function of the
+/// number of groups (= distinct X values x distinct Z values), for the
+/// three canonical task queries:
+///   (i)  similarity search (Table 3.13 shape, argmin D vs a reference),
+///   (ii) representative search (R = k-means, k = 10),
+///   (iii) outlier search (representatives + argmax min-distance).
+///
+/// Paper setup: synthetic dataset fixed at 10M rows; groups swept
+/// {1000, 10000, 50000, 100000} by varying the Z attribute's cardinality;
+/// reported: (a) total time, (b) computation time, (c) query execution
+/// time. Paper shape: query execution stays nearly flat (same data
+/// fetched, more GROUP BY groups), computation grows with group count and
+/// ordering outlier > representative > similarity.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "engine/scan_db.h"
+#include "workload/datasets.h"
+#include "zql/executor.h"
+
+namespace {
+
+using zv::bench::PrintHeader;
+
+struct TaskTimes {
+  double total = 0, compute = 0, exec = 0;
+};
+
+TaskTimes RunTask(zv::Database* db, const std::string& query) {
+  zv::zql::ZqlExecutor exec(db, "sales");
+  auto result = exec.ExecuteText(query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "task failed: %s\n",
+                 result.status().ToString().c_str());
+    return {};
+  }
+  return {result->stats.total_ms, result->stats.compute_ms,
+          result->stats.exec_ms};
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 7.4: task processors vs number of groups");
+  // X = year (10 distinct values); Z = product with swept cardinality, so
+  // #groups = 10 * |product|.
+  const size_t rows = zv::bench::ScaledRows(1000000);
+  const std::vector<size_t> product_counts = {100, 1000, 5000, 10000};
+  std::printf("dataset: %zu rows (fixed); groups = 10 years x |product|\n",
+              rows);
+  std::printf("\n%-8s %-16s %10s %14s %14s\n", "groups", "task", "total(ms)",
+              "compute(ms)", "exec(ms)");
+
+  for (size_t products : product_counts) {
+    zv::SalesDataOptions opts;
+    opts.num_rows = rows;
+    opts.num_products = products;
+    auto sales = zv::MakeSalesTable(opts);
+    zv::ScanDatabase db;
+    if (auto s = db.RegisterTable(sales); !s.ok()) {
+      std::fprintf(stderr, "register failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    const size_t groups = 10 * products;
+
+    const std::string similarity =
+        "f1 | 'year' | 'sales' | 'product'.'product0' | | "
+        "bar.(y=agg('sum')) |\n"
+        "f2 | 'year' | 'sales' | v1 <- 'product'.(* - 'product0') | | "
+        "bar.(y=agg('sum')) | v2 <- argmin_v1[k=10] D(f1, f2)\n"
+        "*f3 | 'year' | 'sales' | v2 | | bar.(y=agg('sum')) |";
+    const std::string representative =
+        "f1 | 'year' | 'sales' | v1 <- 'product'.* | | bar.(y=agg('sum')) | "
+        "v2 <- R(10, v1, f1)\n"
+        "*f2 | 'year' | 'sales' | v2 | | bar.(y=agg('sum')) |";
+    const std::string outlier =
+        "f1 | 'year' | 'sales' | v1 <- 'product'.* | | bar.(y=agg('sum')) | "
+        "v2 <- R(10, v1, f1)\n"
+        "f2 | 'year' | 'sales' | v2 | | bar.(y=agg('sum')) |\n"
+        "f3 | 'year' | 'sales' | v1 | | bar.(y=agg('sum')) | v3 <- "
+        "argmax_v1[k=10] min_v2 D(f3, f2)\n"
+        "*f4 | 'year' | 'sales' | v3 | | bar.(y=agg('sum')) |";
+
+    const std::pair<const char*, const std::string*> tasks[] = {
+        {"Similarity", &similarity},
+        {"Representative", &representative},
+        {"Outlier", &outlier},
+    };
+    for (const auto& [name, query] : tasks) {
+      const TaskTimes t = RunTask(&db, *query);
+      std::printf("%-8zu %-16s %10.1f %14.1f %14.1f\n", groups, name, t.total,
+                  t.compute, t.exec);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+/// \file bench_roaring.cc
+/// \brief Ablation (DESIGN.md §3): Roaring container-level costs — the
+/// 4096 array/bitmap cutover and the run-container trade-off — plus
+/// bitmap-level AND/OR throughput at the densities the RoaringDatabase
+/// actually sees (one bitmap per dictionary value).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "roaring/roaring.h"
+
+namespace {
+
+using zv::Rng;
+using zv::roaring::RoaringBitmap;
+
+RoaringBitmap RandomBitmap(uint32_t universe, uint32_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint32_t> vals;
+  vals.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    vals.push_back(static_cast<uint32_t>(rng.Uniform(universe)));
+  }
+  return RoaringBitmap::FromValues(vals);
+}
+
+// Intersection cost across density regimes: sparse&sparse (array
+// containers), dense&dense (bitmap containers), sparse&dense (the common
+// index-probe shape).
+void BM_RoaringAnd(benchmark::State& state) {
+  const uint32_t universe = 10'000'000;
+  const auto a = RandomBitmap(universe, static_cast<uint32_t>(state.range(0)), 1);
+  const auto b = RandomBitmap(universe, static_cast<uint32_t>(state.range(1)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RoaringBitmap::And(a, b));
+  }
+  state.SetLabel("|a|=" + std::to_string(a.Cardinality()) +
+                 " |b|=" + std::to_string(b.Cardinality()));
+}
+BENCHMARK(BM_RoaringAnd)
+    ->Args({10'000, 10'000})
+    ->Args({10'000, 5'000'000})
+    ->Args({5'000'000, 5'000'000});
+
+void BM_RoaringAndCardinality(benchmark::State& state) {
+  const uint32_t universe = 10'000'000;
+  const auto a = RandomBitmap(universe, static_cast<uint32_t>(state.range(0)), 1);
+  const auto b = RandomBitmap(universe, static_cast<uint32_t>(state.range(1)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RoaringBitmap::AndCardinality(a, b));
+  }
+}
+BENCHMARK(BM_RoaringAndCardinality)
+    ->Args({10'000, 5'000'000})
+    ->Args({5'000'000, 5'000'000});
+
+void BM_RoaringOr(benchmark::State& state) {
+  const uint32_t universe = 10'000'000;
+  const auto a = RandomBitmap(universe, static_cast<uint32_t>(state.range(0)), 1);
+  const auto b = RandomBitmap(universe, static_cast<uint32_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RoaringBitmap::Or(a, b));
+  }
+}
+BENCHMARK(BM_RoaringOr)->Arg(10'000)->Arg(1'000'000);
+
+// ForEach decode throughput — the row-id iteration driving every
+// RoaringDatabase aggregation (Fig 7.5's 100%-selectivity regime).
+void BM_RoaringForEach(benchmark::State& state) {
+  const uint32_t universe = 10'000'000;
+  const auto a = RandomBitmap(universe, static_cast<uint32_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    a.ForEach([&sum](uint32_t v) { sum += v; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(a.Cardinality()));
+}
+BENCHMARK(BM_RoaringForEach)->Arg(100'000)->Arg(5'000'000);
+
+// Run-container compression: contiguous ranges (sorted row ids from
+// sequential loads) before and after RunOptimize.
+void BM_RoaringRunOptimizedAnd(benchmark::State& state) {
+  RoaringBitmap a = RoaringBitmap::FromRange(0, 5'000'000);
+  RoaringBitmap b = RoaringBitmap::FromRange(2'500'000, 7'500'000);
+  if (state.range(0) == 1) {
+    a.RunOptimize();
+    b.RunOptimize();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RoaringBitmap::And(a, b));
+  }
+  state.SetLabel(state.range(0) == 1 ? "run-optimized" : "bitmap");
+}
+BENCHMARK(BM_RoaringRunOptimizedAnd)->Arg(0)->Arg(1);
+
+void BM_RoaringContains(benchmark::State& state) {
+  const auto a = RandomBitmap(10'000'000, 1'000'000, 1);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        a.Contains(static_cast<uint32_t>(rng.Uniform(10'000'000))));
+  }
+}
+BENCHMARK(BM_RoaringContains);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+/// \file bench_util.h
+/// \brief Shared helpers for the figure-reproduction harnesses: wall-clock
+/// timing, table printing, and workload sizing via environment variables.
+///
+/// Every bench prints the rows/series of the paper figure it reproduces.
+/// Absolute numbers differ from the paper (simulated substrate, different
+/// hardware, scaled-down default datasets); the comparisons' *shape* is the
+/// reproduction target. Set ZV_BENCH_SCALE=10 to run at full paper scale.
+
+#ifndef ZV_BENCH_BENCH_UTIL_H_
+#define ZV_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace zv::bench {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Multiplier applied to default workload sizes (ZV_BENCH_SCALE, default 1;
+/// 10 approximates the paper's full dataset sizes).
+inline double Scale() {
+  const char* env = std::getenv("ZV_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double s = std::atof(env);
+  return s > 0 ? s : 1.0;
+}
+
+inline size_t ScaledRows(size_t base) {
+  return static_cast<size_t>(static_cast<double>(base) * Scale());
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void PrintSubHeader(const std::string& title) {
+  std::printf("\n-- %s --\n", title.c_str());
+}
+
+}  // namespace zv::bench
+
+#endif  // ZV_BENCH_BENCH_UTIL_H_

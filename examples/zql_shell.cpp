@@ -1,0 +1,132 @@
+/// \file zql_shell.cpp
+/// \brief Interactive ZQL shell — the terminal stand-in for the zenvisage
+/// custom query builder (§6.1).
+///
+///   $ ./zql_shell [sales|census|airline|housing]
+///
+/// Enter a ZQL query (multiple lines); finish with a blank line. Lines
+/// starting with ':' are commands:
+///   :tables          list columns of the active table
+///   :sql SELECT ...  run raw SQL against the backend
+///   :opt LEVEL       set optimization (noopt|intraline|intratask|intertask)
+///   :quit
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/strings.h"
+#include "engine/roaring_db.h"
+#include "viz/vega_emitter.h"
+#include "workload/datasets.h"
+#include "zql/executor.h"
+
+namespace {
+
+std::shared_ptr<zv::Table> LoadDataset(const std::string& name) {
+  if (name == "census") {
+    zv::CensusDataOptions opts;
+    opts.num_rows = 50000;
+    return zv::MakeCensusTable(opts);
+  }
+  if (name == "airline") {
+    zv::AirlineDataOptions opts;
+    opts.num_rows = 100000;
+    return zv::MakeAirlineTable(opts);
+  }
+  if (name == "housing") {
+    zv::HousingDataOptions opts;
+    opts.num_rows = 60000;
+    return zv::MakeHousingTable(opts);
+  }
+  zv::SalesDataOptions opts;
+  opts.num_rows = 100000;
+  opts.num_products = 20;
+  return zv::MakeSalesTable(opts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dataset = argc > 1 ? argv[1] : "sales";
+  auto table = LoadDataset(dataset);
+  zv::RoaringDatabase db;
+  if (auto s = db.RegisterTable(table); !s.ok()) {
+    std::fprintf(stderr, "register failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  zv::zql::ZqlOptions opts;
+  std::printf("zenvisage ZQL shell — table '%s' (%zu rows).\n",
+              table->name().c_str(), table->num_rows());
+  std::printf("Enter ZQL rows (Name | X | Y | Z | Constraints | Viz | "
+              "Process), blank line to run, :quit to exit.\n\n");
+
+  std::string buffer;
+  std::string line;
+  while (true) {
+    std::printf(buffer.empty() ? "zql> " : "...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    const std::string trimmed = zv::Trim(line);
+    if (trimmed == ":quit" || trimmed == ":q") break;
+    if (trimmed == ":tables") {
+      for (const auto& col : table->schema().columns()) {
+        std::printf("  %-20s %s\n", col.name.c_str(),
+                    zv::ColumnTypeToString(col.type));
+      }
+      continue;
+    }
+    if (zv::StartsWith(trimmed, ":opt")) {
+      const std::string level = zv::ToLower(zv::Trim(trimmed.substr(4)));
+      if (level == "noopt") opts.optimization = zv::zql::OptLevel::kNoOpt;
+      else if (level == "intraline")
+        opts.optimization = zv::zql::OptLevel::kIntraLine;
+      else if (level == "intratask")
+        opts.optimization = zv::zql::OptLevel::kIntraTask;
+      else opts.optimization = zv::zql::OptLevel::kInterTask;
+      std::printf("optimization: %s\n",
+                  zv::zql::OptLevelToString(opts.optimization));
+      continue;
+    }
+    if (zv::StartsWith(trimmed, ":sql")) {
+      auto rs = db.ExecuteSql(trimmed.substr(4));
+      if (!rs.ok()) std::printf("error: %s\n", rs.status().ToString().c_str());
+      else std::printf("%s\n", rs->ToString().c_str());
+      continue;
+    }
+    if (!trimmed.empty()) {
+      buffer += line;
+      buffer += '\n';
+      continue;
+    }
+    if (buffer.empty()) continue;
+    // Blank line: execute the buffered query.
+    zv::zql::ZqlExecutor executor(&db, table->name(), opts);
+    auto result = executor.ExecuteText(buffer);
+    buffer.clear();
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    for (const auto& output : result->outputs) {
+      std::printf("=== %s: %zu visualizations ===\n", output.name.c_str(),
+                  output.visuals.size());
+      size_t shown = 0;
+      for (const auto& viz : output.visuals) {
+        if (++shown > 5) {
+          std::printf("  ... and %zu more\n", output.visuals.size() - 5);
+          break;
+        }
+        std::printf("%s\n", zv::ToAsciiChart(viz).c_str());
+      }
+    }
+    std::printf("(%llu SQL queries, %llu requests, %.1f ms — exec %.1f ms, "
+                "task processor %.1f ms)\n",
+                static_cast<unsigned long long>(result->stats.sql_queries),
+                static_cast<unsigned long long>(result->stats.sql_requests),
+                result->stats.total_ms, result->stats.exec_ms,
+                result->stats.compute_ms);
+  }
+  std::printf("\nbye.\n");
+  return 0;
+}

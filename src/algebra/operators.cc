@@ -1,0 +1,325 @@
+#include "algebra/operators.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace zv::algebra {
+
+// --- VPredicate -------------------------------------------------------------
+
+std::unique_ptr<VPredicate> VPredicate::XEquals(std::string attr,
+                                                bool negated) {
+  auto p = std::make_unique<VPredicate>();
+  p->kind = Kind::kLeaf;
+  p->target = Target::kX;
+  p->rhs_attr = std::move(attr);
+  p->negated = negated;
+  return p;
+}
+
+std::unique_ptr<VPredicate> VPredicate::YEquals(std::string attr,
+                                                bool negated) {
+  auto p = XEquals(std::move(attr), negated);
+  p->target = Target::kY;
+  return p;
+}
+
+std::unique_ptr<VPredicate> VPredicate::AttrEquals(int attr_index, Value v,
+                                                   bool negated) {
+  auto p = std::make_unique<VPredicate>();
+  p->kind = Kind::kLeaf;
+  p->target = Target::kAttr;
+  p->attr_index = attr_index;
+  p->rhs_value = std::move(v);
+  p->negated = negated;
+  return p;
+}
+
+std::unique_ptr<VPredicate> VPredicate::AttrIsStar(int attr_index,
+                                                   bool negated) {
+  auto p = std::make_unique<VPredicate>();
+  p->kind = Kind::kLeaf;
+  p->target = Target::kAttr;
+  p->attr_index = attr_index;
+  p->rhs_star = true;
+  p->negated = negated;
+  return p;
+}
+
+std::unique_ptr<VPredicate> VPredicate::And(
+    std::vector<std::unique_ptr<VPredicate>> children) {
+  if (children.size() == 1) return std::move(children[0]);
+  auto p = std::make_unique<VPredicate>();
+  p->kind = Kind::kAnd;
+  p->children = std::move(children);
+  return p;
+}
+
+std::unique_ptr<VPredicate> VPredicate::Or(
+    std::vector<std::unique_ptr<VPredicate>> children) {
+  if (children.size() == 1) return std::move(children[0]);
+  auto p = std::make_unique<VPredicate>();
+  p->kind = Kind::kOr;
+  p->children = std::move(children);
+  return p;
+}
+
+bool VPredicate::Matches(const VisualSource& src) const {
+  switch (kind) {
+    case Kind::kAnd:
+      for (const auto& c : children) {
+        if (!c->Matches(src)) return false;
+      }
+      return true;
+    case Kind::kOr:
+      for (const auto& c : children) {
+        if (c->Matches(src)) return true;
+      }
+      return false;
+    case Kind::kLeaf: {
+      bool eq = false;
+      switch (target) {
+        case Target::kX:
+          eq = src.x == rhs_attr;
+          break;
+        case Target::kY:
+          eq = src.y == rhs_attr;
+          break;
+        case Target::kAttr: {
+          const AttrVal& a = src.attrs[static_cast<size_t>(attr_index)];
+          eq = rhs_star ? a.star : (!a.star && a.value == rhs_value);
+          break;
+        }
+      }
+      return negated ? !eq : eq;
+    }
+  }
+  return false;
+}
+
+// --- helpers ----------------------------------------------------------------
+
+namespace {
+
+Status CheckSameSchema(const VisualGroup& v, const VisualGroup& u) {
+  if (v.attr_names != u.attr_names) {
+    return Status::InvalidArgument(
+        "visual groups are over different relations");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Visualization>> RenderAll(const VisualGroup& v) {
+  std::vector<Visualization> out;
+  out.reserve(v.size());
+  for (const VisualSource& src : v.sources) {
+    ZV_ASSIGN_OR_RETURN(Visualization viz, RenderVisualSource(v, src));
+    out.push_back(std::move(viz));
+  }
+  return out;
+}
+
+VisualGroup WithSources(const VisualGroup& like,
+                        OrderedBag<VisualSource> sources) {
+  VisualGroup out;
+  out.relation = like.relation;
+  out.attr_names = like.attr_names;
+  out.sources = std::move(sources);
+  return out;
+}
+
+}  // namespace
+
+// --- unary operators --------------------------------------------------------
+
+VisualGroup SigmaV(const VisualGroup& v, const VPredicate& theta) {
+  OrderedBag<VisualSource> out;
+  for (const VisualSource& src : v.sources) {
+    if (theta.Matches(src)) out.push_back(src);
+  }
+  return WithSources(v, std::move(out));
+}
+
+Result<VisualGroup> TauV(const VisualGroup& v, const TrendFn& f) {
+  ZV_ASSIGN_OR_RETURN(std::vector<Visualization> rendered, RenderAll(v));
+  std::vector<size_t> order(v.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> score(v.size());
+  for (size_t i = 0; i < v.size(); ++i) score[i] = f(rendered[i]);
+  std::stable_sort(order.begin(), order.end(),
+                   [&score](size_t a, size_t b) { return score[a] < score[b]; });
+  OrderedBag<VisualSource> out;
+  for (size_t i : order) out.push_back(v.sources[i]);
+  return WithSources(v, std::move(out));
+}
+
+VisualGroup MuV(const VisualGroup& v, size_t k) {
+  return WithSources(v, v.sources.Limit(k));
+}
+
+VisualGroup MuV(const VisualGroup& v, size_t a, size_t b) {
+  return WithSources(v, v.sources.Slice(a, b));
+}
+
+VisualGroup DeltaV(const VisualGroup& v) {
+  return WithSources(v, v.sources.Dedup());
+}
+
+Result<VisualGroup> ZetaV(const VisualGroup& v, const ReprFn& r, size_t k) {
+  ZV_ASSIGN_OR_RETURN(std::vector<Visualization> rendered, RenderAll(v));
+  std::vector<const Visualization*> ptrs;
+  ptrs.reserve(rendered.size());
+  for (const auto& viz : rendered) ptrs.push_back(&viz);
+  const std::vector<size_t> chosen = r(ptrs, k);
+  OrderedBag<VisualSource> out;
+  for (size_t i : chosen) {
+    if (i < v.size()) out.push_back(v.sources[i]);
+  }
+  return WithSources(v, std::move(out));
+}
+
+// --- binary operators -------------------------------------------------------
+
+Result<VisualGroup> UnionV(const VisualGroup& v, const VisualGroup& u) {
+  ZV_RETURN_NOT_OK(CheckSameSchema(v, u));
+  return WithSources(
+      v, OrderedBag<VisualSource>::Union(v.sources, u.sources));
+}
+
+Result<VisualGroup> DiffV(const VisualGroup& v, const VisualGroup& u) {
+  ZV_RETURN_NOT_OK(CheckSameSchema(v, u));
+  return WithSources(
+      v, OrderedBag<VisualSource>::Difference(v.sources, u.sources));
+}
+
+Result<VisualGroup> IntersectV(const VisualGroup& v, const VisualGroup& u) {
+  ZV_RETURN_NOT_OK(CheckSameSchema(v, u));
+  return WithSources(
+      v, OrderedBag<VisualSource>::Intersection(v.sources, u.sources));
+}
+
+Result<VisualGroup> BetaV(const VisualGroup& v, const VisualGroup& u,
+                          SwapTarget target) {
+  ZV_RETURN_NOT_OK(CheckSameSchema(v, u));
+  if (target.kind == SwapTarget::Kind::kAttr &&
+      (target.attr_index < 0 ||
+       static_cast<size_t>(target.attr_index) >= v.attr_names.size())) {
+    return Status::OutOfRange("βv attribute index out of range");
+  }
+  // π_{others}(V) × π_A(U): enumerate V's tuples (minus A), cross U's A
+  // column, both as ordered bags (no dedup).
+  OrderedBag<VisualSource> out;
+  for (const VisualSource& vs : v.sources) {
+    for (const VisualSource& us : u.sources) {
+      VisualSource merged = vs;
+      switch (target.kind) {
+        case SwapTarget::Kind::kX:
+          merged.x = us.x;
+          break;
+        case SwapTarget::Kind::kY:
+          merged.y = us.y;
+          break;
+        case SwapTarget::Kind::kAttr:
+          merged.attrs[static_cast<size_t>(target.attr_index)] =
+              us.attrs[static_cast<size_t>(target.attr_index)];
+          break;
+      }
+      out.push_back(std::move(merged));
+    }
+  }
+  return WithSources(v, std::move(out));
+}
+
+namespace {
+
+/// Key of a source on the matched attributes (for φv).
+std::string MatchKey(const VisualSource& src,
+                     const std::vector<SwapTarget>& attrs) {
+  std::string key;
+  for (const SwapTarget& t : attrs) {
+    switch (t.kind) {
+      case SwapTarget::Kind::kX:
+        key += src.x;
+        break;
+      case SwapTarget::Kind::kY:
+        key += src.y;
+        break;
+      case SwapTarget::Kind::kAttr:
+        key += src.attrs[static_cast<size_t>(t.attr_index)].ToString();
+        break;
+    }
+    key += '\x1f';
+  }
+  return key;
+}
+
+}  // namespace
+
+Result<VisualGroup> PhiV(const VisualGroup& v, const VisualGroup& u,
+                         const DistFn& d,
+                         const std::vector<SwapTarget>& match_attrs) {
+  ZV_RETURN_NOT_OK(CheckSameSchema(v, u));
+  // Group both sides by the matched attribute values; each combination must
+  // be a singleton on each side (else the operator is undefined — §4.4).
+  std::map<std::string, size_t> v_by_key, u_by_key;
+  for (size_t i = 0; i < v.size(); ++i) {
+    const std::string key = MatchKey(v.sources[i], match_attrs);
+    if (!v_by_key.emplace(key, i).second) {
+      return Status::InvalidArgument(
+          "φv: non-singleton selection in left group for key " + key);
+    }
+  }
+  for (size_t i = 0; i < u.size(); ++i) {
+    const std::string key = MatchKey(u.sources[i], match_attrs);
+    if (!u_by_key.emplace(key, i).second) {
+      return Status::InvalidArgument(
+          "φv: non-singleton selection in right group for key " + key);
+    }
+  }
+  std::vector<double> score(v.size(), 0.0);
+  for (const auto& [key, vi] : v_by_key) {
+    auto it = u_by_key.find(key);
+    if (it == u_by_key.end()) {
+      return Status::InvalidArgument("φv: no matching source for key " + key);
+    }
+    ZV_ASSIGN_OR_RETURN(Visualization fv,
+                        RenderVisualSource(v, v.sources[vi]));
+    ZV_ASSIGN_OR_RETURN(Visualization fu,
+                        RenderVisualSource(u, u.sources[it->second]));
+    score[vi] = d(fv, fu);
+  }
+  std::vector<size_t> order(v.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&score](size_t a, size_t b) { return score[a] < score[b]; });
+  OrderedBag<VisualSource> out;
+  for (size_t i : order) out.push_back(v.sources[i]);
+  return WithSources(v, std::move(out));
+}
+
+Result<VisualGroup> EtaV(const VisualGroup& v, const VisualGroup& u,
+                         const DistFn& d) {
+  ZV_RETURN_NOT_OK(CheckSameSchema(v, u));
+  if (u.size() != 1) {
+    return Status::InvalidArgument(
+        StrFormat("ηv requires a singleton reference group, got %zu", u.size()));
+  }
+  ZV_ASSIGN_OR_RETURN(Visualization ref, RenderVisualSource(u, u.sources[0]));
+  std::vector<double> score(v.size());
+  for (size_t i = 0; i < v.size(); ++i) {
+    ZV_ASSIGN_OR_RETURN(Visualization fv, RenderVisualSource(v, v.sources[i]));
+    score[i] = d(fv, ref);
+  }
+  std::vector<size_t> order(v.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&score](size_t a, size_t b) { return score[a] < score[b]; });
+  OrderedBag<VisualSource> out;
+  for (size_t i : order) out.push_back(v.sources[i]);
+  return WithSources(v, std::move(out));
+}
+
+}  // namespace zv::algebra

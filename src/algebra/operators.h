@@ -1,0 +1,120 @@
+/// \file operators.h
+/// \brief The visual exploration algebra operators (§4.4, Table 4.2).
+///
+/// Unary:  σv (select), τv (sort by F(T)), µv (limit / [a:b]), δv (dedup),
+///         ζv (representatives via R).
+/// Binary: ∪v, \v, ∩v, βv (swap attribute values), φv (sort by pairwise
+///         distance, matched on attributes), ηv (sort by distance to a
+///         single reference).
+///
+/// All operators are pure: they return new visual groups and never mutate
+/// operands. Exploration functions T, D, R are injected as std::functions,
+/// matching the paper's "flexible and configurable" black boxes.
+
+#ifndef ZV_ALGEBRA_OPERATORS_H_
+#define ZV_ALGEBRA_OPERATORS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/visual.h"
+
+namespace zv::algebra {
+
+/// \brief θ for σv (§4.4): ∧/∨ combinations of `=`/`≠` comparisons whose
+/// LHS is X, Y, or a relation attribute and whose RHS is an attribute name
+/// (for X/Y), a value, or ∗.
+struct VPredicate {
+  enum class Kind { kAnd, kOr, kLeaf };
+  enum class Target { kX, kY, kAttr };
+
+  Kind kind = Kind::kLeaf;
+  std::vector<std::unique_ptr<VPredicate>> children;
+
+  // Leaf payload.
+  Target target = Target::kX;
+  int attr_index = -1;   ///< for kAttr
+  bool negated = false;  ///< ≠ instead of =
+  bool rhs_star = false; ///< comparison against ∗
+  std::string rhs_attr;  ///< for kX / kY
+  Value rhs_value;       ///< for kAttr with non-∗ rhs
+
+  static std::unique_ptr<VPredicate> XEquals(std::string attr,
+                                             bool negated = false);
+  static std::unique_ptr<VPredicate> YEquals(std::string attr,
+                                             bool negated = false);
+  static std::unique_ptr<VPredicate> AttrEquals(int attr_index, Value v,
+                                                bool negated = false);
+  static std::unique_ptr<VPredicate> AttrIsStar(int attr_index,
+                                                bool negated = false);
+  static std::unique_ptr<VPredicate> And(
+      std::vector<std::unique_ptr<VPredicate>> children);
+  static std::unique_ptr<VPredicate> Or(
+      std::vector<std::unique_ptr<VPredicate>> children);
+
+  bool Matches(const VisualSource& src) const;
+};
+
+/// Exploration function signatures (§4.3).
+using TrendFn = std::function<double(const Visualization&)>;
+using DistFn =
+    std::function<double(const Visualization&, const Visualization&)>;
+using ReprFn = std::function<std::vector<size_t>(
+    const std::vector<const Visualization*>&, size_t k)>;
+
+/// σv_θ(V): tuple-order-preserving selection.
+VisualGroup SigmaV(const VisualGroup& v, const VPredicate& theta);
+
+/// τv_{F(T)}(V): sort increasing by F(T) applied to each rendered source.
+/// (Pass a negated functional for decreasing order, as the paper does with
+/// τv_{-T}.)
+Result<VisualGroup> TauV(const VisualGroup& v, const TrendFn& f);
+
+/// µv_k(V): first k sources.
+VisualGroup MuV(const VisualGroup& v, size_t k);
+/// µv_[a:b](V): positions a..b (1-based, inclusive).
+VisualGroup MuV(const VisualGroup& v, size_t a, size_t b);
+
+/// δv(V): duplicate elimination, first occurrences kept.
+VisualGroup DeltaV(const VisualGroup& v);
+
+/// ζv_{R,k}(V): the k most representative sources per R.
+Result<VisualGroup> ZetaV(const VisualGroup& v, const ReprFn& r, size_t k);
+
+/// V ∪v U, V \v U, V ∩v U.
+Result<VisualGroup> UnionV(const VisualGroup& v, const VisualGroup& u);
+Result<VisualGroup> DiffV(const VisualGroup& v, const VisualGroup& u);
+Result<VisualGroup> IntersectV(const VisualGroup& v, const VisualGroup& u);
+
+/// Attribute selector for βv.
+struct SwapTarget {
+  enum class Kind { kX, kY, kAttr } kind = Kind::kX;
+  int attr_index = -1;
+
+  static SwapTarget X() { return {Kind::kX, -1}; }
+  static SwapTarget Y() { return {Kind::kY, -1}; }
+  static SwapTarget Attr(int idx) { return {Kind::kAttr, idx}; }
+};
+
+/// βv_A(V, U): π_{A1..A(i-1),A(i+1)..An}(V) × π_Ai(U) — replaces the values
+/// of attribute A in V with those from U, under cross-product ordering.
+Result<VisualGroup> BetaV(const VisualGroup& v, const VisualGroup& u,
+                          SwapTarget target);
+
+/// φv_{F(D),A1..Aj}(V, U): sorts V increasingly by the distance between the
+/// unique source of V and of U sharing each (A1..Aj) value combination.
+/// Undefined (error) if any combination selects a non-singleton group.
+Result<VisualGroup> PhiV(const VisualGroup& v, const VisualGroup& u,
+                         const DistFn& d,
+                         const std::vector<SwapTarget>& match_attrs);
+
+/// ηv_{F(D)}(V, U): sorts V increasingly by distance to the single source
+/// in U. Error if |U| != 1.
+Result<VisualGroup> EtaV(const VisualGroup& v, const VisualGroup& u,
+                         const DistFn& d);
+
+}  // namespace zv::algebra
+
+#endif  // ZV_ALGEBRA_OPERATORS_H_

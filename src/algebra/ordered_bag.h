@@ -1,0 +1,113 @@
+/// \file ordered_bag.h
+/// \brief Ordered-bag semantics (§4.1): bags with an inherent order, plus
+/// the indexing, union (concatenation), difference, intersection, and
+/// duplicate-elimination operators the visual exploration algebra builds on.
+
+#ifndef ZV_ALGEBRA_ORDERED_BAG_H_
+#define ZV_ALGEBRA_ORDERED_BAG_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace zv::algebra {
+
+/// \brief A bag of T with an inherent order. T needs operator==.
+///
+/// Indexing follows the paper's 1-based convention: `bag.At(1)` is the first
+/// tuple and `Slice(i, j)` is R[i:j], both ends inclusive.
+template <typename T>
+class OrderedBag {
+ public:
+  OrderedBag() = default;
+  explicit OrderedBag(std::vector<T> items) : items_(std::move(items)) {}
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  void push_back(T item) { items_.push_back(std::move(item)); }
+
+  /// 0-based access (implementation convenience).
+  const T& operator[](size_t i) const { return items_[i]; }
+  T& operator[](size_t i) { return items_[i]; }
+
+  /// 1-based access (paper convention R[i]).
+  const T& At(size_t i) const { return items_[i - 1]; }
+
+  auto begin() const { return items_.begin(); }
+  auto end() const { return items_.end(); }
+  const std::vector<T>& items() const { return items_; }
+
+  bool Contains(const T& t) const {
+    return std::find(items_.begin(), items_.end(), t) != items_.end();
+  }
+
+  /// R[i:j], 1-based, both inclusive; i > size() yields an empty bag.
+  OrderedBag Slice(size_t i, size_t j) const {
+    OrderedBag out;
+    if (i < 1) i = 1;
+    if (j > items_.size()) j = items_.size();
+    for (size_t k = i; k <= j; ++k) out.push_back(items_[k - 1]);
+    return out;
+  }
+
+  /// First k tuples (µ_k).
+  OrderedBag Limit(size_t k) const { return Slice(1, k); }
+
+  /// R ∪ S: concatenation.
+  static OrderedBag Union(const OrderedBag& r, const OrderedBag& s) {
+    OrderedBag out = r;
+    for (const T& t : s) out.push_back(t);
+    return out;
+  }
+
+  /// R \ S: every tuple of R that does not appear in S (all copies dropped
+  /// if present in S), preserving R's order.
+  static OrderedBag Difference(const OrderedBag& r, const OrderedBag& s) {
+    OrderedBag out;
+    for (const T& t : r) {
+      if (!s.Contains(t)) out.push_back(t);
+    }
+    return out;
+  }
+
+  /// R ∩ S: every tuple of R that appears in S, preserving R's order.
+  static OrderedBag Intersection(const OrderedBag& r, const OrderedBag& s) {
+    OrderedBag out;
+    for (const T& t : r) {
+      if (s.Contains(t)) out.push_back(t);
+    }
+    return out;
+  }
+
+  /// δ(R): first copy of each tuple at its first position.
+  OrderedBag Dedup() const {
+    OrderedBag out;
+    for (const T& t : items_) {
+      if (!out.Contains(t)) out.push_back(t);
+    }
+    return out;
+  }
+
+  /// R × S with the paper's ordering: for each tuple of R (in order), each
+  /// tuple of S (in order). `combine` merges one element of each.
+  template <typename U, typename Fn>
+  static auto Cross(const OrderedBag& r, const OrderedBag<U>& s, Fn&& combine)
+      -> OrderedBag<decltype(combine(r[0], s[0]))> {
+    OrderedBag<decltype(combine(r[0], s[0]))> out;
+    for (const T& a : r) {
+      for (const U& b : s) out.push_back(combine(a, b));
+    }
+    return out;
+  }
+
+  bool operator==(const OrderedBag& other) const {
+    return items_ == other.items_;
+  }
+
+ private:
+  std::vector<T> items_;
+};
+
+}  // namespace zv::algebra
+
+#endif  // ZV_ALGEBRA_ORDERED_BAG_H_

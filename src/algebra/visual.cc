@@ -1,0 +1,192 @@
+#include "algebra/visual.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+
+namespace zv::algebra {
+
+std::string VisualSource::ToString() const {
+  std::string out = "(" + x + ", " + y;
+  for (const AttrVal& a : attrs) out += ", " + a.ToString();
+  out += ")";
+  return out;
+}
+
+int VisualGroup::FindAttr(const std::string& name) const {
+  for (size_t i = 0; i < attr_names.size(); ++i) {
+    if (attr_names[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+/// Distinct values of a column in first-appearance order (deterministic),
+/// i.e. π_Ai(R) under the ordered-bag projection with duplicates removed.
+std::vector<Value> DistinctValues(const Table& table, size_t col) {
+  std::vector<Value> out;
+  if (table.column_type(col) == ColumnType::kCategorical) {
+    out.reserve(table.DictSize(col));
+    for (size_t code = 0; code < table.DictSize(col); ++code) {
+      out.push_back(table.DictValue(col, static_cast<int32_t>(code)));
+    }
+    return out;
+  }
+  std::map<Value, bool> seen;
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    const Value v = table.ValueAt(row, col);
+    if (seen.emplace(v, true).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<VisualGroup> MakeVisualUniverse(
+    std::shared_ptr<const Table> relation,
+    const std::vector<std::string>& x_attrs,
+    const std::vector<std::string>& y_attrs) {
+  VisualGroup group;
+  group.relation = relation;
+  group.attr_names = relation->schema().ColumnNames();
+  const size_t k = group.attr_names.size();
+
+  // Domains: per attribute, ∗ followed by the distinct values (the ∗ first
+  // gives a deterministic, documented order).
+  std::vector<std::vector<AttrVal>> domains(k);
+  for (size_t i = 0; i < k; ++i) {
+    domains[i].push_back(AttrVal::Star());
+    for (Value& v : DistinctValues(*relation, i)) {
+      domains[i].push_back(AttrVal::Of(std::move(v)));
+    }
+  }
+  for (const auto& xs : {x_attrs, y_attrs}) {
+    for (const std::string& a : xs) {
+      if (relation->schema().Find(a) < 0) {
+        return Status::NotFound("axis attribute not in relation: " + a);
+      }
+    }
+  }
+
+  // Enumerate X × Y × ∏ domains in row-major order.
+  std::vector<size_t> idx(k, 0);
+  for (const std::string& x : x_attrs) {
+    for (const std::string& y : y_attrs) {
+      std::fill(idx.begin(), idx.end(), 0);
+      while (true) {
+        VisualSource src;
+        src.x = x;
+        src.y = y;
+        src.attrs.reserve(k);
+        for (size_t i = 0; i < k; ++i) src.attrs.push_back(domains[i][idx[i]]);
+        group.sources.push_back(std::move(src));
+        // Odometer increment.
+        size_t pos = k;
+        while (pos > 0) {
+          --pos;
+          if (++idx[pos] < domains[pos].size()) break;
+          idx[pos] = 0;
+          if (pos == 0) goto next_xy;
+        }
+        if (k == 0) break;
+      }
+    next_xy:;
+    }
+  }
+  return group;
+}
+
+Result<Visualization> RenderVisualSource(const VisualGroup& group,
+                                         const VisualSource& source,
+                                         const VizSpec& spec) {
+  const Table& table = *group.relation;
+  const int x_col = table.schema().Find(source.x);
+  const int y_col = table.schema().Find(source.y);
+  if (x_col < 0 || y_col < 0) {
+    return Status::NotFound(StrFormat("axis attribute missing: %s/%s",
+                                      source.x.c_str(), source.y.c_str()));
+  }
+  if (source.attrs.size() != group.attr_names.size()) {
+    return Status::InvalidArgument("visual source arity mismatch");
+  }
+
+  // Pre-resolve categorical filters to codes.
+  struct Filter {
+    size_t col;
+    bool categorical;
+    int32_t code;  // -1 = value absent: empty selection
+    Value value;
+  };
+  std::vector<Filter> filters;
+  for (size_t i = 0; i < source.attrs.size(); ++i) {
+    if (source.attrs[i].star) continue;
+    Filter f;
+    f.col = i;
+    f.categorical = table.column_type(i) == ColumnType::kCategorical;
+    f.value = source.attrs[i].value;
+    f.code = f.categorical ? table.LookupCode(i, f.value) : 0;
+    filters.push_back(std::move(f));
+  }
+
+  sql::AggFunc agg = spec.y_agg;
+  if (agg == sql::AggFunc::kNone) agg = sql::AggFunc::kSum;
+
+  std::map<Value, std::pair<double, int64_t>> groups;  // x -> (sum, count)
+  for (size_t row = 0; row < table.num_rows(); ++row) {
+    bool pass = true;
+    for (const Filter& f : filters) {
+      if (f.categorical) {
+        if (table.Code(row, f.col) != f.code) {
+          pass = false;
+          break;
+        }
+      } else if (table.ValueAt(row, f.col) != f.value) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    const Value x = table.ValueAt(row, static_cast<size_t>(x_col));
+    const double y = table.NumericAt(row, static_cast<size_t>(y_col));
+    auto& [sum, count] = groups[x];
+    switch (agg) {
+      case sql::AggFunc::kMin:
+        sum = count == 0 ? y : std::min(sum, y);
+        break;
+      case sql::AggFunc::kMax:
+        sum = count == 0 ? y : std::max(sum, y);
+        break;
+      default:
+        sum += y;
+    }
+    ++count;
+  }
+
+  Visualization viz;
+  viz.x_attr = source.x;
+  viz.y_attr = source.y;
+  viz.spec = spec;
+  for (size_t i = 0; i < source.attrs.size(); ++i) {
+    if (!source.attrs[i].star) {
+      viz.slices.push_back({group.attr_names[i], source.attrs[i].value});
+    }
+  }
+  Series series;
+  series.name = source.y;
+  for (const auto& [x, sc] : groups) {
+    viz.xs.push_back(x);
+    double v = sc.first;
+    if (agg == sql::AggFunc::kAvg && sc.second > 0) {
+      v /= static_cast<double>(sc.second);
+    } else if (agg == sql::AggFunc::kCount) {
+      v = static_cast<double>(sc.second);
+    }
+    series.ys.push_back(v);
+  }
+  viz.series.push_back(std::move(series));
+  return viz;
+}
+
+}  // namespace zv::algebra

@@ -1,0 +1,82 @@
+/// \file visual.h
+/// \brief Visual sources, visual groups, and the visual universe ν(R)
+/// (§4.2): the domain the visual exploration algebra operates on.
+
+#ifndef ZV_ALGEBRA_VISUAL_H_
+#define ZV_ALGEBRA_VISUAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/ordered_bag.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/table.h"
+#include "viz/visualization.h"
+
+namespace zv::algebra {
+
+/// \brief An attribute slot of a visual source: a concrete value or the
+/// wildcard ∗ ("no subselection on this attribute").
+struct AttrVal {
+  bool star = true;
+  Value value;
+
+  static AttrVal Star() { return AttrVal{}; }
+  static AttrVal Of(Value v) { return AttrVal{false, std::move(v)}; }
+
+  bool operator==(const AttrVal& other) const {
+    if (star != other.star) return false;
+    return star || value == other.value;
+  }
+
+  std::string ToString() const { return star ? "*" : value.ToString(); }
+};
+
+/// \brief A (k+2)-tuple of the visual universe: X and Y axis attributes plus
+/// one AttrVal per relation attribute (the data source).
+struct VisualSource {
+  std::string x;
+  std::string y;
+  std::vector<AttrVal> attrs;
+
+  bool operator==(const VisualSource& other) const {
+    return x == other.x && y == other.y && attrs == other.attrs;
+  }
+
+  std::string ToString() const;
+};
+
+/// \brief An ordered bag of visual sources sharing one relation's schema.
+struct VisualGroup {
+  std::shared_ptr<const Table> relation;
+  std::vector<std::string> attr_names;  ///< A1..Ak, in relation order
+  OrderedBag<VisualSource> sources;
+
+  size_t size() const { return sources.size(); }
+
+  /// Index of an attribute name in attr_names, or -1.
+  int FindAttr(const std::string& name) const;
+};
+
+/// Constructs the visual universe V = ν(R) = X × Y × ∏(π_Ai(R) ∪ {∗}).
+///
+/// `x_attrs` / `y_attrs` are the relations X and Y from §4.2 (candidate
+/// axes). WARNING: |V| is the product of (distinct values + 1) across all
+/// attributes — only materialize for small relations (tests do).
+Result<VisualGroup> MakeVisualUniverse(std::shared_ptr<const Table> relation,
+                                       const std::vector<std::string>& x_attrs,
+                                       const std::vector<std::string>& y_attrs);
+
+/// Renders the visualization a visual source represents: selects rows where
+/// each non-∗ attribute equals its value, groups by the X attribute, and
+/// aggregates the Y attribute (SUM by default, per `spec`). The returned
+/// points are ordered by x.
+Result<Visualization> RenderVisualSource(const VisualGroup& group,
+                                         const VisualSource& source,
+                                         const VizSpec& spec = {});
+
+}  // namespace zv::algebra
+
+#endif  // ZV_ALGEBRA_VISUAL_H_

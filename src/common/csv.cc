@@ -1,0 +1,122 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace zv {
+
+Result<CsvTable> ParseCsv(const std::string& text) {
+  CsvTable table;
+  std::vector<std::string> current;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  auto end_field = [&]() {
+    current.push_back(field);
+    field.clear();
+  };
+  auto end_row = [&]() -> Status {
+    end_field();
+    if (table.header.empty()) {
+      table.header = std::move(current);
+    } else {
+      if (current.size() != table.header.size()) {
+        return Status::ParseError(StrFormat(
+            "CSV row %zu has %zu fields, expected %zu", table.rows.size() + 1,
+            current.size(), table.header.size()));
+      }
+      table.rows.push_back(std::move(current));
+    }
+    current.clear();
+    row_has_content = false;
+    return Status::OK();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_has_content = true;
+        break;
+      case ',':
+        end_field();
+        row_has_content = true;
+        break;
+      case '\r':
+        break;
+      case '\n': {
+        if (row_has_content || !field.empty() || !current.empty()) {
+          Status s = end_row();
+          if (!s.ok()) return s;
+        }
+        break;
+      }
+      default:
+        field += c;
+        row_has_content = true;
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quoted CSV field");
+  if (row_has_content || !field.empty() || !current.empty()) {
+    Status s = end_row();
+    if (!s.ok()) return s;
+  }
+  if (table.header.empty()) return Status::ParseError("empty CSV input");
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open CSV file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ParseCsv(ss.str());
+}
+
+namespace {
+
+std::string EscapeField(const std::string& f) {
+  if (f.find_first_of(",\"\n\r") == std::string::npos) return f;
+  std::string out = "\"";
+  for (char c : f) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string WriteCsv(const CsvTable& table) {
+  std::string out;
+  auto write_row = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out += ',';
+      out += EscapeField(row[i]);
+    }
+    out += '\n';
+  };
+  write_row(table.header);
+  for (const auto& row : table.rows) write_row(row);
+  return out;
+}
+
+}  // namespace zv

@@ -1,0 +1,31 @@
+/// \file csv.h
+/// \brief Minimal CSV reading/writing for example data exchange.
+
+#ifndef ZV_COMMON_CSV_H_
+#define ZV_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace zv {
+
+/// \brief Parsed CSV content: a header row plus data rows of equal width.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses CSV text with quoted-field support ("" escapes a quote).
+Result<CsvTable> ParseCsv(const std::string& text);
+
+/// Reads and parses a CSV file.
+Result<CsvTable> ReadCsvFile(const std::string& path);
+
+/// Serializes to CSV, quoting fields that contain separators/quotes.
+std::string WriteCsv(const CsvTable& table);
+
+}  // namespace zv
+
+#endif  // ZV_COMMON_CSV_H_

@@ -1,0 +1,115 @@
+/// \file rng.h
+/// \brief Deterministic random number generation for workload synthesis.
+///
+/// All generators in the repo take explicit seeds so benchmark tables are
+/// reproducible run to run.
+
+#ifndef ZV_COMMON_RNG_H_
+#define ZV_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace zv {
+
+/// \brief splitmix64-seeded xoshiro256** generator.
+///
+/// Small, fast, and fully deterministic across platforms (unlike
+/// std::default_random_engine / std::normal_distribution, whose outputs are
+/// implementation-defined).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed) {
+    // splitmix64 to spread the seed across the state.
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n).
+  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// Standard normal via Box–Muller (deterministic, no cached state).
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = UniformDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double u2 = UniformDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * r * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Zipf-distributed rank in [0, n) with exponent `s` (s=0 is uniform).
+  /// Uses an inverse-CDF table; intended for modest n (attribute domains).
+  class Zipf;
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+/// \brief Precomputed Zipf sampler over [0, n).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s) : cdf_(n) {
+    double sum = 0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = sum;
+    }
+    for (size_t i = 0; i < n; ++i) cdf_[i] /= sum;
+  }
+
+  size_t Sample(Rng& rng) const {
+    const double u = rng.UniformDouble();
+    // Binary search for the first cdf >= u.
+    size_t lo = 0, hi = cdf_.size();
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return lo < cdf_.size() ? lo : cdf_.size() - 1;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace zv
+
+#endif  // ZV_COMMON_RNG_H_

@@ -1,0 +1,237 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zv {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0;
+  const double m = Mean(xs);
+  double s = 0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double StdDev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+LinearFit FitLine(const std::vector<double>& xs,
+                  const std::vector<double>& ys) {
+  LinearFit fit;
+  const size_t n = ys.size();
+  if (n < 2) return fit;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = xs.empty() ? static_cast<double>(i) : xs[i];
+    const double y = ys[i];
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    syy += y * y;
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (std::fabs(denom) < 1e-12) return fit;
+  fit.slope = (dn * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / dn;
+  const double sst = syy - sy * sy / dn;
+  if (sst > 1e-12) {
+    const double ssr = fit.slope * (sxy - sx * sy / dn);
+    fit.r2 = std::clamp(ssr / sst, 0.0, 1.0);
+  }
+  return fit;
+}
+
+// ---------------------------------------------------------------------------
+// Incomplete beta (Lentz continued fraction) and the F distribution.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-12;
+  constexpr double kFpMin = 1e-300;
+  const double qab = a + b, qap = a + 1.0, qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double IncompleteBeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) -
+                          std::lgamma(b) + a * std::log(x) +
+                          b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double FDistSf(double f, double df1, double df2) {
+  if (f <= 0) return 1.0;
+  const double x = df2 / (df2 + df1 * f);
+  return IncompleteBeta(df2 / 2.0, df1 / 2.0, x);
+}
+
+AnovaResult OneWayAnova(const std::vector<std::vector<double>>& groups) {
+  AnovaResult res;
+  const size_t k = groups.size();
+  size_t n = 0;
+  double grand_sum = 0;
+  for (const auto& g : groups) {
+    n += g.size();
+    for (double x : g) grand_sum += x;
+  }
+  if (k < 2 || n <= k) return res;
+  const double grand_mean = grand_sum / static_cast<double>(n);
+  double ss_between = 0, ss_within = 0;
+  for (const auto& g : groups) {
+    const double gm = Mean(g);
+    ss_between += static_cast<double>(g.size()) * (gm - grand_mean) *
+                  (gm - grand_mean);
+    for (double x : g) ss_within += (x - gm) * (x - gm);
+  }
+  res.df_between = static_cast<double>(k - 1);
+  res.df_within = static_cast<double>(n - k);
+  const double ms_between = ss_between / res.df_between;
+  res.ms_within = ss_within / res.df_within;
+  if (res.ms_within <= 0) {
+    res.f_statistic = ss_between > 0 ? 1e30 : 0;
+    res.p_value = ss_between > 0 ? 0.0 : 1.0;
+    return res;
+  }
+  res.f_statistic = ms_between / res.ms_within;
+  res.p_value = FDistSf(res.f_statistic, res.df_between, res.df_within);
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Studentized range distribution (for Tukey's HSD), by double numeric
+// integration:
+//   P(Q <= q) = \int_0^inf f_s(s) * F_range(q * s) ds
+// with F_range(w) = k \int phi(z) [Phi(z) - Phi(z - w)]^{k-1} dz and
+// s ~ sqrt(chi^2_df / df).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+double NormPdf(double z) {
+  return 0.3989422804014327 * std::exp(-0.5 * z * z);
+}
+
+double NormCdf(double z) { return 0.5 * std::erfc(-z * 0.7071067811865476); }
+
+// CDF of the range of k iid standard normals at w.
+double RangeCdf(double w, double k) {
+  if (w <= 0) return 0;
+  constexpr int kSteps = 256;
+  constexpr double kLo = -8.0, kHi = 8.0;
+  const double h = (kHi - kLo) / kSteps;
+  double sum = 0;
+  // Simpson's rule.
+  for (int i = 0; i <= kSteps; ++i) {
+    const double z = kLo + h * i;
+    const double inner = NormCdf(z) - NormCdf(z - w);
+    const double f =
+        NormPdf(z) * std::pow(std::max(inner, 0.0), k - 1.0);
+    const double weight = (i == 0 || i == kSteps) ? 1 : (i % 2 ? 4 : 2);
+    sum += weight * f;
+  }
+  return std::min(1.0, k * sum * h / 3.0);
+}
+
+// Density of s = sqrt(chi^2_df / df).
+double ScaleDensity(double s, double df) {
+  if (s <= 0) return 0;
+  const double ln = (df / 2.0) * std::log(df) - std::lgamma(df / 2.0) -
+                    (df / 2.0 - 1.0) * std::log(2.0) +
+                    (df - 1.0) * std::log(s) - df * s * s / 2.0;
+  return std::exp(ln);
+}
+
+}  // namespace
+
+double StudentizedRangeSf(double q, double k, double df) {
+  if (q <= 0) return 1.0;
+  if (df > 200) return 1.0 - RangeCdf(q, k);  // s concentrates at 1
+  constexpr int kSteps = 128;
+  constexpr double kHi = 4.0;
+  const double h = kHi / kSteps;
+  double cdf = 0;
+  for (int i = 0; i <= kSteps; ++i) {
+    const double s = h * i;
+    const double f = ScaleDensity(s, df) * RangeCdf(q * s, k);
+    const double weight = (i == 0 || i == kSteps) ? 1 : (i % 2 ? 4 : 2);
+    cdf += weight * f;
+  }
+  cdf *= h / 3.0;
+  return std::clamp(1.0 - cdf, 0.0, 1.0);
+}
+
+std::vector<TukeyComparison> TukeyHsd(
+    const std::vector<std::vector<double>>& groups) {
+  std::vector<TukeyComparison> out;
+  const AnovaResult anova = OneWayAnova(groups);
+  const size_t k = groups.size();
+  if (k < 2 || anova.ms_within <= 0) return out;
+  for (size_t a = 0; a < k; ++a) {
+    for (size_t b = a + 1; b < k; ++b) {
+      if (groups[a].size() < 2 || groups[b].size() < 2) continue;
+      TukeyComparison cmp;
+      cmp.group_a = a;
+      cmp.group_b = b;
+      const double na = static_cast<double>(groups[a].size());
+      const double nb = static_cast<double>(groups[b].size());
+      // Tukey–Kramer standard error for (possibly) unequal group sizes.
+      const double se =
+          std::sqrt(anova.ms_within / 2.0 * (1.0 / na + 1.0 / nb));
+      const double diff = std::fabs(Mean(groups[a]) - Mean(groups[b]));
+      cmp.q_statistic = se > 0 ? diff / se : 0;
+      cmp.p_value = StudentizedRangeSf(cmp.q_statistic,
+                                       static_cast<double>(k),
+                                       anova.df_within);
+      cmp.significant_01 = cmp.p_value < 0.01;
+      cmp.significant_05 = cmp.p_value < 0.05;
+      out.push_back(cmp);
+    }
+  }
+  return out;
+}
+
+}  // namespace zv

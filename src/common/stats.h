@@ -1,0 +1,69 @@
+/// \file stats.h
+/// \brief Descriptive statistics, least-squares fitting, one-way ANOVA and
+/// Tukey's HSD — the statistical machinery used by the trend primitive T and
+/// by the Chapter-8 user-study reproduction (Table 8.2).
+
+#ifndef ZV_COMMON_STATS_H_
+#define ZV_COMMON_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace zv {
+
+double Mean(const std::vector<double>& xs);
+double Variance(const std::vector<double>& xs);  // sample variance (n-1)
+double StdDev(const std::vector<double>& xs);
+
+/// \brief Slope/intercept of the least-squares line y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0;
+  double intercept = 0;
+  /// Coefficient of determination; 0 when the fit is degenerate.
+  double r2 = 0;
+};
+
+/// Fits y against x; if xs is empty, uses x = 0..n-1.
+LinearFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// \brief One-way between-subjects ANOVA over k groups.
+struct AnovaResult {
+  double f_statistic = 0;
+  double df_between = 0;
+  double df_within = 0;
+  double ms_within = 0;  ///< mean square error, needed by Tukey HSD
+  double p_value = 1;    ///< via the F-distribution survival function
+};
+
+AnovaResult OneWayAnova(const std::vector<std::vector<double>>& groups);
+
+/// \brief One pairwise comparison from Tukey's HSD test.
+struct TukeyComparison {
+  size_t group_a = 0;
+  size_t group_b = 0;
+  double q_statistic = 0;
+  double p_value = 1;  ///< studentized-range survival function, numeric
+  bool significant_01 = false;  ///< p < 0.01
+  bool significant_05 = false;  ///< p < 0.05
+};
+
+/// Tukey's HSD post-hoc test over the same groups as OneWayAnova
+/// (paper Table 8.2). Requires >= 2 groups with >= 2 observations each.
+std::vector<TukeyComparison> TukeyHsd(
+    const std::vector<std::vector<double>>& groups);
+
+/// Regularized incomplete beta function I_x(a, b) (continued fraction);
+/// exposed for tests. Backbone of the F-distribution CDF.
+double IncompleteBeta(double a, double b, double x);
+
+/// Survival function (1 - CDF) of the F distribution.
+double FDistSf(double f, double df1, double df2);
+
+/// Survival function of the studentized range distribution with k groups
+/// and df degrees of freedom, evaluated by numeric integration.
+double StudentizedRangeSf(double q, double k, double df);
+
+}  // namespace zv
+
+#endif  // ZV_COMMON_STATS_H_

@@ -1,0 +1,162 @@
+/// \file status.h
+/// \brief Error handling primitives (Status / Result<T>), in the style of
+/// Arrow / RocksDB: no exceptions cross library boundaries.
+
+#ifndef ZV_COMMON_STATUS_H_
+#define ZV_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace zv {
+
+/// Machine-readable error category.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kTypeMismatch,
+  kUnsupported,
+  kInternal,
+};
+
+/// \brief Returns a short human-readable label for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Success-or-error result of an operation that returns no value.
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// message. Statuses are cheap to copy (small string optimization covers
+/// most messages).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status TypeMismatch(std::string msg) {
+    return Status(StatusCode::kTypeMismatch, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Full "Code: message" rendering for logs and test failures.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result. Accessors assert on misuse in debug builds;
+/// callers are expected to check ok() first (or use ValueOrDie in tests).
+template <typename T>
+class Result {
+ public:
+  /* implicit */ Result(T value) : data_(std::move(value)) {}
+  /* implicit */ Result(Status status) : data_(std::move(status)) {
+    assert(!std::get<Status>(data_).ok() &&
+           "OK status cannot carry a Result value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(data_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(data_));
+  }
+
+  /// Moves the value out, aborting with the error message if not OK.
+  /// Intended for tests and examples, not library code.
+  T ValueOrDie() && {
+    if (!ok()) {
+      fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+              status().ToString().c_str());
+      abort();
+    }
+    return std::move(std::get<T>(data_));
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates an error Status from an expression, Arrow-style.
+#define ZV_RETURN_NOT_OK(expr)                  \
+  do {                                          \
+    ::zv::Status _zv_status = (expr);           \
+    if (!_zv_status.ok()) return _zv_status;    \
+  } while (0)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error. `lhs` may include a declaration, e.g. ZV_ASSIGN_OR_RETURN(auto x,
+/// F()).
+#define ZV_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value();
+
+#define ZV_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define ZV_ASSIGN_OR_RETURN_NAME(a, b) ZV_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define ZV_ASSIGN_OR_RETURN(lhs, expr)                                        \
+  ZV_ASSIGN_OR_RETURN_IMPL(ZV_ASSIGN_OR_RETURN_NAME(_zv_result_, __LINE__), \
+                           lhs, expr)
+
+}  // namespace zv
+
+#endif  // ZV_COMMON_STATUS_H_

@@ -1,0 +1,44 @@
+/// \file strings.h
+/// \brief Small string helpers shared by the parsers and emitters.
+
+#ifndef ZV_COMMON_STRINGS_H_
+#define ZV_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zv {
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view TrimView(std::string_view s);
+std::string Trim(std::string_view s);
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on a single character at depth 0 only — separators nested inside
+/// (), [], {}, or single quotes are not split points. Used by the ZQL parser
+/// for '|'-separated rows and comma-separated argument lists.
+std::vector<std::string> SplitTopLevel(std::string_view s, char sep);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// True if `s` matches a SQL LIKE `pattern` with % (any run) and _ (any one
+/// char) wildcards.
+bool LikeMatch(std::string_view s, std::string_view pattern);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace zv
+
+#endif  // ZV_COMMON_STRINGS_H_

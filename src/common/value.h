@@ -1,0 +1,93 @@
+/// \file value.h
+/// \brief Runtime value type flowing through the SQL engine and ZQL layers.
+
+#ifndef ZV_COMMON_VALUE_H_
+#define ZV_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace zv {
+
+/// \brief Column / value type tags.
+///
+/// Categorical columns are dictionary-encoded: the storage layer keeps
+/// int32 codes plus a per-column dictionary; the Value type surfaces them
+/// as strings at API boundaries.
+enum class DataType {
+  kNull = 0,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+const char* DataTypeToString(DataType t);
+
+/// \brief A small tagged union value (null / int64 / double / string).
+///
+/// Ordering and equality are defined across numeric types (int64 and double
+/// compare numerically); strings compare lexicographically; null compares
+/// less than everything else. This matches the semantics the ZQL executor
+/// needs for ORDER BY and set membership.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Double(double v) { return Value(v); }
+  static Value Str(std::string v) { return Value(std::move(v)); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  DataType type() const {
+    if (is_null()) return DataType::kNull;
+    if (is_int()) return DataType::kInt64;
+    if (is_double()) return DataType::kDouble;
+    return DataType::kString;
+  }
+
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const {
+    if (is_int()) return static_cast<double>(std::get<int64_t>(data_));
+    return std::get<double>(data_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Numeric-aware three-way comparison; null < numeric < string.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  /// Unambiguous rendering used in test expectations and CSV output.
+  std::string ToString() const;
+
+  /// Hash compatible with operator== (int64 and equal-valued double hash
+  /// alike).
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace zv
+
+#endif  // ZV_COMMON_VALUE_H_

@@ -1,0 +1,42 @@
+#include "engine/database.h"
+
+#include <chrono>
+#include <thread>
+
+#include "sql/parser.h"
+
+namespace zv {
+
+Status Database::RegisterTable(std::shared_ptr<Table> table) {
+  return catalog_.AddTable(std::move(table));
+}
+
+void Database::BeginRequest(size_t num_queries) {
+  ++requests_;
+  queries_ += num_queries;
+  if (request_latency_micros_ > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(request_latency_micros_));
+  }
+}
+
+Result<ResultSet> Database::ExecuteSql(const std::string& sql) {
+  ZV_ASSIGN_OR_RETURN(sql::SelectStatement stmt, sql::ParseSelect(sql));
+  return Execute(stmt);
+}
+
+Result<ResultSet> Database::Execute(const sql::SelectStatement& stmt) {
+  BeginRequest(1);
+  return ExecuteInternal(stmt);
+}
+
+std::vector<Result<ResultSet>> Database::ExecuteBatch(
+    const std::vector<sql::SelectStatement>& stmts) {
+  BeginRequest(stmts.size());
+  std::vector<Result<ResultSet>> out;
+  out.reserve(stmts.size());
+  for (const auto& stmt : stmts) out.push_back(ExecuteInternal(stmt));
+  return out;
+}
+
+}  // namespace zv

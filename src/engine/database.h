@@ -1,0 +1,87 @@
+/// \file database.h
+/// \brief Backend interface: execute SQL (text or AST) with request/query
+/// accounting, mirroring the paper's Execution Engine (§6.2).
+///
+/// Two implementations exist:
+///  - ScanDatabase   — full-scan predicate evaluation (PostgreSQL stand-in),
+///  - RoaringDatabase — per-value Roaring bitmap indexes on categorical
+///    columns (the paper's in-memory Roaring Bitmap Database).
+///
+/// A *query* is one SELECT statement. A *request* is one round-trip to the
+/// backend and may carry many queries (ExecuteBatch) — this is the unit the
+/// ZQL optimizer reduces and Figures 7.1/7.2 plot. An optional simulated
+/// per-request latency models the client/server round-trip that exists in
+/// the paper's deployment but not in this in-process build.
+
+#ifndef ZV_ENGINE_DATABASE_H_
+#define ZV_ENGINE_DATABASE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/result_set.h"
+#include "sql/ast.h"
+#include "storage/table.h"
+
+namespace zv {
+
+/// \brief Abstract SQL execution backend with instrumentation.
+class Database {
+ public:
+  virtual ~Database() = default;
+
+  /// Human-readable backend name ("scan" / "roaring").
+  virtual std::string name() const = 0;
+
+  /// Registers a table; backends may build indexes here.
+  virtual Status RegisterTable(std::shared_ptr<Table> table);
+
+  Result<std::shared_ptr<Table>> GetTable(const std::string& name) const {
+    return catalog_.GetTable(name);
+  }
+
+  /// Parses and executes one SQL string (one request, one query).
+  Result<ResultSet> ExecuteSql(const std::string& sql);
+
+  /// Executes one statement (one request, one query).
+  Result<ResultSet> Execute(const sql::SelectStatement& stmt);
+
+  /// Executes a batch of statements in a single request.
+  std::vector<Result<ResultSet>> ExecuteBatch(
+      const std::vector<sql::SelectStatement>& stmts);
+
+  /// --- Instrumentation -------------------------------------------------
+  uint64_t queries_executed() const { return queries_; }
+  uint64_t requests_made() const { return requests_; }
+  void ResetCounters() {
+    queries_ = 0;
+    requests_ = 0;
+  }
+
+  /// Sleeps this long at the start of every request, emulating a
+  /// client-server round trip (0 by default).
+  void set_request_latency_micros(uint64_t micros) {
+    request_latency_micros_ = micros;
+  }
+  uint64_t request_latency_micros() const { return request_latency_micros_; }
+
+ protected:
+  virtual Result<ResultSet> ExecuteInternal(
+      const sql::SelectStatement& stmt) = 0;
+
+  Catalog catalog_;
+
+ private:
+  void BeginRequest(size_t num_queries);
+
+  uint64_t queries_ = 0;
+  uint64_t requests_ = 0;
+  uint64_t request_latency_micros_ = 0;
+};
+
+}  // namespace zv
+
+#endif  // ZV_ENGINE_DATABASE_H_

@@ -1,0 +1,41 @@
+#include "engine/result_set.h"
+
+#include <algorithm>
+
+namespace zv {
+
+std::string ResultSet::ToString(size_t max_rows) const {
+  std::vector<size_t> widths(columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) widths[c] = columns[c].size();
+  const size_t shown = std::min(max_rows, rows.size());
+  std::vector<std::vector<std::string>> cells(shown);
+  for (size_t r = 0; r < shown; ++r) {
+    cells[r].resize(columns.size());
+    for (size_t c = 0; c < columns.size(); ++c) {
+      cells[r][c] = rows[r][c].ToString();
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+  std::string out;
+  auto pad = [&out](const std::string& s, size_t w) {
+    out += s;
+    out.append(w - s.size() + 2, ' ');
+  };
+  for (size_t c = 0; c < columns.size(); ++c) pad(columns[c], widths[c]);
+  out += '\n';
+  for (size_t c = 0; c < columns.size(); ++c) {
+    out.append(widths[c], '-');
+    out += "  ";
+  }
+  out += '\n';
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < columns.size(); ++c) pad(cells[r][c], widths[c]);
+    out += '\n';
+  }
+  if (shown < rows.size()) {
+    out += "... (" + std::to_string(rows.size() - shown) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace zv

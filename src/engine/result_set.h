@@ -1,0 +1,36 @@
+/// \file result_set.h
+/// \brief Tabular result of a SQL query.
+
+#ifndef ZV_ENGINE_RESULT_SET_H_
+#define ZV_ENGINE_RESULT_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace zv {
+
+/// \brief Column names plus row-major values, as returned by a backend.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+
+  size_t num_rows() const { return rows.size(); }
+  size_t num_columns() const { return columns.size(); }
+
+  /// Index of a column by name, or -1.
+  int Find(const std::string& name) const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Fixed-width text rendering for examples and debugging.
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+}  // namespace zv
+
+#endif  // ZV_ENGINE_RESULT_SET_H_

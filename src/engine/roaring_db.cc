@@ -1,0 +1,183 @@
+#include "engine/roaring_db.h"
+
+#include "engine/predicate.h"
+#include "engine/select_runner.h"
+
+namespace zv {
+
+using roaring::RoaringBitmap;
+using sql::Expr;
+
+Status RoaringDatabase::RegisterTable(std::shared_ptr<Table> table) {
+  ZV_RETURN_NOT_OK(Database::RegisterTable(table));
+  TableIndex index;
+  const size_t ncols = table->schema().num_columns();
+  const size_t nrows = table->num_rows();
+  index.per_value.resize(ncols);
+  index.all_rows = RoaringBitmap::FromRange(0, static_cast<uint32_t>(nrows));
+  for (size_t col = 0; col < ncols; ++col) {
+    if (table->column_type(col) != ColumnType::kCategorical) continue;
+    const size_t dict_size = table->DictSize(col);
+    // Bucket row ids per code (already sorted), then bulk-build bitmaps.
+    std::vector<std::vector<uint32_t>> buckets(dict_size);
+    const auto& codes = table->CategoricalColumn(col);
+    for (size_t row = 0; row < nrows; ++row) {
+      buckets[static_cast<size_t>(codes[row])].push_back(
+          static_cast<uint32_t>(row));
+    }
+    auto& bitmaps = index.per_value[col];
+    bitmaps.reserve(dict_size);
+    for (auto& bucket : buckets) {
+      RoaringBitmap bm = RoaringBitmap::FromSortedValues(
+          bucket.data(), bucket.data() + bucket.size());
+      bm.RunOptimize();
+      bitmaps.push_back(std::move(bm));
+      bucket.clear();
+      bucket.shrink_to_fit();
+    }
+  }
+  indexes_.emplace(table->name(), std::move(index));
+  return Status::OK();
+}
+
+size_t RoaringDatabase::IndexBytes(const std::string& table_name) const {
+  auto it = indexes_.find(table_name);
+  if (it == indexes_.end()) return 0;
+  size_t n = it->second.all_rows.SizeInBytes();
+  for (const auto& col : it->second.per_value) {
+    for (const auto& bm : col) n += bm.SizeInBytes();
+  }
+  return n;
+}
+
+std::optional<RoaringBitmap> RoaringDatabase::TryBitmap(
+    const Table& table, const TableIndex& index, const Expr& expr) const {
+  switch (expr.kind) {
+    case Expr::Kind::kAnd: {
+      std::optional<RoaringBitmap> acc;
+      for (const auto& child : expr.children) {
+        auto bm = TryBitmap(table, index, *child);
+        if (!bm.has_value()) return std::nullopt;
+        if (!acc.has_value()) acc = std::move(bm);
+        else acc = RoaringBitmap::And(*acc, *bm);
+      }
+      return acc;
+    }
+    case Expr::Kind::kOr: {
+      std::optional<RoaringBitmap> acc;
+      for (const auto& child : expr.children) {
+        auto bm = TryBitmap(table, index, *child);
+        if (!bm.has_value()) return std::nullopt;
+        if (!acc.has_value()) acc = std::move(bm);
+        else acc = RoaringBitmap::Or(*acc, *bm);
+      }
+      return acc;
+    }
+    case Expr::Kind::kNot: {
+      auto bm = TryBitmap(table, index, *expr.children[0]);
+      if (!bm.has_value()) return std::nullopt;
+      return RoaringBitmap::AndNot(index.all_rows, *bm);
+    }
+    default: {
+      const int col = table.schema().Find(expr.column);
+      if (col < 0) return std::nullopt;  // surfaced by residual compile
+      const size_t c = static_cast<size_t>(col);
+      if (table.column_type(c) != ColumnType::kCategorical) {
+        return std::nullopt;  // measure columns are un-indexed
+      }
+      const auto& bitmaps = index.per_value[c];
+      const size_t dict_size = table.DictSize(c);
+      std::vector<size_t> accepted;
+      for (size_t code = 0; code < dict_size; ++code) {
+        if (LeafPredicateAccepts(
+                expr, table.DictValue(c, static_cast<int32_t>(code)))) {
+          accepted.push_back(code);
+        }
+      }
+      // OR the smaller side; complement when most codes are accepted.
+      const bool complement = accepted.size() > dict_size / 2;
+      RoaringBitmap acc;
+      if (!complement) {
+        for (size_t code : accepted) acc.OrWith(bitmaps[code]);
+        return acc;
+      }
+      std::vector<uint8_t> is_accepted(dict_size, 0);
+      for (size_t code : accepted) is_accepted[code] = 1;
+      for (size_t code = 0; code < dict_size; ++code) {
+        if (!is_accepted[code]) acc.OrWith(bitmaps[code]);
+      }
+      return RoaringBitmap::AndNot(index.all_rows, acc);
+    }
+  }
+}
+
+Result<ResultSet> RoaringDatabase::ExecuteInternal(
+    const sql::SelectStatement& stmt) {
+  ZV_ASSIGN_OR_RETURN(std::shared_ptr<Table> table, GetTable(stmt.table));
+  ZV_ASSIGN_OR_RETURN(SelectRunner runner, SelectRunner::Plan(*table, stmt));
+  const size_t n = table->num_rows();
+
+  if (stmt.where == nullptr) {
+    // No predicate: iterate the all-rows bitmap (this is the 100%-selectivity
+    // path Figure 7.5 contrasts against the scan backend).
+    auto it = indexes_.find(stmt.table);
+    if (it == indexes_.end()) return Status::Internal("missing index");
+    it->second.all_rows.ForEach([&runner](uint32_t row) {
+      runner.Consume(row);
+    });
+    return runner.Finish();
+  }
+
+  auto idx_it = indexes_.find(stmt.table);
+  if (idx_it == indexes_.end()) return Status::Internal("missing index");
+  const TableIndex& index = idx_it->second;
+
+  // Split a top-level conjunction into index-answerable and residual parts.
+  std::optional<RoaringBitmap> filter;
+  std::vector<const Expr*> residual_parts;
+  auto add_conjunct = [&](const Expr& e) {
+    auto bm = TryBitmap(*table, index, e);
+    if (bm.has_value()) {
+      if (!filter.has_value()) filter = std::move(bm);
+      else filter = RoaringBitmap::And(*filter, *bm);
+    } else {
+      residual_parts.push_back(&e);
+    }
+  };
+  if (stmt.where->kind == Expr::Kind::kAnd) {
+    for (const auto& child : stmt.where->children) add_conjunct(*child);
+  } else {
+    add_conjunct(*stmt.where);
+  }
+
+  std::optional<CompiledPredicate> residual;
+  if (!residual_parts.empty()) {
+    std::vector<std::unique_ptr<Expr>> clones;
+    clones.reserve(residual_parts.size());
+    for (const Expr* e : residual_parts) clones.push_back(e->Clone());
+    auto conj = Expr::And(std::move(clones));
+    ZV_ASSIGN_OR_RETURN(CompiledPredicate pred,
+                        CompiledPredicate::Compile(*table, *conj));
+    residual = std::move(pred);
+  }
+
+  if (filter.has_value()) {
+    if (residual.has_value()) {
+      const CompiledPredicate& pred = *residual;
+      filter->ForEach([&runner, &pred](uint32_t row) {
+        if (pred.Test(row)) runner.Consume(row);
+      });
+    } else {
+      filter->ForEach([&runner](uint32_t row) { runner.Consume(row); });
+    }
+  } else {
+    // Nothing indexable: full scan with the residual predicate.
+    const CompiledPredicate& pred = *residual;
+    for (size_t row = 0; row < n; ++row) {
+      if (pred.Test(row)) runner.Consume(row);
+    }
+  }
+  return runner.Finish();
+}
+
+}  // namespace zv

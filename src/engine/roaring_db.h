@@ -1,0 +1,53 @@
+/// \file roaring_db.h
+/// \brief The zenvisage in-memory Roaring Bitmap Database (§6.2).
+///
+/// Storage model: column-oriented; categorical columns get one Roaring
+/// bitmap per distinct value (built at RegisterTable), measure columns stay
+/// un-indexed arrays — the paper's default policy. Selection predicates over
+/// indexed columns are evaluated with bit-parallel AND/OR/ANDNOT; residual
+/// (measure) predicates are tested row-wise on the bitmap's survivors.
+
+#ifndef ZV_ENGINE_ROARING_DB_H_
+#define ZV_ENGINE_ROARING_DB_H_
+
+#include <optional>
+#include <unordered_map>
+
+#include "engine/database.h"
+#include "roaring/roaring.h"
+
+namespace zv {
+
+class RoaringDatabase : public Database {
+ public:
+  std::string name() const override { return "roaring"; }
+
+  /// Registers the table and builds per-value bitmap indexes for every
+  /// categorical column.
+  Status RegisterTable(std::shared_ptr<Table> table) override;
+
+  /// Total index memory for a table (bytes), for reporting.
+  size_t IndexBytes(const std::string& table_name) const;
+
+ protected:
+  Result<ResultSet> ExecuteInternal(const sql::SelectStatement& stmt) override;
+
+ private:
+  struct TableIndex {
+    // indexed by column position; empty vector for measure columns.
+    std::vector<std::vector<roaring::RoaringBitmap>> per_value;
+    roaring::RoaringBitmap all_rows;
+  };
+
+  /// Returns an exact bitmap for `expr` if every leaf touches an indexed
+  /// column, otherwise nullopt.
+  std::optional<roaring::RoaringBitmap> TryBitmap(const Table& table,
+                                                  const TableIndex& index,
+                                                  const sql::Expr& expr) const;
+
+  std::unordered_map<std::string, TableIndex> indexes_;
+};
+
+}  // namespace zv
+
+#endif  // ZV_ENGINE_ROARING_DB_H_

@@ -1,0 +1,25 @@
+#include "engine/scan_db.h"
+
+#include "engine/predicate.h"
+#include "engine/select_runner.h"
+
+namespace zv {
+
+Result<ResultSet> ScanDatabase::ExecuteInternal(
+    const sql::SelectStatement& stmt) {
+  ZV_ASSIGN_OR_RETURN(std::shared_ptr<Table> table, GetTable(stmt.table));
+  ZV_ASSIGN_OR_RETURN(SelectRunner runner, SelectRunner::Plan(*table, stmt));
+  const size_t n = table->num_rows();
+  if (stmt.where == nullptr) {
+    for (size_t row = 0; row < n; ++row) runner.Consume(row);
+  } else {
+    ZV_ASSIGN_OR_RETURN(CompiledPredicate pred,
+                        CompiledPredicate::Compile(*table, *stmt.where));
+    for (size_t row = 0; row < n; ++row) {
+      if (pred.Test(row)) runner.Consume(row);
+    }
+  }
+  return runner.Finish();
+}
+
+}  // namespace zv

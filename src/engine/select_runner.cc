@@ -1,0 +1,321 @@
+#include "engine/select_runner.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace zv {
+
+using sql::AggFunc;
+using sql::SelectStatement;
+
+Result<SelectRunner> SelectRunner::Plan(const Table& table,
+                                        const SelectStatement& stmt) {
+  SelectRunner r;
+  r.table_ = &table;
+  r.stmt_ = stmt;
+
+  bool any_agg = false;
+  for (const auto& item : stmt.items) any_agg |= item.is_aggregate();
+  r.aggregation_ = any_agg || !stmt.group_by.empty();
+
+  // Resolve group-by columns.
+  for (const std::string& g : stmt.group_by) {
+    const int col = table.schema().Find(g);
+    if (col < 0) {
+      return Status::NotFound(
+          StrFormat("unknown GROUP BY column '%s'", g.c_str()));
+    }
+    r.group_cols_.push_back(col);
+    if (table.column_type(static_cast<size_t>(col)) ==
+        ColumnType::kCategorical) {
+      r.group_dict_sizes_.push_back(table.DictSize(static_cast<size_t>(col)));
+    } else {
+      r.groups_categorical_ = false;
+      r.group_dict_sizes_.push_back(0);
+    }
+  }
+  if (r.groups_categorical_) {
+    r.total_groups_ = 1;
+    for (uint64_t d : r.group_dict_sizes_) {
+      if (d == 0) d = 1;
+      if (r.total_groups_ > kDenseGroupLimit) break;
+      r.total_groups_ *= d;
+    }
+    r.dense_ = r.total_groups_ <= kDenseGroupLimit;
+  }
+
+  // Resolve select items.
+  for (const auto& item : stmt.items) {
+    ItemPlan plan;
+    plan.is_agg = item.is_aggregate();
+    plan.agg = item.agg;
+    if (plan.is_agg) {
+      plan.agg_slot = r.num_aggs_++;
+      if (item.column == "*") {
+        if (item.agg != AggFunc::kCount) {
+          return Status::InvalidArgument("only COUNT accepts *");
+        }
+        plan.col = -1;
+      } else {
+        plan.col = table.schema().Find(item.column);
+        if (plan.col < 0) {
+          return Status::NotFound(
+              StrFormat("unknown column '%s'", item.column.c_str()));
+        }
+        const size_t c = static_cast<size_t>(plan.col);
+        switch (table.column_type(c)) {
+          case ColumnType::kDouble:
+            plan.dptr = table.DoubleColumn(c).data();
+            break;
+          case ColumnType::kInt:
+            plan.iptr = table.IntColumn(c).data();
+            break;
+          case ColumnType::kCategorical:
+            break;  // slow path via NumericAt
+        }
+      }
+    } else {
+      plan.col = table.schema().Find(item.column);
+      if (plan.col < 0) {
+        return Status::NotFound(
+            StrFormat("unknown column '%s'", item.column.c_str()));
+      }
+      if (r.aggregation_) {
+        // Bare columns under aggregation must be group keys.
+        for (size_t i = 0; i < r.group_cols_.size(); ++i) {
+          if (r.group_cols_[i] == plan.col) {
+            plan.group_pos = static_cast<int>(i);
+            break;
+          }
+        }
+        if (plan.group_pos < 0) {
+          return Status::InvalidArgument(
+              StrFormat("column '%s' must appear in GROUP BY",
+                        item.column.c_str()));
+        }
+      }
+    }
+    r.items_.push_back(plan);
+  }
+
+  if (r.aggregation_ && r.dense_) {
+    const size_t n = static_cast<size_t>(r.total_groups_) *
+                     std::max(1, r.num_aggs_);
+    r.dense_states_.resize(n);
+    r.dense_seen_.assign(static_cast<size_t>(r.total_groups_), 0);
+  }
+  return r;
+}
+
+uint64_t SelectRunner::DenseKey(size_t row) const {
+  uint64_t key = 0;
+  for (size_t i = 0; i < group_cols_.size(); ++i) {
+    key = key * group_dict_sizes_[i] +
+          static_cast<uint64_t>(
+              table_->Code(row, static_cast<size_t>(group_cols_[i])));
+  }
+  return key;
+}
+
+void SelectRunner::AccumulateInto(AggState* states, size_t row) {
+  for (const ItemPlan& item : items_) {
+    if (!item.is_agg) continue;
+    AggState& s = states[item.agg_slot];
+    if (item.col < 0) {
+      ++s.count;
+      continue;
+    }
+    double v;
+    if (item.dptr != nullptr) {
+      v = item.dptr[row];
+    } else if (item.iptr != nullptr) {
+      v = static_cast<double>(item.iptr[row]);
+    } else {
+      v = table_->NumericAt(row, static_cast<size_t>(item.col));
+    }
+    s.sum += v;
+    ++s.count;
+    if (v < s.min) s.min = v;
+    if (v > s.max) s.max = v;
+  }
+}
+
+void SelectRunner::Consume(size_t row) {
+  if (!aggregation_) {
+    std::vector<Value> out;
+    out.reserve(items_.size());
+    for (const ItemPlan& item : items_) {
+      out.push_back(table_->ValueAt(row, static_cast<size_t>(item.col)));
+    }
+    projected_rows_.push_back(std::move(out));
+    return;
+  }
+  if (groups_categorical_) {
+    const uint64_t key = group_cols_.empty() ? 0 : DenseKey(row);
+    if (dense_) {
+      AggState* states =
+          &dense_states_[key * static_cast<uint64_t>(std::max(1, num_aggs_))];
+      if (!dense_seen_[key]) {
+        dense_seen_[key] = 1;
+        dense_keys_in_order_.push_back(key);
+      }
+      AccumulateInto(states, row);
+    } else {
+      auto [it, inserted] =
+          hash_slots_.try_emplace(key, static_cast<uint32_t>(hash_keys_.size()));
+      if (inserted) {
+        hash_keys_.push_back(key);
+        hash_states_.resize(hash_states_.size() +
+                            static_cast<size_t>(std::max(1, num_aggs_)));
+      }
+      AccumulateInto(
+          &hash_states_[static_cast<size_t>(it->second) *
+                        static_cast<size_t>(std::max(1, num_aggs_))],
+          row);
+    }
+    return;
+  }
+  // Generic path: group key is a Value tuple.
+  std::vector<Value> key;
+  key.reserve(group_cols_.size());
+  for (int col : group_cols_) {
+    key.push_back(table_->ValueAt(row, static_cast<size_t>(col)));
+  }
+  auto [it, inserted] =
+      generic_slots_.try_emplace(key, static_cast<uint32_t>(generic_keys_.size()));
+  if (inserted) {
+    generic_keys_.push_back(key);
+    generic_states_.resize(generic_states_.size() +
+                           static_cast<size_t>(std::max(1, num_aggs_)));
+  }
+  AccumulateInto(&generic_states_[static_cast<size_t>(it->second) *
+                                  static_cast<size_t>(std::max(1, num_aggs_))],
+                 row);
+}
+
+Value SelectRunner::GroupColValue(int group_pos, uint64_t key) const {
+  // Decode the mixed-radix key back to the per-column code.
+  uint64_t divisor = 1;
+  for (size_t i = group_cols_.size(); i-- > static_cast<size_t>(group_pos) + 1;) {
+    divisor *= group_dict_sizes_[i];
+  }
+  const uint64_t code =
+      (key / divisor) % group_dict_sizes_[static_cast<size_t>(group_pos)];
+  return table_->DictValue(
+      static_cast<size_t>(group_cols_[static_cast<size_t>(group_pos)]),
+      static_cast<int32_t>(code));
+}
+
+Value SelectRunner::FinalizeAgg(const AggState& s, AggFunc f) const {
+  switch (f) {
+    case AggFunc::kSum:
+      return Value::Double(s.sum);
+    case AggFunc::kAvg:
+      return Value::Double(s.count ? s.sum / static_cast<double>(s.count) : 0);
+    case AggFunc::kCount:
+      return Value::Int(s.count);
+    case AggFunc::kMin:
+      return Value::Double(s.count ? s.min : 0);
+    case AggFunc::kMax:
+      return Value::Double(s.count ? s.max : 0);
+    case AggFunc::kNone:
+      break;
+  }
+  return Value::Null();
+}
+
+Status SelectRunner::ApplyOrderAndLimit(ResultSet* rs) const {
+  if (!stmt_.order_by.empty()) {
+    std::vector<std::pair<int, bool>> keys;  // output column idx, desc
+    for (const auto& k : stmt_.order_by) {
+      const int idx = rs->Find(k.column);
+      if (idx < 0) {
+        return Status::Unsupported(
+            StrFormat("ORDER BY column '%s' must appear in the SELECT list",
+                      k.column.c_str()));
+      }
+      keys.emplace_back(idx, k.descending);
+    }
+    std::stable_sort(rs->rows.begin(), rs->rows.end(),
+                     [&keys](const std::vector<Value>& a,
+                             const std::vector<Value>& b) {
+                       for (const auto& [idx, desc] : keys) {
+                         const int c = a[static_cast<size_t>(idx)].Compare(
+                             b[static_cast<size_t>(idx)]);
+                         if (c != 0) return desc ? c > 0 : c < 0;
+                       }
+                       return false;
+                     });
+  }
+  if (stmt_.limit >= 0 &&
+      rs->rows.size() > static_cast<size_t>(stmt_.limit)) {
+    rs->rows.resize(static_cast<size_t>(stmt_.limit));
+  }
+  return Status::OK();
+}
+
+Result<ResultSet> SelectRunner::Finish() {
+  ResultSet rs;
+  for (const auto& item : stmt_.items) rs.columns.push_back(item.DisplayName());
+
+  if (!aggregation_) {
+    rs.rows = std::move(projected_rows_);
+    ZV_RETURN_NOT_OK(ApplyOrderAndLimit(&rs));
+    return rs;
+  }
+
+  const size_t naggs = static_cast<size_t>(std::max(1, num_aggs_));
+  auto emit_group = [&](uint64_t key, const AggState* states) {
+    std::vector<Value> row;
+    row.reserve(items_.size());
+    for (const ItemPlan& item : items_) {
+      if (item.is_agg) {
+        row.push_back(FinalizeAgg(states[item.agg_slot], item.agg));
+      } else {
+        row.push_back(GroupColValue(item.group_pos, key));
+      }
+    }
+    rs.rows.push_back(std::move(row));
+  };
+
+  if (groups_categorical_) {
+    if (dense_) {
+      std::vector<uint64_t> keys = dense_keys_in_order_;
+      std::sort(keys.begin(), keys.end());
+      if (group_cols_.empty() && keys.empty() && num_aggs_ > 0) {
+        // Aggregates over an empty selection: one row of empty aggregates,
+        // mirroring SQL semantics for aggregate queries with no GROUP BY.
+        keys.push_back(0);
+      }
+      for (uint64_t key : keys) emit_group(key, &dense_states_[key * naggs]);
+    } else {
+      std::vector<uint64_t> keys = hash_keys_;
+      std::sort(keys.begin(), keys.end());
+      for (uint64_t key : keys) {
+        const uint32_t slot = hash_slots_.at(key);
+        emit_group(key, &hash_states_[static_cast<size_t>(slot) * naggs]);
+      }
+    }
+  } else {
+    // generic_slots_ is a std::map — already in key order.
+    for (const auto& [key, slot] : generic_slots_) {
+      std::vector<Value> row;
+      row.reserve(items_.size());
+      const AggState* states =
+          &generic_states_[static_cast<size_t>(slot) * naggs];
+      for (const ItemPlan& item : items_) {
+        if (item.is_agg) {
+          row.push_back(FinalizeAgg(states[item.agg_slot], item.agg));
+        } else {
+          row.push_back(key[static_cast<size_t>(item.group_pos)]);
+        }
+      }
+      rs.rows.push_back(std::move(row));
+    }
+  }
+  ZV_RETURN_NOT_OK(ApplyOrderAndLimit(&rs));
+  return rs;
+}
+
+}  // namespace zv

@@ -1,0 +1,103 @@
+/// \file select_runner.h
+/// \brief Backend-independent SELECT evaluation: projection, hash/dense
+/// group-by aggregation, ORDER BY and LIMIT.
+///
+/// A backend plans a SelectRunner for a statement, feeds it the row ids that
+/// survive its own WHERE evaluation (scan loop or bitmap iteration), and
+/// calls Finish(). Both backends share this code so measured differences
+/// between them isolate row *selection*, which is what Figure 7.5 studies.
+
+#ifndef ZV_ENGINE_SELECT_RUNNER_H_
+#define ZV_ENGINE_SELECT_RUNNER_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/result_set.h"
+#include "sql/ast.h"
+#include "storage/table.h"
+
+namespace zv {
+
+/// \brief Streaming evaluator for one SELECT against one table.
+class SelectRunner {
+ public:
+  /// Max group count for the dense (array-addressed) aggregation path.
+  static constexpr uint64_t kDenseGroupLimit = 1u << 20;
+
+  /// Validates the statement against the table and builds the plan.
+  static Result<SelectRunner> Plan(const Table& table,
+                                   const sql::SelectStatement& stmt);
+
+  /// Feeds one selected row id. Must be called in ascending row order for
+  /// deterministic projection output.
+  void Consume(size_t row);
+
+  /// Builds the final result (applies ORDER BY and LIMIT).
+  Result<ResultSet> Finish();
+
+ private:
+  struct AggState {
+    double sum = 0;
+    int64_t count = 0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+
+  struct ItemPlan {
+    bool is_agg = false;
+    sql::AggFunc agg = sql::AggFunc::kNone;
+    int col = -1;        ///< table column (-1 for COUNT(*))
+    int group_pos = -1;  ///< for bare items: position in group_by
+    int agg_slot = -1;   ///< for agg items: index among aggregates
+    // Fast numeric access for aggregation.
+    const double* dptr = nullptr;
+    const int64_t* iptr = nullptr;
+  };
+
+  SelectRunner() = default;
+
+  uint64_t DenseKey(size_t row) const;
+  void AccumulateInto(AggState* states, size_t row);
+  Value GroupColValue(int group_pos, uint64_t key) const;
+  Value FinalizeAgg(const AggState& s, sql::AggFunc f) const;
+  Status ApplyOrderAndLimit(ResultSet* rs) const;
+
+  const Table* table_ = nullptr;
+  sql::SelectStatement stmt_;
+
+  bool aggregation_ = false;
+
+  // Aggregation state.
+  std::vector<int> group_cols_;
+  std::vector<uint64_t> group_dict_sizes_;
+  bool groups_categorical_ = true;
+  uint64_t total_groups_ = 1;
+  bool dense_ = false;
+  std::vector<ItemPlan> items_;
+  int num_aggs_ = 0;
+
+  std::vector<AggState> dense_states_;
+  std::vector<uint8_t> dense_seen_;
+  std::vector<uint64_t> dense_keys_in_order_;
+
+  std::unordered_map<uint64_t, uint32_t> hash_slots_;
+  std::vector<AggState> hash_states_;
+  std::vector<uint64_t> hash_keys_;
+
+  // Generic (non-categorical group key) path.
+  std::map<std::vector<Value>, uint32_t> generic_slots_;
+  std::vector<AggState> generic_states_;
+  std::vector<std::vector<Value>> generic_keys_;
+
+  // Projection state.
+  std::vector<std::vector<Value>> projected_rows_;
+};
+
+}  // namespace zv
+
+#endif  // ZV_ENGINE_SELECT_RUNNER_H_

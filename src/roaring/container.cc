@@ -1,0 +1,547 @@
+#include "roaring/container.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+
+namespace zv::roaring {
+
+namespace {
+
+inline uint32_t PopcountWords(const std::vector<uint64_t>& words) {
+  uint32_t c = 0;
+  for (uint64_t w : words) c += static_cast<uint32_t>(__builtin_popcountll(w));
+  return c;
+}
+
+inline bool BitmapContains(const std::vector<uint64_t>& words, uint16_t x) {
+  return (words[x >> 6] >> (x & 63)) & 1;
+}
+
+}  // namespace
+
+Container Container::MakeArray(std::vector<uint16_t> sorted_values) {
+  Container c;
+  c.type_ = Type::kArray;
+  c.array_ = std::move(sorted_values);
+  c.cardinality_ = static_cast<uint32_t>(c.array_.size());
+  if (c.cardinality_ > kArrayMaxCardinality) c.ConvertArrayToBitmap();
+  return c;
+}
+
+Container Container::MakeBitmap(std::vector<uint64_t> words) {
+  assert(words.size() == kBitmapWords);
+  Container c;
+  c.type_ = Type::kBitmap;
+  c.bitmap_ = std::move(words);
+  c.cardinality_ = PopcountWords(c.bitmap_);
+  c.ConvertBitmapToArrayIfSmall();
+  return c;
+}
+
+Container Container::MakeRuns(std::vector<Run> runs) {
+  Container c;
+  c.type_ = Type::kRun;
+  c.runs_ = std::move(runs);
+  c.cardinality_ = 0;
+  for (const Run& r : c.runs_) c.cardinality_ += r.length + 1u;
+  return c;
+}
+
+void Container::ConvertArrayToBitmap() {
+  bitmap_.assign(kBitmapWords, 0);
+  for (uint16_t v : array_) bitmap_[v >> 6] |= 1ULL << (v & 63);
+  array_.clear();
+  array_.shrink_to_fit();
+  type_ = Type::kBitmap;
+}
+
+void Container::ConvertBitmapToArrayIfSmall() {
+  if (type_ != Type::kBitmap || cardinality_ > kArrayMaxCardinality) return;
+  std::vector<uint16_t> vals;
+  vals.reserve(cardinality_);
+  for (uint32_t w = 0; w < kBitmapWords; ++w) {
+    uint64_t word = bitmap_[w];
+    while (word != 0) {
+      const int bit = __builtin_ctzll(word);
+      vals.push_back(static_cast<uint16_t>((w << 6) + bit));
+      word &= word - 1;
+    }
+  }
+  array_ = std::move(vals);
+  bitmap_.clear();
+  bitmap_.shrink_to_fit();
+  type_ = Type::kArray;
+}
+
+Container Container::ToBitmapCopy() const {
+  Container c;
+  c.type_ = Type::kBitmap;
+  c.bitmap_.assign(kBitmapWords, 0);
+  ForEach([&c](uint16_t v) { c.bitmap_[v >> 6] |= 1ULL << (v & 63); });
+  c.cardinality_ = cardinality_;
+  return c;
+}
+
+std::vector<uint16_t> Container::ToArrayValues() const {
+  std::vector<uint16_t> vals;
+  vals.reserve(cardinality_);
+  ForEach([&vals](uint16_t v) { vals.push_back(v); });
+  return vals;
+}
+
+void Container::Normalize() {
+  if (type_ == Type::kRun) {
+    if (cardinality_ <= kArrayMaxCardinality) {
+      array_ = ToArrayValues();
+      runs_.clear();
+      type_ = Type::kArray;
+    } else {
+      *this = ToBitmapCopy();
+    }
+    return;
+  }
+  if (type_ == Type::kArray && cardinality_ > kArrayMaxCardinality) {
+    ConvertArrayToBitmap();
+  } else if (type_ == Type::kBitmap) {
+    ConvertBitmapToArrayIfSmall();
+  }
+}
+
+bool Container::Add(uint16_t x) {
+  switch (type_) {
+    case Type::kArray: {
+      auto it = std::lower_bound(array_.begin(), array_.end(), x);
+      if (it != array_.end() && *it == x) return false;
+      array_.insert(it, x);
+      ++cardinality_;
+      if (cardinality_ > kArrayMaxCardinality) ConvertArrayToBitmap();
+      return true;
+    }
+    case Type::kBitmap: {
+      uint64_t& word = bitmap_[x >> 6];
+      const uint64_t mask = 1ULL << (x & 63);
+      if (word & mask) return false;
+      word |= mask;
+      ++cardinality_;
+      return true;
+    }
+    case Type::kRun: {
+      // Keep runs sorted and coalesced.
+      if (Contains(x)) return false;
+      Run nr{x, 0};
+      auto it = std::lower_bound(
+          runs_.begin(), runs_.end(), nr,
+          [](const Run& a, const Run& b) { return a.start < b.start; });
+      it = runs_.insert(it, nr);
+      // Merge with previous run if adjacent.
+      if (it != runs_.begin()) {
+        auto prev = std::prev(it);
+        if (static_cast<uint32_t>(prev->start) + prev->length + 1 == x) {
+          prev->length += 1;
+          it = runs_.erase(it);
+          it = std::prev(it);
+        }
+      }
+      // Merge with next run if adjacent.
+      auto next = std::next(it);
+      if (next != runs_.end() &&
+          static_cast<uint32_t>(it->start) + it->length + 1 == next->start) {
+        it->length = static_cast<uint16_t>(it->length + next->length + 1);
+        runs_.erase(next);
+      }
+      ++cardinality_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Container::AddRange(uint16_t lo, uint16_t hi) {
+  // Simple but correct; bulk loads use MakeArray/MakeBitmap paths instead.
+  for (uint32_t v = lo; v <= hi; ++v) Add(static_cast<uint16_t>(v));
+}
+
+bool Container::Remove(uint16_t x) {
+  switch (type_) {
+    case Type::kArray: {
+      auto it = std::lower_bound(array_.begin(), array_.end(), x);
+      if (it == array_.end() || *it != x) return false;
+      array_.erase(it);
+      --cardinality_;
+      return true;
+    }
+    case Type::kBitmap: {
+      uint64_t& word = bitmap_[x >> 6];
+      const uint64_t mask = 1ULL << (x & 63);
+      if (!(word & mask)) return false;
+      word &= ~mask;
+      --cardinality_;
+      ConvertBitmapToArrayIfSmall();
+      return true;
+    }
+    case Type::kRun: {
+      for (size_t i = 0; i < runs_.size(); ++i) {
+        Run& r = runs_[i];
+        const uint32_t end = static_cast<uint32_t>(r.start) + r.length;
+        if (x < r.start || x > end) continue;
+        if (r.start == x && r.length == 0) {
+          runs_.erase(runs_.begin() + static_cast<ptrdiff_t>(i));
+        } else if (r.start == x) {
+          r.start = static_cast<uint16_t>(r.start + 1);
+          r.length = static_cast<uint16_t>(r.length - 1);
+        } else if (end == x) {
+          r.length = static_cast<uint16_t>(r.length - 1);
+        } else {
+          // Split the run.
+          Run tail{static_cast<uint16_t>(x + 1),
+                   static_cast<uint16_t>(end - x - 1)};
+          r.length = static_cast<uint16_t>(x - r.start - 1);
+          runs_.insert(runs_.begin() + static_cast<ptrdiff_t>(i) + 1, tail);
+        }
+        --cardinality_;
+        return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+bool Container::Contains(uint16_t x) const {
+  switch (type_) {
+    case Type::kArray:
+      return std::binary_search(array_.begin(), array_.end(), x);
+    case Type::kBitmap:
+      return BitmapContains(bitmap_, x);
+    case Type::kRun: {
+      // Find last run with start <= x.
+      auto it = std::upper_bound(
+          runs_.begin(), runs_.end(), x,
+          [](uint16_t v, const Run& r) { return v < r.start; });
+      if (it == runs_.begin()) return false;
+      --it;
+      return x <= static_cast<uint32_t>(it->start) + it->length;
+    }
+  }
+  return false;
+}
+
+uint32_t Container::Rank(uint16_t x) const {
+  switch (type_) {
+    case Type::kArray: {
+      auto it = std::lower_bound(array_.begin(), array_.end(), x);
+      return static_cast<uint32_t>(it - array_.begin());
+    }
+    case Type::kBitmap: {
+      uint32_t count = 0;
+      const uint32_t word_idx = x >> 6;
+      for (uint32_t w = 0; w < word_idx; ++w)
+        count += static_cast<uint32_t>(__builtin_popcountll(bitmap_[w]));
+      const uint64_t mask = (1ULL << (x & 63)) - 1;
+      count += static_cast<uint32_t>(__builtin_popcountll(bitmap_[word_idx] & mask));
+      return count;
+    }
+    case Type::kRun: {
+      uint32_t count = 0;
+      for (const Run& r : runs_) {
+        if (r.start >= x) break;
+        const uint32_t end = static_cast<uint32_t>(r.start) + r.length;
+        count += (end < x ? end : static_cast<uint32_t>(x) - 1) - r.start + 1;
+      }
+      return count;
+    }
+  }
+  return 0;
+}
+
+void Container::AppendValues(uint32_t base, std::vector<uint32_t>* out) const {
+  ForEach([base, out](uint16_t v) { out->push_back(base | v); });
+}
+
+// --- Binary operations -----------------------------------------------------
+
+Container Container::AndArrayArray(const std::vector<uint16_t>& a,
+                                   const std::vector<uint16_t>& b) {
+  std::vector<uint16_t> out;
+  out.reserve(std::min(a.size(), b.size()));
+  // Galloping intersection when sizes are lopsided, merge otherwise.
+  if (a.size() * 32 < b.size() || b.size() * 32 < a.size()) {
+    const auto& small = a.size() < b.size() ? a : b;
+    const auto& large = a.size() < b.size() ? b : a;
+    auto lo = large.begin();
+    for (uint16_t v : small) {
+      lo = std::lower_bound(lo, large.end(), v);
+      if (lo == large.end()) break;
+      if (*lo == v) out.push_back(v);
+    }
+  } else {
+    size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+      if (a[i] < b[j]) ++i;
+      else if (b[j] < a[i]) ++j;
+      else {
+        out.push_back(a[i]);
+        ++i;
+        ++j;
+      }
+    }
+  }
+  return MakeArray(std::move(out));
+}
+
+Container Container::AndArrayBitmap(const std::vector<uint16_t>& a,
+                                    const Container& b) {
+  std::vector<uint16_t> out;
+  out.reserve(a.size());
+  for (uint16_t v : a) {
+    if (BitmapContains(b.bitmap_, v)) out.push_back(v);
+  }
+  return MakeArray(std::move(out));
+}
+
+Container Container::AndBitmapBitmap(const Container& a, const Container& b) {
+  std::vector<uint64_t> words(kBitmapWords);
+  for (uint32_t w = 0; w < kBitmapWords; ++w)
+    words[w] = a.bitmap_[w] & b.bitmap_[w];
+  return MakeBitmap(std::move(words));
+}
+
+namespace {
+
+/// Run ∩ run by merging sorted run lists — linear in the number of runs.
+std::vector<Run> IntersectRuns(const std::vector<Run>& a,
+                               const std::vector<Run>& b) {
+  std::vector<Run> out;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const uint32_t a_start = a[i].start;
+    const uint32_t a_end = a_start + a[i].length;
+    const uint32_t b_start = b[j].start;
+    const uint32_t b_end = b_start + b[j].length;
+    const uint32_t lo = std::max(a_start, b_start);
+    const uint32_t hi = std::min(a_end, b_end);
+    if (lo <= hi) {
+      out.push_back({static_cast<uint16_t>(lo),
+                     static_cast<uint16_t>(hi - lo)});
+    }
+    if (a_end < b_end) ++i;
+    else ++j;
+  }
+  return out;
+}
+
+}  // namespace
+
+Container Container::And(const Container& a, const Container& b) {
+  if (a.Empty() || b.Empty()) return Container();
+  // Native run-container paths (runs stay runs where the result is still
+  // run-friendly; see bench_roaring's run-optimized ablation).
+  if (a.type_ == Type::kRun && b.type_ == Type::kRun) {
+    Container c = MakeRuns(IntersectRuns(a.runs_, b.runs_));
+    // Keep the run form only when it is the most compact representation.
+    if (c.SizeInBytes() > kBitmapWords * sizeof(uint64_t) ||
+        (c.cardinality_ <= kArrayMaxCardinality &&
+         c.SizeInBytes() > c.cardinality_ * sizeof(uint16_t))) {
+      c.Normalize();
+    }
+    return c;
+  }
+  if (a.type_ == Type::kRun || b.type_ == Type::kRun) {
+    // Run ∩ array: membership-test the array side against the runs.
+    const Container& run = a.type_ == Type::kRun ? a : b;
+    const Container& other = a.type_ == Type::kRun ? b : a;
+    if (other.type_ == Type::kArray) {
+      std::vector<uint16_t> out;
+      out.reserve(other.array_.size());
+      for (uint16_t v : other.array_) {
+        if (run.Contains(v)) out.push_back(v);
+      }
+      return MakeArray(std::move(out));
+    }
+    // Run ∩ bitmap: mask the bitmap with the run ranges.
+    std::vector<uint64_t> words(kBitmapWords, 0);
+    for (const Run& r : run.runs_) {
+      const uint32_t end = static_cast<uint32_t>(r.start) + r.length;
+      for (uint32_t w = r.start >> 6; w <= end >> 6; ++w) {
+        uint64_t mask = ~0ULL;
+        if (w == (static_cast<uint32_t>(r.start) >> 6)) {
+          mask &= ~0ULL << (r.start & 63);
+        }
+        if (w == (end >> 6) && (end & 63) != 63) {
+          mask &= (1ULL << ((end & 63) + 1)) - 1;
+        }
+        words[w] |= mask & other.bitmap_[w];
+      }
+    }
+    return MakeBitmap(std::move(words));
+  }
+  if (a.type_ == Type::kArray && b.type_ == Type::kArray)
+    return AndArrayArray(a.array_, b.array_);
+  if (a.type_ == Type::kArray) return AndArrayBitmap(a.array_, b);
+  if (b.type_ == Type::kArray) return AndArrayBitmap(b.array_, a);
+  return AndBitmapBitmap(a, b);
+}
+
+uint32_t Container::AndCardinality(const Container& a, const Container& b) {
+  if (a.Empty() || b.Empty()) return 0;
+  if (a.type_ == Type::kBitmap && b.type_ == Type::kBitmap) {
+    uint32_t c = 0;
+    for (uint32_t w = 0; w < kBitmapWords; ++w)
+      c += static_cast<uint32_t>(
+          __builtin_popcountll(a.bitmap_[w] & b.bitmap_[w]));
+    return c;
+  }
+  if (a.type_ == Type::kArray && b.type_ == Type::kBitmap) {
+    uint32_t c = 0;
+    for (uint16_t v : a.array_) c += BitmapContains(b.bitmap_, v);
+    return c;
+  }
+  if (b.type_ == Type::kArray && a.type_ == Type::kBitmap) {
+    return AndCardinality(b, a);
+  }
+  return And(a, b).Cardinality();
+}
+
+Container Container::OrArrayArray(const std::vector<uint16_t>& a,
+                                  const std::vector<uint16_t>& b) {
+  std::vector<uint16_t> out;
+  out.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return MakeArray(std::move(out));
+}
+
+Container Container::OrBitmapAny(const Container& bitmap,
+                                 const Container& any) {
+  Container out = bitmap.type_ == Type::kBitmap ? bitmap
+                                                : bitmap.ToBitmapCopy();
+  any.ForEach([&out](uint16_t v) {
+    uint64_t& word = out.bitmap_[v >> 6];
+    const uint64_t mask = 1ULL << (v & 63);
+    if (!(word & mask)) {
+      word |= mask;
+      ++out.cardinality_;
+    }
+  });
+  return out;
+}
+
+Container Container::Or(const Container& a, const Container& b) {
+  if (a.Empty()) {
+    Container c = b;
+    c.Normalize();
+    return c;
+  }
+  if (b.Empty()) {
+    Container c = a;
+    c.Normalize();
+    return c;
+  }
+  if (a.type_ == Type::kArray && b.type_ == Type::kArray)
+    return OrArrayArray(a.array_, b.array_);
+  if (a.type_ == Type::kBitmap) return OrBitmapAny(a, b);
+  if (b.type_ == Type::kBitmap) return OrBitmapAny(b, a);
+  // At least one run container and no bitmaps: merge through sorted arrays.
+  return OrArrayArray(a.ToArrayValues(), b.ToArrayValues());
+}
+
+Container Container::AndNot(const Container& a, const Container& b) {
+  if (a.Empty()) return Container();
+  if (b.Empty()) {
+    Container c = a;
+    c.Normalize();
+    return c;
+  }
+  if (a.type_ == Type::kArray || a.type_ == Type::kRun) {
+    std::vector<uint16_t> out;
+    out.reserve(a.cardinality_);
+    a.ForEach([&](uint16_t v) {
+      if (!b.Contains(v)) out.push_back(v);
+    });
+    return MakeArray(std::move(out));
+  }
+  // a is a bitmap.
+  std::vector<uint64_t> words = a.bitmap_;
+  if (b.type_ == Type::kBitmap) {
+    for (uint32_t w = 0; w < kBitmapWords; ++w) words[w] &= ~b.bitmap_[w];
+  } else {
+    b.ForEach([&words](uint16_t v) { words[v >> 6] &= ~(1ULL << (v & 63)); });
+  }
+  return MakeBitmap(std::move(words));
+}
+
+Container Container::Xor(const Container& a, const Container& b) {
+  if (a.Empty()) {
+    Container c = b;
+    c.Normalize();
+    return c;
+  }
+  if (b.Empty()) {
+    Container c = a;
+    c.Normalize();
+    return c;
+  }
+  if (a.type_ == Type::kBitmap && b.type_ == Type::kBitmap) {
+    std::vector<uint64_t> words(kBitmapWords);
+    for (uint32_t w = 0; w < kBitmapWords; ++w)
+      words[w] = a.bitmap_[w] ^ b.bitmap_[w];
+    return MakeBitmap(std::move(words));
+  }
+  // Generic symmetric difference through union minus intersection.
+  return AndNot(Or(a, b), And(a, b));
+}
+
+bool Container::RunOptimize() {
+  if (type_ == Type::kRun || cardinality_ == 0) return false;
+  // Count runs.
+  std::vector<Run> runs;
+  bool open = false;
+  uint32_t run_start = 0, prev = 0;
+  ForEach([&](uint16_t v) {
+    if (!open) {
+      open = true;
+      run_start = v;
+    } else if (v != prev + 1) {
+      runs.push_back({static_cast<uint16_t>(run_start),
+                      static_cast<uint16_t>(prev - run_start)});
+      run_start = v;
+    }
+    prev = v;
+  });
+  if (open) {
+    runs.push_back({static_cast<uint16_t>(run_start),
+                    static_cast<uint16_t>(prev - run_start)});
+  }
+  const size_t run_bytes = runs.size() * sizeof(Run);
+  const size_t current_bytes = SizeInBytes();
+  if (run_bytes >= current_bytes) return false;
+  runs_ = std::move(runs);
+  array_.clear();
+  array_.shrink_to_fit();
+  bitmap_.clear();
+  bitmap_.shrink_to_fit();
+  type_ = Type::kRun;
+  return true;
+}
+
+size_t Container::SizeInBytes() const {
+  switch (type_) {
+    case Type::kArray:
+      return array_.size() * sizeof(uint16_t);
+    case Type::kBitmap:
+      return kBitmapWords * sizeof(uint64_t);
+    case Type::kRun:
+      return runs_.size() * sizeof(Run);
+  }
+  return 0;
+}
+
+bool Container::SameSetAs(const Container& other) const {
+  if (cardinality_ != other.cardinality_) return false;
+  std::vector<uint16_t> a = ToArrayValues();
+  std::vector<uint16_t> b = other.ToArrayValues();
+  return a == b;
+}
+
+}  // namespace zv::roaring

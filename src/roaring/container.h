@@ -1,0 +1,142 @@
+/// \file container.h
+/// \brief 16-bit containers underlying the Roaring bitmap (Chambi, Lemire,
+/// Kaser, Godin, "Better bitmap performance with Roaring bitmaps", SPE 2015;
+/// paper reference [17]).
+///
+/// A Roaring bitmap partitions the 32-bit universe into 2^16 chunks keyed by
+/// the high 16 bits; each chunk stores its low 16 bits in whichever
+/// container is smallest:
+///   - ArrayContainer:  sorted uint16 list (cardinality <= 4096),
+///   - BitmapContainer: 1024 x uint64 words (cardinality > 4096),
+///   - RunContainer:    sorted (start, length) runs, chosen by RunOptimize
+///     when it beats both of the above.
+
+#ifndef ZV_ROARING_CONTAINER_H_
+#define ZV_ROARING_CONTAINER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace zv::roaring {
+
+/// Cardinality threshold at which an array container converts to a bitmap.
+inline constexpr uint32_t kArrayMaxCardinality = 4096;
+/// Number of 64-bit words in a bitmap container (2^16 / 64).
+inline constexpr uint32_t kBitmapWords = 1024;
+
+/// \brief A run of consecutive values [start, start + length].
+struct Run {
+  uint16_t start;
+  uint16_t length;  ///< inclusive extra values; run covers length+1 values
+  bool operator==(const Run&) const = default;
+};
+
+/// \brief One 16-bit chunk of a Roaring bitmap.
+///
+/// The container owns exactly one representation at a time, identified by
+/// type(). All mutating operations keep the cached cardinality correct and
+/// convert between array and bitmap representations at the 4096 threshold.
+/// Binary set operations return newly allocated containers in the most
+/// compact (array vs bitmap) representation; run containers are produced
+/// only by RunOptimize().
+class Container {
+ public:
+  enum class Type { kArray, kBitmap, kRun };
+
+  Container() : type_(Type::kArray), cardinality_(0) {}
+
+  static Container MakeArray(std::vector<uint16_t> sorted_values);
+  static Container MakeBitmap(std::vector<uint64_t> words);
+  static Container MakeRuns(std::vector<Run> runs);
+
+  Type type() const { return type_; }
+  uint32_t Cardinality() const { return cardinality_; }
+  bool Empty() const { return cardinality_ == 0; }
+
+  /// Returns true if the value was newly added.
+  bool Add(uint16_t x);
+  /// Adds the inclusive range [lo, hi].
+  void AddRange(uint16_t lo, uint16_t hi);
+  /// Returns true if the value was present.
+  bool Remove(uint16_t x);
+  bool Contains(uint16_t x) const;
+
+  /// Number of values strictly less than x.
+  uint32_t Rank(uint16_t x) const;
+
+  /// Appends all values (ascending) into out, offset by `base`.
+  void AppendValues(uint32_t base, std::vector<uint32_t>* out) const;
+
+  /// Calls fn(uint16_t) for each value in ascending order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    switch (type_) {
+      case Type::kArray:
+        for (uint16_t v : array_) fn(v);
+        break;
+      case Type::kBitmap:
+        for (uint32_t w = 0; w < kBitmapWords; ++w) {
+          uint64_t word = bitmap_[w];
+          while (word != 0) {
+            const int bit = __builtin_ctzll(word);
+            fn(static_cast<uint16_t>((w << 6) + bit));
+            word &= word - 1;
+          }
+        }
+        break;
+      case Type::kRun:
+        for (const Run& r : runs_) {
+          const uint32_t end = static_cast<uint32_t>(r.start) + r.length;
+          for (uint32_t v = r.start; v <= end; ++v)
+            fn(static_cast<uint16_t>(v));
+        }
+        break;
+    }
+  }
+
+  static Container And(const Container& a, const Container& b);
+  static Container Or(const Container& a, const Container& b);
+  static Container AndNot(const Container& a, const Container& b);
+  static Container Xor(const Container& a, const Container& b);
+  static uint32_t AndCardinality(const Container& a, const Container& b);
+
+  /// Converts to the run representation when it is strictly smaller than
+  /// the current one; returns true if a conversion happened.
+  bool RunOptimize();
+
+  /// Heap bytes used by the active representation.
+  size_t SizeInBytes() const;
+
+  /// Structural equality on the represented set (representation-agnostic).
+  bool SameSetAs(const Container& other) const;
+
+  /// Converts run/bitmap representations to the canonical array-or-bitmap
+  /// form based on cardinality. Used after deserializing or bulk edits.
+  void Normalize();
+
+ private:
+  void ConvertArrayToBitmap();
+  void ConvertBitmapToArrayIfSmall();
+  Container ToBitmapCopy() const;
+  std::vector<uint16_t> ToArrayValues() const;
+
+  static Container AndArrayArray(const std::vector<uint16_t>& a,
+                                 const std::vector<uint16_t>& b);
+  static Container AndArrayBitmap(const std::vector<uint16_t>& a,
+                                  const Container& b);
+  static Container AndBitmapBitmap(const Container& a, const Container& b);
+  static Container OrArrayArray(const std::vector<uint16_t>& a,
+                                const std::vector<uint16_t>& b);
+  static Container OrBitmapAny(const Container& bitmap, const Container& any);
+
+  Type type_;
+  uint32_t cardinality_;
+  std::vector<uint16_t> array_;
+  std::vector<uint64_t> bitmap_;
+  std::vector<Run> runs_;
+};
+
+}  // namespace zv::roaring
+
+#endif  // ZV_ROARING_CONTAINER_H_

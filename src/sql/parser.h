@@ -1,0 +1,24 @@
+/// \file parser.h
+/// \brief Recursive-descent parser for the SQL subset.
+
+#ifndef ZV_SQL_PARSER_H_
+#define ZV_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace zv::sql {
+
+/// Parses a full SELECT statement; errors carry token positions.
+Result<SelectStatement> ParseSelect(const std::string& text);
+
+/// Parses a bare boolean expression (the ZQL Constraints column, which by
+/// design is "roughly the set of possible expressions for the WHERE clause"
+/// — §3.4 of the paper).
+Result<std::unique_ptr<Expr>> ParseWhereExpr(const std::string& text);
+
+}  // namespace zv::sql
+
+#endif  // ZV_SQL_PARSER_H_

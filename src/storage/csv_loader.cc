@@ -1,0 +1,129 @@
+#include "storage/csv_loader.h"
+
+#include <cstdlib>
+#include <set>
+
+#include "common/strings.h"
+
+namespace zv {
+
+namespace {
+
+enum class CellKind { kEmpty, kInt, kDouble, kOther };
+
+CellKind ClassifyCell(const std::string& raw) {
+  const std::string s = Trim(raw);
+  if (s.empty()) return CellKind::kEmpty;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return CellKind::kOther;
+  if (s.find_first_of(".eE") == std::string::npos) return CellKind::kInt;
+  return CellKind::kDouble;
+}
+
+}  // namespace
+
+Result<Schema> InferCsvSchema(const CsvTable& csv, const CsvLoadOptions& opts) {
+  if (csv.header.empty()) return Status::InvalidArgument("CSV has no header");
+  const size_t ncols = csv.header.size();
+  std::vector<ColumnDef> defs(ncols);
+  for (size_t c = 0; c < ncols; ++c) {
+    defs[c].name = Trim(csv.header[c]);
+    if (defs[c].name.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("CSV column %zu has an empty name", c));
+    }
+    bool any_other = false, any_double = false, any_value = false;
+    std::set<std::string> distinct;
+    for (const auto& row : csv.rows) {
+      switch (ClassifyCell(row[c])) {
+        case CellKind::kEmpty:
+          break;
+        case CellKind::kInt:
+          any_value = true;
+          break;
+        case CellKind::kDouble:
+          any_value = true;
+          any_double = true;
+          break;
+        case CellKind::kOther:
+          any_value = true;
+          any_other = true;
+          break;
+      }
+      if (distinct.size() <= opts.categorical_numeric_threshold) {
+        distinct.insert(Trim(row[c]));
+      }
+    }
+    if (any_other || !any_value) {
+      defs[c].type = ColumnType::kCategorical;
+    } else if (distinct.size() <= opts.categorical_numeric_threshold) {
+      // Low-cardinality numeric (years, months, codes): categorical.
+      defs[c].type = ColumnType::kCategorical;
+    } else {
+      defs[c].type = any_double ? ColumnType::kDouble : ColumnType::kInt;
+    }
+  }
+  for (const auto& [name, type] : opts.overrides) {
+    bool found = false;
+    for (auto& def : defs) {
+      if (def.name == name) {
+        def.type = type;
+        found = true;
+      }
+    }
+    if (!found) {
+      return Status::NotFound("override for unknown CSV column: " + name);
+    }
+  }
+  return Schema(defs);
+}
+
+Result<std::shared_ptr<Table>> TableFromCsv(const std::string& table_name,
+                                            const CsvTable& csv,
+                                            const CsvLoadOptions& opts) {
+  ZV_ASSIGN_OR_RETURN(Schema schema, InferCsvSchema(csv, opts));
+  TableBuilder builder(table_name, schema);
+  const size_t ncols = schema.num_columns();
+  for (const auto& row : csv.rows) {
+    for (size_t c = 0; c < ncols; ++c) {
+      const std::string cell = Trim(row[c]);
+      switch (schema.column(c).type) {
+        case ColumnType::kCategorical: {
+          // Keep numeric-looking categorical values as numbers so ZQL
+          // constraints like year=2015 compare correctly.
+          const CellKind kind = ClassifyCell(cell);
+          if (kind == CellKind::kInt) {
+            builder.AppendCategorical(
+                c, Value::Int(std::strtoll(cell.c_str(), nullptr, 10)));
+          } else if (kind == CellKind::kDouble) {
+            builder.AppendCategorical(
+                c, Value::Double(std::strtod(cell.c_str(), nullptr)));
+          } else {
+            builder.AppendCategorical(c, Value::Str(cell));
+          }
+          break;
+        }
+        case ColumnType::kInt:
+          builder.AppendInt(
+              c, cell.empty() ? 0 : std::strtoll(cell.c_str(), nullptr, 10));
+          break;
+        case ColumnType::kDouble:
+          builder.AppendDouble(
+              c, cell.empty() ? 0.0 : std::strtod(cell.c_str(), nullptr));
+          break;
+      }
+    }
+    builder.CommitRow();
+  }
+  return builder.Finish();
+}
+
+Result<std::shared_ptr<Table>> TableFromCsvFile(const std::string& table_name,
+                                                const std::string& path,
+                                                const CsvLoadOptions& opts) {
+  ZV_ASSIGN_OR_RETURN(CsvTable csv, ReadCsvFile(path));
+  return TableFromCsv(table_name, csv, opts);
+}
+
+}  // namespace zv

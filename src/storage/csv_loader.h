@@ -1,0 +1,49 @@
+/// \file csv_loader.h
+/// \brief Builds a Table from CSV with column-type inference — the
+/// practical ingestion path for users bringing their own data (the paper's
+/// deployments loaded domain CSVs: housing, airline, census).
+
+#ifndef ZV_STORAGE_CSV_LOADER_H_
+#define ZV_STORAGE_CSV_LOADER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace zv {
+
+struct CsvLoadOptions {
+  /// Columns forced to a specific type by name (overrides inference).
+  std::vector<std::pair<std::string, ColumnType>> overrides;
+  /// A numeric column whose distinct-value count is at most this is
+  /// inferred as categorical (so year/month-style columns get dictionary
+  /// encoding and, in the Roaring backend, bitmap indexes).
+  size_t categorical_numeric_threshold = 64;
+};
+
+/// Infers a schema from the CSV content:
+///  - all-numeric columns with few distinct values -> kCategorical,
+///  - all-integer columns -> kInt, other numeric -> kDouble,
+///  - anything else -> kCategorical (string dictionary).
+Result<Schema> InferCsvSchema(const CsvTable& csv,
+                              const CsvLoadOptions& opts = {});
+
+/// Parses + loads in one step. Empty cells become NULL-like defaults
+/// (0 for measures, "" for categoricals).
+Result<std::shared_ptr<Table>> TableFromCsv(const std::string& table_name,
+                                            const CsvTable& csv,
+                                            const CsvLoadOptions& opts = {});
+
+/// Reads a CSV file from disk and loads it.
+Result<std::shared_ptr<Table>> TableFromCsvFile(
+    const std::string& table_name, const std::string& path,
+    const CsvLoadOptions& opts = {});
+
+}  // namespace zv
+
+#endif  // ZV_STORAGE_CSV_LOADER_H_

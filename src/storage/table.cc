@@ -1,0 +1,176 @@
+#include "storage/table.h"
+
+#include "common/strings.h"
+
+namespace zv {
+
+const char* ColumnTypeToString(ColumnType t) {
+  switch (t) {
+    case ColumnType::kCategorical:
+      return "categorical";
+    case ColumnType::kInt:
+      return "int";
+    case ColumnType::kDouble:
+      return "double";
+  }
+  return "unknown";
+}
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    index_[columns_[i].name] = static_cast<int>(i);
+  }
+}
+
+int Schema::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+std::vector<std::string> Schema::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const auto& c : columns_) names.push_back(c.name);
+  return names;
+}
+
+int32_t Table::LookupCode(size_t col, const Value& v) const {
+  const auto& dict = dictionaries_[col];
+  for (size_t i = 0; i < dict.size(); ++i) {
+    if (dict[i] == v) return static_cast<int32_t>(i);
+  }
+  return -1;
+}
+
+double Table::NumericAt(size_t row, size_t col) const {
+  switch (schema_.column(col).type) {
+    case ColumnType::kDouble:
+      return doubles_[col][row];
+    case ColumnType::kInt:
+      return static_cast<double>(ints_[col][row]);
+    case ColumnType::kCategorical: {
+      const Value& v = DictValue(col, categorical_[col][row]);
+      return v.is_numeric() ? v.AsDouble() : 0.0;
+    }
+  }
+  return 0.0;
+}
+
+Value Table::ValueAt(size_t row, size_t col) const {
+  switch (schema_.column(col).type) {
+    case ColumnType::kDouble:
+      return Value::Double(doubles_[col][row]);
+    case ColumnType::kInt:
+      return Value::Int(ints_[col][row]);
+    case ColumnType::kCategorical:
+      return DictValue(col, categorical_[col][row]);
+  }
+  return Value::Null();
+}
+
+size_t Table::MemoryBytes() const {
+  size_t n = 0;
+  for (const auto& c : categorical_) n += c.size() * sizeof(int32_t);
+  for (const auto& c : ints_) n += c.size() * sizeof(int64_t);
+  for (const auto& c : doubles_) n += c.size() * sizeof(double);
+  for (const auto& d : dictionaries_) n += d.size() * 32;  // rough
+  return n;
+}
+
+TableBuilder::TableBuilder(std::string table_name, Schema schema)
+    : table_(std::make_shared<Table>()) {
+  table_->name_ = std::move(table_name);
+  table_->schema_ = std::move(schema);
+  const size_t n = table_->schema_.num_columns();
+  table_->categorical_.resize(n);
+  table_->dictionaries_.resize(n);
+  table_->ints_.resize(n);
+  table_->doubles_.resize(n);
+  dict_index_.resize(n);
+}
+
+int32_t TableBuilder::EncodeDictionary(size_t col, const Value& v) {
+  auto& index = dict_index_[col];
+  auto it = index.find(v);
+  if (it != index.end()) return it->second;
+  const int32_t code = static_cast<int32_t>(table_->dictionaries_[col].size());
+  table_->dictionaries_[col].push_back(v);
+  index.emplace(v, code);
+  return code;
+}
+
+void TableBuilder::AppendCategorical(size_t col, const Value& v) {
+  table_->categorical_[col].push_back(EncodeDictionary(col, v));
+}
+
+void TableBuilder::AppendInt(size_t col, int64_t v) {
+  table_->ints_[col].push_back(v);
+}
+
+void TableBuilder::AppendDouble(size_t col, double v) {
+  table_->doubles_[col].push_back(v);
+}
+
+Status TableBuilder::AddRow(const std::vector<Value>& values) {
+  const Schema& schema = table_->schema_;
+  if (values.size() != schema.num_columns()) {
+    return Status::InvalidArgument(StrFormat(
+        "row arity %zu does not match schema arity %zu", values.size(),
+        schema.num_columns()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    switch (schema.column(i).type) {
+      case ColumnType::kCategorical:
+        AppendCategorical(i, values[i]);
+        break;
+      case ColumnType::kInt:
+        if (!values[i].is_numeric()) {
+          return Status::TypeMismatch(StrFormat(
+              "column '%s' expects int, got %s", schema.column(i).name.c_str(),
+              DataTypeToString(values[i].type())));
+        }
+        AppendInt(i, values[i].is_int()
+                         ? values[i].AsInt()
+                         : static_cast<int64_t>(values[i].AsDouble()));
+        break;
+      case ColumnType::kDouble:
+        if (!values[i].is_numeric()) {
+          return Status::TypeMismatch(StrFormat(
+              "column '%s' expects double, got %s",
+              schema.column(i).name.c_str(),
+              DataTypeToString(values[i].type())));
+        }
+        AppendDouble(i, values[i].AsDouble());
+        break;
+    }
+  }
+  CommitRow();
+  return Status::OK();
+}
+
+std::shared_ptr<Table> TableBuilder::Finish() { return std::move(table_); }
+
+Status Catalog::AddTable(std::shared_ptr<Table> table) {
+  const std::string& name = table->name();
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table already in catalog: " + name);
+  }
+  tables_.emplace(name, std::move(table));
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Table>> Catalog::GetTable(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  return it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, t] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace zv

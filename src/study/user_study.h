@@ -1,0 +1,106 @@
+/// \file user_study.h
+/// \brief Chapter-8 user-study reproduction via analyst-agent simulation
+/// (DESIGN.md §4, substitution 3).
+///
+/// The paper's result rests on a mechanism, not on who the 12 graduate
+/// students were: the baseline tool forces a linear scan over
+/// alphabetically-sorted candidate visualizations with per-visualization
+/// perception cost and a satisficing stopping rule, while zenvisage ranks
+/// candidates so analysts inspect only the top k after composing a query.
+/// The simulation implements exactly that mechanism; the paper's own
+/// statistical analysis (one-way ANOVA + Tukey HSD, Table 8.2) is then
+/// re-run on the simulated completion times.
+
+#ifndef ZV_STUDY_USER_STUDY_H_
+#define ZV_STUDY_USER_STUDY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace zv {
+
+/// The three interfaces compared in Chapter 8.
+enum class StudyInterface { kDragDrop = 0, kCustomBuilder = 1, kBaseline = 2 };
+
+const char* StudyInterfaceToString(StudyInterface i);
+
+struct StudyOptions {
+  size_t num_participants = 12;
+  size_t tasks_per_participant = 4;
+  /// Candidate visualizations per task (states/cities in the housing data).
+  size_t num_candidates = 50;
+  uint64_t seed = 99;
+
+  // --- mechanism parameters (calibrated to §8.1's reported means) -------
+  double inspect_mean_s = 3.6;     ///< per-visualization perception time
+  double inspect_sd_s = 0.9;
+  double dragdrop_compose_mean_s = 42;   ///< sketch + drag-drop time
+  double dragdrop_compose_sd_s = 9;
+  double custom_compose_mean_s = 82;     ///< ZQL table composition time
+  double custom_compose_sd_s = 42;
+  size_t top_k_inspected = 8;       ///< ranked results actually examined
+  /// Probability the true best answer survives into zenvisage's top-k.
+  double dragdrop_recall = 0.86;    ///< sketches are imprecise
+  double custom_recall = 0.97;     ///< exact queries
+  /// Baseline satisficing: after this many inspections the analyst starts
+  /// accepting good-enough answers.
+  size_t baseline_patience = 40;
+  double baseline_stop_prob = 0.08; ///< per-candidate stop chance after that
+  /// An answer whose *perceived* quality reaches this is "good enough".
+  double satisfice_threshold = 0.9;
+  /// Std-dev of the analyst's perception error when judging how well a
+  /// visualization matches the task. This is what drives the baseline's
+  /// accuracy loss: with dozens of similar-looking candidates, the manually
+  /// chosen one is often not the expert-ranked best (§8.1 Finding 2).
+  double perception_noise_sd = 0.28;
+  /// Between-participant speed variability (multiplicative): some analysts
+  /// simply work faster. This is what gives the baseline and custom-builder
+  /// interfaces their large reported time sigmas (50.5 / 51.6).
+  double participant_speed_sd = 0.25;
+};
+
+/// One simulated task execution.
+struct TaskOutcome {
+  double seconds = 0;
+  double accuracy = 0;  ///< expert-score fraction in [0, 1]
+  size_t visualizations_examined = 0;
+};
+
+struct StudyResult {
+  /// Outcomes grouped by interface (index = StudyInterface).
+  std::vector<std::vector<TaskOutcome>> outcomes;
+
+  std::vector<double> Times(StudyInterface i) const;
+  std::vector<double> Accuracies(StudyInterface i) const;
+
+  /// Per-participant mean completion times (the paper's unit of analysis —
+  /// 12 observations per interface), grouped by interface.
+  std::vector<std::vector<double>> participant_times;
+
+  AnovaResult anova;                       ///< on participant_times
+  std::vector<TukeyComparison> tukey;      ///< Table 8.2
+};
+
+/// Runs the full simulated study.
+StudyResult RunUserStudy(const StudyOptions& opts = {});
+
+/// Fig 8.2: mean accuracy attained within a time budget, swept over
+/// [0, max_seconds] in `steps` points. Tasks not finished by t contribute 0.
+std::vector<std::pair<double, double>> AccuracyOverTime(
+    const StudyResult& result, StudyInterface iface, double max_seconds,
+    size_t steps);
+
+/// Table 8.1: participants' prior experience with analytics tools — the
+/// simulated population mirrors the paper's counts.
+struct ExperienceRow {
+  std::string tools;
+  int count;
+};
+std::vector<ExperienceRow> ParticipantExperience();
+
+}  // namespace zv
+
+#endif  // ZV_STUDY_USER_STUDY_H_

@@ -1,0 +1,160 @@
+#include "tasks/distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+#include "common/strings.h"
+
+namespace zv {
+
+const char* DistanceMetricToString(DistanceMetric m) {
+  switch (m) {
+    case DistanceMetric::kEuclidean:
+      return "euclidean";
+    case DistanceMetric::kDtw:
+      return "dtw";
+    case DistanceMetric::kKlDivergence:
+      return "kl";
+    case DistanceMetric::kEmd:
+      return "emd";
+  }
+  return "euclidean";
+}
+
+Result<DistanceMetric> DistanceMetricFromString(const std::string& s) {
+  const std::string lower = ToLower(Trim(s));
+  if (lower == "euclidean" || lower == "l2") return DistanceMetric::kEuclidean;
+  if (lower == "dtw") return DistanceMetric::kDtw;
+  if (lower == "kl") return DistanceMetric::kKlDivergence;
+  if (lower == "emd") return DistanceMetric::kEmd;
+  return Status::ParseError("unknown distance metric: " + s);
+}
+
+namespace {
+
+double Euclidean(const std::vector<double>& a, const std::vector<double>& b) {
+  const size_t n = std::max(a.size(), b.size());
+  double s = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double av = i < a.size() ? a[i] : 0;
+    const double bv = i < b.size() ? b[i] : 0;
+    s += (av - bv) * (av - bv);
+  }
+  return std::sqrt(s);
+}
+
+double Dtw(const std::vector<double>& a, const std::vector<double>& b) {
+  const size_t n = a.size(), m = b.size();
+  if (n == 0 || m == 0) return Euclidean(a, b);
+  constexpr double kInf = 1e300;
+  // Rolling two-row DP.
+  std::vector<double> prev(m + 1, kInf), cur(m + 1, kInf);
+  prev[0] = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = kInf;
+    for (size_t j = 1; j <= m; ++j) {
+      const double cost = std::fabs(a[i - 1] - b[j - 1]);
+      cur[j] = cost + std::min({prev[j], cur[j - 1], prev[j - 1]});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+// Converts a series into a probability distribution: shift to non-negative
+// and normalize to sum 1, with additive smoothing.
+std::vector<double> ToDistribution(const std::vector<double>& a, size_t n) {
+  std::vector<double> p(n, 0.0);
+  double lo = 0;
+  for (size_t i = 0; i < a.size(); ++i) lo = std::min(lo, a[i]);
+  double sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double v = (i < a.size() ? a[i] : 0) - lo + 1e-9;
+    p[i] = v;
+    sum += v;
+  }
+  for (double& v : p) v /= sum;
+  return p;
+}
+
+double SymmetricKl(const std::vector<double>& a, const std::vector<double>& b) {
+  const size_t n = std::max(a.size(), b.size());
+  if (n == 0) return 0;
+  const auto p = ToDistribution(a, n), q = ToDistribution(b, n);
+  double kl_pq = 0, kl_qp = 0;
+  for (size_t i = 0; i < n; ++i) {
+    kl_pq += p[i] * std::log(p[i] / q[i]);
+    kl_qp += q[i] * std::log(q[i] / p[i]);
+  }
+  return 0.5 * (kl_pq + kl_qp);
+}
+
+// 1-D EMD between induced distributions = L1 distance of their CDFs.
+double Emd1d(const std::vector<double>& a, const std::vector<double>& b) {
+  const size_t n = std::max(a.size(), b.size());
+  if (n == 0) return 0;
+  const auto p = ToDistribution(a, n), q = ToDistribution(b, n);
+  double cdf_p = 0, cdf_q = 0, emd = 0;
+  for (size_t i = 0; i < n; ++i) {
+    cdf_p += p[i];
+    cdf_q += q[i];
+    emd += std::fabs(cdf_p - cdf_q);
+  }
+  return emd;
+}
+
+}  // namespace
+
+double VectorDistance(const std::vector<double>& a,
+                      const std::vector<double>& b, DistanceMetric metric) {
+  switch (metric) {
+    case DistanceMetric::kEuclidean:
+      return Euclidean(a, b);
+    case DistanceMetric::kDtw:
+      return Dtw(a, b);
+    case DistanceMetric::kKlDivergence:
+      return SymmetricKl(a, b);
+    case DistanceMetric::kEmd:
+      return Emd1d(a, b);
+  }
+  return Euclidean(a, b);
+}
+
+void NormalizeSeries(std::vector<double>* ys, Normalization norm) {
+  if (ys->empty() || norm == Normalization::kNone) return;
+  switch (norm) {
+    case Normalization::kZScore: {
+      const double m = Mean(*ys);
+      double sd = StdDev(*ys);
+      if (sd < 1e-12) sd = 1;
+      for (double& y : *ys) y = (y - m) / sd;
+      break;
+    }
+    case Normalization::kMinMax: {
+      double lo = (*ys)[0], hi = (*ys)[0];
+      for (double y : *ys) {
+        lo = std::min(lo, y);
+        hi = std::max(hi, y);
+      }
+      const double span = hi - lo < 1e-12 ? 1 : hi - lo;
+      for (double& y : *ys) y = (y - lo) / span;
+      break;
+    }
+    case Normalization::kNone:
+      break;
+  }
+}
+
+double Distance(const Visualization& a, const Visualization& b,
+                DistanceMetric metric, Normalization norm,
+                Alignment alignment) {
+  auto matrix = alignment == Alignment::kInterpolate
+                    ? AlignToMatrixInterpolated({&a, &b})
+                    : AlignToMatrix({&a, &b});
+  NormalizeSeries(&matrix[0], norm);
+  NormalizeSeries(&matrix[1], norm);
+  return VectorDistance(matrix[0], matrix[1], metric);
+}
+
+}  // namespace zv

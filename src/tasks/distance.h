@@ -1,0 +1,60 @@
+/// \file distance.h
+/// \brief The distance primitive D(f, f') (§3.8): pairwise visualization
+/// comparison under several metrics, with optional per-visualization
+/// normalization for scale-invariant pattern matching.
+
+#ifndef ZV_TASKS_DISTANCE_H_
+#define ZV_TASKS_DISTANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "viz/visualization.h"
+
+namespace zv {
+
+/// Supported distance metrics. The paper's prototype defaults to L2
+/// (Euclidean) and mentions EMD, KL divergence, and dynamic time warping
+/// as alternatives (§3.8, §10.1) — all four are implemented.
+enum class DistanceMetric {
+  kEuclidean,   ///< pointwise L2 on aligned series
+  kDtw,         ///< dynamic time warping
+  kKlDivergence,///< symmetrized KL on induced probability distributions
+  kEmd,         ///< 1-D earth mover's distance (CDF difference)
+};
+
+const char* DistanceMetricToString(DistanceMetric m);
+Result<DistanceMetric> DistanceMetricFromString(const std::string& s);
+
+/// How series are normalized before comparison.
+enum class Normalization {
+  kNone,
+  kZScore,    ///< (y - mean) / std — the prototype's default for trends
+  kMinMax,    ///< map to [0, 1]
+};
+
+/// How missing x positions are filled when aligning two visualizations.
+enum class Alignment {
+  kZeroFill,     ///< absent points contribute 0 (the prototype's behaviour)
+  kInterpolate,  ///< linear interpolation (§10.1 future work, implemented)
+};
+
+/// Distance between raw vectors (already aligned).
+double VectorDistance(const std::vector<double>& a,
+                      const std::vector<double>& b, DistanceMetric metric);
+
+/// Normalizes in place.
+void NormalizeSeries(std::vector<double>* ys, Normalization norm);
+
+/// Distance between two visualizations: aligns them over the union of
+/// their x values (zero-filling or interpolating gaps), normalizes, and
+/// applies the metric.
+double Distance(const Visualization& a, const Visualization& b,
+                DistanceMetric metric = DistanceMetric::kEuclidean,
+                Normalization norm = Normalization::kZScore,
+                Alignment alignment = Alignment::kZeroFill);
+
+}  // namespace zv
+
+#endif  // ZV_TASKS_DISTANCE_H_

@@ -1,0 +1,161 @@
+#include "tasks/primitives.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/stats.h"
+
+namespace zv {
+
+double Trend(const Visualization& f) {
+  std::vector<double> ys = f.ys();
+  if (ys.size() < 2) return 0;
+  NormalizeSeries(&ys, Normalization::kZScore);
+  // Fit against normalized x positions so slopes are comparable across
+  // visualizations with different domains.
+  std::vector<double> xs(ys.size());
+  const double denom = static_cast<double>(ys.size() - 1);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = static_cast<double>(i) / denom;
+  }
+  return FitLine(xs, ys).slope;
+}
+
+std::vector<size_t> Representatives(
+    const std::vector<const Visualization*>& set, size_t k,
+    const TaskOptions& opts) {
+  if (set.empty() || k == 0) return {};
+  auto matrix = opts.alignment == Alignment::kInterpolate
+                    ? AlignToMatrixInterpolated(set)
+                    : AlignToMatrix(set);
+  for (auto& row : matrix) NormalizeSeries(&row, opts.normalization);
+  KMeansResult km = KMeans(matrix, k, opts.kmeans_seed);
+  // Deduplicate medoids (k > #distinct clusters can repeat) preserving order.
+  std::vector<size_t> out;
+  for (size_t m : km.medoids) {
+    if (std::find(out.begin(), out.end(), m) == out.end()) out.push_back(m);
+  }
+  return out;
+}
+
+std::vector<double> OutlierScores(const std::vector<const Visualization*>& set,
+                                  size_t k_representatives,
+                                  const TaskOptions& opts) {
+  std::vector<double> scores(set.size(), 0.0);
+  if (set.empty()) return scores;
+  auto matrix = AlignToMatrix(set);
+  for (auto& row : matrix) NormalizeSeries(&row, opts.normalization);
+  KMeansResult km =
+      KMeans(matrix, std::max<size_t>(1, k_representatives), opts.kmeans_seed);
+  // An outlier often captures a centroid all to itself, which would give it
+  // a perfect score of 0 under a naive min-distance-to-centroids rule.
+  // Representative trends are trends many visualizations share, so only
+  // centroids of non-singleton clusters count as references (all centroids
+  // if every cluster is a singleton).
+  std::vector<size_t> cluster_sizes(km.centroids.size(), 0);
+  for (int a : km.assignment) ++cluster_sizes[static_cast<size_t>(a)];
+  std::vector<const std::vector<double>*> references;
+  for (size_t c = 0; c < km.centroids.size(); ++c) {
+    if (cluster_sizes[c] >= 2) references.push_back(&km.centroids[c]);
+  }
+  if (references.empty()) {
+    for (const auto& c : km.centroids) references.push_back(&c);
+  }
+  for (size_t i = 0; i < matrix.size(); ++i) {
+    double best = -1;
+    for (const auto* centroid : references) {
+      const double d = VectorDistance(matrix[i], *centroid, opts.metric);
+      if (best < 0 || d < best) best = d;
+    }
+    scores[i] = best < 0 ? 0 : best;
+  }
+  return scores;
+}
+
+size_t AutoRepresentativeCount(const std::vector<const Visualization*>& set,
+                               size_t max_k, const TaskOptions& opts) {
+  if (set.size() <= 2) return set.empty() ? 1 : set.size();
+  max_k = std::min(max_k, set.size());
+  if (max_k <= 2) return max_k;
+  auto matrix = opts.alignment == Alignment::kInterpolate
+                    ? AlignToMatrixInterpolated(set)
+                    : AlignToMatrix(set);
+  for (auto& row : matrix) NormalizeSeries(&row, opts.normalization);
+  std::vector<double> inertia(max_k + 1, 0.0);
+  for (size_t k = 1; k <= max_k; ++k) {
+    inertia[k] = KMeans(matrix, k, opts.kmeans_seed).inertia;
+  }
+  // Elbow: the k with the largest positive curvature of the inertia curve.
+  size_t best_k = 1;
+  double best_curvature = -1;
+  for (size_t k = 2; k < max_k; ++k) {
+    const double curvature =
+        inertia[k - 1] + inertia[k + 1] - 2.0 * inertia[k];
+    if (curvature > best_curvature) {
+      best_curvature = curvature;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+TaskLibrary TaskLibrary::Default(const TaskOptions& opts) {
+  TaskLibrary lib;
+  lib.trend = Trend;
+  lib.distance = [opts](const Visualization& a, const Visualization& b) {
+    return Distance(a, b, opts.metric, opts.normalization, opts.alignment);
+  };
+  lib.representatives = [opts](const std::vector<const Visualization*>& set,
+                               size_t k) {
+    return Representatives(set, k, opts);
+  };
+  return lib;
+}
+
+std::vector<size_t> ApplyMechanism(Mechanism mech,
+                                   const std::vector<double>& scores,
+                                   const MechanismFilter& filter) {
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  if (mech == Mechanism::kArgMin) {
+    std::stable_sort(order.begin(), order.end(), [&scores](size_t a, size_t b) {
+      return scores[a] < scores[b];
+    });
+  } else if (mech == Mechanism::kArgMax) {
+    std::stable_sort(order.begin(), order.end(), [&scores](size_t a, size_t b) {
+      return scores[a] > scores[b];
+    });
+  } else {
+    // argany: keep input order, but a threshold still sorts the survivors
+    // by score per §3.8 ("sorts the values in increasing order of the
+    // objective function") — we retain input order for pure argany[k=n].
+    if (filter.t_above.has_value()) {
+      std::stable_sort(order.begin(), order.end(),
+                       [&scores](size_t a, size_t b) {
+                         return scores[a] > scores[b];
+                       });
+    } else if (filter.t_below.has_value()) {
+      std::stable_sort(order.begin(), order.end(),
+                       [&scores](size_t a, size_t b) {
+                         return scores[a] < scores[b];
+                       });
+    }
+  }
+
+  std::vector<size_t> out;
+  for (size_t idx : order) {
+    if (filter.t_above.has_value() && !(scores[idx] > *filter.t_above))
+      continue;
+    if (filter.t_below.has_value() && !(scores[idx] < *filter.t_below))
+      continue;
+    out.push_back(idx);
+    if (filter.k.has_value() &&
+        out.size() >= static_cast<size_t>(*filter.k)) {
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace zv

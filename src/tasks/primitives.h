@@ -1,0 +1,97 @@
+/// \file primitives.h
+/// \brief The three ZQL functional primitives (§3.8) — T (trend),
+/// D (distance), R (representatives) — plus the derived outlier scorer, and
+/// the sorting/filtering mechanisms argmin / argmax / argany.
+
+#ifndef ZV_TASKS_PRIMITIVES_H_
+#define ZV_TASKS_PRIMITIVES_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "tasks/distance.h"
+#include "tasks/kmeans.h"
+#include "viz/visualization.h"
+
+namespace zv {
+
+/// \brief Configuration for the default T / D / R implementations.
+///
+/// Users may swap in their own functions (§3.8: "the user is free to specify
+/// their own variants... more suited to their application") via the
+/// std::function hooks in TaskLibrary.
+struct TaskOptions {
+  DistanceMetric metric = DistanceMetric::kEuclidean;
+  Normalization normalization = Normalization::kZScore;
+  Alignment alignment = Alignment::kZeroFill;
+  uint64_t kmeans_seed = 42;
+};
+
+/// T(f): overall trend of a visualization — positive = growth, negative =
+/// decline. Default: slope of a least-squares line on the z-normalized
+/// series (the paper's example implementation).
+double Trend(const Visualization& f);
+
+/// R(k, set): indices of the k most representative visualizations, computed
+/// as k-means medoids on the aligned series matrix (the paper's example
+/// implementation). Indices are into `set`.
+std::vector<size_t> Representatives(
+    const std::vector<const Visualization*>& set, size_t k,
+    const TaskOptions& opts = {});
+
+/// Outlier scores: distance from each visualization to its nearest of the
+/// k representative centroids (§7.2's outlier search = representative
+/// search + max-min-distance). Higher = more anomalous.
+std::vector<double> OutlierScores(const std::vector<const Visualization*>& set,
+                                  size_t k_representatives,
+                                  const TaskOptions& opts = {});
+
+/// §10.1 future work, implemented: pick the number of representative trends
+/// from the data instead of a fixed k, by the elbow (maximum curvature) of
+/// the k-means inertia curve over k = 1..max_k. Returns a k in
+/// [1, min(max_k, |set|)].
+size_t AutoRepresentativeCount(const std::vector<const Visualization*>& set,
+                               size_t max_k = 10,
+                               const TaskOptions& opts = {});
+
+/// \brief User-replaceable functional primitives, passed through the ZQL
+/// executor to the Process column. Visual exploration completeness
+/// (Theorem 1) is relative to a fixed choice of these.
+struct TaskLibrary {
+  std::function<double(const Visualization&)> trend = Trend;
+  std::function<double(const Visualization&, const Visualization&)> distance;
+  std::function<std::vector<size_t>(const std::vector<const Visualization*>&,
+                                    size_t)>
+      representatives;
+
+  /// Builds a library using the default primitives with `opts`.
+  static TaskLibrary Default(const TaskOptions& opts = {});
+};
+
+/// --- Mechanisms (argmin / argmax / argany) ------------------------------
+
+enum class Mechanism { kArgMin, kArgMax, kArgAny };
+
+/// Filter clause: top-k ([k = 10]), threshold ([t > 0] / [t < 0]), or
+/// neither (sort only).
+struct MechanismFilter {
+  std::optional<int64_t> k;            ///< k = n (k may be "inf" => nullopt k with sort_all)
+  std::optional<double> t_above;       ///< t > value
+  std::optional<double> t_below;       ///< t < value
+};
+
+/// Applies a mechanism to scored candidates: returns the indices of the
+/// selected candidates, ordered as ZQL specifies (§3.8):
+///  - argmin: increasing score; argmax: decreasing score;
+///  - argany: input order (any k);
+///  - with [k=n]: first n after ordering; with [t>v]/[t<v]: all passing,
+///    ordered by score (increasing for t<, decreasing for t>; argany keeps
+///    input order).
+std::vector<size_t> ApplyMechanism(Mechanism mech,
+                                   const std::vector<double>& scores,
+                                   const MechanismFilter& filter);
+
+}  // namespace zv
+
+#endif  // ZV_TASKS_PRIMITIVES_H_

@@ -1,0 +1,38 @@
+#include "tasks/recommender.h"
+
+#include <algorithm>
+
+namespace zv {
+
+std::vector<Recommendation> RecommendDiverse(
+    const std::vector<const Visualization*>& candidates,
+    const RecommenderOptions& opts) {
+  std::vector<Recommendation> out;
+  if (candidates.empty() || opts.k == 0) return out;
+  auto matrix = AlignToMatrix(candidates);
+  for (auto& row : matrix) {
+    NormalizeSeries(&row, opts.task_options.normalization);
+  }
+  const KMeansResult km =
+      KMeans(matrix, opts.k, opts.task_options.kmeans_seed);
+  std::vector<size_t> cluster_sizes(km.centroids.size(), 0);
+  for (int a : km.assignment) ++cluster_sizes[static_cast<size_t>(a)];
+  for (size_t c = 0; c < km.medoids.size(); ++c) {
+    if (cluster_sizes[c] == 0) continue;
+    out.push_back({km.medoids[c], cluster_sizes[c]});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Recommendation& a, const Recommendation& b) {
+                     return a.cluster_size > b.cluster_size;
+                   });
+  // Deduplicate medoids that collapsed to the same candidate.
+  std::vector<Recommendation> dedup;
+  for (const auto& r : out) {
+    bool seen = false;
+    for (const auto& d : dedup) seen |= d.index == r.index;
+    if (!seen) dedup.push_back(r);
+  }
+  return dedup;
+}
+
+}  // namespace zv

@@ -1,0 +1,35 @@
+/// \file recommender.h
+/// \brief The zenvisage Recommendation Service (§6.2): given the
+/// visualizations for the data the user is currently viewing, surface the
+/// k most *diverse* trends via k-means clustering (default k = 5).
+
+#ifndef ZV_TASKS_RECOMMENDER_H_
+#define ZV_TASKS_RECOMMENDER_H_
+
+#include <vector>
+
+#include "tasks/primitives.h"
+#include "viz/visualization.h"
+
+namespace zv {
+
+struct RecommenderOptions {
+  size_t k = 5;  ///< number of diverse clusters (paper default)
+  TaskOptions task_options;
+};
+
+/// \brief One recommended visualization with its cluster context.
+struct Recommendation {
+  size_t index;        ///< into the candidate set
+  size_t cluster_size; ///< how many candidates this trend represents
+};
+
+/// Returns up to k recommendations — the medoid of each k-means cluster,
+/// ordered by descending cluster size (most common trend first).
+std::vector<Recommendation> RecommendDiverse(
+    const std::vector<const Visualization*>& candidates,
+    const RecommenderOptions& opts = {});
+
+}  // namespace zv
+
+#endif  // ZV_TASKS_RECOMMENDER_H_

@@ -1,0 +1,31 @@
+/// \file binning.h
+/// \brief Client-side statistical transformation for binned x axes.
+///
+/// The SQL subset deliberately has no scalar expressions, so `x=bin(w)`
+/// summarizations are applied here after fetching raw (x, y) rows — see
+/// DESIGN.md §5. Bin boundaries are [k*w, (k+1)*w), labeled by their lower
+/// edge.
+
+#ifndef ZV_VIZ_BINNING_H_
+#define ZV_VIZ_BINNING_H_
+
+#include "viz/visualization.h"
+
+namespace zv {
+
+/// Applies `spec.x_bin` binning and `spec.y_agg` aggregation to raw points,
+/// returning a new visualization with one point per non-empty bin (ascending
+/// bin order). If the spec has no binning, returns `raw` unchanged.
+Visualization BinVisualization(const Visualization& raw);
+
+/// Box-plot summarization (§3.5: "other types of charts, such as the box
+/// plot, may take in additional parameters (e.g., to determine where the
+/// whisker should end)"): groups raw points by x and emits five series —
+/// lower whisker, Q1, median, Q3, upper whisker. `spec.param` is the IQR
+/// multiplier for the whiskers (0 -> the conventional 1.5); whiskers clamp
+/// to the most extreme point inside the fence.
+Visualization BoxPlotSummarize(const Visualization& raw);
+
+}  // namespace zv
+
+#endif  // ZV_VIZ_BINNING_H_

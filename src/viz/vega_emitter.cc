@@ -1,0 +1,130 @@
+#include "viz/vega_emitter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace zv {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string JsonValue(const Value& v) {
+  if (v.is_null()) return "null";
+  if (v.is_numeric()) return v.ToString();
+  return "\"" + JsonEscape(v.AsString()) + "\"";
+}
+
+const char* VegaMark(ChartType t) {
+  switch (t) {
+    case ChartType::kBar:
+      return "bar";
+    case ChartType::kLine:
+      return "line";
+    case ChartType::kScatter:
+      return "point";
+    case ChartType::kDotPlot:
+      return "tick";
+    case ChartType::kBox:
+      return "boxplot";
+    case ChartType::kHeatmap:
+      return "rect";
+    case ChartType::kAuto:
+      return "line";
+  }
+  return "line";
+}
+
+}  // namespace
+
+std::string ToVegaLiteJson(const Visualization& viz, int indent) {
+  const std::string pad(static_cast<size_t>(indent), ' ');
+  const std::string pad2 = pad + pad;
+  std::string out = "{\n";
+  out += pad + "\"$schema\": \"https://vega.github.io/schema/vega-lite/v5.json\",\n";
+  out += pad + "\"description\": \"" + JsonEscape(viz.Label()) + "\",\n";
+  out += pad + "\"mark\": \"" + VegaMark(viz.spec.chart) + "\",\n";
+  const bool x_quant = !viz.xs.empty() && viz.xs[0].is_numeric();
+  out += pad + "\"encoding\": {\n";
+  out += pad2 + "\"x\": {\"field\": \"" + JsonEscape(viz.x_attr) +
+         "\", \"type\": \"" + (x_quant ? "quantitative" : "nominal") +
+         "\"},\n";
+  out += pad2 + "\"y\": {\"field\": \"" + JsonEscape(viz.y_attr) +
+         "\", \"type\": \"quantitative\"}";
+  if (viz.series.size() > 1) {
+    out += ",\n" + pad2 + "\"color\": {\"field\": \"series\", \"type\": \"nominal\"}";
+  }
+  out += "\n" + pad + "},\n";
+  out += pad + "\"data\": {\"values\": [\n";
+  bool first = true;
+  for (size_t si = 0; si < viz.series.size(); ++si) {
+    const Series& s = viz.series[si];
+    for (size_t i = 0; i < viz.xs.size() && i < s.ys.size(); ++i) {
+      if (!first) out += ",\n";
+      first = false;
+      out += pad2 + "{\"" + JsonEscape(viz.x_attr) + "\": " +
+             JsonValue(viz.xs[i]) + ", \"" + JsonEscape(viz.y_attr) +
+             "\": " + Value::Double(s.ys[i]).ToString();
+      if (viz.series.size() > 1) {
+        out += ", \"series\": \"" + JsonEscape(s.name) + "\"";
+      }
+      out += "}";
+    }
+  }
+  out += "\n" + pad + "]}\n}";
+  return out;
+}
+
+std::string ToAsciiChart(const Visualization& viz, size_t width,
+                         size_t height) {
+  std::string out = viz.Label() + "\n";
+  const auto& ys = viz.ys();
+  if (ys.empty()) return out + "(no data)\n";
+  const size_t n = std::min(ys.size(), width);
+  double lo = ys[0], hi = ys[0];
+  for (double y : ys) {
+    lo = std::min(lo, y);
+    hi = std::max(hi, y);
+  }
+  if (hi == lo) hi = lo + 1;
+  // Rows from top (hi) to bottom (lo).
+  std::vector<std::string> grid(height, std::string(n, ' '));
+  for (size_t i = 0; i < n; ++i) {
+    const double frac = (ys[i] - lo) / (hi - lo);
+    const size_t row = height - 1 -
+                       std::min(height - 1,
+                                static_cast<size_t>(std::llround(
+                                    frac * static_cast<double>(height - 1))));
+    if (viz.spec.chart == ChartType::kBar) {
+      for (size_t r = row; r < height; ++r) grid[r][i] = '#';
+    } else {
+      grid[row][i] = '*';
+    }
+  }
+  for (const auto& row : grid) out += "  |" + row + "\n";
+  out += "  +" + std::string(n, '-') + "\n";
+  out += StrFormat("   y in [%.4g, %.4g], %zu points\n", lo, hi, ys.size());
+  return out;
+}
+
+}  // namespace zv

@@ -1,0 +1,26 @@
+/// \file vega_emitter.h
+/// \brief Vega-lite-style JSON emission — the text substitute for the
+/// browser front-end's Result Visualizer (§6.1), which mapped ZQL output
+/// onto the Vega-lite grammar.
+
+#ifndef ZV_VIZ_VEGA_EMITTER_H_
+#define ZV_VIZ_VEGA_EMITTER_H_
+
+#include <string>
+
+#include "viz/visualization.h"
+
+namespace zv {
+
+/// Emits a Vega-lite-style spec: mark from the chart type, x/y encodings
+/// with inferred types, and inline `data.values`.
+std::string ToVegaLiteJson(const Visualization& viz, int indent = 2);
+
+/// Renders a crude fixed-width ASCII chart (bar or line) for terminal
+/// examples — the "poor man's front-end".
+std::string ToAsciiChart(const Visualization& viz, size_t width = 48,
+                         size_t height = 12);
+
+}  // namespace zv
+
+#endif  // ZV_VIZ_VEGA_EMITTER_H_

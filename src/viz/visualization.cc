@@ -1,0 +1,164 @@
+#include "viz/visualization.h"
+
+#include <algorithm>
+#include <map>
+
+namespace zv {
+
+const std::vector<double>& Visualization::ys() const {
+  static const std::vector<double> kEmpty;
+  return series.empty() ? kEmpty : series[0].ys;
+}
+
+std::vector<double> Visualization::FlatValues() const {
+  std::vector<double> out;
+  for (const Series& s : series) {
+    out.insert(out.end(), s.ys.begin(), s.ys.end());
+  }
+  return out;
+}
+
+std::vector<double> Visualization::NumericXs() const {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    out.push_back(xs[i].is_numeric() ? xs[i].AsDouble()
+                                     : static_cast<double>(i));
+  }
+  return out;
+}
+
+bool Visualization::SameSourceAs(const Visualization& other) const {
+  return x_attr == other.x_attr && y_attr == other.y_attr &&
+         slices == other.slices && constraints == other.constraints &&
+         spec == other.spec;
+}
+
+std::string Visualization::Label() const {
+  std::string out = y_attr + " vs " + x_attr;
+  if (!slices.empty()) {
+    out += " |";
+    for (const Slice& s : slices) {
+      out += " " + s.attribute + "=" + s.value.ToString();
+    }
+  }
+  if (!constraints.empty()) out += " [" + constraints + "]";
+  return out;
+}
+
+std::string Visualization::DebugString() const {
+  return Label() + " (" + std::to_string(num_points()) + " points, " +
+         spec.ToString() + ")";
+}
+
+namespace {
+
+/// Linearly interpolates the entries of `row` marked missing, using the
+/// nearest present neighbours; edge gaps copy the nearest present value.
+void InterpolateMissing(std::vector<double>* row,
+                        const std::vector<uint8_t>& present) {
+  const size_t n = row->size();
+  size_t i = 0;
+  while (i < n) {
+    if (present[i]) {
+      ++i;
+      continue;
+    }
+    // Gap [i, j).
+    size_t j = i;
+    while (j < n && !present[j]) ++j;
+    const bool has_left = i > 0;
+    const bool has_right = j < n;
+    if (!has_left && !has_right) return;  // nothing present at all
+    for (size_t k = i; k < j; ++k) {
+      if (has_left && has_right) {
+        const double left = (*row)[i - 1];
+        const double right = (*row)[j];
+        const double frac = static_cast<double>(k - i + 1) /
+                            static_cast<double>(j - i + 1);
+        (*row)[k] = left + (right - left) * frac;
+      } else if (has_left) {
+        (*row)[k] = (*row)[i - 1];
+      } else {
+        (*row)[k] = (*row)[j];
+      }
+    }
+    i = j;
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> AlignToMatrixInterpolated(
+    const std::vector<const Visualization*>& visuals) {
+  std::map<Value, size_t> x_index;
+  for (const Visualization* v : visuals) {
+    for (const Value& x : v->xs) x_index.emplace(x, 0);
+  }
+  size_t pos = 0;
+  for (auto& [x, idx] : x_index) idx = pos++;
+  const size_t width = x_index.size();
+  size_t max_series = 1;
+  for (const Visualization* v : visuals) {
+    max_series = std::max(max_series, v->series.size());
+  }
+  std::vector<std::vector<double>> matrix;
+  matrix.reserve(visuals.size());
+  for (const Visualization* v : visuals) {
+    std::vector<double> row(width * max_series, 0.0);
+    std::vector<uint8_t> present(width * max_series, 0);
+    for (size_t si = 0; si < v->series.size(); ++si) {
+      const auto& ys = v->series[si].ys;
+      for (size_t i = 0; i < v->xs.size() && i < ys.size(); ++i) {
+        const size_t at = si * width + x_index.at(v->xs[i]);
+        row[at] = ys[i];
+        present[at] = 1;
+      }
+    }
+    // Interpolate each series segment independently.
+    for (size_t si = 0; si < max_series; ++si) {
+      std::vector<double> segment(row.begin() + static_cast<ptrdiff_t>(si * width),
+                                  row.begin() + static_cast<ptrdiff_t>((si + 1) * width));
+      std::vector<uint8_t> seg_present(
+          present.begin() + static_cast<ptrdiff_t>(si * width),
+          present.begin() + static_cast<ptrdiff_t>((si + 1) * width));
+      InterpolateMissing(&segment, seg_present);
+      std::copy(segment.begin(), segment.end(),
+                row.begin() + static_cast<ptrdiff_t>(si * width));
+    }
+    matrix.push_back(std::move(row));
+  }
+  return matrix;
+}
+
+std::vector<std::vector<double>> AlignToMatrix(
+    const std::vector<const Visualization*>& visuals) {
+  // Union of all x values, sorted.
+  std::map<Value, size_t> x_index;
+  for (const Visualization* v : visuals) {
+    for (const Value& x : v->xs) x_index.emplace(x, 0);
+  }
+  size_t pos = 0;
+  for (auto& [x, idx] : x_index) idx = pos++;
+  const size_t width = x_index.size();
+  // Max series count; visualizations with fewer series zero-fill.
+  size_t max_series = 1;
+  for (const Visualization* v : visuals) {
+    max_series = std::max(max_series, v->series.size());
+  }
+  std::vector<std::vector<double>> matrix;
+  matrix.reserve(visuals.size());
+  for (const Visualization* v : visuals) {
+    std::vector<double> row(width * max_series, 0.0);
+    for (size_t si = 0; si < v->series.size(); ++si) {
+      const auto& ys = v->series[si].ys;
+      for (size_t i = 0; i < v->xs.size() && i < ys.size(); ++i) {
+        row[si * width + x_index.at(v->xs[i])] = ys[i];
+      }
+    }
+    matrix.push_back(std::move(row));
+  }
+  return matrix;
+}
+
+}  // namespace zv

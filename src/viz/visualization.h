@@ -1,0 +1,88 @@
+/// \file visualization.h
+/// \brief The data behind one visualization: ordered x values plus one or
+/// more y series, along with the identity (axes, slices, spec) that
+/// produced it.
+///
+/// Per §3.1, "the result of a ZQL query is the data used to generate
+/// visualizations" — this struct is that data. Rendering proper is a
+/// front-end concern (see vega_emitter.h).
+
+#ifndef ZV_VIZ_VISUALIZATION_H_
+#define ZV_VIZ_VISUALIZATION_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/value.h"
+#include "viz/viz_spec.h"
+
+namespace zv {
+
+/// \brief One named y series.
+struct Series {
+  std::string name;
+  std::vector<double> ys;
+  bool operator==(const Series&) const = default;
+};
+
+/// \brief One (attribute, value) slice from the Z column(s).
+struct Slice {
+  std::string attribute;
+  Value value;
+  bool operator==(const Slice&) const = default;
+};
+
+/// \brief A visualization's identity + data.
+struct Visualization {
+  // ----- identity -----
+  std::string x_attr;          ///< possibly composite, e.g. "product*state"
+  std::string y_attr;          ///< possibly composite, e.g. "profit+sales"
+  std::vector<Slice> slices;   ///< Z column bindings, in column order
+  std::string constraints;     ///< Constraints column text (may be empty)
+  VizSpec spec;
+
+  // ----- data -----
+  std::vector<Value> xs;       ///< ordered x values
+  std::vector<Series> series;  ///< one per y attribute ('+' composition)
+
+  size_t num_points() const { return xs.empty() ? 0 : xs.size(); }
+
+  /// First series' values (the common single-series case).
+  const std::vector<double>& ys() const;
+
+  /// All series concatenated — the vector embedding used by D and R.
+  std::vector<double> FlatValues() const;
+
+  /// x values as doubles where numeric; ordinal positions otherwise.
+  std::vector<double> NumericXs() const;
+
+  /// Identity equality (same visual source), ignoring fetched data.
+  bool SameSourceAs(const Visualization& other) const;
+
+  /// "sales vs year | product=chair, location=US" label for output.
+  std::string Label() const;
+
+  /// Identity + point count, for debugging.
+  std::string DebugString() const;
+};
+
+/// Aligns a set of visualizations over the union of their x values (in
+/// sorted order), zero-filling missing points, and returns one row-vector
+/// per visualization — the matrix form consumed by k-means and pairwise
+/// distance computations.
+std::vector<std::vector<double>> AlignToMatrix(
+    const std::vector<const Visualization*>& visuals);
+
+/// Like AlignToMatrix, but fills each visualization's missing x positions by
+/// linear interpolation between its neighbouring present points (edge gaps
+/// extend the nearest value). This implements the paper's §10.1 plan:
+/// "zql queries involving distance based computations do not give good
+/// results when there are many missing points ... we plan to use
+/// interpolation techniques to populate the missing points".
+std::vector<std::vector<double>> AlignToMatrixInterpolated(
+    const std::vector<const Visualization*>& visuals);
+
+}  // namespace zv
+
+#endif  // ZV_VIZ_VISUALIZATION_H_

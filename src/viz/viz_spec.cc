@@ -1,0 +1,164 @@
+#include "viz/viz_spec.h"
+
+#include "common/strings.h"
+
+namespace zv {
+
+const char* ChartTypeToString(ChartType t) {
+  switch (t) {
+    case ChartType::kAuto:
+      return "auto";
+    case ChartType::kBar:
+      return "bar";
+    case ChartType::kLine:
+      return "line";
+    case ChartType::kScatter:
+      return "scatter";
+    case ChartType::kDotPlot:
+      return "dotplot";
+    case ChartType::kBox:
+      return "box";
+    case ChartType::kHeatmap:
+      return "heatmap";
+  }
+  return "auto";
+}
+
+Result<ChartType> ChartTypeFromString(const std::string& s) {
+  const std::string lower = ToLower(Trim(s));
+  if (lower == "bar") return ChartType::kBar;
+  if (lower == "line") return ChartType::kLine;
+  if (lower == "scatter" || lower == "scatterplot") return ChartType::kScatter;
+  if (lower == "dotplot" || lower == "dot") return ChartType::kDotPlot;
+  if (lower == "box" || lower == "boxplot") return ChartType::kBox;
+  if (lower == "heatmap") return ChartType::kHeatmap;
+  if (lower == "auto" || lower.empty()) return ChartType::kAuto;
+  return Status::ParseError("unknown chart type: " + s);
+}
+
+std::string VizSpec::ToString() const {
+  std::string out = ChartTypeToString(chart);
+  std::vector<std::string> parts;
+  if (x_bin > 0) parts.push_back(StrFormat("x=bin(%g)", x_bin));
+  if (y_agg != sql::AggFunc::kNone) {
+    parts.push_back(StrFormat("y=agg('%s')",
+                              ToLower(sql::AggFuncToString(y_agg)).c_str()));
+  }
+  if (!parts.empty()) out += ".(" + Join(parts, ", ") + ")";
+  return out;
+}
+
+namespace {
+
+Result<sql::AggFunc> AggFromString(const std::string& s) {
+  const std::string lower = ToLower(Trim(s));
+  if (lower == "sum") return sql::AggFunc::kSum;
+  if (lower == "avg" || lower == "mean") return sql::AggFunc::kAvg;
+  if (lower == "count") return sql::AggFunc::kCount;
+  if (lower == "min") return sql::AggFunc::kMin;
+  if (lower == "max") return sql::AggFunc::kMax;
+  return Status::ParseError("unknown aggregate: " + s);
+}
+
+// Parses the "(x=bin(20), y=agg('sum'))" summarization body (no outer
+// parens) into spec fields.
+Status ParseSummarization(const std::string& body, VizSpec* spec) {
+  for (const std::string& raw : SplitTopLevel(body, ',')) {
+    const std::string part = Trim(raw);
+    if (part.empty()) continue;
+    const size_t eq = part.find('=');
+    if (eq == std::string::npos) {
+      return Status::ParseError("bad summarization term: " + part);
+    }
+    const std::string lhs = ToLower(Trim(part.substr(0, eq)));
+    const std::string rhs = Trim(part.substr(eq + 1));
+    if (lhs == "x") {
+      if (!StartsWith(rhs, "bin(") || !EndsWith(rhs, ")")) {
+        return Status::ParseError("x summarization must be bin(w): " + rhs);
+      }
+      const std::string w = Trim(rhs.substr(4, rhs.size() - 5));
+      char* end = nullptr;
+      spec->x_bin = std::strtod(w.c_str(), &end);
+      if (end == w.c_str() || spec->x_bin <= 0) {
+        return Status::ParseError("bad bin width: " + w);
+      }
+    } else if (lhs == "y") {
+      if (!StartsWith(rhs, "agg(") || !EndsWith(rhs, ")")) {
+        return Status::ParseError("y summarization must be agg('f'): " + rhs);
+      }
+      std::string f = Trim(rhs.substr(4, rhs.size() - 5));
+      if (f.size() >= 2 && f.front() == '\'' && f.back() == '\'') {
+        f = f.substr(1, f.size() - 2);
+      }
+      ZV_ASSIGN_OR_RETURN(spec->y_agg, AggFromString(f));
+    } else if (lhs == "param") {
+      spec->param = std::strtod(rhs.c_str(), nullptr);
+    } else {
+      return Status::ParseError("unknown summarization axis: " + lhs);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<VizSpec> ParseVizSpec(const std::string& text) {
+  VizSpec spec;
+  std::string s = Trim(text);
+  if (s.empty()) return spec;
+  // Split "type.(summarization)" at the first '.' that is followed by '('.
+  size_t dot = std::string::npos;
+  int depth = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '(') ++depth;
+    else if (s[i] == ')') --depth;
+    else if (s[i] == '.' && depth == 0 && i + 1 < s.size() && s[i + 1] == '(') {
+      dot = i;
+      break;
+    }
+  }
+  std::string type_part = dot == std::string::npos ? s : s.substr(0, dot);
+  std::string summ_part;
+  if (dot != std::string::npos) {
+    summ_part = Trim(s.substr(dot + 1));
+    if (summ_part.size() < 2 || summ_part.front() != '(' ||
+        summ_part.back() != ')') {
+      return Status::ParseError("bad summarization: " + summ_part);
+    }
+    summ_part = summ_part.substr(1, summ_part.size() - 2);
+  }
+  type_part = Trim(type_part);
+  if (!type_part.empty()) {
+    if (StartsWith(type_part, "(")) {
+      // Bare summarization with no chart type.
+      summ_part = type_part.substr(1, type_part.size() - 2);
+    } else {
+      ZV_ASSIGN_OR_RETURN(spec.chart, ChartTypeFromString(type_part));
+    }
+  }
+  if (!summ_part.empty()) {
+    ZV_RETURN_NOT_OK(ParseSummarization(summ_part, &spec));
+  }
+  return spec;
+}
+
+VizSpec DefaultVizSpec(ColumnType x_type, ColumnType y_type) {
+  VizSpec spec;
+  if (x_type == ColumnType::kCategorical) {
+    // Discrete x, quantitative y: aggregate bar chart (Mackinlay's ranking
+    // puts position+length encodings first for this shape).
+    spec.chart = ChartType::kBar;
+    spec.y_agg = sql::AggFunc::kSum;
+    return spec;
+  }
+  if (y_type == ColumnType::kCategorical) {
+    spec.chart = ChartType::kBar;
+    spec.y_agg = sql::AggFunc::kCount;
+    return spec;
+  }
+  // Quantitative vs quantitative: scatter, no summarization.
+  spec.chart = ChartType::kScatter;
+  return spec;
+}
+
+}  // namespace zv

@@ -1,0 +1,59 @@
+/// \file viz_spec.h
+/// \brief The ZQL Viz column (§3.5): visualization type + summarization.
+///
+/// A spec like `bar.(x=bin(20), y=agg('sum'))` selects the geometric layer
+/// (bar chart) and the statistical transformation (bin x in widths of 20,
+/// aggregate y with SUM grouped by x and z) — the two Grammar-of-Graphics
+/// layers the paper cites.
+
+#ifndef ZV_VIZ_VIZ_SPEC_H_
+#define ZV_VIZ_VIZ_SPEC_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "storage/table.h"
+
+namespace zv {
+
+/// Geometric layer / chart type.
+enum class ChartType {
+  kAuto,  ///< defer to rules of thumb (blank Viz column)
+  kBar,
+  kLine,
+  kScatter,
+  kDotPlot,
+  kBox,
+  kHeatmap,
+};
+
+const char* ChartTypeToString(ChartType t);
+Result<ChartType> ChartTypeFromString(const std::string& s);
+
+/// \brief Parsed Viz column entry.
+struct VizSpec {
+  ChartType chart = ChartType::kAuto;
+  sql::AggFunc y_agg = sql::AggFunc::kNone;  ///< y=agg('sum') etc.
+  double x_bin = 0;                          ///< x=bin(20); 0 = unbinned
+  /// Extra chart parameter (e.g. box-plot whisker multiplier).
+  double param = 0;
+
+  bool operator==(const VizSpec&) const = default;
+
+  /// Renders back to the ZQL textual form.
+  std::string ToString() const;
+};
+
+/// Parses `bar.(x=bin(20), y=agg('sum'))`, a bare chart type (`scatterplot`
+/// accepted as an alias of `scatter`), or a bare summarization.
+Result<VizSpec> ParseVizSpec(const std::string& text);
+
+/// \brief Rules-of-thumb default (Mackinlay-style, as Polaris/Voyager do):
+/// picks chart + summarization from the axis column types when the Viz
+/// column is blank.
+VizSpec DefaultVizSpec(ColumnType x_type, ColumnType y_type);
+
+}  // namespace zv
+
+#endif  // ZV_VIZ_VIZ_SPEC_H_

@@ -1,0 +1,392 @@
+#include "workload/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace zv {
+
+namespace {
+
+constexpr double kTau = 6.283185307179586;
+
+/// Latent per-entity series shape used to plant recoverable trends.
+struct TrendProfile {
+  double slope = 0;       ///< linear component per normalized time
+  double season_amp = 0;  ///< seasonal amplitude
+  double season_phase = 0;
+  double base = 1;        ///< base level
+  bool anomalous = false; ///< sharp spike shape (outlier search target)
+  double spike_at = 0.5;  ///< position of the spike in normalized time
+
+  double Eval(double t01, double month01) const {
+    double v = base * (1.0 + slope * (t01 - 0.5));
+    v += season_amp * std::sin(kTau * month01 + season_phase);
+    if (anomalous) {
+      const double d = (t01 - spike_at) / 0.08;
+      v += 2.5 * base * std::exp(-d * d);
+    }
+    return std::max(v, 0.05);
+  }
+};
+
+TrendProfile RandomProfile(Rng& rng) {
+  TrendProfile p;
+  p.base = rng.UniformDouble(0.5, 2.0);
+  p.slope = rng.UniformDouble(-1.2, 1.2);
+  p.season_amp = rng.UniformDouble(0.0, 0.35);
+  p.season_phase = rng.UniformDouble(0, kTau);
+  return p;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Sales
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<Table> MakeSalesTable(const SalesDataOptions& opts) {
+  Rng rng(opts.seed);
+  const size_t P = std::max<size_t>(1, opts.num_products);
+
+  // Latent product structure.
+  std::vector<TrendProfile> sales_profile(P);
+  std::vector<double> profit_sign(P, 1.0);   // +1: follows sales
+  std::vector<bool> divergent(P, false);     // US up / UK down
+  for (size_t i = 0; i < P; ++i) {
+    sales_profile[i] = RandomProfile(rng);
+    if (rng.UniformDouble() < opts.outlier_fraction) {
+      sales_profile[i].anomalous = true;
+      sales_profile[i].spike_at = rng.UniformDouble(0.2, 0.8);
+    }
+    if (rng.UniformDouble() < opts.discrepant_fraction) {
+      profit_sign[i] = -1.0;
+    }
+    if (rng.UniformDouble() < opts.divergent_fraction) {
+      divergent[i] = true;
+      sales_profile[i].slope = std::fabs(sales_profile[i].slope) + 0.4;
+    }
+  }
+
+  Schema schema({
+      {"product", ColumnType::kCategorical},
+      {"category", ColumnType::kCategorical},
+      {"size", ColumnType::kCategorical},
+      {"weight", ColumnType::kDouble},
+      {"city", ColumnType::kCategorical},
+      {"country", ColumnType::kCategorical},
+      {"location", ColumnType::kCategorical},  // alias used by the examples
+      {"month", ColumnType::kCategorical},
+      {"year", ColumnType::kCategorical},
+      {"sales", ColumnType::kDouble},
+      {"profit", ColumnType::kDouble},
+      {"revenue", ColumnType::kDouble},
+  });
+  TableBuilder builder("sales", schema);
+
+  const int years = opts.year_max - opts.year_min + 1;
+  static const char* kSizes[] = {"small", "medium", "large"};
+
+  for (size_t r = 0; r < opts.num_rows; ++r) {
+    const size_t p = rng.Uniform(P);
+    const int year = opts.year_min + static_cast<int>(rng.Uniform(years));
+    const int month = 1 + static_cast<int>(rng.Uniform(12));
+    const size_t country = rng.Uniform(opts.num_countries);
+    const size_t city = rng.Uniform(opts.num_cities);
+    const size_t category = p % opts.num_categories;
+
+    const double t01 =
+        (static_cast<double>(year - opts.year_min) + (month - 1) / 12.0) /
+        std::max(1, years - 1);
+    const double month01 = (month - 1) / 12.0;
+
+    TrendProfile prof = sales_profile[p];
+    // Divergent products: invert the trend for the UK (country index 1).
+    if (divergent[p] && country == 1) prof.slope = -prof.slope;
+
+    const double level = prof.Eval(t01, month01);
+    const double sales = 100.0 * level * (1.0 + 0.15 * rng.Normal());
+    // Profit follows or opposes the sales trend.
+    TrendProfile pprof = prof;
+    pprof.slope *= profit_sign[p];
+    const double profit =
+        40.0 * pprof.Eval(t01, month01) * (1.0 + 0.2 * rng.Normal());
+
+    builder.AppendCategorical(0, Value::Str("product" + std::to_string(p)));
+    builder.AppendCategorical(
+        1, Value::Str("category" + std::to_string(category)));
+    builder.AppendCategorical(2, Value::Str(kSizes[p % 3]));
+    builder.AppendDouble(3, 5.0 + 95.0 * rng.UniformDouble());
+    builder.AppendCategorical(4, Value::Str("city" + std::to_string(city)));
+    const std::string cname = country == 0   ? "US"
+                              : country == 1 ? "UK"
+                                             : "country" + std::to_string(country);
+    builder.AppendCategorical(5, Value::Str(cname));
+    builder.AppendCategorical(6, Value::Str(cname));
+    builder.AppendCategorical(7, Value::Int(month));
+    builder.AppendCategorical(8, Value::Int(year));
+    builder.AppendDouble(9, sales);
+    builder.AppendDouble(10, profit);
+    builder.AppendDouble(11, sales * rng.UniformDouble(1.1, 1.6));
+    builder.CommitRow();
+  }
+  return builder.Finish();
+}
+
+// ---------------------------------------------------------------------------
+// Census
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<Table> MakeCensusTable(const CensusDataOptions& opts) {
+  Rng rng(opts.seed);
+  const size_t num_cat = opts.num_attributes >= 4 ? opts.num_attributes - 4 : 1;
+
+  std::vector<ColumnDef> defs;
+  std::vector<size_t> cardinalities;
+  for (size_t i = 0; i < num_cat; ++i) {
+    defs.push_back({"attr" + std::to_string(i), ColumnType::kCategorical});
+    // Varying cardinality, echoing census categorical domains (2..51).
+    cardinalities.push_back(2 + (i * 7) % 50);
+  }
+  defs.push_back({"age", ColumnType::kInt});
+  defs.push_back({"hours_per_week", ColumnType::kInt});
+  defs.push_back({"income", ColumnType::kDouble});
+  defs.push_back({"capital_gains", ColumnType::kDouble});
+  TableBuilder builder("census", Schema(defs));
+
+  std::vector<ZipfSampler> samplers;
+  samplers.reserve(num_cat);
+  for (size_t i = 0; i < num_cat; ++i) {
+    samplers.emplace_back(cardinalities[i], 0.8);
+  }
+  for (size_t r = 0; r < opts.num_rows; ++r) {
+    for (size_t i = 0; i < num_cat; ++i) {
+      builder.AppendCategorical(
+          i, Value::Str("v" + std::to_string(samplers[i].Sample(rng))));
+    }
+    const int64_t age = 17 + static_cast<int64_t>(rng.Uniform(73));
+    builder.AppendInt(num_cat + 0, age);
+    builder.AppendInt(num_cat + 1, 10 + static_cast<int64_t>(rng.Uniform(70)));
+    builder.AppendDouble(num_cat + 2,
+                         20000 + 1000.0 * static_cast<double>(age) +
+                             15000.0 * rng.Normal());
+    builder.AppendDouble(num_cat + 3,
+                         rng.UniformDouble() < 0.9
+                             ? 0.0
+                             : rng.UniformDouble(100, 50000));
+    builder.CommitRow();
+  }
+  return builder.Finish();
+}
+
+// ---------------------------------------------------------------------------
+// Airline
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<Table> MakeAirlineTable(const AirlineDataOptions& opts) {
+  Rng rng(opts.seed);
+  const size_t A = std::max<size_t>(2, opts.num_airports);
+
+  // Latent per-airport delay behaviour.
+  std::vector<TrendProfile> dep_profile(A), weather_profile(A);
+  for (size_t i = 0; i < A; ++i) {
+    dep_profile[i] = RandomProfile(rng);
+    weather_profile[i] = RandomProfile(rng);
+    if (rng.UniformDouble() < opts.increasing_delay_fraction) {
+      dep_profile[i].slope = std::fabs(dep_profile[i].slope) + 0.5;
+      weather_profile[i].slope = std::fabs(weather_profile[i].slope) + 0.3;
+    }
+  }
+
+  // 29 attributes mirroring the ASA airline data layout.
+  Schema schema({
+      {"year", ColumnType::kCategorical},
+      {"month", ColumnType::kCategorical},
+      {"day_of_month", ColumnType::kCategorical},
+      {"day_of_week", ColumnType::kCategorical},
+      {"dep_time", ColumnType::kInt},
+      {"crs_dep_time", ColumnType::kInt},
+      {"arr_time", ColumnType::kInt},
+      {"crs_arr_time", ColumnType::kInt},
+      {"carrier", ColumnType::kCategorical},
+      {"flight_num", ColumnType::kInt},
+      {"tail_num", ColumnType::kCategorical},
+      {"actual_elapsed", ColumnType::kInt},
+      {"crs_elapsed", ColumnType::kInt},
+      {"air_time", ColumnType::kInt},
+      {"arr_delay", ColumnType::kDouble},
+      {"dep_delay", ColumnType::kDouble},
+      {"origin", ColumnType::kCategorical},
+      {"dest", ColumnType::kCategorical},
+      {"distance", ColumnType::kInt},
+      {"taxi_in", ColumnType::kInt},
+      {"taxi_out", ColumnType::kInt},
+      {"cancelled", ColumnType::kCategorical},
+      {"cancellation_code", ColumnType::kCategorical},
+      {"diverted", ColumnType::kCategorical},
+      {"carrier_delay", ColumnType::kDouble},
+      {"weather_delay", ColumnType::kDouble},
+      {"nas_delay", ColumnType::kDouble},
+      {"security_delay", ColumnType::kDouble},
+      {"late_aircraft_delay", ColumnType::kDouble},
+  });
+  TableBuilder builder("airline", schema);
+
+  const int years = opts.year_max - opts.year_min + 1;
+  auto airport_name = [](size_t i) {
+    // AAA, AAB, ... three-letter codes.
+    std::string s(3, 'A');
+    s[0] = static_cast<char>('A' + (i / 676) % 26);
+    s[1] = static_cast<char>('A' + (i / 26) % 26);
+    s[2] = static_cast<char>('A' + i % 26);
+    return s;
+  };
+
+  for (size_t r = 0; r < opts.num_rows; ++r) {
+    const int year = opts.year_min + static_cast<int>(rng.Uniform(years));
+    const int month = 1 + static_cast<int>(rng.Uniform(12));
+    const int day = 1 + static_cast<int>(rng.Uniform(28));
+    const size_t origin = rng.Uniform(A);
+    size_t dest = rng.Uniform(A - 1);
+    if (dest >= origin) ++dest;
+    const size_t carrier = rng.Uniform(opts.num_carriers);
+
+    const double t01 = static_cast<double>(year - opts.year_min) /
+                       std::max(1, years - 1);
+    const double month01 = (month - 1) / 12.0;
+    const double dep_delay =
+        20.0 * dep_profile[origin].Eval(t01, month01) - 10.0 +
+        8.0 * rng.Normal();
+    const double weather_delay = std::max(
+        0.0, 6.0 * weather_profile[origin].Eval(t01, month01) - 4.0 +
+                 3.0 * rng.Normal());
+    const double arr_delay = dep_delay + 5.0 * rng.Normal();
+    const int dep_sched = 600 + static_cast<int>(rng.Uniform(1000));
+    const int elapsed = 60 + static_cast<int>(rng.Uniform(300));
+
+    builder.AppendCategorical(0, Value::Int(year));
+    builder.AppendCategorical(1, Value::Int(month));
+    builder.AppendCategorical(2, Value::Int(day));
+    builder.AppendCategorical(3, Value::Int(1 + (day % 7)));
+    builder.AppendInt(4, dep_sched + static_cast<int>(dep_delay));
+    builder.AppendInt(5, dep_sched);
+    builder.AppendInt(6, dep_sched + elapsed + static_cast<int>(arr_delay));
+    builder.AppendInt(7, dep_sched + elapsed);
+    builder.AppendCategorical(8, Value::Str("C" + std::to_string(carrier)));
+    builder.AppendInt(9, 100 + static_cast<int64_t>(rng.Uniform(5000)));
+    builder.AppendCategorical(
+        10, Value::Str("N" + std::to_string(rng.Uniform(2000))));
+    builder.AppendInt(11, elapsed + static_cast<int>(arr_delay - dep_delay));
+    builder.AppendInt(12, elapsed);
+    builder.AppendInt(13, elapsed - 20);
+    builder.AppendDouble(14, arr_delay);
+    builder.AppendDouble(15, dep_delay);
+    builder.AppendCategorical(16, Value::Str(airport_name(origin)));
+    builder.AppendCategorical(17, Value::Str(airport_name(dest)));
+    builder.AppendInt(18, 100 + static_cast<int64_t>(rng.Uniform(3000)));
+    builder.AppendInt(19, 2 + static_cast<int64_t>(rng.Uniform(20)));
+    builder.AppendInt(20, 5 + static_cast<int64_t>(rng.Uniform(30)));
+    const bool cancelled = rng.UniformDouble() < 0.02;
+    builder.AppendCategorical(21, Value::Str(cancelled ? "1" : "0"));
+    builder.AppendCategorical(
+        22, Value::Str(cancelled ? std::string(1, static_cast<char>(
+                                       'A' + rng.Uniform(4)))
+                                 : "none"));
+    builder.AppendCategorical(23,
+                              Value::Str(rng.UniformDouble() < 0.01 ? "1" : "0"));
+    builder.AppendDouble(24, std::max(0.0, arr_delay * rng.UniformDouble()));
+    builder.AppendDouble(25, weather_delay);
+    builder.AppendDouble(26, std::max(0.0, 2.0 * rng.Normal() + 2.0));
+    builder.AppendDouble(27, rng.UniformDouble() < 0.99 ? 0.0 : 20.0);
+    builder.AppendDouble(28, std::max(0.0, 5.0 * rng.Normal() + 3.0));
+    builder.CommitRow();
+  }
+  return builder.Finish();
+}
+
+// ---------------------------------------------------------------------------
+// Housing
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<Table> MakeHousingTable(const HousingDataOptions& opts) {
+  Rng rng(opts.seed);
+  const size_t S = std::max<size_t>(2, opts.num_states);
+
+  std::vector<TrendProfile> price_profile(S);
+  std::vector<double> turnover_sign(S, 1.0);
+  for (size_t i = 0; i < S; ++i) {
+    price_profile[i] = RandomProfile(rng);
+    // Most states: turnover follows price; some oppose (the Figure 6.5
+    // scenario the agent investigates).
+    if (rng.UniformDouble() < 0.25) turnover_sign[i] = -1.0;
+  }
+
+  Schema schema({
+      {"state", ColumnType::kCategorical},
+      {"county", ColumnType::kCategorical},
+      {"city", ColumnType::kCategorical},
+      {"zip", ColumnType::kCategorical},
+      {"year", ColumnType::kCategorical},
+      {"month", ColumnType::kCategorical},
+      {"quarter", ColumnType::kCategorical},
+      {"sold_price", ColumnType::kDouble},
+      {"listing_price", ColumnType::kDouble},
+      {"turnover_rate", ColumnType::kDouble},
+      {"foreclosure_rate", ColumnType::kDouble},
+      {"num_listings", ColumnType::kInt},
+      {"num_sales", ColumnType::kInt},
+      {"days_on_market", ColumnType::kInt},
+      {"price_per_sqft", ColumnType::kDouble},
+  });
+  TableBuilder builder("housing", schema);
+
+  const int years = opts.year_max - opts.year_min + 1;
+  for (size_t r = 0; r < opts.num_rows; ++r) {
+    const size_t state = rng.Uniform(S);
+    const size_t county = rng.Uniform(opts.num_counties);
+    const size_t city = rng.Uniform(opts.num_cities);
+    const int year = opts.year_min + static_cast<int>(rng.Uniform(years));
+    const int month = 1 + static_cast<int>(rng.Uniform(12));
+    const double t01 = (static_cast<double>(year - opts.year_min) +
+                        (month - 1) / 12.0) /
+                       std::max(1, years - 1);
+    const double month01 = (month - 1) / 12.0;
+
+    // 2008-style bust baked into the global level.
+    double level = price_profile[state].Eval(t01, month01);
+    const double bust = (year >= 2008 && year <= 2011) ? 0.8 : 1.0;
+    const double sold = 250000.0 * level * bust * (1.0 + 0.1 * rng.Normal());
+    TrendProfile tprof = price_profile[state];
+    tprof.slope *= turnover_sign[state];
+    const double turnover =
+        std::clamp(0.05 * tprof.Eval(t01, month01) * (1 + 0.2 * rng.Normal()),
+                   0.001, 0.5);
+    const double foreclosure = std::clamp(
+        0.02 * (2.0 - tprof.Eval(t01, month01)) * (1 + 0.3 * rng.Normal()),
+        0.0005, 0.2);
+
+    builder.AppendCategorical(0, Value::Str("state" + std::to_string(state)));
+    builder.AppendCategorical(1,
+                              Value::Str("county" + std::to_string(county)));
+    builder.AppendCategorical(2, Value::Str("city" + std::to_string(city)));
+    builder.AppendCategorical(
+        3, Value::Str(StrFormat("%05zu", 1000 + city * 7 % 99000)));
+    builder.AppendCategorical(4, Value::Int(year));
+    builder.AppendCategorical(5, Value::Int(month));
+    builder.AppendCategorical(6, Value::Int(1 + (month - 1) / 3));
+    builder.AppendDouble(7, sold);
+    builder.AppendDouble(8, sold * rng.UniformDouble(1.0, 1.15));
+    builder.AppendDouble(9, turnover);
+    builder.AppendDouble(10, foreclosure);
+    builder.AppendInt(11, 10 + static_cast<int64_t>(rng.Uniform(500)));
+    builder.AppendInt(12, 5 + static_cast<int64_t>(rng.Uniform(300)));
+    builder.AppendInt(13, 10 + static_cast<int64_t>(rng.Uniform(200)));
+    builder.AppendDouble(14, sold / rng.UniformDouble(800, 3000));
+    builder.CommitRow();
+  }
+  return builder.Finish();
+}
+
+}  // namespace zv

@@ -1,0 +1,92 @@
+/// \file datasets.h
+/// \brief Deterministic synthetic dataset generators standing in for the
+/// paper's evaluation data (DESIGN.md §4, substitution 2):
+///
+///  - sales:   the synthetic product-sales dataset (§7: 10M rows; product,
+///             size, weight, city, country, category, month, year, profit,
+///             revenue — plus `sales` and `location`, which the paper's ZQL
+///             examples use throughout Chapters 2–5),
+///  - census:  census-income-like (300K x 40),
+///  - airline: airline-delay-like (15M x 29),
+///  - housing: Zillow-housing-like (245K x 15) for the user study chapter.
+///
+/// All generators plant recoverable structure: per-entity latent trends
+/// (increasing / decreasing / seasonal / flat / anomalous), cross-region
+/// divergences (products up in US but down in UK — Table 2.3/5.1), and
+/// sales-vs-profit discrepancies (Table 3.23), so the similarity, outlier,
+/// and discrepancy queries in examples, tests, and benches have planted
+/// ground truth to find.
+
+#ifndef ZV_WORKLOAD_DATASETS_H_
+#define ZV_WORKLOAD_DATASETS_H_
+
+#include <memory>
+
+#include "storage/table.h"
+
+namespace zv {
+
+struct SalesDataOptions {
+  size_t num_rows = 200000;
+  size_t num_products = 50;
+  size_t num_categories = 8;
+  size_t num_cities = 40;
+  size_t num_countries = 8;  ///< country[0]="US", country[1]="UK"
+  int year_min = 2010;
+  int year_max = 2019;
+  uint64_t seed = 7;
+
+  /// Fraction of products with opposite sales trends in US vs UK.
+  double divergent_fraction = 0.2;
+  /// Fraction of products whose profit trend opposes their sales trend.
+  double discrepant_fraction = 0.3;
+  /// Fraction of products with anomalous (outlier) shapes.
+  double outlier_fraction = 0.05;
+};
+
+/// Builds the synthetic sales table named "sales".
+std::shared_ptr<Table> MakeSalesTable(const SalesDataOptions& opts = {});
+
+struct CensusDataOptions {
+  size_t num_rows = 50000;   ///< paper: 300000
+  size_t num_attributes = 40;
+  uint64_t seed = 11;
+};
+
+/// Census-income-like table "census": ~36 categorical attributes of varying
+/// cardinality plus a few numeric measures (income, age, hours).
+std::shared_ptr<Table> MakeCensusTable(const CensusDataOptions& opts = {});
+
+struct AirlineDataOptions {
+  size_t num_rows = 200000;  ///< paper: 15M
+  size_t num_airports = 60;
+  size_t num_carriers = 12;
+  int year_min = 2000;
+  int year_max = 2008;
+  uint64_t seed = 13;
+  /// Fraction of airports whose average delays trend upward over years
+  /// (the planted answers for the Table 7.1 query).
+  double increasing_delay_fraction = 0.25;
+};
+
+/// Airline-delay-like table "airline" with 29 attributes echoing the
+/// stat-computing.org ASA dataset layout.
+std::shared_ptr<Table> MakeAirlineTable(const AirlineDataOptions& opts = {});
+
+struct HousingDataOptions {
+  size_t num_rows = 60000;  ///< paper: ~245K
+  size_t num_states = 25;
+  size_t num_counties = 120;
+  size_t num_cities = 300;
+  int year_min = 2004;
+  int year_max = 2015;
+  uint64_t seed = 17;
+};
+
+/// Zillow-like housing table "housing": state/county/city geography with
+/// sold price, listing price, turnover and foreclosure rates per month.
+std::shared_ptr<Table> MakeHousingTable(const HousingDataOptions& opts = {});
+
+}  // namespace zv
+
+#endif  // ZV_WORKLOAD_DATASETS_H_

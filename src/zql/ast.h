@@ -1,0 +1,226 @@
+/// \file ast.h
+/// \brief Parse-level representation of a ZQL query (Chapter 3): one
+/// ZqlRow per table row with Name / X / Y / Z (Z2, …) / Constraints / Viz /
+/// Process entries.
+
+#ifndef ZV_ZQL_AST_H_
+#define ZV_ZQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "tasks/primitives.h"
+#include "viz/viz_spec.h"
+
+namespace zv::zql {
+
+// ---------------------------------------------------------------------------
+// Axis (X / Y) column
+// ---------------------------------------------------------------------------
+
+/// \brief One concrete axis assignment: a single attribute, or several
+/// composed with the Polaris table algebra (§3.2): '+' concatenates series
+/// on one axis, '*' (×) crosses attributes into a composite axis.
+struct AxisValue {
+  enum class Compose { kNone, kPlus, kCross };
+  std::vector<std::string> attrs;
+  Compose compose = Compose::kNone;
+
+  static AxisValue Single(std::string attr) {
+    return {{std::move(attr)}, Compose::kNone};
+  }
+
+  /// "profit+sales" / "product*state" / "year".
+  std::string Label() const;
+
+  bool operator==(const AxisValue&) const = default;
+};
+
+/// \brief An X or Y column entry.
+struct AxisEntry {
+  enum class Kind {
+    kNone,     ///< blank (user-input rows)
+    kLiteral,  ///< 'year' or 'profit'+'sales'
+    kDeclare,  ///< y1 <- {'profit','sales'} or x1 <- M
+    kReuse,    ///< x1
+    kDerived,  ///< y1 <- _   (bind to a derived visual component, §3.6)
+    kOrderBy,  ///< u1 ->     (ordering key for f2=f1.order rows)
+  };
+  Kind kind = Kind::kNone;
+  AxisValue literal;
+  std::string var;                 ///< kDeclare / kReuse / kDerived / kOrderBy
+  std::vector<AxisValue> set;      ///< kDeclare with an inline set
+  std::string named_set;           ///< kDeclare over a registered set (e.g. M)
+};
+
+// ---------------------------------------------------------------------------
+// Z column(s)
+// ---------------------------------------------------------------------------
+
+/// \brief One concrete slice: attribute + value ('product'.'chair').
+struct ZValue {
+  std::string attr;
+  Value value;
+  bool operator==(const ZValue&) const = default;
+  std::string Label() const { return attr + "." + value.ToString(); }
+};
+
+/// \brief Attribute part of a Z set term.
+struct AttrSpec {
+  enum class Kind { kLiteral, kAll, kAllExcept, kList };
+  Kind kind = Kind::kLiteral;
+  std::vector<std::string> names;  ///< kLiteral: [0]; kAllExcept/kList
+};
+
+/// \brief Value part of a Z set term.
+struct ValueSpec {
+  enum class Kind { kLiteral, kAll, kAllExcept, kList, kDerived };
+  Kind kind = Kind::kLiteral;
+  std::vector<Value> values;  ///< kLiteral: [0]; kAllExcept/kList
+};
+
+/// \brief A set expression over (attribute, value) slices — evaluated at
+/// execution time because `*` needs the data dictionary and `v.range` needs
+/// process outputs (§3.7).
+struct ZSetExpr {
+  enum class Kind {
+    kAttrDotValue,  ///< attrspec.valuespec
+    kVarRange,      ///< v2.range
+    kNamedSet,      ///< P (registered value set with an implied attribute)
+    kOp,            ///< union '|', intersect '&', difference '\'
+  };
+  Kind kind = Kind::kAttrDotValue;
+  AttrSpec attr;
+  ValueSpec value;
+  std::string var;  ///< kVarRange / kNamedSet
+  char op = '|';
+  std::unique_ptr<ZSetExpr> lhs, rhs;
+};
+
+/// \brief A Z (or Z2, Z3, …) column entry.
+struct ZEntry {
+  enum class Kind {
+    kNone,
+    kLiteral,  ///< 'product'.'chair'
+    kDeclare,  ///< v1 <- setexpr   or   z1.v1 <- setexpr
+    kReuse,    ///< v1
+    kDerived,  ///< v2 <- 'product'._  (or v2 <- _._)
+    kOrderBy,  ///< u1 ->
+  };
+  Kind kind = Kind::kNone;
+  ZValue literal;
+  std::vector<std::string> vars;  ///< lhs names: [v1] or [z1, v1]
+  std::shared_ptr<ZSetExpr> set;  ///< kDeclare
+  std::string derived_attr;       ///< kDerived: fixed attr ('' = any)
+};
+
+// ---------------------------------------------------------------------------
+// Viz column
+// ---------------------------------------------------------------------------
+
+struct VizEntry {
+  enum class Kind { kNone, kLiteral, kDeclare, kReuse };
+  Kind kind = Kind::kNone;
+  VizSpec literal;
+  std::string var;
+  std::vector<VizSpec> set;
+};
+
+// ---------------------------------------------------------------------------
+// Name column
+// ---------------------------------------------------------------------------
+
+struct NameEntry {
+  std::string name;
+  bool output = false;      ///< *f1
+  bool user_input = false;  ///< -f1
+
+  /// Derivation (f3=f1+f2 and friends, §3.6).
+  enum class Derive {
+    kNone,
+    kPlus,       ///< f3=f1+f2: concatenation
+    kMinus,      ///< f3=f1-f2: list difference
+    kIntersect,  ///< f3=f1^f2
+    kIndex,      ///< f2=f1[i]     (1-based)
+    kSlice,      ///< f2=f1[i:j]   (1-based, inclusive)
+    kRange,      ///< f2=f1.range  (dedup)
+    kOrder,      ///< f2=f1.order  (reorder by -> axis variables)
+  };
+  Derive derive = Derive::kNone;
+  std::string source_a, source_b;  ///< operand component names
+  int64_t index_a = 0, index_b = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Process column
+// ---------------------------------------------------------------------------
+
+/// \brief Objective expression inside a mechanism: a functional-primitive
+/// call, optionally wrapped in inner reducers (min_v / max_v / sum_v, §3.8).
+struct ProcessExpr {
+  enum class Kind { kCall, kReduce };
+  Kind kind = Kind::kCall;
+
+  // kCall: T(f1), D(f1, f2), or a user-defined function of components.
+  std::string func;
+  std::vector<std::string> args;  ///< component names
+
+  // kReduce
+  enum class Reduce { kMin, kMax, kSum };
+  Reduce reduce = Reduce::kMin;
+  std::vector<std::string> reduce_vars;
+  std::unique_ptr<ProcessExpr> child;
+};
+
+/// \brief One task in the Process column.
+struct ProcessDecl {
+  std::vector<std::string> outputs;
+
+  enum class Kind { kMechanism, kRepresentative };
+  Kind kind = Kind::kMechanism;
+
+  // kMechanism
+  Mechanism mech = Mechanism::kArgMin;
+  std::vector<std::string> iter_vars;
+  MechanismFilter filter;
+  std::shared_ptr<ProcessExpr> expr;
+
+  // kRepresentative: R(k, v..., f)
+  int64_t repr_k = 0;
+  std::vector<std::string> repr_vars;
+  std::string repr_component;
+};
+
+// ---------------------------------------------------------------------------
+// Rows and queries
+// ---------------------------------------------------------------------------
+
+struct ZqlRow {
+  NameEntry name;
+  AxisEntry x, y;
+  std::vector<ZEntry> zs;    ///< Z, Z2, Z3 … (may be empty)
+  std::string constraints;   ///< raw SQL-style boolean text ('' = none)
+  VizEntry viz;
+  std::vector<ProcessDecl> processes;
+  int line = 0;  ///< 1-based row number for diagnostics
+};
+
+struct ZqlQuery {
+  std::vector<ZqlRow> rows;
+
+  /// Names of components flagged for output, in row order.
+  std::vector<std::string> OutputNames() const {
+    std::vector<std::string> out;
+    for (const auto& row : rows) {
+      if (row.name.output) out.push_back(row.name.name);
+    }
+    return out;
+  }
+};
+
+}  // namespace zv::zql
+
+#endif  // ZV_ZQL_AST_H_

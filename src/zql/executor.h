@@ -1,0 +1,125 @@
+/// \file executor.h
+/// \brief The ZQL engine (Chapter 5): compiles each row's visual component
+/// into SQL aggregation queries against a Database backend, batches them
+/// according to the configured optimization level, and evaluates Process
+/// column tasks over the fetched visualizations.
+///
+/// Optimization levels (§5.2):
+///  - kNoOpt:     one SQL query *and* one request per visualization — the
+///                naive compiler of §5.1.
+///  - kIntraLine: per row, one SQL query covering all Z values and Y
+///                attributes (z added to SELECT/GROUP BY, WHERE z IN …),
+///                issued as one request per row.
+///  - kIntraTask: additionally batches the queries of consecutive task-less
+///                rows together with the next task row into one request.
+///  - kInterTask: builds the query dependency tree (Figure 5.1) and batches
+///                every row whose dependencies are satisfied into wavefront
+///                requests — the maximal batching that respects
+///                dependencies.
+
+#ifndef ZV_ZQL_EXECUTOR_H_
+#define ZV_ZQL_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "tasks/primitives.h"
+#include "viz/visualization.h"
+#include "zql/ast.h"
+
+namespace zv::zql {
+
+enum class OptLevel { kNoOpt, kIntraLine, kIntraTask, kInterTask };
+
+const char* OptLevelToString(OptLevel level);
+
+/// \brief Sets that ZQL text can reference by bare name: attribute sets
+/// (e.g. M = all measures, Table 3.24) and value sets with an implied
+/// attribute (e.g. P = a user-specified set of products, Table 5.1).
+struct NamedSets {
+  std::map<std::string, std::vector<std::string>> attr_sets;
+  struct ValueSet {
+    std::string attr;
+    std::vector<Value> values;
+  };
+  std::map<std::string, ValueSet> value_sets;
+};
+
+/// User-defined Process function: receives the visualizations bound to its
+/// arguments and returns a score (treated as a black box, §3.8).
+using UserProcessFn =
+    std::function<double(const std::vector<const Visualization*>&)>;
+
+struct ZqlOptions {
+  OptLevel optimization = OptLevel::kInterTask;
+  TaskLibrary tasks = TaskLibrary::Default();
+  NamedSets named_sets;
+  std::map<std::string, UserProcessFn> user_functions;
+  /// When set, every issued SQL statement is appended here in execution
+  /// order (one entry per statement; batch boundaries are not marked) —
+  /// the observable form of the §5.1 ZQL→SQL translation.
+  std::vector<std::string>* sql_trace = nullptr;
+};
+
+/// \brief Execution instrumentation for the Chapter 7 experiments.
+struct ZqlStats {
+  uint64_t sql_queries = 0;   ///< SELECT statements issued
+  uint64_t sql_requests = 0;  ///< backend round trips
+  double total_ms = 0;
+  double exec_ms = 0;     ///< time inside the database backend
+  double compute_ms = 0;  ///< Process column (task processor) time
+};
+
+struct ZqlOutput {
+  std::string name;
+  std::vector<Visualization> visuals;
+};
+
+struct ZqlResult {
+  std::vector<ZqlOutput> outputs;
+  ZqlStats stats;
+
+  /// Convenience: the visuals of the output named `name` (nullptr if none).
+  const ZqlOutput* Find(const std::string& name) const {
+    for (const auto& o : outputs) {
+      if (o.name == name) return &o;
+    }
+    return nullptr;
+  }
+};
+
+/// \brief Executes ZQL queries against one table of one backend.
+///
+/// Thread-compatible (no internal synchronization); create one per thread.
+class ZqlExecutor {
+ public:
+  /// `db` must outlive the executor; `table` must be registered in it.
+  ZqlExecutor(Database* db, std::string table, ZqlOptions options = {});
+
+  /// Registers a user-drawn input visualization for a `-fN` row (§2,
+  /// Table 2.2).
+  void SetUserInput(const std::string& name, Visualization viz);
+
+  Result<ZqlResult> Execute(const ZqlQuery& query);
+
+  /// Parses and executes ZQL text.
+  Result<ZqlResult> ExecuteText(const std::string& text);
+
+  const ZqlOptions& options() const { return options_; }
+
+ private:
+  class State;  // defined in executor.cc
+
+  Database* db_;
+  std::string table_name_;
+  ZqlOptions options_;
+  std::map<std::string, Visualization> user_inputs_;
+};
+
+}  // namespace zv::zql
+
+#endif  // ZV_ZQL_EXECUTOR_H_

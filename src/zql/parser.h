@@ -1,0 +1,36 @@
+/// \file parser.h
+/// \brief Parser for the textual ZQL table format.
+///
+/// One row per line, columns separated by '|', mirroring the paper's
+/// tables. Example (Table 2.1):
+///
+///   *f1 | 'year' | 'sales' | v1 <- 'product'.* | location='US' | bar.(y=agg('sum')) |
+///
+/// Default column order is Name | X | Y | Z | Constraints | Viz | Process;
+/// an optional header row (cells drawn from name/x/y/z/z2/z3/constraints/
+/// viz/process) reorders or extends the layout, e.g. to add a Z2 column
+/// (Table 3.8). Lines starting with '#' are comments.
+
+#ifndef ZV_ZQL_PARSER_H_
+#define ZV_ZQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "zql/ast.h"
+
+namespace zv::zql {
+
+/// Parses a full query (multiple lines).
+Result<ZqlQuery> ParseQuery(const std::string& text);
+
+/// Cell-level parsers, exposed for tests.
+Result<NameEntry> ParseNameEntry(const std::string& text);
+Result<AxisEntry> ParseAxisEntry(const std::string& text);
+Result<ZEntry> ParseZEntry(const std::string& text);
+Result<VizEntry> ParseVizEntry(const std::string& text);
+Result<std::vector<ProcessDecl>> ParseProcessCell(const std::string& text);
+
+}  // namespace zv::zql
+
+#endif  // ZV_ZQL_PARSER_H_

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "algebra/operators.h"
+#include "algebra/ordered_bag.h"
+#include "algebra/visual.h"
+#include "tasks/primitives.h"
+#include "tests/test_util.h"
+
+namespace zv::algebra {
+namespace {
+
+using Bag = OrderedBag<int>;
+
+// --- ordered bags (§4.1) ------------------------------------------------------
+
+TEST(OrderedBagTest, IndexingIsOneBased) {
+  Bag b({10, 20, 30});
+  EXPECT_EQ(b.At(1), 10);
+  EXPECT_EQ(b.At(3), 30);
+}
+
+TEST(OrderedBagTest, SliceInclusive) {
+  Bag b({1, 2, 3, 4, 5});
+  EXPECT_EQ(b.Slice(2, 4), Bag({2, 3, 4}));
+  EXPECT_EQ(b.Slice(1, 99), b);
+  EXPECT_TRUE(b.Slice(9, 10).empty());
+  EXPECT_EQ(b.Limit(2), Bag({1, 2}));
+}
+
+TEST(OrderedBagTest, UnionIsConcatenation) {
+  EXPECT_EQ(Bag::Union(Bag({1, 2}), Bag({2, 3})), Bag({1, 2, 2, 3}));
+}
+
+TEST(OrderedBagTest, DifferenceRemovesAllCopies) {
+  EXPECT_EQ(Bag::Difference(Bag({1, 2, 1, 3}), Bag({1})), Bag({2, 3}));
+}
+
+TEST(OrderedBagTest, IntersectionPreservesLeftOrder) {
+  EXPECT_EQ(Bag::Intersection(Bag({3, 1, 2, 3}), Bag({3, 2})),
+            Bag({3, 2, 3}));
+}
+
+TEST(OrderedBagTest, DedupKeepsFirstOccurrence) {
+  EXPECT_EQ(Bag({2, 1, 2, 3, 1}).Dedup(), Bag({2, 1, 3}));
+}
+
+TEST(OrderedBagTest, CrossOrdering) {
+  auto crossed = Bag::Cross(Bag({1, 2}), OrderedBag<int>({10, 20}),
+                            [](int a, int b) { return a * 100 + b; });
+  EXPECT_EQ(crossed, OrderedBag<int>({110, 120, 210, 220}));
+}
+
+// --- visual universe & operators ----------------------------------------------
+
+class AlgebraTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = zv::testing::MakeTinySales();
+    auto u = MakeVisualUniverse(table_, {"year"}, {"sales", "profit"});
+    ZV_ASSERT_OK(u.status());
+    universe_ = std::move(u).value();
+    lib_ = TaskLibrary::Default();
+  }
+
+  /// σv selecting year=* ∧ product≠* ∧ location=loc ∧ sales=* ∧ profit=*,
+  /// X=year ∧ Y=y — i.e. "one viz per product at location loc" (the paper's
+  /// running example, Table 4.3).
+  VisualGroup PerProduct(const std::string& y, const std::string& loc) {
+    std::vector<std::unique_ptr<VPredicate>> conj;
+    conj.push_back(VPredicate::XEquals("year"));
+    conj.push_back(VPredicate::YEquals(y));
+    conj.push_back(VPredicate::AttrIsStar(universe_.FindAttr("year")));
+    conj.push_back(
+        VPredicate::AttrIsStar(universe_.FindAttr("product"), /*negated=*/true));
+    conj.push_back(VPredicate::AttrEquals(universe_.FindAttr("location"),
+                                          Value::Str(loc)));
+    conj.push_back(VPredicate::AttrIsStar(universe_.FindAttr("sales")));
+    conj.push_back(VPredicate::AttrIsStar(universe_.FindAttr("profit")));
+    auto theta = VPredicate::And(std::move(conj));
+    return SigmaV(universe_, *theta);
+  }
+
+  std::shared_ptr<Table> table_;
+  VisualGroup universe_;
+  TaskLibrary lib_;
+};
+
+TEST_F(AlgebraTest, UniverseShape) {
+  // |V| = |X| * |Y| * prod(|dom|+1) — year: 3+1, product: 3+1, location:
+  // 2+1, sales: 12+1, profit: 9+1 distinct values.
+  size_t sales_distinct = 0, profit_distinct = 0;
+  {
+    std::set<double> s, p;
+    for (size_t r = 0; r < table_->num_rows(); ++r) {
+      s.insert(table_->NumericAt(r, 3));
+      p.insert(table_->NumericAt(r, 4));
+    }
+    sales_distinct = s.size();
+    profit_distinct = p.size();
+  }
+  const size_t expect = 1 * 2 * (3 + 1) * (3 + 1) * (2 + 1) *
+                        (sales_distinct + 1) * (profit_distinct + 1);
+  EXPECT_EQ(universe_.size(), expect);
+}
+
+TEST_F(AlgebraTest, SigmaSelectsPerProductGroup) {
+  VisualGroup v = PerProduct("sales", "US");
+  ASSERT_EQ(v.size(), 3u);  // chair, desk, stapler
+  for (const VisualSource& src : v.sources) {
+    EXPECT_EQ(src.x, "year");
+    EXPECT_EQ(src.y, "sales");
+    EXPECT_FALSE(src.attrs[1].star);  // product bound
+    EXPECT_EQ(src.attrs[2].value, Value::Str("US"));
+  }
+}
+
+TEST_F(AlgebraTest, RenderAggregatesBySum) {
+  VisualGroup v = PerProduct("sales", "US");
+  ZV_ASSERT_OK_AND_ASSIGN(Visualization viz,
+                          RenderVisualSource(v, v.sources[0]));
+  EXPECT_EQ(viz.ys(), (std::vector<double>{10, 20, 30}));  // chair/US
+}
+
+TEST_F(AlgebraTest, TauSortsByTrend) {
+  VisualGroup v = PerProduct("sales", "US");
+  ZV_ASSERT_OK_AND_ASSIGN(VisualGroup sorted, TauV(v, lib_.trend));
+  // Increasing trend order: desk (falling) first.
+  EXPECT_EQ(sorted.sources[0].attrs[1].value, Value::Str("desk"));
+  // Reverse via negated functional (τ_{-T}).
+  ZV_ASSERT_OK_AND_ASSIGN(
+      VisualGroup rev,
+      TauV(v, [this](const Visualization& f) { return -lib_.trend(f); }));
+  EXPECT_EQ(rev.sources[2].attrs[1].value, Value::Str("desk"));
+}
+
+TEST_F(AlgebraTest, MuLimitsAndSlices) {
+  VisualGroup v = PerProduct("sales", "US");
+  EXPECT_EQ(MuV(v, 2).size(), 2u);
+  VisualGroup sliced = MuV(v, 2, 3);
+  ASSERT_EQ(sliced.size(), 2u);
+  EXPECT_EQ(sliced.sources[0], v.sources[1]);
+}
+
+TEST_F(AlgebraTest, DeltaRemovesDuplicates) {
+  VisualGroup v = PerProduct("sales", "US");
+  ZV_ASSERT_OK_AND_ASSIGN(VisualGroup doubled, UnionV(v, v));
+  EXPECT_EQ(doubled.size(), 6u);
+  EXPECT_EQ(DeltaV(doubled).size(), 3u);
+}
+
+TEST_F(AlgebraTest, ZetaPicksRepresentatives) {
+  VisualGroup v = PerProduct("sales", "US");
+  ZV_ASSERT_OK_AND_ASSIGN(
+      VisualGroup reps,
+      ZetaV(v, lib_.representatives, 2));
+  EXPECT_LE(reps.size(), 2u);
+  EXPECT_GE(reps.size(), 1u);
+}
+
+TEST_F(AlgebraTest, UnionDiffIntersect) {
+  VisualGroup us = PerProduct("sales", "US");
+  VisualGroup uk = PerProduct("sales", "UK");
+  ZV_ASSERT_OK_AND_ASSIGN(VisualGroup both, UnionV(us, uk));
+  EXPECT_EQ(both.size(), us.size() + uk.size());
+  ZV_ASSERT_OK_AND_ASSIGN(VisualGroup diff, DiffV(both, uk));
+  EXPECT_EQ(diff.size(), us.size());
+  ZV_ASSERT_OK_AND_ASSIGN(VisualGroup inter, IntersectV(both, us));
+  EXPECT_EQ(inter.size(), us.size());
+}
+
+TEST_F(AlgebraTest, BetaSwapsY) {
+  VisualGroup sales = PerProduct("sales", "US");
+  VisualGroup profit = PerProduct("profit", "US");
+  // βY(sales, profit[1:1]): every source now plots profit.
+  ZV_ASSERT_OK_AND_ASSIGN(VisualGroup swapped,
+                          BetaV(sales, MuV(profit, 1), SwapTarget::Y()));
+  ASSERT_EQ(swapped.size(), 3u);
+  for (const auto& src : swapped.sources) EXPECT_EQ(src.y, "profit");
+}
+
+TEST_F(AlgebraTest, BetaSwapsAttributeViaCross) {
+  VisualGroup us = PerProduct("sales", "US");
+  VisualGroup uk = PerProduct("sales", "UK");
+  const int loc = universe_.FindAttr("location");
+  ZV_ASSERT_OK_AND_ASSIGN(
+      VisualGroup swapped, BetaV(MuV(us, 1), uk, SwapTarget::Attr(loc)));
+  // 1 x |uk| cross product, all with location=UK.
+  EXPECT_EQ(swapped.size(), uk.size());
+  for (const auto& src : swapped.sources) {
+    EXPECT_EQ(src.attrs[static_cast<size_t>(loc)].value, Value::Str("UK"));
+  }
+}
+
+TEST_F(AlgebraTest, EtaSortsByDistanceToReference) {
+  VisualGroup v = PerProduct("sales", "US");
+  // Reference: the stapler (rising 11,21,32).
+  VisualGroup ref = MuV(v, 3, 3);
+  ASSERT_EQ(ref.size(), 1u);
+  ZV_ASSERT_OK_AND_ASSIGN(VisualGroup sorted, EtaV(v, ref, lib_.distance));
+  // stapler itself first (distance 0), chair (same shape) second.
+  EXPECT_EQ(sorted.sources[0].attrs[1].value, Value::Str("stapler"));
+  EXPECT_EQ(sorted.sources[1].attrs[1].value, Value::Str("chair"));
+}
+
+TEST_F(AlgebraTest, EtaRequiresSingleton) {
+  VisualGroup v = PerProduct("sales", "US");
+  EXPECT_FALSE(EtaV(v, v, lib_.distance).ok());
+}
+
+TEST_F(AlgebraTest, PhiSortsByPairwiseDistance) {
+  VisualGroup us = PerProduct("sales", "US");
+  // Compare each product's US sales against its own profit series.
+  VisualGroup profit = PerProduct("profit", "US");
+  const int prod = universe_.FindAttr("product");
+  ZV_ASSERT_OK_AND_ASSIGN(
+      VisualGroup sorted,
+      PhiV(us, profit, lib_.distance, {SwapTarget::Attr(prod)}));
+  ASSERT_EQ(sorted.size(), 3u);
+  // chair US sales (10,20,30) vs profit (5,6,7): both rising -> small D.
+  // desk US sales falls while profit falls too. stapler rising/rising.
+  // All should be finite; ordering deterministic.
+  ZV_ASSERT_OK_AND_ASSIGN(
+      VisualGroup again,
+      PhiV(us, profit, lib_.distance, {SwapTarget::Attr(prod)}));
+  EXPECT_EQ(sorted.sources.items(), again.sources.items());
+}
+
+TEST_F(AlgebraTest, PhiRejectsNonSingletonKeys) {
+  VisualGroup us = PerProduct("sales", "US");
+  ZV_ASSERT_OK_AND_ASSIGN(VisualGroup doubled, UnionV(us, us));
+  const int prod = universe_.FindAttr("product");
+  EXPECT_FALSE(
+      PhiV(doubled, us, lib_.distance, {SwapTarget::Attr(prod)}).ok());
+}
+
+TEST_F(AlgebraTest, MismatchedSchemasRejected) {
+  VisualGroup other = universe_;
+  other.attr_names.push_back("extra");
+  EXPECT_FALSE(UnionV(universe_, other).ok());
+}
+
+}  // namespace
+}  // namespace zv::algebra

@@ -1,0 +1,241 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engine/roaring_db.h"
+#include "engine/scan_db.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+#include "workload/datasets.h"
+
+namespace zv {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto table = testing::MakeTinySales();
+    ZV_ASSERT_OK(scan_.RegisterTable(table));
+    ZV_ASSERT_OK(roaring_.RegisterTable(table));
+  }
+  ScanDatabase scan_;
+  RoaringDatabase roaring_;
+};
+
+TEST_F(EngineTest, SimpleAggregation) {
+  const char* q =
+      "SELECT year, SUM(sales) FROM sales WHERE product = 'chair' AND "
+      "location = 'US' GROUP BY year ORDER BY year";
+  for (Database* db : std::vector<Database*>{&scan_, &roaring_}) {
+    ZV_ASSERT_OK_AND_ASSIGN(ResultSet rs, db->ExecuteSql(q));
+    ASSERT_EQ(rs.num_rows(), 3u) << db->name();
+    EXPECT_EQ(rs.rows[0][0], Value::Int(2014));
+    EXPECT_DOUBLE_EQ(rs.rows[0][1].AsDouble(), 10);
+    EXPECT_DOUBLE_EQ(rs.rows[1][1].AsDouble(), 20);
+    EXPECT_DOUBLE_EQ(rs.rows[2][1].AsDouble(), 30);
+  }
+}
+
+TEST_F(EngineTest, AllAggregateFunctions) {
+  const char* q =
+      "SELECT product, SUM(sales), AVG(sales), MIN(sales), MAX(sales), "
+      "COUNT(*) FROM sales GROUP BY product ORDER BY product";
+  for (Database* db : std::vector<Database*>{&scan_, &roaring_}) {
+    ZV_ASSERT_OK_AND_ASSIGN(ResultSet rs, db->ExecuteSql(q));
+    ASSERT_EQ(rs.num_rows(), 3u);
+    // chair: sales 10,20,30,30,20,10.
+    EXPECT_EQ(rs.rows[0][0], Value::Str("chair"));
+    EXPECT_DOUBLE_EQ(rs.rows[0][1].AsDouble(), 120);
+    EXPECT_DOUBLE_EQ(rs.rows[0][2].AsDouble(), 20);
+    EXPECT_DOUBLE_EQ(rs.rows[0][3].AsDouble(), 10);
+    EXPECT_DOUBLE_EQ(rs.rows[0][4].AsDouble(), 30);
+    EXPECT_EQ(rs.rows[0][5], Value::Int(6));
+  }
+}
+
+TEST_F(EngineTest, GlobalAggregateNoGroupBy) {
+  for (Database* db : std::vector<Database*>{&scan_, &roaring_}) {
+    ZV_ASSERT_OK_AND_ASSIGN(ResultSet rs,
+                            db->ExecuteSql("SELECT COUNT(*) FROM sales"));
+    ASSERT_EQ(rs.num_rows(), 1u);
+    EXPECT_EQ(rs.rows[0][0], Value::Int(15));
+  }
+}
+
+TEST_F(EngineTest, Projection) {
+  const char* q =
+      "SELECT year, sales FROM sales WHERE product = 'stapler' ORDER BY year";
+  for (Database* db : std::vector<Database*>{&scan_, &roaring_}) {
+    ZV_ASSERT_OK_AND_ASSIGN(ResultSet rs, db->ExecuteSql(q));
+    ASSERT_EQ(rs.num_rows(), 3u);
+    EXPECT_DOUBLE_EQ(rs.rows[2][1].AsDouble(), 32);
+  }
+}
+
+TEST_F(EngineTest, InPredicate) {
+  const char* q =
+      "SELECT product, SUM(sales) FROM sales WHERE product IN "
+      "('chair','stapler') GROUP BY product ORDER BY product";
+  for (Database* db : std::vector<Database*>{&scan_, &roaring_}) {
+    ZV_ASSERT_OK_AND_ASSIGN(ResultSet rs, db->ExecuteSql(q));
+    ASSERT_EQ(rs.num_rows(), 2u);
+    EXPECT_EQ(rs.rows[0][0], Value::Str("chair"));
+    EXPECT_EQ(rs.rows[1][0], Value::Str("stapler"));
+  }
+}
+
+TEST_F(EngineTest, NotEqualAndOr) {
+  const char* q =
+      "SELECT product, COUNT(*) FROM sales WHERE product != 'desk' OR "
+      "location = 'UK' GROUP BY product ORDER BY product";
+  for (Database* db : std::vector<Database*>{&scan_, &roaring_}) {
+    ZV_ASSERT_OK_AND_ASSIGN(ResultSet rs, db->ExecuteSql(q));
+    ASSERT_EQ(rs.num_rows(), 3u);
+    EXPECT_EQ(rs.rows[1][0], Value::Str("desk"));
+    EXPECT_EQ(rs.rows[1][1], Value::Int(3));  // only the UK desks
+  }
+}
+
+TEST_F(EngineTest, NumericPredicateResidual) {
+  // sales > 25 touches an un-indexed measure column: the roaring backend
+  // must fall back to residual filtering.
+  const char* q =
+      "SELECT product, COUNT(*) FROM sales WHERE sales > 25 AND location = "
+      "'US' GROUP BY product ORDER BY product";
+  ZV_ASSERT_OK_AND_ASSIGN(ResultSet a, scan_.ExecuteSql(q));
+  ZV_ASSERT_OK_AND_ASSIGN(ResultSet b, roaring_.ExecuteSql(q));
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    EXPECT_EQ(a.rows[i], b.rows[i]);
+  }
+  // chair/US has one >25 (30); desk/US has 50,40,30; stapler/US has 32.
+  EXPECT_EQ(a.rows[0][1], Value::Int(1));
+  EXPECT_EQ(a.rows[1][1], Value::Int(3));
+  EXPECT_EQ(a.rows[2][1], Value::Int(1));
+}
+
+TEST_F(EngineTest, BetweenOnNumeric) {
+  const char* q = "SELECT COUNT(*) FROM sales WHERE sales BETWEEN 20 AND 30";
+  ZV_ASSERT_OK_AND_ASSIGN(ResultSet a, scan_.ExecuteSql(q));
+  ZV_ASSERT_OK_AND_ASSIGN(ResultSet b, roaring_.ExecuteSql(q));
+  EXPECT_EQ(a.rows[0][0], b.rows[0][0]);
+  // In [20,30]: chair/US 20,30; chair/UK 30,20; desk/US 30; desk/UK 25;
+  // stapler/US 21.
+  EXPECT_EQ(a.rows[0][0], Value::Int(7));
+}
+
+TEST_F(EngineTest, LimitApplies) {
+  const char* q = "SELECT year, SUM(sales) FROM sales GROUP BY year ORDER BY "
+                  "year LIMIT 2";
+  ZV_ASSERT_OK_AND_ASSIGN(ResultSet rs, scan_.ExecuteSql(q));
+  EXPECT_EQ(rs.num_rows(), 2u);
+}
+
+TEST_F(EngineTest, OrderByDescending) {
+  const char* q =
+      "SELECT year, SUM(sales) FROM sales GROUP BY year ORDER BY year DESC";
+  ZV_ASSERT_OK_AND_ASSIGN(ResultSet rs, roaring_.ExecuteSql(q));
+  EXPECT_EQ(rs.rows[0][0], Value::Int(2016));
+}
+
+TEST_F(EngineTest, UnknownColumnFails) {
+  EXPECT_FALSE(scan_.ExecuteSql("SELECT nope FROM sales").ok());
+  EXPECT_FALSE(
+      scan_.ExecuteSql("SELECT year FROM sales WHERE nope = 1").ok());
+  EXPECT_FALSE(roaring_.ExecuteSql("SELECT nope FROM sales").ok());
+}
+
+TEST_F(EngineTest, UnknownTableFails) {
+  EXPECT_FALSE(scan_.ExecuteSql("SELECT a FROM missing").ok());
+}
+
+TEST_F(EngineTest, BareColumnMustBeGrouped) {
+  EXPECT_FALSE(
+      scan_.ExecuteSql("SELECT product, SUM(sales) FROM sales GROUP BY year")
+          .ok());
+}
+
+TEST_F(EngineTest, CountersTrackQueriesAndRequests) {
+  scan_.ResetCounters();
+  ZV_ASSERT_OK(scan_.ExecuteSql("SELECT COUNT(*) FROM sales").status());
+  ZV_ASSERT_OK(scan_.ExecuteSql("SELECT COUNT(*) FROM sales").status());
+  EXPECT_EQ(scan_.queries_executed(), 2u);
+  EXPECT_EQ(scan_.requests_made(), 2u);
+
+  scan_.ResetCounters();
+  std::vector<sql::SelectStatement> batch;
+  for (int i = 0; i < 5; ++i) {
+    ZV_ASSERT_OK_AND_ASSIGN(auto st,
+                            sql::ParseSelect("SELECT COUNT(*) FROM sales"));
+    batch.push_back(std::move(st));
+  }
+  auto results = scan_.ExecuteBatch(batch);
+  for (auto& r : results) ZV_EXPECT_OK(r.status());
+  EXPECT_EQ(scan_.queries_executed(), 5u);
+  EXPECT_EQ(scan_.requests_made(), 1u);
+}
+
+TEST_F(EngineTest, RoaringIndexBytesNonZero) {
+  EXPECT_GT(roaring_.IndexBytes("sales"), 0u);
+  EXPECT_EQ(roaring_.IndexBytes("missing"), 0u);
+}
+
+// --- randomized equivalence: both backends must agree exactly ---------------
+
+TEST(EngineEquivalenceTest, RandomQueriesAgree) {
+  SalesDataOptions opts;
+  opts.num_rows = 20000;
+  opts.num_products = 20;
+  auto table = MakeSalesTable(opts);
+  ScanDatabase scan;
+  RoaringDatabase roaring;
+  ZV_ASSERT_OK(scan.RegisterTable(table));
+  ZV_ASSERT_OK(roaring.RegisterTable(table));
+
+  Rng rng(123);
+  const std::vector<std::string> group_cols = {"product", "year", "month",
+                                               "country", "category"};
+  const std::vector<std::string> measures = {"sales", "profit", "revenue"};
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::string z = group_cols[rng.Uniform(group_cols.size())];
+    std::string x = group_cols[rng.Uniform(group_cols.size())];
+    if (x == z) x = "year";
+    const std::string y = measures[rng.Uniform(measures.size())];
+    std::string where;
+    switch (rng.Uniform(4)) {
+      case 0:
+        where = " WHERE country = 'US'";
+        break;
+      case 1:
+        where = " WHERE country != 'UK' AND size = 'small'";
+        break;
+      case 2:
+        where = " WHERE sales > 100";
+        break;
+      default:
+        break;
+    }
+    const std::string q = "SELECT " + x + ", SUM(" + y + "), " + z +
+                          " FROM sales" + where + " GROUP BY " + x + ", " + z +
+                          " ORDER BY " + z + ", " + x;
+    ZV_ASSERT_OK_AND_ASSIGN(ResultSet a, scan.ExecuteSql(q));
+    ZV_ASSERT_OK_AND_ASSIGN(ResultSet b, roaring.ExecuteSql(q));
+    ASSERT_EQ(a.num_rows(), b.num_rows()) << q;
+    for (size_t i = 0; i < a.num_rows(); ++i) {
+      ASSERT_EQ(a.rows[i].size(), b.rows[i].size());
+      for (size_t j = 0; j < a.rows[i].size(); ++j) {
+        if (a.rows[i][j].is_numeric()) {
+          EXPECT_NEAR(a.rows[i][j].AsDouble(), b.rows[i][j].AsDouble(),
+                      1e-6 * (1 + std::abs(a.rows[i][j].AsDouble())))
+              << q;
+        } else {
+          EXPECT_EQ(a.rows[i][j], b.rows[i][j]) << q;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace zv

@@ -1,0 +1,271 @@
+/// \file integration_test.cc
+/// \brief End-to-end runs of the paper's example ZQL queries (Chapters 2–3
+/// and 5) against the synthetic sales dataset, on both backends and all
+/// optimization levels.
+
+#include <gtest/gtest.h>
+
+#include "engine/roaring_db.h"
+#include "engine/scan_db.h"
+#include "tasks/primitives.h"
+#include "tests/test_util.h"
+#include "workload/datasets.h"
+#include "zql/executor.h"
+
+namespace zv {
+namespace {
+
+using zql::OptLevel;
+using zql::ZqlExecutor;
+using zql::ZqlOptions;
+using zql::ZqlResult;
+
+class PaperQueriesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SalesDataOptions opts;
+    opts.num_rows = 40000;
+    opts.num_products = 25;
+    sales_ = MakeSalesTable(opts);
+    ZV_ASSERT_OK(db_.RegisterTable(sales_));
+  }
+
+  ZqlResult Run(const std::string& text, ZqlOptions opts = {}) {
+    ZqlExecutor exec(&db_, "sales", std::move(opts));
+    auto r = exec.ExecuteText(text);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? std::move(r).value() : ZqlResult{};
+  }
+
+  std::shared_ptr<Table> sales_;
+  ScanDatabase db_;
+};
+
+// Table 2.1: set of sales-over-year bar charts per product sold in the US.
+TEST_F(PaperQueriesTest, Table2_1) {
+  ZqlResult r = Run(
+      "*f1 | 'year' | 'sales' | v1 <- 'product'.* | location='US' | "
+      "bar.(y=agg('sum')) |");
+  ASSERT_EQ(r.outputs.size(), 1u);
+  EXPECT_EQ(r.outputs[0].visuals.size(), 25u);
+  for (const auto& v : r.outputs[0].visuals) {
+    EXPECT_EQ(v.x_attr, "year");
+    EXPECT_EQ(v.spec.chart, ChartType::kBar);
+    EXPECT_FALSE(v.xs.empty());
+  }
+}
+
+// Table 2.2: product most similar to a user-drawn rising trend.
+TEST_F(PaperQueriesTest, Table2_2) {
+  Visualization drawn;
+  drawn.x_attr = "year";
+  drawn.y_attr = "sales";
+  for (int y = 2010; y <= 2019; ++y) {
+    drawn.xs.push_back(Value::Int(y));
+  }
+  drawn.series = {{"sales", {}}};
+  for (int i = 0; i < 10; ++i) {
+    drawn.series[0].ys.push_back(static_cast<double>(i));
+  }
+  ZqlExecutor exec(&db_, "sales");
+  exec.SetUserInput("f1", drawn);
+  ZV_ASSERT_OK_AND_ASSIGN(
+      ZqlResult r,
+      exec.ExecuteText(
+          "-f1 | | | | | |\n"
+          "f2 | 'year' | 'sales' | v1 <- 'product'.* | | | v2 <- "
+          "argmin_v1[k=1] D(f1, f2)\n"
+          "*f3 | 'year' | 'sales' | v2 | | |"));
+  ASSERT_EQ(r.outputs[0].visuals.size(), 1u);
+  // The selected product's sales trend must actually be rising.
+  EXPECT_GT(Trend(r.outputs[0].visuals[0]), 0.3);
+}
+
+// Table 2.3 / 5.1: profit for products rising in US but falling in UK.
+TEST_F(PaperQueriesTest, Table2_3) {
+  ZqlResult r = Run(
+      "f1 | 'year' | 'sales' | v1 <- 'product'.* | location='US' | | v2 <- "
+      "argany_v1[t > 0] T(f1)\n"
+      "f2 | 'year' | 'sales' | v1 | location='UK' | | v3 <- argany_v1[t < 0] "
+      "T(f2)\n"
+      "*f3 | 'year' | 'profit' | v4 <- (v2.range & v3.range) | | |");
+  ASSERT_EQ(r.outputs.size(), 1u);
+  // The generator plants divergent products; at least one must be found.
+  EXPECT_GE(r.outputs[0].visuals.size(), 1u);
+  EXPECT_EQ(r.outputs[0].visuals[0].y_attr, "profit");
+}
+
+// Table 3.13: top-10 products most similar to the first product.
+TEST_F(PaperQueriesTest, Table3_13) {
+  ZqlResult r = Run(
+      "f1 | 'year' | 'sales' | 'product'.'product0' | | |\n"
+      "f2 | 'year' | 'sales' | v1 <- 'product'.(* - 'product0') | | | v2 <- "
+      "argmin_v1[k=10] D(f1, f2)\n"
+      "*f3 | 'year' | 'sales' | v2 | | |");
+  EXPECT_EQ(r.outputs[0].visuals.size(), 10u);
+  for (const auto& v : r.outputs[0].visuals) {
+    EXPECT_NE(v.slices[0].value, Value::Str("product0"));
+  }
+}
+
+// Table 3.17: top-k products where sales and profit trends differ most,
+// with both visualizations output.
+TEST_F(PaperQueriesTest, Table3_17) {
+  ZqlResult r = Run(
+      "f1 | 'year' | 'sales' | v1 <- 'product'.* | | |\n"
+      "f2 | 'year' | 'profit' | v1 | | | v2 <- argmax_v1[k=5] D(f1, f2)\n"
+      "*f3 | 'year' | 'sales' | v2 | | |\n"
+      "*f4 | 'year' | 'profit' | v2 | | |");
+  ASSERT_EQ(r.outputs.size(), 2u);
+  EXPECT_EQ(r.outputs[0].visuals.size(), 5u);
+  EXPECT_EQ(r.outputs[1].visuals.size(), 5u);
+  // Same products in the same order on both outputs (§3.7 consistency).
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(r.outputs[0].visuals[i].slices[0].value,
+              r.outputs[1].visuals[i].slices[0].value);
+  }
+}
+
+// Table 3.18: profit over years for top-10 products by sales trend slope,
+// fetched through a .range constraint.
+TEST_F(PaperQueriesTest, Table3_18) {
+  ZqlResult r = Run(
+      "f1 | 'year' | 'sales' | v1 <- 'product'.* | | | v2 <- "
+      "argmax_v1[k=10] T(f1)\n"
+      "*f2 | 'year' | 'profit' | | product IN (v2.range) | |");
+  ASSERT_EQ(r.outputs[0].visuals.size(), 1u);
+  EXPECT_EQ(r.outputs[0].visuals[0].y_attr, "profit");
+  EXPECT_FALSE(r.outputs[0].visuals[0].xs.empty());
+}
+
+// Table 3.20: outliers via two levels of iteration.
+TEST_F(PaperQueriesTest, Table3_20) {
+  ZqlResult r = Run(
+      "f1 | 'year' | 'sales' | v1 <- 'product'.* | | | v2 <- R(5, v1, f1)\n"
+      "f2 | 'year' | 'sales' | v2 | | |\n"
+      "f3 | 'year' | 'sales' | v1 | | | v3 <- argmax_v1[k=3] min_v2 D(f3, "
+      "f2)\n"
+      "*f4 | 'year' | 'sales' | v3 | | |");
+  EXPECT_EQ(r.outputs[0].visuals.size(), 3u);
+}
+
+// Table 3.22: representative sales visualizations among profit-similar
+// products.
+TEST_F(PaperQueriesTest, Table3_22) {
+  ZqlResult r = Run(
+      "f1 | 'year' | 'profit' | 'product'.'product1' | | bar.(y=agg('sum')) "
+      "|\n"
+      "f2 | 'year' | 'profit' | v1 <- 'product'.(* - 'product1') | | "
+      "bar.(y=agg('sum')) | v2 <- argmin_v1[k=12] D(f1, f2)\n"
+      "f3 | 'year' | 'sales' | v2 | | bar.(y=agg('sum')) | v3 <- R(4, v2, "
+      "f3)\n"
+      "*f4 | 'year' | 'sales' | v3 | | bar.(y=agg('sum')) |");
+  EXPECT_LE(r.outputs[0].visuals.size(), 4u);
+  EXPECT_GE(r.outputs[0].visuals.size(), 1u);
+}
+
+// Table 3.23: discrepancy between monthly sales and profit in one year.
+TEST_F(PaperQueriesTest, Table3_23) {
+  ZqlResult r = Run(
+      "f1 | 'month' | 'profit' | v1 <- 'product'.* | year=2015 | "
+      "bar.(y=agg('sum')) |\n"
+      "f2 | 'month' | 'sales' | v1 | year=2015 | bar.(y=agg('sum')) | v2 <- "
+      "argmax_v1[k=10] D(f1, f2)\n"
+      "*f3 | 'month' | y1 <- {'sales', 'profit'} | v2 | year=2015 | "
+      "bar.(y=agg('sum')) |");
+  // 10 products x 2 y-attributes.
+  EXPECT_EQ(r.outputs[0].visuals.size(), 20u);
+}
+
+// Table 3.24-style: named attribute set M for varying y axes.
+TEST_F(PaperQueriesTest, Table3_24) {
+  ZqlOptions opts;
+  opts.named_sets.attr_sets["M"] = {"sales", "profit", "revenue"};
+  ZqlResult r = Run(
+      "f1 | 'year' | 'sales' | v1 <- 'product'.* | | | v2 <- R(1, v1, f1)\n"
+      "f2 | 'year' | y1 <- M | v2 | | | v3 <- argmax_v1[k=1] T(f1)\n"
+      "f3 | 'year' | y1 | v3 | | | y2,v4,v5 <- argmax_y1,v2,v3[k=2] D(f2, "
+      "f3)\n"
+      "*f4 | 'year' | y2 | v6 <- (v4.range | v5.range) | | |",
+      opts);
+  ASSERT_GE(r.outputs[0].visuals.size(), 1u);
+}
+
+// Table 5.2: biggest sales change between two years, by location.
+TEST_F(PaperQueriesTest, Table5_2) {
+  ZqlOptions opts;
+  std::vector<Value> products;
+  for (int i = 0; i < 10; ++i) {
+    products.push_back(Value::Str("product" + std::to_string(i)));
+  }
+  opts.named_sets.value_sets["P"] = {"product", products};
+  ZqlResult r = Run(
+      "f1 | 'country' | 'sales' | v1 <- P | year=2010 | bar.(y=agg('sum')) "
+      "|\n"
+      "f2 | 'country' | 'sales' | v1 | year=2015 | bar.(y=agg('sum')) | v2 "
+      "<- argmax_v1[k=4] D(f1, f2)\n"
+      "*f3 | 'country' | 'profit' | v2 | year=2010 | bar.(y=agg('sum')) |\n"
+      "*f4 | 'country' | 'profit' | v2 | year=2015 | bar.(y=agg('sum')) |",
+      opts);
+  ASSERT_EQ(r.outputs.size(), 2u);
+  EXPECT_EQ(r.outputs[0].visuals.size(), 4u);
+  EXPECT_EQ(r.outputs[1].visuals.size(), 4u);
+}
+
+// The paper's optimization claims, measured: NoOpt issues one query per
+// visualization; Intra-Line one per row; Inter-Task fewer requests than
+// Intra-Line on Table 5.1.
+TEST_F(PaperQueriesTest, OptimizationCounters) {
+  const char* text =
+      "f1 | 'year' | 'sales' | v1 <- 'product'.* | location='US' | | v2 <- "
+      "argany_v1[t > 0] T(f1)\n"
+      "f2 | 'year' | 'sales' | v1 | location='UK' | | v3 <- argany_v1[t < 0] "
+      "T(f2)\n"
+      "*f3 | 'year' | 'profit' | v4 <- (v2.range | v3.range) | | |";
+
+  ZqlOptions noopt;
+  noopt.optimization = OptLevel::kNoOpt;
+  ZqlResult rn = Run(text, noopt);
+  // One query per visualization (the §5.1 naive compiler): 25 products x 2
+  // rows + one query per union-filtered product in the final row; every
+  // query is its own request.
+  const uint64_t final_count = rn.outputs[0].visuals.size();
+  EXPECT_EQ(rn.stats.sql_queries, 50u + final_count);
+  EXPECT_EQ(rn.stats.sql_requests, rn.stats.sql_queries);
+
+  ZqlOptions intra;
+  intra.optimization = OptLevel::kIntraLine;
+  ZqlResult ri = Run(text, intra);
+  EXPECT_EQ(ri.stats.sql_queries, 3u);
+  EXPECT_EQ(ri.stats.sql_requests, 3u);
+
+  ZqlOptions inter;
+  inter.optimization = OptLevel::kInterTask;
+  ZqlResult rt = Run(text, inter);
+  EXPECT_EQ(rt.stats.sql_queries, 3u);
+  // Rows 1 and 2 are independent (Figure 5.1) and batch into one request.
+  EXPECT_EQ(rt.stats.sql_requests, 2u);
+}
+
+// Backend equivalence on a full paper query.
+TEST_F(PaperQueriesTest, BackendsAgreeOnTable2_3) {
+  RoaringDatabase roaring;
+  ZV_ASSERT_OK(roaring.RegisterTable(sales_));
+  const char* text =
+      "f1 | 'year' | 'sales' | v1 <- 'product'.* | location='US' | | v2 <- "
+      "argany_v1[t > 0] T(f1)\n"
+      "f2 | 'year' | 'sales' | v1 | location='UK' | | v3 <- argany_v1[t < 0] "
+      "T(f2)\n"
+      "*f3 | 'year' | 'profit' | v4 <- (v2.range & v3.range) | | |";
+  ZqlExecutor a(&db_, "sales"), b(&roaring, "sales");
+  ZV_ASSERT_OK_AND_ASSIGN(ZqlResult ra, a.ExecuteText(text));
+  ZV_ASSERT_OK_AND_ASSIGN(ZqlResult rb, b.ExecuteText(text));
+  ASSERT_EQ(ra.outputs[0].visuals.size(), rb.outputs[0].visuals.size());
+  for (size_t i = 0; i < ra.outputs[0].visuals.size(); ++i) {
+    EXPECT_EQ(ra.outputs[0].visuals[i].series,
+              rb.outputs[0].visuals[i].series);
+  }
+}
+
+}  // namespace
+}  // namespace zv

@@ -1,0 +1,287 @@
+/// \file param_engine_test.cc
+/// \brief Parameterized property sweeps over the SQL engine: every
+/// (backend, workload, query-shape) combination must satisfy the same
+/// invariants, and the two backends must agree cell-for-cell.
+
+#include <memory>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engine/roaring_db.h"
+#include "engine/scan_db.h"
+#include "tests/test_util.h"
+#include "workload/datasets.h"
+
+namespace zv {
+namespace {
+
+enum class Backend { kScan, kRoaring };
+
+std::unique_ptr<Database> MakeBackend(Backend b) {
+  if (b == Backend::kScan) return std::make_unique<ScanDatabase>();
+  return std::make_unique<RoaringDatabase>();
+}
+
+std::string BackendName(Backend b) {
+  return b == Backend::kScan ? "Scan" : "Roaring";
+}
+
+std::shared_ptr<Table> SharedSales() {
+  static std::shared_ptr<Table> table = [] {
+    SalesDataOptions opts;
+    opts.num_rows = 15000;
+    opts.num_products = 12;
+    return MakeSalesTable(opts);
+  }();
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// Per-backend invariants.
+// ---------------------------------------------------------------------------
+
+class BackendInvariantTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  void SetUp() override {
+    db_ = MakeBackend(GetParam());
+    ZV_ASSERT_OK(db_->RegisterTable(SharedSales()));
+  }
+  std::unique_ptr<Database> db_;
+};
+
+TEST_P(BackendInvariantTest, CountStarMatchesTableSize) {
+  ZV_ASSERT_OK_AND_ASSIGN(ResultSet rs,
+                          db_->ExecuteSql("SELECT COUNT(*) FROM sales"));
+  EXPECT_EQ(rs.rows[0][0], Value::Int(15000));
+}
+
+TEST_P(BackendInvariantTest, GroupSumsAddUpToGlobalSum) {
+  ZV_ASSERT_OK_AND_ASSIGN(ResultSet total,
+                          db_->ExecuteSql("SELECT SUM(sales) FROM sales"));
+  ZV_ASSERT_OK_AND_ASSIGN(
+      ResultSet by_product,
+      db_->ExecuteSql(
+          "SELECT product, SUM(sales) FROM sales GROUP BY product"));
+  double sum = 0;
+  for (const auto& row : by_product.rows) sum += row[1].AsDouble();
+  EXPECT_NEAR(sum, total.rows[0][0].AsDouble(),
+              1e-6 * std::abs(total.rows[0][0].AsDouble()));
+}
+
+TEST_P(BackendInvariantTest, PredicateAndComplementPartition) {
+  ZV_ASSERT_OK_AND_ASSIGN(
+      ResultSet us,
+      db_->ExecuteSql("SELECT COUNT(*) FROM sales WHERE country = 'US'"));
+  ZV_ASSERT_OK_AND_ASSIGN(
+      ResultSet not_us,
+      db_->ExecuteSql("SELECT COUNT(*) FROM sales WHERE country != 'US'"));
+  EXPECT_EQ(us.rows[0][0].AsInt() + not_us.rows[0][0].AsInt(), 15000);
+}
+
+TEST_P(BackendInvariantTest, DisjunctionIsUnionCount) {
+  ZV_ASSERT_OK_AND_ASSIGN(
+      ResultSet a, db_->ExecuteSql(
+                       "SELECT COUNT(*) FROM sales WHERE size = 'small'"));
+  ZV_ASSERT_OK_AND_ASSIGN(
+      ResultSet b, db_->ExecuteSql(
+                       "SELECT COUNT(*) FROM sales WHERE size = 'large'"));
+  ZV_ASSERT_OK_AND_ASSIGN(
+      ResultSet both,
+      db_->ExecuteSql("SELECT COUNT(*) FROM sales WHERE size = 'small' OR "
+                      "size = 'large'"));
+  EXPECT_EQ(both.rows[0][0].AsInt(),
+            a.rows[0][0].AsInt() + b.rows[0][0].AsInt());
+}
+
+TEST_P(BackendInvariantTest, InListEqualsDisjunction) {
+  ZV_ASSERT_OK_AND_ASSIGN(
+      ResultSet in_list,
+      db_->ExecuteSql("SELECT COUNT(*) FROM sales WHERE product IN "
+                      "('product0', 'product1', 'product2')"));
+  ZV_ASSERT_OK_AND_ASSIGN(
+      ResultSet disj,
+      db_->ExecuteSql("SELECT COUNT(*) FROM sales WHERE product = "
+                      "'product0' OR product = 'product1' OR product = "
+                      "'product2'"));
+  EXPECT_EQ(in_list.rows[0][0], disj.rows[0][0]);
+}
+
+TEST_P(BackendInvariantTest, NotInvertsSelection) {
+  ZV_ASSERT_OK_AND_ASSIGN(
+      ResultSet pos,
+      db_->ExecuteSql("SELECT COUNT(*) FROM sales WHERE month = 1"));
+  ZV_ASSERT_OK_AND_ASSIGN(
+      ResultSet neg,
+      db_->ExecuteSql("SELECT COUNT(*) FROM sales WHERE NOT (month = 1)"));
+  EXPECT_EQ(pos.rows[0][0].AsInt() + neg.rows[0][0].AsInt(), 15000);
+}
+
+TEST_P(BackendInvariantTest, OrderByIsSorted) {
+  ZV_ASSERT_OK_AND_ASSIGN(
+      ResultSet rs,
+      db_->ExecuteSql("SELECT year, SUM(sales) FROM sales GROUP BY year "
+                      "ORDER BY year"));
+  for (size_t i = 1; i < rs.num_rows(); ++i) {
+    EXPECT_LT(rs.rows[i - 1][0], rs.rows[i][0]);
+  }
+}
+
+TEST_P(BackendInvariantTest, LimitNeverExceeds) {
+  ZV_ASSERT_OK_AND_ASSIGN(
+      ResultSet rs,
+      db_->ExecuteSql("SELECT product, COUNT(*) FROM sales GROUP BY product "
+                      "ORDER BY product LIMIT 5"));
+  EXPECT_EQ(rs.num_rows(), 5u);
+}
+
+TEST_P(BackendInvariantTest, AvgIsSumOverCount) {
+  ZV_ASSERT_OK_AND_ASSIGN(
+      ResultSet rs,
+      db_->ExecuteSql("SELECT SUM(profit), COUNT(profit), AVG(profit) FROM "
+                      "sales WHERE country = 'UK'"));
+  const double sum = rs.rows[0][0].AsDouble();
+  const double count = rs.rows[0][1].AsDouble();
+  EXPECT_NEAR(rs.rows[0][2].AsDouble(), sum / count, 1e-9);
+}
+
+TEST_P(BackendInvariantTest, MinLeMaxAndWithinRange) {
+  ZV_ASSERT_OK_AND_ASSIGN(
+      ResultSet rs, db_->ExecuteSql("SELECT MIN(weight), MAX(weight), "
+                                    "AVG(weight) FROM sales"));
+  const double mn = rs.rows[0][0].AsDouble();
+  const double mx = rs.rows[0][1].AsDouble();
+  const double avg = rs.rows[0][2].AsDouble();
+  EXPECT_LE(mn, mx);
+  EXPECT_GE(avg, mn);
+  EXPECT_LE(avg, mx);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendInvariantTest,
+                         ::testing::Values(Backend::kScan, Backend::kRoaring),
+                         [](const auto& info) {
+                           return BackendName(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Backend agreement across a grid of query shapes.
+// ---------------------------------------------------------------------------
+
+struct QueryShape {
+  const char* label;
+  const char* sql;
+};
+
+class BackendAgreementTest : public ::testing::TestWithParam<QueryShape> {};
+
+TEST_P(BackendAgreementTest, IdenticalResults) {
+  static ScanDatabase* scan = [] {
+    auto* db = new ScanDatabase();
+    EXPECT_TRUE(db->RegisterTable(SharedSales()).ok());
+    return db;
+  }();
+  static RoaringDatabase* roaring = [] {
+    auto* db = new RoaringDatabase();
+    EXPECT_TRUE(db->RegisterTable(SharedSales()).ok());
+    return db;
+  }();
+  ZV_ASSERT_OK_AND_ASSIGN(ResultSet a, scan->ExecuteSql(GetParam().sql));
+  ZV_ASSERT_OK_AND_ASSIGN(ResultSet b, roaring->ExecuteSql(GetParam().sql));
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.columns, b.columns);
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    for (size_t j = 0; j < a.rows[i].size(); ++j) {
+      if (a.rows[i][j].is_numeric()) {
+        EXPECT_NEAR(a.rows[i][j].AsDouble(), b.rows[i][j].AsDouble(),
+                    1e-6 * (1 + std::abs(a.rows[i][j].AsDouble())));
+      } else {
+        EXPECT_EQ(a.rows[i][j], b.rows[i][j]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QueryGrid, BackendAgreementTest,
+    ::testing::Values(
+        QueryShape{"SimpleAgg",
+                   "SELECT year, SUM(sales) FROM sales GROUP BY year ORDER "
+                   "BY year"},
+        QueryShape{"TwoGroupCols",
+                   "SELECT year, SUM(profit), product FROM sales GROUP BY "
+                   "product, year ORDER BY product, year"},
+        QueryShape{"EqPredicate",
+                   "SELECT month, AVG(sales) FROM sales WHERE country = "
+                   "'US' GROUP BY month ORDER BY month"},
+        QueryShape{"NePredicate",
+                   "SELECT month, COUNT(*) FROM sales WHERE country != 'US' "
+                   "GROUP BY month ORDER BY month"},
+        QueryShape{"InPredicate",
+                   "SELECT product, MAX(sales) FROM sales WHERE product IN "
+                   "('product3', 'product5') GROUP BY product ORDER BY "
+                   "product"},
+        QueryShape{"ConjDisj",
+                   "SELECT year, COUNT(*) FROM sales WHERE (country = 'US' "
+                   "OR country = 'UK') AND size != 'small' GROUP BY year "
+                   "ORDER BY year"},
+        QueryShape{"NumericResidual",
+                   "SELECT product, COUNT(*) FROM sales WHERE sales > 150 "
+                   "AND country = 'US' GROUP BY product ORDER BY product"},
+        QueryShape{"Between",
+                   "SELECT year, COUNT(*) FROM sales WHERE weight BETWEEN "
+                   "20 AND 50 GROUP BY year ORDER BY year"},
+        QueryShape{"Like",
+                   "SELECT product, COUNT(*) FROM sales WHERE product LIKE "
+                   "'product1%' GROUP BY product ORDER BY product"},
+        QueryShape{"Projection",
+                   "SELECT year, sales FROM sales WHERE product = "
+                   "'product7' AND country = 'UK' ORDER BY year LIMIT 50"},
+        QueryShape{"GlobalAggregates",
+                   "SELECT COUNT(*), SUM(sales), MIN(profit), MAX(profit) "
+                   "FROM sales"},
+        QueryShape{"NotPredicate",
+                   "SELECT size, COUNT(*) FROM sales WHERE NOT (size = "
+                   "'medium') GROUP BY size ORDER BY size"}),
+    [](const auto& info) { return info.param.label; });
+
+// ---------------------------------------------------------------------------
+// Selectivity sweep: agreement and monotone costs across predicates of
+// varying selectivity (the Fig 7.5 axis).
+// ---------------------------------------------------------------------------
+
+class SelectivitySweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SelectivitySweepTest, CountsConsistent) {
+  static ScanDatabase* scan = [] {
+    auto* db = new ScanDatabase();
+    EXPECT_TRUE(db->RegisterTable(SharedSales()).ok());
+    return db;
+  }();
+  static RoaringDatabase* roaring = [] {
+    auto* db = new RoaringDatabase();
+    EXPECT_TRUE(db->RegisterTable(SharedSales()).ok());
+    return db;
+  }();
+  const int n_products = GetParam();
+  std::string in_list;
+  for (int i = 0; i < n_products; ++i) {
+    if (i) in_list += ", ";
+    in_list += "'product" + std::to_string(i) + "'";
+  }
+  const std::string sql =
+      "SELECT COUNT(*) FROM sales WHERE product IN (" + in_list + ")";
+  ZV_ASSERT_OK_AND_ASSIGN(ResultSet a, scan->ExecuteSql(sql));
+  ZV_ASSERT_OK_AND_ASSIGN(ResultSet b, roaring->ExecuteSql(sql));
+  EXPECT_EQ(a.rows[0][0], b.rows[0][0]);
+  // Selectivity grows with the list: roughly n/12 of all rows.
+  const double frac =
+      a.rows[0][0].AsDouble() / static_cast<double>(15000);
+  EXPECT_NEAR(frac, n_products / 12.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Selectivities, SelectivitySweepTest,
+                         ::testing::Values(1, 2, 4, 8, 12));
+
+}  // namespace
+}  // namespace zv

@@ -1,0 +1,138 @@
+/// \file param_roaring_test.cc
+/// \brief Parameterized property sweeps over the Roaring bitmap across
+/// density regimes (array / bitmap / run containers) and universe sizes:
+/// set-algebra laws must hold in every representation.
+
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "roaring/roaring.h"
+
+namespace zv::roaring {
+namespace {
+
+struct DensityCase {
+  const char* label;
+  uint32_t universe;
+  uint32_t count;
+  bool run_optimize;
+};
+
+class RoaringDensityTest : public ::testing::TestWithParam<DensityCase> {
+ protected:
+  RoaringBitmap Random(uint64_t seed) const {
+    const DensityCase& c = GetParam();
+    Rng rng(seed);
+    std::vector<uint32_t> vals;
+    vals.reserve(c.count);
+    for (uint32_t i = 0; i < c.count; ++i) {
+      vals.push_back(static_cast<uint32_t>(rng.Uniform(c.universe)));
+    }
+    RoaringBitmap bm = RoaringBitmap::FromValues(vals);
+    if (c.run_optimize) bm.RunOptimize();
+    return bm;
+  }
+
+  static std::set<uint32_t> AsSet(const RoaringBitmap& bm) {
+    std::set<uint32_t> out;
+    bm.ForEach([&out](uint32_t v) { out.insert(v); });
+    return out;
+  }
+};
+
+TEST_P(RoaringDensityTest, CardinalityMatchesIteration) {
+  const RoaringBitmap a = Random(1);
+  EXPECT_EQ(a.Cardinality(), AsSet(a).size());
+}
+
+TEST_P(RoaringDensityTest, DoubleComplementIsIdentity) {
+  const RoaringBitmap a = Random(2);
+  const RoaringBitmap all = RoaringBitmap::FromRange(0, GetParam().universe);
+  const RoaringBitmap complement = RoaringBitmap::AndNot(all, a);
+  const RoaringBitmap back = RoaringBitmap::AndNot(all, complement);
+  EXPECT_TRUE(a == back);
+}
+
+TEST_P(RoaringDensityTest, DeMorgan) {
+  const RoaringBitmap a = Random(3), b = Random(4);
+  const RoaringBitmap all = RoaringBitmap::FromRange(0, GetParam().universe);
+  // ¬(a ∪ b) == ¬a ∩ ¬b
+  const RoaringBitmap lhs =
+      RoaringBitmap::AndNot(all, RoaringBitmap::Or(a, b));
+  const RoaringBitmap rhs = RoaringBitmap::And(
+      RoaringBitmap::AndNot(all, a), RoaringBitmap::AndNot(all, b));
+  EXPECT_TRUE(lhs == rhs);
+}
+
+TEST_P(RoaringDensityTest, InclusionExclusion) {
+  const RoaringBitmap a = Random(5), b = Random(6);
+  EXPECT_EQ(RoaringBitmap::Or(a, b).Cardinality(),
+            a.Cardinality() + b.Cardinality() -
+                RoaringBitmap::AndCardinality(a, b));
+}
+
+TEST_P(RoaringDensityTest, XorIsSymmetricDifference) {
+  const RoaringBitmap a = Random(7), b = Random(8);
+  const RoaringBitmap via_xor = RoaringBitmap::Xor(a, b);
+  const RoaringBitmap via_sets = RoaringBitmap::Or(
+      RoaringBitmap::AndNot(a, b), RoaringBitmap::AndNot(b, a));
+  EXPECT_TRUE(via_xor == via_sets);
+}
+
+TEST_P(RoaringDensityTest, AndIsCommutativeAndIdempotent) {
+  const RoaringBitmap a = Random(9), b = Random(10);
+  EXPECT_TRUE(RoaringBitmap::And(a, b) == RoaringBitmap::And(b, a));
+  EXPECT_TRUE(RoaringBitmap::And(a, a) == a);
+}
+
+TEST_P(RoaringDensityTest, RankSelectConsistency) {
+  const RoaringBitmap a = Random(11);
+  // Rank at one-past-the-max equals cardinality; rank at 0 equals 0.
+  EXPECT_EQ(a.Rank(0), a.Contains(0) ? 0u : 0u);
+  EXPECT_EQ(a.Rank(GetParam().universe), a.Cardinality());
+  // Rank is monotone.
+  uint64_t prev = 0;
+  for (uint32_t probe = 0; probe < GetParam().universe;
+       probe += GetParam().universe / 7 + 1) {
+    const uint64_t r = a.Rank(probe);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+}
+
+TEST_P(RoaringDensityTest, RemoveInvertsAdd) {
+  RoaringBitmap a = Random(12);
+  const uint64_t before = a.Cardinality();
+  const uint32_t probe = GetParam().universe / 2;
+  const bool had = a.Contains(probe);
+  a.Add(probe);
+  EXPECT_TRUE(a.Contains(probe));
+  a.Remove(probe);
+  EXPECT_FALSE(a.Contains(probe));
+  EXPECT_EQ(a.Cardinality(), had ? before - 1 : before);
+}
+
+TEST_P(RoaringDensityTest, RunOptimizePreservesSet) {
+  const RoaringBitmap a = Random(13);
+  RoaringBitmap b = a;
+  b.RunOptimize();
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.Cardinality(), b.Cardinality());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Densities, RoaringDensityTest,
+    ::testing::Values(
+        DensityCase{"SparseArrays", 1u << 22, 5'000, false},
+        DensityCase{"MidArrays", 1u << 20, 60'000, false},
+        DensityCase{"DenseBitmaps", 1u << 18, 200'000, false},
+        DensityCase{"VeryDenseRuns", 1u << 16, 60'000, true},
+        DensityCase{"SingleChunk", 1u << 16, 3'000, false},
+        DensityCase{"HugeUniverse", 1u << 28, 50'000, false}),
+    [](const auto& info) { return info.param.label; });
+
+}  // namespace
+}  // namespace zv::roaring

@@ -1,0 +1,247 @@
+/// \file param_tasks_test.cc
+/// \brief Parameterized property sweeps over the exploration functions:
+/// metric axioms for every distance metric x normalization combination,
+/// and mechanism laws for every mechanism x filter shape.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tasks/distance.h"
+#include "tasks/primitives.h"
+
+namespace zv {
+namespace {
+
+Visualization RandomSeries(size_t n, uint64_t seed) {
+  Visualization v;
+  v.x_attr = "t";
+  v.y_attr = "y";
+  Rng rng(seed);
+  Series s;
+  s.name = "y";
+  for (size_t i = 0; i < n; ++i) {
+    v.xs.push_back(Value::Int(static_cast<int64_t>(i)));
+    s.ys.push_back(rng.Normal(0, 1));
+  }
+  v.series.push_back(std::move(s));
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Distance metric axioms.
+// ---------------------------------------------------------------------------
+
+using MetricCase = std::tuple<DistanceMetric, Normalization>;
+
+class DistanceAxiomTest : public ::testing::TestWithParam<MetricCase> {};
+
+TEST_P(DistanceAxiomTest, IdentityIsZero) {
+  const auto [metric, norm] = GetParam();
+  for (uint64_t seed : {1, 2, 3}) {
+    const Visualization a = RandomSeries(16, seed);
+    EXPECT_NEAR(Distance(a, a, metric, norm), 0.0, 1e-9);
+  }
+}
+
+TEST_P(DistanceAxiomTest, Symmetry) {
+  const auto [metric, norm] = GetParam();
+  for (uint64_t seed : {4, 5, 6}) {
+    const Visualization a = RandomSeries(16, seed);
+    const Visualization b = RandomSeries(16, seed + 100);
+    EXPECT_NEAR(Distance(a, b, metric, norm), Distance(b, a, metric, norm),
+                1e-9);
+  }
+}
+
+TEST_P(DistanceAxiomTest, NonNegativity) {
+  const auto [metric, norm] = GetParam();
+  for (uint64_t seed : {7, 8, 9, 10}) {
+    const Visualization a = RandomSeries(16, seed);
+    const Visualization b = RandomSeries(16, seed * 31);
+    EXPECT_GE(Distance(a, b, metric, norm), 0.0);
+  }
+}
+
+TEST_P(DistanceAxiomTest, FiniteOnDegenerateInputs) {
+  const auto [metric, norm] = GetParam();
+  Visualization flat = RandomSeries(8, 1);
+  for (auto& y : flat.series[0].ys) y = 5.0;  // constant series
+  Visualization single = RandomSeries(1, 2);
+  EXPECT_TRUE(std::isfinite(Distance(flat, single, metric, norm)));
+  EXPECT_TRUE(std::isfinite(Distance(flat, flat, metric, norm)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MetricGrid, DistanceAxiomTest,
+    ::testing::Combine(::testing::Values(DistanceMetric::kEuclidean,
+                                         DistanceMetric::kDtw,
+                                         DistanceMetric::kKlDivergence,
+                                         DistanceMetric::kEmd),
+                       ::testing::Values(Normalization::kNone,
+                                         Normalization::kZScore,
+                                         Normalization::kMinMax)),
+    [](const auto& info) {
+      const DistanceMetric metric = std::get<0>(info.param);
+      const Normalization norm = std::get<1>(info.param);
+      std::string name = DistanceMetricToString(metric);
+      name += norm == Normalization::kNone      ? "_raw"
+              : norm == Normalization::kZScore ? "_zscore"
+                                               : "_minmax";
+      return name;
+    });
+
+// Euclidean additionally satisfies the triangle inequality on aligned
+// vectors (the others need not).
+class EuclideanTriangleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EuclideanTriangleTest, TriangleInequality) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  std::vector<double> a(12), b(12), c(12);
+  for (size_t i = 0; i < 12; ++i) {
+    a[i] = rng.Normal(0, 1);
+    b[i] = rng.Normal(0, 1);
+    c[i] = rng.Normal(0, 1);
+  }
+  const double ab = VectorDistance(a, b, DistanceMetric::kEuclidean);
+  const double bc = VectorDistance(b, c, DistanceMetric::kEuclidean);
+  const double ac = VectorDistance(a, c, DistanceMetric::kEuclidean);
+  EXPECT_LE(ac, ab + bc + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EuclideanTriangleTest,
+                         ::testing::Range(1, 11));
+
+// ---------------------------------------------------------------------------
+// Mechanism laws across mechanisms and filters.
+// ---------------------------------------------------------------------------
+
+struct MechanismCase {
+  const char* label;
+  Mechanism mech;
+  MechanismFilter filter;
+};
+
+class MechanismLawTest : public ::testing::TestWithParam<MechanismCase> {};
+
+TEST_P(MechanismLawTest, OutputsAreValidIndicesWithoutDuplicates) {
+  Rng rng(11);
+  std::vector<double> scores(40);
+  for (double& s : scores) s = rng.Normal(0, 2);
+  const auto idx = ApplyMechanism(GetParam().mech, scores, GetParam().filter);
+  std::set<size_t> seen;
+  for (size_t i : idx) {
+    EXPECT_LT(i, scores.size());
+    EXPECT_TRUE(seen.insert(i).second) << "duplicate index " << i;
+  }
+}
+
+TEST_P(MechanismLawTest, KBoundsOutputSize) {
+  Rng rng(12);
+  std::vector<double> scores(40);
+  for (double& s : scores) s = rng.Normal(0, 2);
+  const auto idx = ApplyMechanism(GetParam().mech, scores, GetParam().filter);
+  if (GetParam().filter.k.has_value()) {
+    EXPECT_LE(idx.size(), static_cast<size_t>(*GetParam().filter.k));
+  } else if (!GetParam().filter.t_above.has_value() &&
+             !GetParam().filter.t_below.has_value()) {
+    EXPECT_EQ(idx.size(), scores.size());
+  }
+}
+
+TEST_P(MechanismLawTest, ThresholdsAreRespected) {
+  Rng rng(13);
+  std::vector<double> scores(40);
+  for (double& s : scores) s = rng.Normal(0, 2);
+  const auto idx = ApplyMechanism(GetParam().mech, scores, GetParam().filter);
+  for (size_t i : idx) {
+    if (GetParam().filter.t_above.has_value()) {
+      EXPECT_GT(scores[i], *GetParam().filter.t_above);
+    }
+    if (GetParam().filter.t_below.has_value()) {
+      EXPECT_LT(scores[i], *GetParam().filter.t_below);
+    }
+  }
+}
+
+TEST_P(MechanismLawTest, SortedMechanismsAreMonotone) {
+  Rng rng(14);
+  std::vector<double> scores(40);
+  for (double& s : scores) s = rng.Normal(0, 2);
+  const auto idx = ApplyMechanism(GetParam().mech, scores, GetParam().filter);
+  if (GetParam().mech == Mechanism::kArgAny) return;
+  for (size_t i = 1; i < idx.size(); ++i) {
+    if (GetParam().mech == Mechanism::kArgMin) {
+      EXPECT_LE(scores[idx[i - 1]], scores[idx[i]]);
+    } else {
+      EXPECT_GE(scores[idx[i - 1]], scores[idx[i]]);
+    }
+  }
+}
+
+MechanismFilter TopK(int64_t k) {
+  MechanismFilter f;
+  f.k = k;
+  return f;
+}
+MechanismFilter Above(double t) {
+  MechanismFilter f;
+  f.t_above = t;
+  return f;
+}
+MechanismFilter Below(double t) {
+  MechanismFilter f;
+  f.t_below = t;
+  return f;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MechanismGrid, MechanismLawTest,
+    ::testing::Values(MechanismCase{"ArgMinAll", Mechanism::kArgMin, {}},
+                      MechanismCase{"ArgMinTop5", Mechanism::kArgMin, TopK(5)},
+                      MechanismCase{"ArgMinBelow0", Mechanism::kArgMin,
+                                    Below(0)},
+                      MechanismCase{"ArgMaxAll", Mechanism::kArgMax, {}},
+                      MechanismCase{"ArgMaxTop1", Mechanism::kArgMax, TopK(1)},
+                      MechanismCase{"ArgMaxAbove0", Mechanism::kArgMax,
+                                    Above(0)},
+                      MechanismCase{"ArgAnyTop7", Mechanism::kArgAny, TopK(7)},
+                      MechanismCase{"ArgAnyAbove1", Mechanism::kArgAny,
+                                    Above(1)}),
+    [](const auto& info) { return info.param.label; });
+
+// ---------------------------------------------------------------------------
+// Representative sweep: k vs set size.
+// ---------------------------------------------------------------------------
+
+class RepresentativeSweepTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(RepresentativeSweepTest, SizeAndValidity) {
+  const auto [set_size, k] = GetParam();
+  std::vector<Visualization> storage;
+  storage.reserve(set_size);
+  for (size_t i = 0; i < set_size; ++i) {
+    storage.push_back(RandomSeries(10, 1000 + i));
+  }
+  std::vector<const Visualization*> set;
+  for (const auto& v : storage) set.push_back(&v);
+  const auto reps = Representatives(set, k);
+  EXPECT_LE(reps.size(), std::min(k, set_size));
+  EXPECT_GE(reps.size(), std::min<size_t>(1, set_size));
+  std::set<size_t> seen;
+  for (size_t r : reps) {
+    EXPECT_LT(r, set_size);
+    EXPECT_TRUE(seen.insert(r).second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RepresentativeSweepTest,
+    ::testing::Combine(::testing::Values<size_t>(1, 5, 30, 120),
+                       ::testing::Values<size_t>(1, 3, 10)));
+
+}  // namespace
+}  // namespace zv

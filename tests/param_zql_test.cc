@@ -1,0 +1,171 @@
+/// \file param_zql_test.cc
+/// \brief Parameterized sweep: every paper query x every optimization level
+/// x both backends must produce identical visualizations — the §5.2
+/// optimizations are pure rewrites.
+
+#include <memory>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "engine/roaring_db.h"
+#include "engine/scan_db.h"
+#include "tests/test_util.h"
+#include "workload/datasets.h"
+#include "zql/executor.h"
+
+namespace zv::zql {
+namespace {
+
+struct ZqlCase {
+  const char* label;
+  const char* text;
+};
+
+const ZqlCase kQueries[] = {
+    {"Collection",
+     "*f1 | 'year' | 'sales' | v1 <- 'product'.* | country='US' | "
+     "bar.(y=agg('sum')) |"},
+    {"TrendIntersection",
+     "f1 | 'year' | 'sales' | v1 <- 'product'.* | country='US' | | v2 <- "
+     "argany_v1[t > 0] T(f1)\n"
+     "f2 | 'year' | 'sales' | v1 | country='UK' | | v3 <- argany_v1[t < 0] "
+     "T(f2)\n"
+     "*f3 | 'year' | 'profit' | v4 <- (v2.range & v3.range) | | |"},
+    {"TopKSimilarity",
+     "f1 | 'year' | 'sales' | 'product'.'product0' | | |\n"
+     "f2 | 'year' | 'sales' | v1 <- 'product'.(* - 'product0') | | | v2 <- "
+     "argmin_v1[k=3] D(f1, f2)\n"
+     "*f3 | 'year' | 'sales' | v2 | | |"},
+    {"Representative",
+     "f1 | 'year' | 'sales' | v1 <- 'product'.* | | | v2 <- R(3, v1, f1)\n"
+     "*f2 | 'year' | 'sales' | v2 | | |"},
+    {"Outlier",
+     "f1 | 'year' | 'sales' | v1 <- 'product'.* | | | v2 <- R(3, v1, f1)\n"
+     "f2 | 'year' | 'sales' | v2 | | |\n"
+     "f3 | 'year' | 'sales' | v1 | | | v3 <- argmax_v1[k=2] min_v2 D(f3, "
+     "f2)\n"
+     "*f4 | 'year' | 'sales' | v3 | | |"},
+    {"MultiY",
+     "f1 | 'month' | 'profit' | v1 <- 'product'.* | year=2015 | "
+     "bar.(y=agg('sum')) |\n"
+     "f2 | 'month' | 'sales' | v1 | year=2015 | bar.(y=agg('sum')) | v2 <- "
+     "argmax_v1[k=4] D(f1, f2)\n"
+     "*f3 | 'month' | y1 <- {'sales', 'profit'} | v2 | year=2015 | "
+     "bar.(y=agg('sum')) |"},
+    {"RangeConstraint",
+     "f1 | 'year' | 'sales' | v1 <- 'product'.* | | | v2 <- argmax_v1[k=4] "
+     "T(f1)\n"
+     "*f2 | 'year' | 'profit' | | product IN (v2.range) | |"},
+    {"Ordering",
+     "f1 | 'year' | 'sales' | v1 <- 'product'.* | country='US' | | u1 <- "
+     "argmin_v1[k=inf] T(f1)\n"
+     "*f2=f1.order | | | u1 -> | | |"},
+};
+
+using Combo = std::tuple<int, OptLevel, bool>;  // query idx, level, roaring?
+
+class ZqlComboTest : public ::testing::TestWithParam<Combo> {
+ protected:
+  static std::shared_ptr<Table> SharedTable() {
+    static std::shared_ptr<Table> table = [] {
+      SalesDataOptions opts;
+      opts.num_rows = 20000;
+      opts.num_products = 10;
+      return MakeSalesTable(opts);
+    }();
+    return table;
+  }
+
+  static Database* GetBackend(bool roaring) {
+    static ScanDatabase* scan = [] {
+      auto* db = new ScanDatabase();
+      EXPECT_TRUE(db->RegisterTable(SharedTable()).ok());
+      return db;
+    }();
+    static RoaringDatabase* rdb = [] {
+      auto* db = new RoaringDatabase();
+      EXPECT_TRUE(db->RegisterTable(SharedTable()).ok());
+      return db;
+    }();
+    return roaring ? static_cast<Database*>(rdb) : scan;
+  }
+
+  /// Reference result: scan backend, NoOpt (the §5.1 naive compiler).
+  static const ZqlResult& Reference(int query_idx) {
+    static std::map<int, ZqlResult> cache;
+    auto it = cache.find(query_idx);
+    if (it == cache.end()) {
+      ZqlOptions opts;
+      opts.optimization = OptLevel::kNoOpt;
+      ZqlExecutor exec(GetBackend(false), "sales", opts);
+      auto r = exec.ExecuteText(kQueries[query_idx].text);
+      EXPECT_TRUE(r.ok()) << r.status().ToString();
+      it = cache.emplace(query_idx, std::move(r).value()).first;
+    }
+    return it->second;
+  }
+};
+
+TEST_P(ZqlComboTest, MatchesNaiveReference) {
+  const auto [query_idx, level, roaring] = GetParam();
+  ZqlOptions opts;
+  opts.optimization = level;
+  ZqlExecutor exec(GetBackend(roaring), "sales", opts);
+  ZV_ASSERT_OK_AND_ASSIGN(ZqlResult got,
+                          exec.ExecuteText(kQueries[query_idx].text));
+  const ZqlResult& want = Reference(query_idx);
+  ASSERT_EQ(got.outputs.size(), want.outputs.size());
+  for (size_t o = 0; o < got.outputs.size(); ++o) {
+    ASSERT_EQ(got.outputs[o].visuals.size(), want.outputs[o].visuals.size())
+        << "output " << want.outputs[o].name;
+    for (size_t v = 0; v < got.outputs[o].visuals.size(); ++v) {
+      const Visualization& a = want.outputs[o].visuals[v];
+      const Visualization& b = got.outputs[o].visuals[v];
+      EXPECT_TRUE(a.SameSourceAs(b))
+          << a.Label() << " vs " << b.Label();
+      EXPECT_EQ(a.xs, b.xs) << a.Label();
+      ASSERT_EQ(a.series.size(), b.series.size());
+      for (size_t s = 0; s < a.series.size(); ++s) {
+        ASSERT_EQ(a.series[s].ys.size(), b.series[s].ys.size());
+        for (size_t i = 0; i < a.series[s].ys.size(); ++i) {
+          EXPECT_NEAR(a.series[s].ys[i], b.series[s].ys[i],
+                      1e-6 * (1 + std::abs(a.series[s].ys[i])));
+        }
+      }
+    }
+  }
+}
+
+std::string ComboName(const ::testing::TestParamInfo<Combo>& info) {
+  const auto [query_idx, level, roaring] = info.param;
+  std::string name = kQueries[query_idx].label;
+  switch (level) {
+    case OptLevel::kNoOpt:
+      name += "_NoOpt";
+      break;
+    case OptLevel::kIntraLine:
+      name += "_IntraLine";
+      break;
+    case OptLevel::kIntraTask:
+      name += "_IntraTask";
+      break;
+    case OptLevel::kInterTask:
+      name += "_InterTask";
+      break;
+  }
+  name += roaring ? "_Roaring" : "_Scan";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QueryByLevelByBackend, ZqlComboTest,
+    ::testing::Combine(
+        ::testing::Range(0, static_cast<int>(std::size(kQueries))),
+        ::testing::Values(OptLevel::kNoOpt, OptLevel::kIntraLine,
+                          OptLevel::kIntraTask, OptLevel::kInterTask),
+        ::testing::Bool()),
+    ComboName);
+
+}  // namespace
+}  // namespace zv::zql

@@ -1,0 +1,247 @@
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "roaring/roaring.h"
+
+namespace zv::roaring {
+namespace {
+
+// --- container-level tests ---------------------------------------------------
+
+TEST(ContainerTest, StartsAsEmptyArray) {
+  Container c;
+  EXPECT_EQ(c.type(), Container::Type::kArray);
+  EXPECT_EQ(c.Cardinality(), 0u);
+  EXPECT_FALSE(c.Contains(0));
+}
+
+TEST(ContainerTest, AddContainsRemove) {
+  Container c;
+  EXPECT_TRUE(c.Add(5));
+  EXPECT_FALSE(c.Add(5));
+  EXPECT_TRUE(c.Contains(5));
+  EXPECT_EQ(c.Cardinality(), 1u);
+  EXPECT_TRUE(c.Remove(5));
+  EXPECT_FALSE(c.Remove(5));
+  EXPECT_EQ(c.Cardinality(), 0u);
+}
+
+TEST(ContainerTest, ConvertsToBitmapPast4096) {
+  Container c;
+  for (uint32_t i = 0; i <= kArrayMaxCardinality; ++i) {
+    c.Add(static_cast<uint16_t>(i * 3 % 65536));
+  }
+  EXPECT_EQ(c.type(), Container::Type::kBitmap);
+  EXPECT_EQ(c.Cardinality(), kArrayMaxCardinality + 1);
+}
+
+TEST(ContainerTest, ShrinksBackToArrayOnRemove) {
+  std::vector<uint16_t> vals;
+  for (uint32_t i = 0; i < kArrayMaxCardinality + 10; ++i) {
+    vals.push_back(static_cast<uint16_t>(i));
+  }
+  Container c = Container::MakeArray(vals);
+  EXPECT_EQ(c.type(), Container::Type::kBitmap);
+  for (uint32_t i = 0; i < 11; ++i) {
+    c.Remove(static_cast<uint16_t>(i));
+  }
+  EXPECT_EQ(c.type(), Container::Type::kArray);
+  EXPECT_EQ(c.Cardinality(), kArrayMaxCardinality - 1);
+}
+
+TEST(ContainerTest, RankCountsStrictlySmaller) {
+  Container c = Container::MakeArray({10, 20, 30});
+  EXPECT_EQ(c.Rank(10), 0u);
+  EXPECT_EQ(c.Rank(11), 1u);
+  EXPECT_EQ(c.Rank(31), 3u);
+}
+
+TEST(ContainerTest, RunOptimizeCompressesRuns) {
+  Container c;
+  for (uint16_t i = 100; i < 2100; ++i) c.Add(i);
+  EXPECT_EQ(c.type(), Container::Type::kArray);
+  const size_t before = c.SizeInBytes();
+  EXPECT_TRUE(c.RunOptimize());
+  EXPECT_EQ(c.type(), Container::Type::kRun);
+  EXPECT_LT(c.SizeInBytes(), before);
+  EXPECT_EQ(c.Cardinality(), 2000u);
+  EXPECT_TRUE(c.Contains(100));
+  EXPECT_TRUE(c.Contains(2099));
+  EXPECT_FALSE(c.Contains(2100));
+}
+
+TEST(ContainerTest, RunOptimizeDeclinesScatteredData) {
+  Container c;
+  for (uint32_t i = 0; i < 1000; ++i) c.Add(static_cast<uint16_t>(i * 61));
+  EXPECT_FALSE(c.RunOptimize());
+  EXPECT_EQ(c.type(), Container::Type::kArray);
+}
+
+TEST(ContainerTest, RunContainerAddRemoveSplitsRuns) {
+  Container c = Container::MakeRuns({{10, 10}});  // 10..20
+  EXPECT_EQ(c.Cardinality(), 11u);
+  EXPECT_TRUE(c.Remove(15));  // split into 10..14, 16..20
+  EXPECT_EQ(c.Cardinality(), 10u);
+  EXPECT_FALSE(c.Contains(15));
+  EXPECT_TRUE(c.Contains(14));
+  EXPECT_TRUE(c.Contains(16));
+  EXPECT_TRUE(c.Add(15));  // merge back
+  EXPECT_EQ(c.Cardinality(), 11u);
+}
+
+TEST(ContainerTest, BinaryOpsMatchReference) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::set<uint16_t> sa, sb;
+    const size_t na = 1 + rng.Uniform(6000), nb = 1 + rng.Uniform(6000);
+    for (size_t i = 0; i < na; ++i) {
+      sa.insert(static_cast<uint16_t>(rng.Uniform(65536)));
+    }
+    for (size_t i = 0; i < nb; ++i) {
+      sb.insert(static_cast<uint16_t>(rng.Uniform(65536)));
+    }
+    Container a = Container::MakeArray({sa.begin(), sa.end()});
+    Container b = Container::MakeArray({sb.begin(), sb.end()});
+    if (trial % 3 == 0) a.RunOptimize();
+    if (trial % 4 == 0) b.RunOptimize();
+
+    std::set<uint16_t> want_and, want_or, want_andnot, want_xor;
+    std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                          std::inserter(want_and, want_and.begin()));
+    std::set_union(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                   std::inserter(want_or, want_or.begin()));
+    std::set_difference(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::inserter(want_andnot, want_andnot.begin()));
+    std::set_symmetric_difference(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                                  std::inserter(want_xor, want_xor.begin()));
+
+    auto check = [](const Container& c, const std::set<uint16_t>& want,
+                    const char* op) {
+      EXPECT_EQ(c.Cardinality(), want.size()) << op;
+      std::vector<uint16_t> got;
+      c.ForEach([&got](uint16_t v) { got.push_back(v); });
+      EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin(),
+                             want.end()))
+          << op;
+    };
+    check(Container::And(a, b), want_and, "and");
+    check(Container::Or(a, b), want_or, "or");
+    check(Container::AndNot(a, b), want_andnot, "andnot");
+    check(Container::Xor(a, b), want_xor, "xor");
+    EXPECT_EQ(Container::AndCardinality(a, b), want_and.size());
+  }
+}
+
+// --- bitmap-level tests --------------------------------------------------------
+
+TEST(RoaringTest, EmptyBitmap) {
+  RoaringBitmap bm;
+  EXPECT_TRUE(bm.Empty());
+  EXPECT_EQ(bm.Cardinality(), 0u);
+  EXPECT_FALSE(bm.Contains(42));
+}
+
+TEST(RoaringTest, SpansChunks) {
+  RoaringBitmap bm;
+  bm.Add(1);
+  bm.Add(70000);   // chunk 1
+  bm.Add(140000);  // chunk 2
+  EXPECT_EQ(bm.Cardinality(), 3u);
+  EXPECT_TRUE(bm.Contains(70000));
+  EXPECT_FALSE(bm.Contains(70001));
+  EXPECT_EQ(bm.ToVector(), (std::vector<uint32_t>{1, 70000, 140000}));
+}
+
+TEST(RoaringTest, FromRangeAndRank) {
+  RoaringBitmap bm = RoaringBitmap::FromRange(60000, 70000);
+  EXPECT_EQ(bm.Cardinality(), 10000u);
+  EXPECT_TRUE(bm.Contains(60000));
+  EXPECT_TRUE(bm.Contains(69999));
+  EXPECT_FALSE(bm.Contains(70000));
+  EXPECT_EQ(bm.Rank(60000), 0u);
+  EXPECT_EQ(bm.Rank(65000), 5000u);
+  EXPECT_EQ(bm.Rank(1000000), 10000u);
+}
+
+TEST(RoaringTest, RemoveErasesEmptyChunks) {
+  RoaringBitmap bm;
+  bm.Add(100000);
+  bm.Remove(100000);
+  EXPECT_TRUE(bm.Empty());
+}
+
+TEST(RoaringTest, SetOpsMatchReference) {
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::set<uint32_t> sa, sb;
+    for (int i = 0; i < 20000; ++i) {
+      sa.insert(static_cast<uint32_t>(rng.Uniform(1 << 20)));
+      sb.insert(static_cast<uint32_t>(rng.Uniform(1 << 20)));
+    }
+    RoaringBitmap a =
+        RoaringBitmap::FromValues({sa.begin(), sa.end()});
+    RoaringBitmap b =
+        RoaringBitmap::FromValues({sb.begin(), sb.end()});
+
+    std::set<uint32_t> want_and, want_or, want_andnot, want_xor;
+    std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                          std::inserter(want_and, want_and.begin()));
+    std::set_union(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                   std::inserter(want_or, want_or.begin()));
+    std::set_difference(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::inserter(want_andnot, want_andnot.begin()));
+    std::set_symmetric_difference(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                                  std::inserter(want_xor, want_xor.begin()));
+
+    EXPECT_EQ(RoaringBitmap::And(a, b).ToVector(),
+              std::vector<uint32_t>(want_and.begin(), want_and.end()));
+    EXPECT_EQ(RoaringBitmap::Or(a, b).ToVector(),
+              std::vector<uint32_t>(want_or.begin(), want_or.end()));
+    EXPECT_EQ(RoaringBitmap::AndNot(a, b).ToVector(),
+              std::vector<uint32_t>(want_andnot.begin(), want_andnot.end()));
+    EXPECT_EQ(RoaringBitmap::Xor(a, b).ToVector(),
+              std::vector<uint32_t>(want_xor.begin(), want_xor.end()));
+    EXPECT_EQ(RoaringBitmap::AndCardinality(a, b), want_and.size());
+  }
+}
+
+TEST(RoaringTest, DenseRangesCompressWell) {
+  RoaringBitmap bm = RoaringBitmap::FromRange(0, 1000000);
+  bm.RunOptimize();
+  // One run per chunk: far below the 125KB a plain bitset would need.
+  EXPECT_LT(bm.SizeInBytes(), 2000u);
+  EXPECT_EQ(bm.Cardinality(), 1000000u);
+}
+
+TEST(RoaringTest, EqualityIsRepresentationAgnostic) {
+  RoaringBitmap a = RoaringBitmap::FromRange(0, 5000);
+  RoaringBitmap b = RoaringBitmap::FromRange(0, 5000);
+  b.RunOptimize();
+  EXPECT_TRUE(a == b);
+}
+
+TEST(RoaringTest, ForEachAscendingOrder) {
+  Rng rng(3);
+  std::vector<uint32_t> vals;
+  for (int i = 0; i < 50000; ++i) {
+    vals.push_back(static_cast<uint32_t>(rng.Uniform(1u << 24)));
+  }
+  RoaringBitmap bm = RoaringBitmap::FromValues(vals);
+  uint32_t prev = 0;
+  bool first = true;
+  uint64_t count = 0;
+  bm.ForEach([&](uint32_t v) {
+    if (!first) EXPECT_GT(v, prev);
+    prev = v;
+    first = false;
+    ++count;
+  });
+  EXPECT_EQ(count, bm.Cardinality());
+}
+
+}  // namespace
+}  // namespace zv::roaring

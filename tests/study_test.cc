@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "study/user_study.h"
+#include "tests/test_util.h"
+
+namespace zv {
+namespace {
+
+TEST(UserStudyTest, ReproducesPaperOrdering) {
+  StudyResult r = RunUserStudy();
+  const double dd = Mean(r.Times(StudyInterface::kDragDrop));
+  const double cb = Mean(r.Times(StudyInterface::kCustomBuilder));
+  const double base = Mean(r.Times(StudyInterface::kBaseline));
+  // Paper §8.1 Finding 1: drag-drop (74s) < custom builder (115s) <
+  // baseline (172.5s).
+  EXPECT_LT(dd, cb);
+  EXPECT_LT(cb, base);
+  // Rough magnitudes: baseline is >2x drag-drop, ~1.5x custom builder.
+  EXPECT_GT(base / dd, 1.8);
+  EXPECT_GT(base / cb, 1.2);
+}
+
+TEST(UserStudyTest, ReproducesAccuracyOrdering) {
+  StudyResult r = RunUserStudy();
+  const double dd = Mean(r.Accuracies(StudyInterface::kDragDrop));
+  const double cb = Mean(r.Accuracies(StudyInterface::kCustomBuilder));
+  const double base = Mean(r.Accuracies(StudyInterface::kBaseline));
+  // Paper Finding 2: custom (96.3%) > drag-drop (85.3%) > baseline (69.9%).
+  EXPECT_GT(cb, dd);
+  EXPECT_GT(dd, base);
+  EXPECT_GT(cb, 0.9);
+  EXPECT_LT(base, 0.8);
+}
+
+TEST(UserStudyTest, TukeyMatchesTable82Pattern) {
+  StudyResult r = RunUserStudy();
+  // Table 8.2: drag-drop vs custom builder insignificant (paper p=0.0605);
+  // both vs baseline significant at p<0.01 (paper p=0.0010 and 0.0069).
+  ASSERT_EQ(r.tukey.size(), 3u);
+  ASSERT_EQ(r.participant_times[0].size(), 12u);  // paper's n
+  for (const auto& c : r.tukey) {
+    const bool involves_baseline =
+        c.group_a == static_cast<size_t>(StudyInterface::kBaseline) ||
+        c.group_b == static_cast<size_t>(StudyInterface::kBaseline);
+    if (involves_baseline) {
+      EXPECT_TRUE(c.significant_01)
+          << c.group_a << " vs " << c.group_b << " p=" << c.p_value;
+    } else {
+      EXPECT_FALSE(c.significant_01)
+          << "drag-drop vs custom builder should be insignificant, p="
+          << c.p_value;
+    }
+  }
+  EXPECT_LT(r.anova.p_value, 0.01);
+}
+
+TEST(UserStudyTest, AccuracyOverTimeMonotone) {
+  StudyResult r = RunUserStudy();
+  auto curve = AccuracyOverTime(r, StudyInterface::kDragDrop, 300, 30);
+  ASSERT_EQ(curve.size(), 31u);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  }
+  // Fig 8.2 shape: zenvisage reaches high accuracy well before the baseline.
+  auto dd = AccuracyOverTime(r, StudyInterface::kDragDrop, 300, 30);
+  auto base = AccuracyOverTime(r, StudyInterface::kBaseline, 300, 30);
+  // At t = 120s the drag-drop interface is far ahead.
+  EXPECT_GT(dd[12].second, base[12].second + 0.2);
+}
+
+TEST(UserStudyTest, Deterministic) {
+  StudyOptions opts;
+  StudyResult a = RunUserStudy(opts), b = RunUserStudy(opts);
+  EXPECT_EQ(a.Times(StudyInterface::kBaseline),
+            b.Times(StudyInterface::kBaseline));
+}
+
+TEST(UserStudyTest, ExperienceTableMatchesPaper) {
+  auto rows = ParticipantExperience();
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows[0].count, 8);  // spreadsheets
+  EXPECT_EQ(rows[1].count, 4);  // Tableau
+}
+
+TEST(UserStudyTest, BaselineExaminesManyMoreVisualizations) {
+  StudyResult r = RunUserStudy();
+  double base_views = 0, dd_views = 0;
+  for (const auto& t : r.outcomes[static_cast<size_t>(StudyInterface::kBaseline)]) {
+    base_views += static_cast<double>(t.visualizations_examined);
+  }
+  for (const auto& t : r.outcomes[static_cast<size_t>(StudyInterface::kDragDrop)]) {
+    dd_views += static_cast<double>(t.visualizations_examined);
+  }
+  // The mechanism behind the paper's findings: manual examination of many
+  // visualizations vs top-k inspection.
+  EXPECT_GT(base_views, 2 * dd_views);
+}
+
+}  // namespace
+}  // namespace zv

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "viz/binning.h"
+#include "viz/vega_emitter.h"
+#include "viz/visualization.h"
+#include "viz/viz_spec.h"
+
+namespace zv {
+namespace {
+
+// --- VizSpec parsing ----------------------------------------------------------
+
+TEST(VizSpecTest, ParseFull) {
+  ZV_ASSERT_OK_AND_ASSIGN(VizSpec s,
+                          ParseVizSpec("bar.(x=bin(20), y=agg('sum'))"));
+  EXPECT_EQ(s.chart, ChartType::kBar);
+  EXPECT_DOUBLE_EQ(s.x_bin, 20);
+  EXPECT_EQ(s.y_agg, sql::AggFunc::kSum);
+}
+
+TEST(VizSpecTest, ParseBareType) {
+  ZV_ASSERT_OK_AND_ASSIGN(VizSpec s, ParseVizSpec("scatterplot"));
+  EXPECT_EQ(s.chart, ChartType::kScatter);
+  EXPECT_EQ(s.y_agg, sql::AggFunc::kNone);
+}
+
+TEST(VizSpecTest, ParseEmpty) {
+  ZV_ASSERT_OK_AND_ASSIGN(VizSpec s, ParseVizSpec("  "));
+  EXPECT_EQ(s.chart, ChartType::kAuto);
+}
+
+TEST(VizSpecTest, AggVariants) {
+  for (const auto& [name, agg] :
+       std::vector<std::pair<std::string, sql::AggFunc>>{
+           {"sum", sql::AggFunc::kSum},
+           {"avg", sql::AggFunc::kAvg},
+           {"count", sql::AggFunc::kCount},
+           {"min", sql::AggFunc::kMin},
+           {"max", sql::AggFunc::kMax}}) {
+    ZV_ASSERT_OK_AND_ASSIGN(VizSpec s,
+                            ParseVizSpec("bar.(y=agg('" + name + "'))"));
+    EXPECT_EQ(s.y_agg, agg) << name;
+  }
+}
+
+TEST(VizSpecTest, Errors) {
+  EXPECT_FALSE(ParseVizSpec("piechart").ok());
+  EXPECT_FALSE(ParseVizSpec("bar.(x=bin(-5))").ok());
+  EXPECT_FALSE(ParseVizSpec("bar.(y=mean('sum'))").ok());
+  EXPECT_FALSE(ParseVizSpec("bar.(w=3)").ok());
+}
+
+TEST(VizSpecTest, ToStringRoundTrip) {
+  ZV_ASSERT_OK_AND_ASSIGN(VizSpec s,
+                          ParseVizSpec("bar.(x=bin(20), y=agg('sum'))"));
+  ZV_ASSERT_OK_AND_ASSIGN(VizSpec back, ParseVizSpec(s.ToString()));
+  EXPECT_EQ(s, back);
+}
+
+TEST(VizSpecTest, DefaultRules) {
+  // Categorical x, measure y -> bar + SUM (Polaris/Mackinlay default).
+  VizSpec a = DefaultVizSpec(ColumnType::kCategorical, ColumnType::kDouble);
+  EXPECT_EQ(a.chart, ChartType::kBar);
+  EXPECT_EQ(a.y_agg, sql::AggFunc::kSum);
+  // Measure x, measure y -> scatter, raw.
+  VizSpec b = DefaultVizSpec(ColumnType::kDouble, ColumnType::kDouble);
+  EXPECT_EQ(b.chart, ChartType::kScatter);
+  EXPECT_EQ(b.y_agg, sql::AggFunc::kNone);
+}
+
+// --- Visualization --------------------------------------------------------------
+
+Visualization MakeViz(std::vector<double> ys) {
+  Visualization v;
+  v.x_attr = "year";
+  v.y_attr = "sales";
+  for (size_t i = 0; i < ys.size(); ++i) {
+    v.xs.push_back(Value::Int(static_cast<int64_t>(2000 + i)));
+  }
+  v.series = {{"sales", std::move(ys)}};
+  return v;
+}
+
+TEST(VisualizationTest, SameSourceIgnoresData) {
+  Visualization a = MakeViz({1, 2, 3});
+  Visualization b = MakeViz({9, 9, 9});
+  EXPECT_TRUE(a.SameSourceAs(b));
+  b.slices.push_back({"product", Value::Str("chair")});
+  EXPECT_FALSE(a.SameSourceAs(b));
+}
+
+TEST(VisualizationTest, FlatValuesConcatenatesSeries) {
+  Visualization v = MakeViz({1, 2});
+  v.series.push_back({"profit", {3, 4}});
+  EXPECT_EQ(v.FlatValues(), (std::vector<double>{1, 2, 3, 4}));
+}
+
+TEST(VisualizationTest, LabelMentionsSlices) {
+  Visualization v = MakeViz({1});
+  v.slices.push_back({"product", Value::Str("chair")});
+  EXPECT_EQ(v.Label(), "sales vs year | product=chair");
+}
+
+TEST(AlignToMatrixTest, UnionOfXsZeroFilled) {
+  Visualization a = MakeViz({1, 2, 3});  // 2000..2002
+  Visualization b = MakeViz({5, 6});     // 2000..2001
+  b.xs = {Value::Int(2001), Value::Int(2002)};
+  auto m = AlignToMatrix({&a, &b});
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[0], (std::vector<double>{1, 2, 3}));
+  EXPECT_EQ(m[1], (std::vector<double>{0, 5, 6}));
+}
+
+TEST(AlignToMatrixTest, MultiSeriesWidth) {
+  Visualization a = MakeViz({1, 2});
+  a.series.push_back({"profit", {7, 8}});
+  Visualization b = MakeViz({3, 4});
+  auto m = AlignToMatrix({&a, &b});
+  EXPECT_EQ(m[0], (std::vector<double>{1, 2, 7, 8}));
+  EXPECT_EQ(m[1], (std::vector<double>{3, 4, 0, 0}));
+}
+
+// --- binning -----------------------------------------------------------------------
+
+TEST(BinningTest, SumsIntoBins) {
+  Visualization v;
+  v.x_attr = "weight";
+  v.y_attr = "sales";
+  v.spec.x_bin = 10;
+  v.spec.y_agg = sql::AggFunc::kSum;
+  v.xs = {Value::Double(1), Value::Double(5), Value::Double(12),
+          Value::Double(19), Value::Double(25)};
+  v.series = {{"sales", {1, 2, 3, 4, 5}}};
+  Visualization binned = BinVisualization(v);
+  ASSERT_EQ(binned.xs.size(), 3u);
+  EXPECT_EQ(binned.xs[0], Value::Double(0));
+  EXPECT_EQ(binned.ys(), (std::vector<double>{3, 7, 5}));
+}
+
+TEST(BinningTest, AvgAndCount) {
+  Visualization v;
+  v.spec.x_bin = 10;
+  v.xs = {Value::Double(1), Value::Double(2)};
+  v.series = {{"y", {4, 6}}};
+  v.spec.y_agg = sql::AggFunc::kAvg;
+  EXPECT_EQ(BinVisualization(v).ys(), std::vector<double>{5});
+  v.spec.y_agg = sql::AggFunc::kCount;
+  EXPECT_EQ(BinVisualization(v).ys(), std::vector<double>{2});
+}
+
+TEST(BinningTest, NoBinIsIdentity) {
+  Visualization v = MakeViz({1, 2, 3});
+  Visualization out = BinVisualization(v);
+  EXPECT_EQ(out.ys(), v.ys());
+}
+
+TEST(BinningTest, NegativeXsFloorCorrectly) {
+  Visualization v;
+  v.spec.x_bin = 10;
+  v.spec.y_agg = sql::AggFunc::kSum;
+  v.xs = {Value::Double(-5), Value::Double(-15)};
+  v.series = {{"y", {1, 2}}};
+  Visualization out = BinVisualization(v);
+  ASSERT_EQ(out.xs.size(), 2u);
+  EXPECT_EQ(out.xs[0], Value::Double(-20));
+  EXPECT_EQ(out.xs[1], Value::Double(-10));
+}
+
+// --- vega emitter ---------------------------------------------------------------------
+
+TEST(VegaEmitterTest, EmitsValidShape) {
+  Visualization v = MakeViz({1, 2});
+  v.spec.chart = ChartType::kBar;
+  const std::string json = ToVegaLiteJson(v);
+  EXPECT_NE(json.find("\"mark\": \"bar\""), std::string::npos);
+  EXPECT_NE(json.find("\"field\": \"year\""), std::string::npos);
+  EXPECT_NE(json.find("vega-lite/v5.json"), std::string::npos);
+  // Balanced braces.
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(VegaEmitterTest, MultiSeriesGetsColorEncoding) {
+  Visualization v = MakeViz({1, 2});
+  v.series.push_back({"profit", {3, 4}});
+  const std::string json = ToVegaLiteJson(v);
+  EXPECT_NE(json.find("\"color\""), std::string::npos);
+  EXPECT_NE(json.find("\"series\": \"profit\""), std::string::npos);
+}
+
+TEST(VegaEmitterTest, EscapesQuotes) {
+  Visualization v = MakeViz({1});
+  v.x_attr = "we\"ird";
+  const std::string json = ToVegaLiteJson(v);
+  EXPECT_NE(json.find("we\\\"ird"), std::string::npos);
+}
+
+TEST(AsciiChartTest, RendersBars) {
+  Visualization v = MakeViz({1, 5, 3});
+  v.spec.chart = ChartType::kBar;
+  const std::string chart = ToAsciiChart(v, 10, 5);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+  EXPECT_NE(chart.find("3 points"), std::string::npos);
+}
+
+TEST(AsciiChartTest, HandlesEmpty) {
+  Visualization v;
+  v.x_attr = "x";
+  v.y_attr = "y";
+  EXPECT_NE(ToAsciiChart(v).find("no data"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zv

@@ -1,0 +1,146 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "tests/test_util.h"
+#include "workload/datasets.h"
+
+namespace zv {
+namespace {
+
+TEST(SalesDataTest, ShapeAndDeterminism) {
+  SalesDataOptions opts;
+  opts.num_rows = 5000;
+  opts.num_products = 10;
+  auto a = MakeSalesTable(opts);
+  auto b = MakeSalesTable(opts);
+  EXPECT_EQ(a->num_rows(), 5000u);
+  EXPECT_EQ(a->schema().num_columns(), 12u);
+  EXPECT_EQ(a->DictSize(static_cast<size_t>(a->schema().Find("product"))),
+            10u);
+  // Determinism: same seed, same data.
+  for (size_t r = 0; r < 100; ++r) {
+    EXPECT_EQ(a->ValueAt(r, 0), b->ValueAt(r, 0));
+    EXPECT_DOUBLE_EQ(a->NumericAt(r, 9), b->NumericAt(r, 9));
+  }
+  // Different seed, different data.
+  opts.seed = 99;
+  auto c = MakeSalesTable(opts);
+  bool any_diff = false;
+  for (size_t r = 0; r < 100; ++r) {
+    any_diff |= a->NumericAt(r, 9) != c->NumericAt(r, 9);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SalesDataTest, ContainsUsAndUk) {
+  SalesDataOptions opts;
+  opts.num_rows = 2000;
+  auto t = MakeSalesTable(opts);
+  const size_t loc = static_cast<size_t>(t->schema().Find("location"));
+  EXPECT_GE(t->LookupCode(loc, Value::Str("US")), 0);
+  EXPECT_GE(t->LookupCode(loc, Value::Str("UK")), 0);
+}
+
+TEST(SalesDataTest, PlantedDivergenceIsRecoverable) {
+  // Some product must have positive US sales trend and negative UK trend.
+  SalesDataOptions opts;
+  opts.num_rows = 60000;
+  opts.num_products = 20;
+  opts.divergent_fraction = 0.3;
+  auto t = MakeSalesTable(opts);
+  const size_t prod = static_cast<size_t>(t->schema().Find("product"));
+  const size_t loc = static_cast<size_t>(t->schema().Find("location"));
+  const size_t year = static_cast<size_t>(t->schema().Find("year"));
+  const size_t sales = static_cast<size_t>(t->schema().Find("sales"));
+  const int32_t us = t->LookupCode(loc, Value::Str("US"));
+  const int32_t uk = t->LookupCode(loc, Value::Str("UK"));
+
+  int divergent = 0;
+  for (size_t p = 0; p < t->DictSize(prod); ++p) {
+    // Aggregate sales by year for both locations.
+    std::map<int64_t, double> us_series, uk_series;
+    for (size_t r = 0; r < t->num_rows(); ++r) {
+      if (t->Code(r, prod) != static_cast<int32_t>(p)) continue;
+      const int64_t y = t->DictValue(year, t->Code(r, year)).AsInt();
+      if (t->Code(r, loc) == us) us_series[y] += t->NumericAt(r, sales);
+      if (t->Code(r, loc) == uk) uk_series[y] += t->NumericAt(r, sales);
+    }
+    auto slope = [](const std::map<int64_t, double>& s) {
+      std::vector<double> ys;
+      for (const auto& [k, v] : s) ys.push_back(v);
+      return FitLine({}, ys).slope;
+    };
+    if (slope(us_series) > 0 && slope(uk_series) < 0) ++divergent;
+  }
+  EXPECT_GE(divergent, 1);
+}
+
+TEST(CensusDataTest, Shape) {
+  CensusDataOptions opts;
+  opts.num_rows = 3000;
+  auto t = MakeCensusTable(opts);
+  EXPECT_EQ(t->num_rows(), 3000u);
+  EXPECT_EQ(t->schema().num_columns(), 40u);
+  EXPECT_TRUE(t->schema().Has("income"));
+  EXPECT_TRUE(t->schema().Has("age"));
+  // Varying cardinalities.
+  std::set<size_t> sizes;
+  for (size_t c = 0; c + 4 < t->schema().num_columns(); ++c) {
+    sizes.insert(t->DictSize(c));
+  }
+  EXPECT_GT(sizes.size(), 3u);
+}
+
+TEST(AirlineDataTest, ShapeAndPlantedDelays) {
+  AirlineDataOptions opts;
+  opts.num_rows = 30000;
+  opts.num_airports = 20;
+  opts.increasing_delay_fraction = 0.4;
+  auto t = MakeAirlineTable(opts);
+  EXPECT_EQ(t->schema().num_columns(), 29u);
+  EXPECT_TRUE(t->schema().Has("dep_delay"));
+  EXPECT_TRUE(t->schema().Has("weather_delay"));
+  EXPECT_EQ(t->DictSize(static_cast<size_t>(t->schema().Find("origin"))),
+            20u);
+
+  // At least one airport has an increasing average departure delay.
+  const size_t origin = static_cast<size_t>(t->schema().Find("origin"));
+  const size_t year = static_cast<size_t>(t->schema().Find("year"));
+  const size_t delay = static_cast<size_t>(t->schema().Find("dep_delay"));
+  int increasing = 0;
+  for (size_t a = 0; a < t->DictSize(origin); ++a) {
+    std::map<int64_t, std::pair<double, int>> by_year;
+    for (size_t r = 0; r < t->num_rows(); ++r) {
+      if (t->Code(r, origin) != static_cast<int32_t>(a)) continue;
+      const int64_t y = t->DictValue(year, t->Code(r, year)).AsInt();
+      by_year[y].first += t->NumericAt(r, delay);
+      by_year[y].second += 1;
+    }
+    std::vector<double> avg;
+    for (const auto& [y, sc] : by_year) {
+      avg.push_back(sc.second ? sc.first / sc.second : 0);
+    }
+    if (FitLine({}, avg).slope > 0.3) ++increasing;
+  }
+  EXPECT_GE(increasing, 2);
+}
+
+TEST(HousingDataTest, Shape) {
+  HousingDataOptions opts;
+  opts.num_rows = 5000;
+  auto t = MakeHousingTable(opts);
+  EXPECT_EQ(t->schema().num_columns(), 15u);
+  EXPECT_TRUE(t->schema().Has("sold_price"));
+  EXPECT_TRUE(t->schema().Has("turnover_rate"));
+  EXPECT_TRUE(t->schema().Has("foreclosure_rate"));
+  // Prices positive.
+  const size_t price = static_cast<size_t>(t->schema().Find("sold_price"));
+  for (size_t r = 0; r < 200; ++r) {
+    EXPECT_GT(t->NumericAt(r, price), 0);
+  }
+}
+
+}  // namespace
+}  // namespace zv
