@@ -1,7 +1,9 @@
 /// \file bench_fig7_1.cc
 /// \brief Figure 7.1: effect of the Chapter-5 query optimizations on the
 /// Table 5.1 (top) and Table 5.2 (bottom) ZQL queries over the synthetic
-/// sales dataset.
+/// sales dataset — plus the scoring hot path that Figure 7 grows with the
+/// candidate count: legacy per-pair D(f,g) vs the cached ScoringContext,
+/// serially and at ZV_THREADS=4.
 ///
 /// Paper setup: 10M-row synthetic dataset, PostgreSQL backend, 20 products
 /// in the user-specified set P. Reported: total runtime and the number of
@@ -15,27 +17,56 @@
 /// scale). A small per-request latency (2 ms) models the client/server
 /// round trip of the paper's deployment; the query-count reduction itself
 /// is hardware-independent.
+///
+/// Set ZV_BENCH_JSON=<file> to also emit machine-readable records (see
+/// tools/run_bench.sh, which assembles BENCH_fig7.json).
 
+#include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/parallel.h"
 #include "engine/scan_db.h"
+#include "tasks/distance.h"
+#include "tasks/series_cache.h"
 #include "workload/datasets.h"
 #include "zql/executor.h"
 
 namespace {
 
+using zv::bench::JsonRecorder;
 using zv::bench::PrintHeader;
 using zv::bench::PrintSubHeader;
 using zv::zql::OptLevel;
 
 constexpr uint64_t kRequestLatencyMicros = 2000;
 
+// Table 5.1: positive sales trend in the US, negative in the UK -> profit.
+const char* const kTable5_1 =
+    "f1 | 'year' | 'sales' | v1 <- P | location='US' | "
+    "bar.(y=agg('sum')) | v2 <- argany_v1[t > 0] T(f1)\n"
+    "f2 | 'year' | 'sales' | v1 | location='UK' | bar.(y=agg('sum')) | v3 "
+    "<- argany_v1[t < 0] T(f2)\n"
+    "*f3 | 'year' | 'profit' | v4 <- (v2.range | v3.range) | | "
+    "bar.(y=agg('sum')) |";
+
+// Table 5.2: most-different sales-over-location between 2010 and 2015.
+const char* const kTable5_2 =
+    "f1 | 'country' | 'sales' | v1 <- P | year=2010 | bar.(y=agg('sum')) "
+    "|\n"
+    "f2 | 'country' | 'sales' | v1 | year=2015 | bar.(y=agg('sum')) | v2 "
+    "<- argmax_v1[k=10] D(f1, f2)\n"
+    "*f3 | 'country' | 'profit' | v2 | year=2010 | bar.(y=agg('sum')) |\n"
+    "*f4 | 'country' | 'profit' | v2 | year=2015 | bar.(y=agg('sum')) |";
+
 void RunQueryAtAllLevels(zv::Database* db, const std::string& name,
+                         const std::string& json_case,
                          const std::string& query,
                          const zv::zql::NamedSets& sets,
-                         const std::vector<OptLevel>& levels) {
+                         const std::vector<OptLevel>& levels,
+                         JsonRecorder* recorder) {
   PrintSubHeader(name);
   std::printf("%-11s %10s %12s %13s %12s\n", "opt", "time(ms)", "SQL queries",
               "SQL requests", "output viz");
@@ -59,12 +90,147 @@ void RunQueryAtAllLevels(zv::Database* db, const std::string& name,
                 static_cast<unsigned long long>(result->stats.sql_queries),
                 static_cast<unsigned long long>(result->stats.sql_requests),
                 outputs);
+    recorder->Record(json_case + "/" + zv::zql::OptLevelToString(level), ms,
+                     {{"threads", std::to_string(zv::ParallelWorkerCount())},
+                      {"kind", "zql_opt_levels"}});
   }
+}
+
+/// Synthetic candidate set for the scoring sweep: n series over a shared
+/// 0..points-1 x domain with distinct planted shapes.
+std::vector<zv::Visualization> MakeCandidates(size_t n, size_t points) {
+  std::vector<zv::Visualization> out;
+  out.reserve(n);
+  for (size_t c = 0; c < n; ++c) {
+    zv::Visualization v;
+    v.x_attr = "t";
+    v.y_attr = "y";
+    zv::Series s;
+    s.name = "y";
+    for (size_t i = 0; i < points; ++i) {
+      v.xs.push_back(zv::Value::Int(static_cast<int64_t>(i)));
+      const double phase = static_cast<double>(c) * 0.37;
+      const double trend = (static_cast<double>(c % 17) - 8.0) *
+                           static_cast<double>(i) / 40.0;
+      s.ys.push_back(trend +
+                     5.0 * std::sin(static_cast<double>(i) * 0.21 + phase));
+    }
+    v.series.push_back(std::move(s));
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+/// The Figure-7 hot loop in isolation: score a query visualization against
+/// every candidate, (a) with the legacy per-pair Distance() that re-aligns
+/// and re-normalizes both series on each call, (b) through a ScoringContext
+/// (each series aligned + normalized once), (c) the same context scored
+/// under ParallelFor at ZV_THREADS=4. The checksum proves all three compute
+/// the same scores.
+void ScoringHotPath(JsonRecorder* recorder, zv::DistanceMetric metric,
+                    const char* metric_name) {
+  const size_t n = zv::bench::ScaledRows(600);
+  const size_t points = 80;
+  const int rounds = metric == zv::DistanceMetric::kDtw ? 1 : 20;
+  const std::vector<zv::Visualization> candidates = MakeCandidates(n, points);
+  std::vector<const zv::Visualization*> set;
+  set.reserve(n);
+  for (const auto& v : candidates) set.push_back(&v);
+  const zv::Visualization& query = candidates[0];
+
+  std::vector<double> legacy_scores(n, 0.0), cached_scores(n, 0.0),
+      parallel_scores(n, 0.0);
+
+  zv::SetParallelThreads(1);
+  zv::bench::WallTimer legacy_timer;
+  for (int r = 0; r < rounds; ++r) {
+    for (size_t i = 0; i < n; ++i) {
+      legacy_scores[i] = zv::Distance(query, candidates[i], metric,
+                                      zv::Normalization::kZScore,
+                                      zv::Alignment::kZeroFill);
+    }
+  }
+  const double legacy_ms = legacy_timer.ElapsedMs();
+
+  zv::bench::WallTimer cached_timer;  // includes context construction
+  const zv::ScoringContext ctx(set, zv::Normalization::kZScore,
+                               zv::Alignment::kZeroFill);
+  for (int r = 0; r < rounds; ++r) {
+    for (size_t i = 0; i < n; ++i) {
+      cached_scores[i] = ctx.PairDistance(0, i, metric);
+    }
+  }
+  const double cached_ms = cached_timer.ElapsedMs();
+
+  zv::SetParallelThreads(4);
+  zv::bench::WallTimer parallel_timer;
+  const zv::ScoringContext pctx(set, zv::Normalization::kZScore,
+                                zv::Alignment::kZeroFill);
+  for (int r = 0; r < rounds; ++r) {
+    zv::ParallelFor(n, [&](size_t i) {
+      parallel_scores[i] = pctx.PairDistance(0, i, metric);
+    });
+  }
+  const double parallel_ms = parallel_timer.ElapsedMs();
+  zv::SetParallelThreads(0);
+
+  bool identical = true;
+  for (size_t i = 0; i < n; ++i) {
+    identical &= legacy_scores[i] == cached_scores[i] &&
+                 cached_scores[i] == parallel_scores[i];
+  }
+
+  std::printf(
+      "%-10s %4zu cand x %3d rounds: legacy %8.1f ms | cached(T1) %8.1f ms "
+      "(%.2fx) | cached(T4) %8.1f ms (%.2fx) | identical: %s\n",
+      metric_name, n, rounds, legacy_ms, cached_ms, legacy_ms / cached_ms,
+      parallel_ms, legacy_ms / parallel_ms, identical ? "yes" : "NO");
+  const std::string prefix = std::string("scoring_") + metric_name;
+  recorder->Record(prefix + "/legacy_t1", legacy_ms,
+                   {{"threads", "1"}, {"kind", "scoring"}});
+  recorder->Record(prefix + "/cached_t1", cached_ms,
+                   {{"threads", "1"}, {"kind", "scoring"}});
+  recorder->Record(prefix + "/cached_t4", parallel_ms,
+                   {{"threads", "4"}, {"kind", "scoring"}});
+}
+
+/// End-to-end Table 5.2 run (Inter-Task batching) at ZV_THREADS=1 vs 4:
+/// the scoring loop, the k-means paths, and the partitioned table scan all
+/// ride the same pool.
+void EndToEndThreads(zv::Database* db, const zv::zql::NamedSets& sets,
+                     JsonRecorder* recorder) {
+  PrintSubHeader("end-to-end Table 5.2 (Inter-Task) vs ZV_THREADS");
+  std::printf("%-10s %10s %14s %12s\n", "threads", "total(ms)", "compute(ms)",
+              "exec(ms)");
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    zv::SetParallelThreads(threads);
+    zv::zql::ZqlOptions opts;
+    opts.optimization = OptLevel::kInterTask;
+    opts.named_sets = sets;
+    zv::zql::ZqlExecutor exec(db, "sales", opts);
+    auto result = exec.ExecuteText(kTable5_2);
+    if (!result.ok()) {
+      std::printf("ZV_THREADS=%zu FAILED: %s\n", threads,
+                  result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-10zu %10.1f %14.1f %12.1f\n", threads,
+                result->stats.total_ms, result->stats.compute_ms,
+                result->stats.exec_ms);
+    recorder->Record("zql_e2e_t" + std::to_string(threads),
+                     result->stats.total_ms,
+                     {{"threads", std::to_string(threads)},
+                      {"kind", "zql_end_to_end"},
+                      {"compute_ms", std::to_string(result->stats.compute_ms)},
+                      {"exec_ms", std::to_string(result->stats.exec_ms)}});
+  }
+  zv::SetParallelThreads(0);
 }
 
 }  // namespace
 
 int main() {
+  JsonRecorder recorder("fig7_1");
   PrintHeader("Figure 7.1: query optimization levels (synthetic sales)");
   zv::SalesDataOptions data_opts;
   data_opts.num_rows = zv::bench::ScaledRows(2000000);
@@ -92,30 +258,25 @@ int main() {
   }
   sets.value_sets["P"] = {"product", products};
 
-  // Table 5.1: positive sales trend in the US, negative in the UK -> profit.
-  const std::string table_5_1 =
-      "f1 | 'year' | 'sales' | v1 <- P | location='US' | "
-      "bar.(y=agg('sum')) | v2 <- argany_v1[t > 0] T(f1)\n"
-      "f2 | 'year' | 'sales' | v1 | location='UK' | bar.(y=agg('sum')) | v3 "
-      "<- argany_v1[t < 0] T(f2)\n"
-      "*f3 | 'year' | 'profit' | v4 <- (v2.range | v3.range) | | "
-      "bar.(y=agg('sum')) |";
   // Table 5.1 has no adjacent task-less rows, so Intra-Task is omitted,
   // exactly as in the paper's top plot.
-  RunQueryAtAllLevels(&db, "Table 5.1 (Fig 7.1 top)", table_5_1, sets,
+  RunQueryAtAllLevels(&db, "Table 5.1 (Fig 7.1 top)", "table_5_1", kTable5_1,
+                      sets,
                       {OptLevel::kNoOpt, OptLevel::kIntraLine,
-                       OptLevel::kInterTask});
+                       OptLevel::kInterTask},
+                      &recorder);
+  RunQueryAtAllLevels(&db, "Table 5.2 (Fig 7.1 bottom)", "table_5_2",
+                      kTable5_2, sets,
+                      {OptLevel::kNoOpt, OptLevel::kIntraLine,
+                       OptLevel::kIntraTask, OptLevel::kInterTask},
+                      &recorder);
 
-  // Table 5.2: most-different sales-over-location between 2010 and 2015.
-  const std::string table_5_2 =
-      "f1 | 'country' | 'sales' | v1 <- P | year=2010 | bar.(y=agg('sum')) "
-      "|\n"
-      "f2 | 'country' | 'sales' | v1 | year=2015 | bar.(y=agg('sum')) | v2 "
-      "<- argmax_v1[k=10] D(f1, f2)\n"
-      "*f3 | 'country' | 'profit' | v2 | year=2010 | bar.(y=agg('sum')) |\n"
-      "*f4 | 'country' | 'profit' | v2 | year=2015 | bar.(y=agg('sum')) |";
-  RunQueryAtAllLevels(&db, "Table 5.2 (Fig 7.1 bottom)", table_5_2, sets,
-                      {OptLevel::kNoOpt, OptLevel::kIntraLine,
-                       OptLevel::kIntraTask, OptLevel::kInterTask});
+  PrintSubHeader("ZQL scoring hot path: legacy pairwise vs ScoringContext");
+  std::printf("(cached = series aligned + normalized once; T4 = ZV_THREADS=4 "
+              "ParallelFor)\n");
+  ScoringHotPath(&recorder, zv::DistanceMetric::kEuclidean, "euclidean");
+  ScoringHotPath(&recorder, zv::DistanceMetric::kDtw, "dtw");
+
+  EndToEndThreads(&db, sets, &recorder);
   return 0;
 }

@@ -16,6 +16,7 @@
 
 namespace {
 
+using zv::bench::JsonRecorder;
 using zv::bench::PrintHeader;
 using zv::bench::PrintSubHeader;
 using zv::zql::OptLevel;
@@ -23,9 +24,11 @@ using zv::zql::OptLevel;
 constexpr uint64_t kRequestLatencyMicros = 2000;
 
 void RunQueryAtAllLevels(zv::Database* db, const std::string& name,
+                         const std::string& json_case,
                          const std::string& query,
                          const zv::zql::NamedSets& sets,
-                         const std::vector<OptLevel>& levels) {
+                         const std::vector<OptLevel>& levels,
+                         JsonRecorder* recorder) {
   PrintSubHeader(name);
   std::printf("%-11s %10s %12s %13s\n", "opt", "time(ms)", "SQL queries",
               "SQL requests");
@@ -46,12 +49,15 @@ void RunQueryAtAllLevels(zv::Database* db, const std::string& name,
                 zv::zql::OptLevelToString(level), ms,
                 static_cast<unsigned long long>(result->stats.sql_queries),
                 static_cast<unsigned long long>(result->stats.sql_requests));
+    recorder->Record(json_case + "/" + zv::zql::OptLevelToString(level), ms,
+                     {{"kind", "zql_opt_levels"}});
   }
 }
 
 }  // namespace
 
 int main() {
+  JsonRecorder recorder("fig7_2");
   PrintHeader("Figure 7.2: query optimization levels (airline data)");
   zv::AirlineDataOptions data_opts;
   data_opts.num_rows = zv::bench::ScaledRows(2000000);
@@ -92,9 +98,11 @@ int main() {
       "*f3 | 'year' | y3 <- {'dep_delay', 'weather_delay'} | v4 <- "
       "(v2.range | v3.range) | | bar.(y=agg('avg')) |";
   // No adjacent task-less rows -> Intra-Task omitted (paper, left plot).
-  RunQueryAtAllLevels(&db, "Table 7.1 (Fig 7.2 left)", table_7_1, sets,
+  RunQueryAtAllLevels(&db, "Table 7.1 (Fig 7.2 left)", "table_7_1",
+                      table_7_1, sets,
                       {OptLevel::kNoOpt, OptLevel::kIntraLine,
-                       OptLevel::kInterTask});
+                       OptLevel::kInterTask},
+                      &recorder);
 
   // Table 7.2: airports where June vs December arrival delay differs most.
   const std::string table_7_2 =
@@ -104,8 +112,10 @@ int main() {
       "bar.(y=agg('avg')) | v2 <- argmax_v1[k=10] D(f1, f2)\n"
       "*f3 | 'month' | y1 <- {'arr_delay', 'weather_delay'} | v2 | | "
       "bar.(y=agg('avg')) |";
-  RunQueryAtAllLevels(&db, "Table 7.2 (Fig 7.2 right)", table_7_2, sets,
+  RunQueryAtAllLevels(&db, "Table 7.2 (Fig 7.2 right)", "table_7_2",
+                      table_7_2, sets,
                       {OptLevel::kNoOpt, OptLevel::kIntraLine,
-                       OptLevel::kIntraTask, OptLevel::kInterTask});
+                       OptLevel::kIntraTask, OptLevel::kInterTask},
+                      &recorder);
   return 0;
 }

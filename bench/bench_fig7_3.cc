@@ -22,11 +22,13 @@
 
 namespace {
 
+using zv::bench::JsonRecorder;
 using zv::bench::PrintHeader;
 
 void RunTasks(zv::Database* db, const std::string& table,
               const std::string& x, const std::string& y,
-              const std::string& z, const zv::Value& reference_z) {
+              const std::string& z, const zv::Value& reference_z,
+              JsonRecorder* recorder) {
   const std::string ref = reference_z.is_string()
                               ? "'" + reference_z.AsString() + "'"
                               : reference_z.ToString();
@@ -67,12 +69,17 @@ void RunTasks(zv::Database* db, const std::string& table,
                 result->stats.exec_ms,
                 100.0 * result->stats.exec_ms /
                     std::max(0.001, result->stats.total_ms));
+    recorder->Record(table + "/" + name, result->stats.total_ms,
+                     {{"kind", "task_processor"},
+                      {"compute_ms", std::to_string(result->stats.compute_ms)},
+                      {"exec_ms", std::to_string(result->stats.exec_ms)}});
   }
 }
 
 }  // namespace
 
 int main() {
+  JsonRecorder recorder("fig7_3");
   PrintHeader("Figure 7.3: task processors on real-world data");
   std::printf("%-10s %-16s %10s %14s %14s %10s\n", "dataset", "task",
               "total(ms)", "compute(ms)", "exec(ms)", "exec share");
@@ -89,7 +96,7 @@ int main() {
     // X: a mid-cardinality attribute; Z: another; Y: income.
     const size_t zcol = static_cast<size_t>(census->schema().Find("attr3"));
     RunTasks(&db, "census", "attr1", "income", "attr3",
-             census->DictValue(zcol, 0));
+             census->DictValue(zcol, 0), &recorder);
   }
   {
     zv::AirlineDataOptions opts;
@@ -102,7 +109,7 @@ int main() {
     }
     const size_t ocol = static_cast<size_t>(airline->schema().Find("origin"));
     RunTasks(&db, "airline", "year", "dep_delay", "origin",
-             airline->DictValue(ocol, 0));
+             airline->DictValue(ocol, 0), &recorder);
   }
   return 0;
 }

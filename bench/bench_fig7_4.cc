@@ -23,6 +23,7 @@
 
 namespace {
 
+using zv::bench::JsonRecorder;
 using zv::bench::PrintHeader;
 
 struct TaskTimes {
@@ -44,6 +45,7 @@ TaskTimes RunTask(zv::Database* db, const std::string& query) {
 }  // namespace
 
 int main() {
+  JsonRecorder recorder("fig7_4");
   PrintHeader("Figure 7.4: task processors vs number of groups");
   // X = year (10 distinct values); Z = product with swept cardinality, so
   // #groups = 10 * |product|.
@@ -93,6 +95,11 @@ int main() {
       const TaskTimes t = RunTask(&db, *query);
       std::printf("%-8zu %-16s %10.1f %14.1f %14.1f\n", groups, name, t.total,
                   t.compute, t.exec);
+      recorder.Record("groups_" + std::to_string(groups) + "/" + name,
+                      t.total,
+                      {{"kind", "task_vs_groups"},
+                       {"compute_ms", std::to_string(t.compute)},
+                       {"exec_ms", std::to_string(t.exec)}});
     }
   }
   return 0;

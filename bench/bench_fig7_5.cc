@@ -27,6 +27,7 @@
 
 namespace {
 
+using zv::bench::JsonRecorder;
 using zv::bench::PrintHeader;
 using zv::bench::PrintSubHeader;
 
@@ -76,7 +77,7 @@ double TimeQuery(zv::Database* db, const std::string& sql, int reps) {
   return best;
 }
 
-void SweepGroups(size_t rows) {
+void SweepGroups(size_t rows, JsonRecorder* recorder) {
   const std::vector<std::pair<size_t, size_t>> cards = {
       {4, 5}, {10, 10}, {100, 100}, {250, 200}, {500, 200}};
   for (bool full_selectivity : {true, false}) {
@@ -100,11 +101,17 @@ void SweepGroups(size_t rows) {
       const double rb = TimeQuery(&roaring, sql, 3);
       std::printf("%-8zu %14.1f %12.1f %9.2fx\n", xc * zc, pg, rb,
                   pg > 0 && rb > 0 ? pg / rb : 0.0);
+      const std::string sel = full_selectivity ? "sel100" : "sel10";
+      const std::string grp = std::to_string(xc * zc);
+      recorder->Record(sel + "/groups_" + grp + "/scan", pg,
+                       {{"kind", "backend_compare"}});
+      recorder->Record(sel + "/groups_" + grp + "/roaring", rb,
+                       {{"kind", "backend_compare"}});
     }
   }
 }
 
-void CensusComparison() {
+void CensusComparison(JsonRecorder* recorder) {
   PrintSubHeader("Fig 7.5(c): census-like data");
   zv::CensusDataOptions opts;
   opts.num_rows = zv::bench::ScaledRows(200000);
@@ -133,18 +140,23 @@ void CensusComparison() {
     const double rb = TimeQuery(&roaring, sql, 3);
     std::printf("%-16s %14.1f %12.1f %9.2fx\n", c.label, pg, rb,
                 pg > 0 && rb > 0 ? pg / rb : 0.0);
+    recorder->Record(std::string("census/") + c.label + "/scan", pg,
+                     {{"kind", "backend_compare"}});
+    recorder->Record(std::string("census/") + c.label + "/roaring", rb,
+                     {{"kind", "backend_compare"}});
   }
 }
 
 }  // namespace
 
 int main() {
+  JsonRecorder recorder("fig7_5");
   PrintHeader("Figure 7.5: RoaringDB vs PostgreSQL(-sim)");
   const size_t rows = zv::bench::ScaledRows(2000000);
   std::printf("synthetic table: %zu rows; query: SELECT x, SUM(y), z FROM t "
               "[WHERE p1=c] GROUP BY z, x\n",
               rows);
-  SweepGroups(rows);
-  CensusComparison();
+  SweepGroups(rows, &recorder);
+  CensusComparison(&recorder);
   return 0;
 }

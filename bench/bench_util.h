@@ -13,7 +13,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace zv::bench {
 
@@ -50,6 +53,70 @@ inline void PrintHeader(const std::string& title) {
 inline void PrintSubHeader(const std::string& title) {
   std::printf("\n-- %s --\n", title.c_str());
 }
+
+/// \brief Machine-readable benchmark output. Each Record() becomes one JSON
+/// line — {"figure":"fig7_1","case":"...","ms":12.3,...} — appended to the
+/// file named by ZV_BENCH_JSON (no-op when the variable is unset, so plain
+/// bench runs stay untouched). tools/run_bench.sh points every fig7 harness
+/// at one temp file and wraps the lines into BENCH_fig7.json, giving future
+/// PRs a perf trajectory to diff against.
+class JsonRecorder {
+ public:
+  explicit JsonRecorder(std::string figure) : figure_(std::move(figure)) {}
+  JsonRecorder(const JsonRecorder&) = delete;
+  JsonRecorder& operator=(const JsonRecorder&) = delete;
+  ~JsonRecorder() { Flush(); }
+
+  void Record(const std::string& name, double ms,
+              std::map<std::string, std::string> extra = {}) {
+    records_.push_back({name, ms, std::move(extra)});
+  }
+
+  void Flush() {
+    if (records_.empty()) return;
+    const char* path = std::getenv("ZV_BENCH_JSON");
+    if (path == nullptr) {
+      records_.clear();
+      return;
+    }
+    std::FILE* f = std::fopen(path, "a");
+    if (f == nullptr) {
+      records_.clear();
+      return;
+    }
+    for (const RecordEntry& r : records_) {
+      std::fprintf(f, "{\"figure\":\"%s\",\"case\":\"%s\",\"ms\":%.3f",
+                   Escape(figure_).c_str(), Escape(r.name).c_str(), r.ms);
+      for (const auto& [k, v] : r.extra) {
+        std::fprintf(f, ",\"%s\":\"%s\"", Escape(k).c_str(),
+                     Escape(v).c_str());
+      }
+      std::fprintf(f, "}\n");
+    }
+    std::fclose(f);
+    records_.clear();
+  }
+
+ private:
+  struct RecordEntry {
+    std::string name;
+    double ms;
+    std::map<std::string, std::string> extra;
+  };
+
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string figure_;
+  std::vector<RecordEntry> records_;
+};
 
 }  // namespace zv::bench
 

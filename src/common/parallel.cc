@@ -1,0 +1,226 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace zv {
+
+namespace {
+
+/// True on pool worker threads — nested ParallelFor calls run inline.
+thread_local bool t_in_worker = false;
+
+std::atomic<size_t> g_thread_override{0};
+
+size_t ResolveWorkerCount() {
+  const size_t override = g_thread_override.load(std::memory_order_relaxed);
+  if (override > 0) return override;
+  if (const char* env = std::getenv("ZV_THREADS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+/// One ParallelFor invocation: workers claim contiguous chunks off an
+/// atomic cursor. Results land in caller-owned slots, so claiming order
+/// never shows in the output.
+struct Job {
+  size_t n = 0;
+  size_t chunk = 1;
+  size_t total_chunks = 0;
+  size_t allowed_helpers = 0;  ///< pool workers admitted (caller always runs)
+  const std::function<void(size_t)>* fn = nullptr;
+  const std::function<Status(size_t)>* status_fn = nullptr;
+
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<size_t> done_chunks{0};
+  std::atomic<size_t> helpers_entered{0};
+  std::atomic<bool> abort{false};
+
+  // First-error capture: the error (Status or exception) with the lowest
+  // index wins, matching what a serial loop would surface first.
+  std::mutex err_mu;
+  size_t err_index = 0;
+  bool has_error = false;
+  Status error = Status::OK();
+  std::exception_ptr exception;
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  void RecordError(size_t index, Status s, std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(err_mu);
+    if (!has_error || index < err_index) {
+      has_error = true;
+      err_index = index;
+      error = std::move(s);
+      exception = e;
+    }
+    abort.store(true, std::memory_order_relaxed);
+  }
+
+  /// Claims and runs chunks until the cursor is exhausted.
+  void RunChunks() {
+    for (;;) {
+      const size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= total_chunks) return;
+      // Chunks are claimed in increasing order, so when an error aborts the
+      // job every unclaimed chunk lies entirely above the erroring index.
+      // Already-claimed chunks run to completion, which makes the captured
+      // min-index error exactly the one a serial loop would hit first.
+      if (!abort.load(std::memory_order_relaxed)) {
+        const size_t begin = c * chunk;
+        const size_t end = std::min(n, begin + chunk);
+        for (size_t i = begin; i < end; ++i) {
+          try {
+            if (status_fn != nullptr) {
+              Status s = (*status_fn)(i);
+              if (!s.ok()) {
+                RecordError(i, std::move(s), nullptr);
+                break;
+              }
+            } else {
+              (*fn)(i);
+            }
+          } catch (...) {
+            RecordError(i, Status::OK(), std::current_exception());
+            break;
+          }
+        }
+      }
+      if (done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          total_chunks) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_cv.notify_all();
+      }
+    }
+  }
+
+  void WaitDone() {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [this] {
+      return done_chunks.load(std::memory_order_acquire) == total_chunks;
+    });
+  }
+};
+
+/// Fixed pool, lazily created on first parallel call and intentionally
+/// leaked (workers are blocked in a wait at process exit; joining them from
+/// a static destructor would race user code that still schedules work).
+class ThreadPool {
+ public:
+  static ThreadPool& Instance() {
+    static ThreadPool* pool = new ThreadPool();
+    return *pool;
+  }
+
+  /// Broadcasts `job` to up to job->allowed_helpers workers, growing the
+  /// pool if needed, then has the caller participate and waits for the job
+  /// to drain.
+  void Run(const std::shared_ptr<Job>& job) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      while (threads_.size() < job->allowed_helpers) {
+        threads_.emplace_back([this] { WorkerMain(); });
+      }
+      job_ = job;
+      ++generation_;
+      cv_.notify_all();
+    }
+    job->RunChunks();
+    job->WaitDone();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (job_ == job) job_.reset();
+    }
+  }
+
+ private:
+  ThreadPool() = default;
+
+  void WorkerMain() {
+    t_in_worker = true;
+    uint64_t seen_generation = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] {
+          return job_ != nullptr && generation_ != seen_generation;
+        });
+        seen_generation = generation_;
+        job = job_;
+      }
+      if (job->helpers_entered.fetch_add(1, std::memory_order_relaxed) <
+          job->allowed_helpers) {
+        job->RunChunks();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::thread> threads_;
+  std::shared_ptr<Job> job_;
+  uint64_t generation_ = 0;
+};
+
+size_t ChunkSize(size_t n, size_t workers) {
+  // ~4 chunks per worker balances load without flooding the atomic cursor.
+  return std::max<size_t>(1, n / (workers * 4));
+}
+
+}  // namespace
+
+void SetParallelThreads(size_t n) {
+  g_thread_override.store(n, std::memory_order_relaxed);
+}
+
+size_t ParallelWorkerCount() { return ResolveWorkerCount(); }
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t workers = std::min(n, ResolveWorkerCount());
+  if (workers <= 1 || t_in_worker) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->n = n;
+  job->chunk = ChunkSize(n, workers);
+  job->total_chunks = (n + job->chunk - 1) / job->chunk;
+  job->allowed_helpers = workers - 1;  // the caller is the last worker
+  job->fn = &fn;
+  ThreadPool::Instance().Run(job);
+  if (job->exception != nullptr) std::rethrow_exception(job->exception);
+}
+
+Status ParallelForStatus(size_t n, const std::function<Status(size_t)>& fn) {
+  if (n == 0) return Status::OK();
+  const size_t workers = std::min(n, ResolveWorkerCount());
+  if (workers <= 1 || t_in_worker) {
+    for (size_t i = 0; i < n; ++i) {
+      ZV_RETURN_NOT_OK(fn(i));
+    }
+    return Status::OK();
+  }
+  auto job = std::make_shared<Job>();
+  job->n = n;
+  job->chunk = ChunkSize(n, workers);
+  job->total_chunks = (n + job->chunk - 1) / job->chunk;
+  job->allowed_helpers = workers - 1;
+  job->status_fn = &fn;
+  ThreadPool::Instance().Run(job);
+  if (job->exception != nullptr) std::rethrow_exception(job->exception);
+  return job->has_error ? job->error : Status::OK();
+}
+
+}  // namespace zv

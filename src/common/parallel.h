@@ -1,0 +1,51 @@
+/// \file parallel.h
+/// \brief A lazily-initialized fixed thread pool with a chunked,
+/// deterministic ParallelFor — the substrate of every parallel hot path
+/// (ZQL scoring, k-means assignment, partitioned table scans).
+///
+/// Determinism contract: ParallelFor(n, fn) invokes fn(i) exactly once for
+/// every i in [0, n). Callers write results into preallocated slot i, so the
+/// output never depends on the worker count or on how chunks interleave.
+/// Only the *wall-clock* changes with ZV_THREADS; results are byte-identical.
+///
+/// Worker count resolution, per call (cheap, so tests can flip it at will):
+///  1. SetParallelThreads(n) override, when > 0;
+///  2. the ZV_THREADS environment variable, when set and > 0;
+///  3. std::thread::hardware_concurrency().
+/// An effective count of 1 bypasses the pool entirely — fn runs inline on
+/// the calling thread with zero synchronization, so ZV_THREADS=1 is the
+/// exact serial baseline. Calls issued *from* a pool worker also run inline
+/// (no nested fan-out, no deadlock).
+
+#ifndef ZV_COMMON_PARALLEL_H_
+#define ZV_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "common/status.h"
+
+namespace zv {
+
+/// Forces the effective worker count for subsequent ParallelFor calls
+/// (0 = revert to ZV_THREADS / hardware_concurrency resolution).
+void SetParallelThreads(size_t n);
+
+/// The worker count the next ParallelFor call would use (always >= 1).
+size_t ParallelWorkerCount();
+
+/// Runs fn(i) for every i in [0, n), distributing contiguous chunks over
+/// the pool. Exceptions thrown by fn are captured and the one from the
+/// lowest index is rethrown on the calling thread after all workers drain.
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+/// Status-returning variant: runs fn(i) for every i in [0, n) and returns
+/// the error with the *lowest index* (deterministic first-error semantics,
+/// matching what a serial loop would report). Once any error is observed,
+/// remaining chunks are skipped — scores already written stay written, but
+/// the caller must treat them as invalid.
+Status ParallelForStatus(size_t n, const std::function<Status(size_t)>& fn);
+
+}  // namespace zv
+
+#endif  // ZV_COMMON_PARALLEL_H_

@@ -111,21 +111,45 @@ std::optional<RoaringBitmap> RoaringDatabase::TryBitmap(
   }
 }
 
+namespace {
+
+/// Feeds a sorted row-id list to per-block runners: each block consumes the
+/// ids inside its [begin, end) range, located by binary search. Row ids stay
+/// in ascending order inside every block, so the blocked result matches the
+/// scan backend's byte for byte.
+Result<ResultSet> RunBlockedOverRows(const Table& table,
+                                     const sql::SelectStatement& stmt,
+                                     const std::vector<uint32_t>& rows) {
+  return RunBlocked(
+      table, stmt,
+      [&rows](size_t begin, size_t end, SelectRunner& runner) {
+        auto lo = std::lower_bound(rows.begin(), rows.end(),
+                                   static_cast<uint32_t>(begin));
+        auto hi = std::lower_bound(rows.begin(), rows.end(),
+                                   static_cast<uint32_t>(end));
+        for (auto it = lo; it != hi; ++it) runner.Consume(*it);
+      });
+}
+
+}  // namespace
+
 Result<ResultSet> RoaringDatabase::ExecuteInternal(
     const sql::SelectStatement& stmt) {
   ZV_ASSIGN_OR_RETURN(std::shared_ptr<Table> table, GetTable(stmt.table));
-  ZV_ASSIGN_OR_RETURN(SelectRunner runner, SelectRunner::Plan(*table, stmt));
-  const size_t n = table->num_rows();
 
   if (stmt.where == nullptr) {
-    // No predicate: iterate the all-rows bitmap (this is the 100%-selectivity
-    // path Figure 7.5 contrasts against the scan backend).
+    // No predicate: the 100%-selectivity path Figure 7.5 contrasts against
+    // the scan backend. all_rows is FromRange(0, n) by construction, so
+    // blocks consume [begin, end) directly — materializing n row ids first
+    // would only add an O(n) allocation to the hot path.
     auto it = indexes_.find(stmt.table);
     if (it == indexes_.end()) return Status::Internal("missing index");
-    it->second.all_rows.ForEach([&runner](uint32_t row) {
-      runner.Consume(row);
-    });
-    return runner.Finish();
+    return RunBlocked(*table, stmt,
+                      [](size_t begin, size_t end, SelectRunner& runner) {
+                        for (size_t row = begin; row < end; ++row) {
+                          runner.Consume(row);
+                        }
+                      });
   }
 
   auto idx_it = indexes_.find(stmt.table);
@@ -162,22 +186,26 @@ Result<ResultSet> RoaringDatabase::ExecuteInternal(
   }
 
   if (filter.has_value()) {
+    std::vector<uint32_t> rows;
+    rows.reserve(filter->Cardinality());
     if (residual.has_value()) {
       const CompiledPredicate& pred = *residual;
-      filter->ForEach([&runner, &pred](uint32_t row) {
-        if (pred.Test(row)) runner.Consume(row);
+      filter->ForEach([&rows, &pred](uint32_t row) {
+        if (pred.Test(row)) rows.push_back(row);
       });
     } else {
-      filter->ForEach([&runner](uint32_t row) { runner.Consume(row); });
+      filter->ForEach([&rows](uint32_t row) { rows.push_back(row); });
     }
-  } else {
-    // Nothing indexable: full scan with the residual predicate.
-    const CompiledPredicate& pred = *residual;
-    for (size_t row = 0; row < n; ++row) {
-      if (pred.Test(row)) runner.Consume(row);
-    }
+    return RunBlockedOverRows(*table, stmt, rows);
   }
-  return runner.Finish();
+  // Nothing indexable: full scan with the residual predicate.
+  const CompiledPredicate& pred = *residual;
+  return RunBlocked(*table, stmt,
+                    [&pred](size_t begin, size_t end, SelectRunner& runner) {
+                      for (size_t row = begin; row < end; ++row) {
+                        if (pred.Test(row)) runner.Consume(row);
+                      }
+                    });
 }
 
 }  // namespace zv

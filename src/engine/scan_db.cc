@@ -8,18 +8,24 @@ namespace zv {
 Result<ResultSet> ScanDatabase::ExecuteInternal(
     const sql::SelectStatement& stmt) {
   ZV_ASSIGN_OR_RETURN(std::shared_ptr<Table> table, GetTable(stmt.table));
-  ZV_ASSIGN_OR_RETURN(SelectRunner runner, SelectRunner::Plan(*table, stmt));
-  const size_t n = table->num_rows();
   if (stmt.where == nullptr) {
-    for (size_t row = 0; row < n; ++row) runner.Consume(row);
-  } else {
-    ZV_ASSIGN_OR_RETURN(CompiledPredicate pred,
-                        CompiledPredicate::Compile(*table, *stmt.where));
-    for (size_t row = 0; row < n; ++row) {
-      if (pred.Test(row)) runner.Consume(row);
-    }
+    return RunBlocked(*table, stmt,
+                      [](size_t begin, size_t end, SelectRunner& runner) {
+                        for (size_t row = begin; row < end; ++row) {
+                          runner.Consume(row);
+                        }
+                      });
   }
-  return runner.Finish();
+  ZV_ASSIGN_OR_RETURN(CompiledPredicate pred,
+                      CompiledPredicate::Compile(*table, *stmt.where));
+  // CompiledPredicate::Test is const, so one compiled predicate serves
+  // every block worker concurrently.
+  return RunBlocked(*table, stmt,
+                    [&pred](size_t begin, size_t end, SelectRunner& runner) {
+                      for (size_t row = begin; row < end; ++row) {
+                        if (pred.Test(row)) runner.Consume(row);
+                      }
+                    });
 }
 
 }  // namespace zv

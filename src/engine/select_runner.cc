@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
 #include "common/strings.h"
 
 namespace zv {
@@ -43,6 +44,13 @@ Result<SelectRunner> SelectRunner::Plan(const Table& table,
       r.total_groups_ *= d;
     }
     r.dense_ = r.total_groups_ <= kDenseGroupLimit;
+    // Suffix products: stride of position i is the product of the dict
+    // sizes after it, mirroring DenseKey's mixed-radix packing.
+    r.group_strides_.assign(r.group_cols_.size(), 1);
+    for (size_t i = r.group_cols_.size(); i-- > 1;) {
+      r.group_strides_[i - 1] =
+          r.group_strides_[i] * r.group_dict_sizes_[i];
+    }
   }
 
   // Resolve select items.
@@ -194,12 +202,65 @@ void SelectRunner::Consume(size_t row) {
                  row);
 }
 
-Value SelectRunner::GroupColValue(int group_pos, uint64_t key) const {
-  // Decode the mixed-radix key back to the per-column code.
-  uint64_t divisor = 1;
-  for (size_t i = group_cols_.size(); i-- > static_cast<size_t>(group_pos) + 1;) {
-    divisor *= group_dict_sizes_[i];
+void SelectRunner::MergeFrom(SelectRunner&& other) {
+  const size_t naggs = static_cast<size_t>(std::max(1, num_aggs_));
+  const auto merge_states = [naggs](AggState* into, const AggState* from) {
+    for (size_t a = 0; a < naggs; ++a) {
+      into[a].sum += from[a].sum;
+      into[a].count += from[a].count;
+      if (from[a].min < into[a].min) into[a].min = from[a].min;
+      if (from[a].max > into[a].max) into[a].max = from[a].max;
+    }
+  };
+
+  if (!aggregation_) {
+    projected_rows_.insert(
+        projected_rows_.end(),
+        std::make_move_iterator(other.projected_rows_.begin()),
+        std::make_move_iterator(other.projected_rows_.end()));
+    return;
   }
+  if (groups_categorical_) {
+    if (dense_) {
+      for (uint64_t key : other.dense_keys_in_order_) {
+        if (!dense_seen_[key]) {
+          dense_seen_[key] = 1;
+          dense_keys_in_order_.push_back(key);
+        }
+        merge_states(&dense_states_[key * naggs],
+                     &other.dense_states_[key * naggs]);
+      }
+    } else {
+      for (size_t idx = 0; idx < other.hash_keys_.size(); ++idx) {
+        const uint64_t key = other.hash_keys_[idx];
+        auto [it, inserted] = hash_slots_.try_emplace(
+            key, static_cast<uint32_t>(hash_keys_.size()));
+        if (inserted) {
+          hash_keys_.push_back(key);
+          hash_states_.resize(hash_states_.size() + naggs);
+        }
+        merge_states(&hash_states_[static_cast<size_t>(it->second) * naggs],
+                     &other.hash_states_[idx * naggs]);
+      }
+    }
+    return;
+  }
+  for (const auto& [key, slot] : other.generic_slots_) {
+    auto [it, inserted] = generic_slots_.try_emplace(
+        key, static_cast<uint32_t>(generic_keys_.size()));
+    if (inserted) {
+      generic_keys_.push_back(key);
+      generic_states_.resize(generic_states_.size() + naggs);
+    }
+    merge_states(&generic_states_[static_cast<size_t>(it->second) * naggs],
+                 &other.generic_states_[static_cast<size_t>(slot) * naggs]);
+  }
+}
+
+Value SelectRunner::GroupColValue(int group_pos, uint64_t key) const {
+  // Decode the mixed-radix key back to the per-column code using the
+  // strides precomputed at Plan() time.
+  const uint64_t divisor = group_strides_[static_cast<size_t>(group_pos)];
   const uint64_t code =
       (key / divisor) % group_dict_sizes_[static_cast<size_t>(group_pos)];
   return table_->DictValue(
@@ -316,6 +377,44 @@ Result<ResultSet> SelectRunner::Finish() {
   }
   ZV_RETURN_NOT_OK(ApplyOrderAndLimit(&rs));
   return rs;
+}
+
+namespace {
+
+/// Target rows per block and the cap on per-block runner state. The block
+/// count derived from these is a pure function of the table size.
+constexpr size_t kScanBlockRows = 16384;
+constexpr size_t kMaxScanBlocks = 32;
+
+}  // namespace
+
+Result<ResultSet> RunBlocked(
+    const Table& table, const sql::SelectStatement& stmt,
+    const std::function<void(size_t begin, size_t end, SelectRunner& runner)>&
+        scan_block) {
+  ZV_ASSIGN_OR_RETURN(SelectRunner runner, SelectRunner::Plan(table, stmt));
+  const size_t n = table.num_rows();
+  const size_t blocks =
+      std::min(kMaxScanBlocks, std::max<size_t>(1, n / kScanBlockRows));
+  if (blocks <= 1 || !runner.cheap_to_replicate()) {
+    scan_block(0, n, runner);
+    return runner.Finish();
+  }
+  std::vector<SelectRunner> runners;
+  runners.reserve(blocks);
+  runners.push_back(std::move(runner));
+  for (size_t b = 1; b < blocks; ++b) {
+    ZV_ASSIGN_OR_RETURN(SelectRunner block_runner,
+                        SelectRunner::Plan(table, stmt));
+    runners.push_back(std::move(block_runner));
+  }
+  ParallelFor(blocks, [&](size_t b) {
+    scan_block(n * b / blocks, n * (b + 1) / blocks, runners[b]);
+  });
+  for (size_t b = 1; b < blocks; ++b) {
+    runners[0].MergeFrom(std::move(runners[b]));
+  }
+  return runners[0].Finish();
 }
 
 }  // namespace zv

@@ -11,6 +11,7 @@
 #define ZV_ENGINE_SELECT_RUNNER_H_
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <map>
 #include <unordered_map>
@@ -36,6 +37,21 @@ class SelectRunner {
   /// Feeds one selected row id. Must be called in ascending row order for
   /// deterministic projection output.
   void Consume(size_t row);
+
+  /// Merges the accumulated state of `other` into this runner. `other`
+  /// must be planned from the same statement over the same table and must
+  /// have consumed a row range strictly after this runner's (projection
+  /// rows are appended in shard order). Aggregate states merge
+  /// associatively (sum/count add; min/max fold), so a partitioned scan
+  /// followed by merges produces exactly the serial Finish() output.
+  void MergeFrom(SelectRunner&& other);
+
+  /// True when a per-block copy of this runner's aggregation state is
+  /// cheap (the dense path preallocates total_groups slots per block, so
+  /// very wide dense group spaces are better scanned serially).
+  bool cheap_to_replicate() const {
+    return !dense_ || total_groups_ <= (1u << 15);
+  }
 
   /// Builds the final result (applies ORDER BY and LIMIT).
   Result<ResultSet> Finish();
@@ -75,6 +91,10 @@ class SelectRunner {
   // Aggregation state.
   std::vector<int> group_cols_;
   std::vector<uint64_t> group_dict_sizes_;
+  /// Mixed-radix divisor per group position (suffix products of
+  /// group_dict_sizes_), precomputed once at Plan() time so GroupColValue
+  /// does not rebuild the divisor loop for every emitted group x item.
+  std::vector<uint64_t> group_strides_;
   bool groups_categorical_ = true;
   uint64_t total_groups_ = 1;
   bool dense_ = false;
@@ -97,6 +117,21 @@ class SelectRunner {
   // Projection state.
   std::vector<std::vector<Value>> projected_rows_;
 };
+
+/// Drives a blocked — and, when ZV_THREADS allows, parallel — SELECT
+/// evaluation shared by both backends. The table's row space is split into
+/// contiguous blocks whose *count depends only on the row count* (never on
+/// the worker count); `scan_block(begin, end, runner)` feeds each block's
+/// surviving rows (in ascending order) to its own SelectRunner, and the
+/// block partials merge in block order. Aggregation therefore associates
+/// floats identically at every thread count, and both backends produce the
+/// same bytes for the same surviving rows. Falls back to one serial runner
+/// when the table is small or the dense group state is too wide to
+/// replicate per block.
+Result<ResultSet> RunBlocked(
+    const Table& table, const sql::SelectStatement& stmt,
+    const std::function<void(size_t begin, size_t end, SelectRunner& runner)>&
+        scan_block);
 
 }  // namespace zv
 

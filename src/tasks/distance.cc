@@ -33,55 +33,63 @@ Result<DistanceMetric> DistanceMetricFromString(const std::string& s) {
 
 namespace {
 
-double Euclidean(const std::vector<double>& a, const std::vector<double>& b) {
-  const size_t n = std::max(a.size(), b.size());
+/// Converts a series into a probability distribution: shift to non-negative
+/// and normalize to sum 1, with additive smoothing. Reads n values from `a`
+/// and writes n values to `out` (which may not alias `a`).
+void ToDistributionSpan(const double* a, size_t n, double* out) {
+  double lo = 0;
+  for (size_t i = 0; i < n; ++i) lo = std::min(lo, a[i]);
+  double sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double v = a[i] - lo + 1e-9;
+    out[i] = v;
+    sum += v;
+  }
+  for (size_t i = 0; i < n; ++i) out[i] /= sum;
+}
+
+}  // namespace
+
+double EuclideanSpan(const double* a, const double* b, size_t n) {
   double s = 0;
   for (size_t i = 0; i < n; ++i) {
-    const double av = i < a.size() ? a[i] : 0;
-    const double bv = i < b.size() ? b[i] : 0;
-    s += (av - bv) * (av - bv);
+    const double d = a[i] - b[i];
+    s += d * d;
   }
   return std::sqrt(s);
 }
 
-double Dtw(const std::vector<double>& a, const std::vector<double>& b) {
-  const size_t n = a.size(), m = b.size();
-  if (n == 0 || m == 0) return Euclidean(a, b);
+double DtwSpan(const double* a, size_t na, const double* b, size_t nb) {
+  if (na == 0 || nb == 0) {
+    // Degenerate: fall back to L2 against an all-zero series.
+    double s = 0;
+    for (size_t i = 0; i < na; ++i) s += a[i] * a[i];
+    for (size_t i = 0; i < nb; ++i) s += b[i] * b[i];
+    return std::sqrt(s);
+  }
   constexpr double kInf = 1e300;
   // Rolling two-row DP.
-  std::vector<double> prev(m + 1, kInf), cur(m + 1, kInf);
+  std::vector<double> prev(nb + 1, kInf), cur(nb + 1, kInf);
   prev[0] = 0;
-  for (size_t i = 1; i <= n; ++i) {
+  for (size_t i = 1; i <= na; ++i) {
     cur[0] = kInf;
-    for (size_t j = 1; j <= m; ++j) {
-      const double cost = std::fabs(a[i - 1] - b[j - 1]);
+    const double ai = a[i - 1];
+    for (size_t j = 1; j <= nb; ++j) {
+      const double cost = std::fabs(ai - b[j - 1]);
       cur[j] = cost + std::min({prev[j], cur[j - 1], prev[j - 1]});
     }
     std::swap(prev, cur);
   }
-  return prev[m];
+  return prev[nb];
 }
 
-// Converts a series into a probability distribution: shift to non-negative
-// and normalize to sum 1, with additive smoothing.
-std::vector<double> ToDistribution(const std::vector<double>& a, size_t n) {
-  std::vector<double> p(n, 0.0);
-  double lo = 0;
-  for (size_t i = 0; i < a.size(); ++i) lo = std::min(lo, a[i]);
-  double sum = 0;
-  for (size_t i = 0; i < n; ++i) {
-    const double v = (i < a.size() ? a[i] : 0) - lo + 1e-9;
-    p[i] = v;
-    sum += v;
-  }
-  for (double& v : p) v /= sum;
-  return p;
-}
-
-double SymmetricKl(const std::vector<double>& a, const std::vector<double>& b) {
-  const size_t n = std::max(a.size(), b.size());
+double SymmetricKlSpan(const double* a, const double* b, size_t n) {
   if (n == 0) return 0;
-  const auto p = ToDistribution(a, n), q = ToDistribution(b, n);
+  std::vector<double> scratch(2 * n);
+  double* p = scratch.data();
+  double* q = scratch.data() + n;
+  ToDistributionSpan(a, n, p);
+  ToDistributionSpan(b, n, q);
   double kl_pq = 0, kl_qp = 0;
   for (size_t i = 0; i < n; ++i) {
     kl_pq += p[i] * std::log(p[i] / q[i]);
@@ -90,11 +98,13 @@ double SymmetricKl(const std::vector<double>& a, const std::vector<double>& b) {
   return 0.5 * (kl_pq + kl_qp);
 }
 
-// 1-D EMD between induced distributions = L1 distance of their CDFs.
-double Emd1d(const std::vector<double>& a, const std::vector<double>& b) {
-  const size_t n = std::max(a.size(), b.size());
+double Emd1dSpan(const double* a, const double* b, size_t n) {
   if (n == 0) return 0;
-  const auto p = ToDistribution(a, n), q = ToDistribution(b, n);
+  std::vector<double> scratch(2 * n);
+  double* p = scratch.data();
+  double* q = scratch.data() + n;
+  ToDistributionSpan(a, n, p);
+  ToDistributionSpan(b, n, q);
   double cdf_p = 0, cdf_q = 0, emd = 0;
   for (size_t i = 0; i < n; ++i) {
     cdf_p += p[i];
@@ -104,41 +114,70 @@ double Emd1d(const std::vector<double>& a, const std::vector<double>& b) {
   return emd;
 }
 
-}  // namespace
+double SpanDistance(const double* a, const double* b, size_t n,
+                    DistanceMetric metric) {
+  switch (metric) {
+    case DistanceMetric::kEuclidean:
+      return EuclideanSpan(a, b, n);
+    case DistanceMetric::kDtw:
+      return DtwSpan(a, n, b, n);
+    case DistanceMetric::kKlDivergence:
+      return SymmetricKlSpan(a, b, n);
+    case DistanceMetric::kEmd:
+      return Emd1dSpan(a, b, n);
+  }
+  return EuclideanSpan(a, b, n);
+}
 
 double VectorDistance(const std::vector<double>& a,
                       const std::vector<double>& b, DistanceMetric metric) {
-  switch (metric) {
-    case DistanceMetric::kEuclidean:
-      return Euclidean(a, b);
-    case DistanceMetric::kDtw:
-      return Dtw(a, b);
-    case DistanceMetric::kKlDivergence:
-      return SymmetricKl(a, b);
-    case DistanceMetric::kEmd:
-      return Emd1d(a, b);
+  if (metric == DistanceMetric::kDtw) {
+    return DtwSpan(a.data(), a.size(), b.data(), b.size());
   }
-  return Euclidean(a, b);
+  if (a.size() == b.size()) {
+    return SpanDistance(a.data(), b.data(), a.size(), metric);
+  }
+  // Zero-extend the shorter vector (the historical alignment behaviour for
+  // the pointwise and distribution metrics).
+  const size_t n = std::max(a.size(), b.size());
+  std::vector<double> pa(n, 0.0), pb(n, 0.0);
+  std::copy(a.begin(), a.end(), pa.begin());
+  std::copy(b.begin(), b.end(), pb.begin());
+  return SpanDistance(pa.data(), pb.data(), n, metric);
 }
 
 void NormalizeSeries(std::vector<double>* ys, Normalization norm) {
   if (ys->empty() || norm == Normalization::kNone) return;
+  NormalizeSpan(ys->data(), ys->size(), norm);
+}
+
+void NormalizeSpan(double* ys, size_t n, Normalization norm) {
+  if (n == 0 || norm == Normalization::kNone) return;
   switch (norm) {
     case Normalization::kZScore: {
-      const double m = Mean(*ys);
-      double sd = StdDev(*ys);
+      // Mean / sample standard deviation (n-1), bit-identical to the
+      // historical Mean()/StdDev() path in common/stats.h.
+      double sum = 0;
+      for (size_t i = 0; i < n; ++i) sum += ys[i];
+      const double m = sum / static_cast<double>(n);
+      double sd = 0;
+      if (n >= 2) {
+        double sq = 0;
+        for (size_t i = 0; i < n; ++i) sq += (ys[i] - m) * (ys[i] - m);
+        sd = std::sqrt(sq / static_cast<double>(n - 1));
+      }
       if (sd < 1e-12) sd = 1;
-      for (double& y : *ys) y = (y - m) / sd;
+      for (size_t i = 0; i < n; ++i) ys[i] = (ys[i] - m) / sd;
       break;
     }
     case Normalization::kMinMax: {
-      double lo = (*ys)[0], hi = (*ys)[0];
-      for (double y : *ys) {
-        lo = std::min(lo, y);
-        hi = std::max(hi, y);
+      double lo = ys[0], hi = ys[0];
+      for (size_t i = 0; i < n; ++i) {
+        lo = std::min(lo, ys[i]);
+        hi = std::max(hi, ys[i]);
       }
       const double span = hi - lo < 1e-12 ? 1 : hi - lo;
-      for (double& y : *ys) y = (y - lo) / span;
+      for (size_t i = 0; i < n; ++i) ys[i] = (ys[i] - lo) / span;
       break;
     }
     case Normalization::kNone:
@@ -154,7 +193,12 @@ double Distance(const Visualization& a, const Visualization& b,
                     : AlignToMatrix({&a, &b});
   NormalizeSeries(&matrix[0], norm);
   NormalizeSeries(&matrix[1], norm);
-  return VectorDistance(matrix[0], matrix[1], metric);
+  if (metric == DistanceMetric::kDtw) {
+    return DtwSpan(matrix[0].data(), matrix[0].size(), matrix[1].data(),
+                   matrix[1].size());
+  }
+  return SpanDistance(matrix[0].data(), matrix[1].data(), matrix[0].size(),
+                      metric);
 }
 
 }  // namespace zv

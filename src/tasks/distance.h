@@ -6,6 +6,7 @@
 #ifndef ZV_TASKS_DISTANCE_H_
 #define ZV_TASKS_DISTANCE_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -40,12 +41,41 @@ enum class Alignment {
   kInterpolate,  ///< linear interpolation (§10.1 future work, implemented)
 };
 
-/// Distance between raw vectors (already aligned).
+/// --- Contiguous span kernels --------------------------------------------
+///
+/// The metric inner loops over pre-aligned, equal-length series. They take
+/// raw pointers into contiguous buffers (no per-call allocation except the
+/// DP/distribution scratch DTW/KL/EMD need), so the compiler can vectorize
+/// them and ScoringContext can score straight out of its row-major matrix.
+
+/// Pointwise L2 over n aligned points.
+double EuclideanSpan(const double* a, const double* b, size_t n);
+
+/// Dynamic time warping between series of possibly different lengths.
+double DtwSpan(const double* a, size_t na, const double* b, size_t nb);
+
+/// Symmetrized KL divergence of the induced probability distributions.
+double SymmetricKlSpan(const double* a, const double* b, size_t n);
+
+/// 1-D earth mover's distance (L1 of the induced CDFs).
+double Emd1dSpan(const double* a, const double* b, size_t n);
+
+/// Dispatches to the span kernel for `metric` (equal-length series).
+double SpanDistance(const double* a, const double* b, size_t n,
+                    DistanceMetric metric);
+
+/// Distance between raw vectors (already aligned). Vectors of unequal
+/// length are zero-extended to the longer one (DTW compares the raw
+/// lengths), matching the historical behaviour.
 double VectorDistance(const std::vector<double>& a,
                       const std::vector<double>& b, DistanceMetric metric);
 
 /// Normalizes in place.
 void NormalizeSeries(std::vector<double>* ys, Normalization norm);
+
+/// Normalizes a contiguous span in place (the kernel behind
+/// NormalizeSeries; used by ScoringContext on its row-major buffer).
+void NormalizeSpan(double* ys, size_t n, Normalization norm);
 
 /// Distance between two visualizations: aligns them over the union of
 /// their x values (zero-filling or interpolating gaps), normalizes, and

@@ -1,9 +1,11 @@
 #include "tasks/kmeans.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace zv {
@@ -64,9 +66,11 @@ KMeansResult KMeans(const std::vector<std::vector<double>>& points, size_t k,
   result.assignment.assign(n, 0);
 
   for (int iter = 0; iter < max_iters; ++iter) {
-    bool changed = false;
-    // Assign.
-    for (size_t i = 0; i < n; ++i) {
+    // Assign. Each point's nearest centroid is independent; assignment[i]
+    // is a preallocated slot, so the parallel result is identical to the
+    // serial one at any thread count.
+    std::atomic<bool> changed{false};
+    ParallelFor(n, [&](size_t i) {
       double best = std::numeric_limits<double>::infinity();
       int best_c = 0;
       for (size_t c = 0; c < k; ++c) {
@@ -78,10 +82,10 @@ KMeansResult KMeans(const std::vector<std::vector<double>>& points, size_t k,
       }
       if (result.assignment[i] != best_c) {
         result.assignment[i] = best_c;
-        changed = true;
+        changed.store(true, std::memory_order_relaxed);
       }
-    }
-    if (!changed && iter > 0) break;
+    });
+    if (!changed.load(std::memory_order_relaxed) && iter > 0) break;
     // Update.
     std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
     std::vector<size_t> counts(k, 0);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/parallel.h"
 #include "common/stats.h"
 
 namespace zv {
@@ -61,14 +62,17 @@ std::vector<double> OutlierScores(const std::vector<const Visualization*>& set,
   if (references.empty()) {
     for (const auto& c : km.centroids) references.push_back(&c);
   }
-  for (size_t i = 0; i < matrix.size(); ++i) {
+  // Each candidate's reference distance is independent — fan the loop out
+  // over the pool; scores[i] is a preallocated slot, so the result is
+  // identical at any thread count.
+  ParallelFor(matrix.size(), [&](size_t i) {
     double best = -1;
     for (const auto* centroid : references) {
       const double d = VectorDistance(matrix[i], *centroid, opts.metric);
       if (best < 0 || d < best) best = d;
     }
     scores[i] = best < 0 ? 0 : best;
-  }
+  });
   return scores;
 }
 
@@ -102,6 +106,9 @@ size_t AutoRepresentativeCount(const std::vector<const Visualization*>& set,
 TaskLibrary TaskLibrary::Default(const TaskOptions& opts) {
   TaskLibrary lib;
   lib.trend = Trend;
+  lib.default_options = opts;
+  lib.distance_is_default = true;
+  lib.trend_is_default = true;
   lib.distance = [opts](const Visualization& a, const Visualization& b) {
     return Distance(a, b, opts.metric, opts.normalization, opts.alignment);
   };

@@ -65,6 +65,22 @@ struct TaskLibrary {
                                     size_t)>
       representatives;
 
+  /// The options `Default()` built `distance` with. When
+  /// `distance_is_default` is true, the ZQL executor may score D() calls
+  /// through a shared ScoringContext constructed with these options instead
+  /// of calling `distance` once per pair — identical results, one alignment
+  /// pass. Installing a custom `distance` must clear the flag.
+  ///
+  /// The `*_is_default` flags also gate *parallel* scoring: the executor
+  /// fans a Process declaration's combinations over the thread pool only
+  /// when every call in its expression is a default (stateless, thread-
+  /// safe) primitive. Custom trend/distance functions and user process
+  /// functions are never required to be thread-safe — expressions using
+  /// them are scored serially, exactly as before.
+  TaskOptions default_options;
+  bool distance_is_default = false;
+  bool trend_is_default = false;
+
   /// Builds a library using the default primitives with `opts`.
   static TaskLibrary Default(const TaskOptions& opts = {});
 };

@@ -1,6 +1,7 @@
 #include "tasks/recommender.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 namespace zv {
 
@@ -27,10 +28,11 @@ std::vector<Recommendation> RecommendDiverse(
                    });
   // Deduplicate medoids that collapsed to the same candidate.
   std::vector<Recommendation> dedup;
+  dedup.reserve(out.size());
+  std::unordered_set<size_t> seen;
+  seen.reserve(out.size());
   for (const auto& r : out) {
-    bool seen = false;
-    for (const auto& d : dedup) seen |= d.index == r.index;
-    if (!seen) dedup.push_back(r);
+    if (seen.insert(r.index).second) dedup.push_back(r);
   }
   return dedup;
 }

@@ -51,13 +51,7 @@ std::string Visualization::DebugString() const {
          spec.ToString() + ")";
 }
 
-namespace {
-
-/// Linearly interpolates the entries of `row` marked missing, using the
-/// nearest present neighbours; edge gaps copy the nearest present value.
-void InterpolateMissing(std::vector<double>* row,
-                        const std::vector<uint8_t>& present) {
-  const size_t n = row->size();
+void InterpolateMissingSpan(double* row, const uint8_t* present, size_t n) {
   size_t i = 0;
   while (i < n) {
     if (present[i]) {
@@ -72,59 +66,64 @@ void InterpolateMissing(std::vector<double>* row,
     if (!has_left && !has_right) return;  // nothing present at all
     for (size_t k = i; k < j; ++k) {
       if (has_left && has_right) {
-        const double left = (*row)[i - 1];
-        const double right = (*row)[j];
+        const double left = row[i - 1];
+        const double right = row[j];
         const double frac = static_cast<double>(k - i + 1) /
                             static_cast<double>(j - i + 1);
-        (*row)[k] = left + (right - left) * frac;
+        row[k] = left + (right - left) * frac;
       } else if (has_left) {
-        (*row)[k] = (*row)[i - 1];
+        row[k] = row[i - 1];
       } else {
-        (*row)[k] = (*row)[j];
+        row[k] = row[j];
       }
     }
     i = j;
   }
 }
 
-}  // namespace
+AlignmentLayout ComputeAlignmentLayout(
+    const std::vector<const Visualization*>& visuals) {
+  AlignmentLayout layout;
+  // Union of all x values, sorted.
+  for (const Visualization* v : visuals) {
+    for (const Value& x : v->xs) layout.x_index.emplace(x, 0);
+  }
+  size_t pos = 0;
+  for (auto& [x, idx] : layout.x_index) idx = pos++;
+  layout.width = layout.x_index.size();
+  // Max series count; visualizations with fewer series zero-fill.
+  for (const Visualization* v : visuals) {
+    layout.max_series = std::max(layout.max_series, v->series.size());
+  }
+  return layout;
+}
+
+void FillAlignedRow(const Visualization& v, const AlignmentLayout& layout,
+                    double* row, uint8_t* present) {
+  for (size_t si = 0; si < v.series.size(); ++si) {
+    const auto& ys = v.series[si].ys;
+    for (size_t i = 0; i < v.xs.size() && i < ys.size(); ++i) {
+      const size_t at = si * layout.width + layout.x_index.at(v.xs[i]);
+      row[at] = ys[i];
+      if (present != nullptr) present[at] = 1;
+    }
+  }
+}
 
 std::vector<std::vector<double>> AlignToMatrixInterpolated(
     const std::vector<const Visualization*>& visuals) {
-  std::map<Value, size_t> x_index;
-  for (const Visualization* v : visuals) {
-    for (const Value& x : v->xs) x_index.emplace(x, 0);
-  }
-  size_t pos = 0;
-  for (auto& [x, idx] : x_index) idx = pos++;
-  const size_t width = x_index.size();
-  size_t max_series = 1;
-  for (const Visualization* v : visuals) {
-    max_series = std::max(max_series, v->series.size());
-  }
+  const AlignmentLayout layout = ComputeAlignmentLayout(visuals);
   std::vector<std::vector<double>> matrix;
   matrix.reserve(visuals.size());
   for (const Visualization* v : visuals) {
-    std::vector<double> row(width * max_series, 0.0);
-    std::vector<uint8_t> present(width * max_series, 0);
-    for (size_t si = 0; si < v->series.size(); ++si) {
-      const auto& ys = v->series[si].ys;
-      for (size_t i = 0; i < v->xs.size() && i < ys.size(); ++i) {
-        const size_t at = si * width + x_index.at(v->xs[i]);
-        row[at] = ys[i];
-        present[at] = 1;
-      }
-    }
+    std::vector<double> row(layout.row_size(), 0.0);
+    std::vector<uint8_t> present(layout.row_size(), 0);
+    FillAlignedRow(*v, layout, row.data(), present.data());
     // Interpolate each series segment independently.
-    for (size_t si = 0; si < max_series; ++si) {
-      std::vector<double> segment(row.begin() + static_cast<ptrdiff_t>(si * width),
-                                  row.begin() + static_cast<ptrdiff_t>((si + 1) * width));
-      std::vector<uint8_t> seg_present(
-          present.begin() + static_cast<ptrdiff_t>(si * width),
-          present.begin() + static_cast<ptrdiff_t>((si + 1) * width));
-      InterpolateMissing(&segment, seg_present);
-      std::copy(segment.begin(), segment.end(),
-                row.begin() + static_cast<ptrdiff_t>(si * width));
+    for (size_t si = 0; si < layout.max_series; ++si) {
+      InterpolateMissingSpan(row.data() + si * layout.width,
+                             present.data() + si * layout.width,
+                             layout.width);
     }
     matrix.push_back(std::move(row));
   }
@@ -133,29 +132,12 @@ std::vector<std::vector<double>> AlignToMatrixInterpolated(
 
 std::vector<std::vector<double>> AlignToMatrix(
     const std::vector<const Visualization*>& visuals) {
-  // Union of all x values, sorted.
-  std::map<Value, size_t> x_index;
-  for (const Visualization* v : visuals) {
-    for (const Value& x : v->xs) x_index.emplace(x, 0);
-  }
-  size_t pos = 0;
-  for (auto& [x, idx] : x_index) idx = pos++;
-  const size_t width = x_index.size();
-  // Max series count; visualizations with fewer series zero-fill.
-  size_t max_series = 1;
-  for (const Visualization* v : visuals) {
-    max_series = std::max(max_series, v->series.size());
-  }
+  const AlignmentLayout layout = ComputeAlignmentLayout(visuals);
   std::vector<std::vector<double>> matrix;
   matrix.reserve(visuals.size());
   for (const Visualization* v : visuals) {
-    std::vector<double> row(width * max_series, 0.0);
-    for (size_t si = 0; si < v->series.size(); ++si) {
-      const auto& ys = v->series[si].ys;
-      for (size_t i = 0; i < v->xs.size() && i < ys.size(); ++i) {
-        row[si * width + x_index.at(v->xs[i])] = ys[i];
-      }
-    }
+    std::vector<double> row(layout.row_size(), 0.0);
+    FillAlignedRow(*v, layout, row.data(), nullptr);
     matrix.push_back(std::move(row));
   }
   return matrix;

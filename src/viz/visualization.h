@@ -10,6 +10,9 @@
 #ifndef ZV_VIZ_VISUALIZATION_H_
 #define ZV_VIZ_VISUALIZATION_H_
 
+#include <cstddef>
+#include <cstdint>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -67,6 +70,28 @@ struct Visualization {
   std::string DebugString() const;
 };
 
+/// \brief The shared alignment convention: the sorted union x-index, its
+/// width, and the widest series count of a visualization set. Every aligner
+/// (AlignToMatrix, AlignToMatrixInterpolated, ScoringContext) derives its
+/// layout from here so the convention cannot silently diverge.
+struct AlignmentLayout {
+  std::map<Value, size_t> x_index;  ///< x value -> sorted position
+  size_t width = 0;                 ///< x_index.size()
+  size_t max_series = 1;            ///< widest series count (>= 1)
+
+  size_t row_size() const { return width * max_series; }
+};
+
+AlignmentLayout ComputeAlignmentLayout(
+    const std::vector<const Visualization*>& visuals);
+
+/// Writes v's zero-filled aligned row into `row` (layout.row_size() slots,
+/// already zeroed) and, when `present` is non-null, flags the cells v
+/// actually populates. This is the one definition of the zero-fill and
+/// presence rules.
+void FillAlignedRow(const Visualization& v, const AlignmentLayout& layout,
+                    double* row, uint8_t* present);
+
 /// Aligns a set of visualizations over the union of their x values (in
 /// sorted order), zero-filling missing points, and returns one row-vector
 /// per visualization — the matrix form consumed by k-means and pairwise
@@ -82,6 +107,12 @@ std::vector<std::vector<double>> AlignToMatrix(
 /// interpolation techniques to populate the missing points".
 std::vector<std::vector<double>> AlignToMatrixInterpolated(
     const std::vector<const Visualization*>& visuals);
+
+/// Linearly interpolates the entries of row[0..n) whose `present` flag is 0,
+/// using the nearest present neighbours; edge gaps copy the nearest present
+/// value. The kernel behind AlignToMatrixInterpolated, shared with
+/// ScoringContext's pairwise slow path.
+void InterpolateMissingSpan(double* row, const uint8_t* present, size_t n);
 
 }  // namespace zv
 

@@ -5,8 +5,10 @@
 #include <chrono>
 #include <set>
 
+#include "common/parallel.h"
 #include "common/strings.h"
 #include "sql/parser.h"
+#include "tasks/series_cache.h"
 #include "viz/binning.h"
 #include "zql/parser.h"
 
@@ -1403,6 +1405,14 @@ class ZqlExecutor::State {
                           ResolveVisual(e.args[0], env));
       ZV_ASSIGN_OR_RETURN(const Visualization* g,
                           ResolveVisual(e.args[1], env));
+      if (scoring_ctx_ != nullptr) {
+        auto fi = scoring_index_.find(f);
+        auto gi = scoring_index_.find(g);
+        if (fi != scoring_index_.end() && gi != scoring_index_.end()) {
+          return scoring_ctx_->PairDistance(
+              fi->second, gi->second, opts_.tasks.default_options.metric);
+        }
+      }
       return opts_.tasks.distance(*f, *g);
     }
     auto it = opts_.user_functions.find(e.func);
@@ -1415,6 +1425,60 @@ class ZqlExecutor::State {
       args.push_back(f);
     }
     return it->second(args);
+  }
+
+  /// True when every call in the expression tree is a default primitive —
+  /// the precondition for scoring combinations on pool workers. User
+  /// process functions and custom trend/distance hooks may capture mutable
+  /// state and are never called concurrently.
+  bool ExprParallelSafe(const ProcessExpr& e) const {
+    if (e.kind == ProcessExpr::Kind::kReduce) {
+      return e.child == nullptr || ExprParallelSafe(*e.child);
+    }
+    if (e.func == "T") return opts_.tasks.trend_is_default;
+    if (e.func == "D") return opts_.tasks.distance_is_default;
+    return false;  // user function: unknown thread-safety
+  }
+
+  /// Collects the component names appearing as D(f, g) arguments anywhere
+  /// in a process expression tree.
+  static void CollectDComponents(const ProcessExpr& e,
+                                 std::set<std::string>* out) {
+    if (e.kind == ProcessExpr::Kind::kReduce) {
+      if (e.child) CollectDComponents(*e.child, out);
+      return;
+    }
+    if (e.func == "D") {
+      for (const std::string& a : e.args) out->insert(a);
+    }
+  }
+
+  /// Builds the shared ScoringContext for one process declaration: every
+  /// visualization of every component referenced by a D() call is aligned
+  /// and normalized exactly once, instead of once per scored pair. Only
+  /// active when the task library's distance is the default one (a custom
+  /// distance must keep being called per pair).
+  void PrepareScoring(const ProcessDecl& decl) {
+    scoring_ctx_.reset();
+    scoring_index_.clear();
+    if (!opts_.tasks.distance_is_default || decl.expr == nullptr) return;
+    std::set<std::string> dcomps;
+    CollectDComponents(*decl.expr, &dcomps);
+    if (dcomps.empty()) return;
+    std::vector<const Visualization*> pool;
+    for (const std::string& name : dcomps) {
+      auto it = comps_.find(name);
+      if (it == comps_.end() || !it->second->ready) return;  // EvalExpr errors
+      for (const Visualization& v : it->second->visuals) {
+        if (scoring_index_.emplace(&v, pool.size()).second) {
+          pool.push_back(&v);
+        }
+      }
+    }
+    if (pool.empty()) return;
+    const TaskOptions& topts = opts_.tasks.default_options;
+    scoring_ctx_ = std::make_unique<ScoringContext>(pool, topts.normalization,
+                                                    topts.alignment);
   }
 
   Status RunProcess(const ProcessDecl& decl) {
@@ -1436,16 +1500,36 @@ class ZqlExecutor::State {
     for (const auto& d : doms) total *= d->size();
     if (total == 0) return Status::InvalidArgument("empty iteration domain");
 
+    PrepareScoring(decl);
+    // Score the flattened Cartesian domain. When every call in the
+    // expression is a default primitive (stateless, thread-safe), fan the
+    // combinations over the pool: shared state — vars_, comps_, the
+    // scoring context — is read-only here and each combination writes only
+    // its own scores[i] slot, so results are byte-identical at any
+    // ZV_THREADS and errors surface as the lowest combination index,
+    // exactly like the serial loop. Custom trend/distance implementations
+    // and user process functions carry no thread-safety contract, so
+    // expressions using them keep the serial loop.
     std::vector<double> scores(total, 0.0);
-    Env env;
-    for (size_t i = 0; i < total; ++i) {
+    auto score_one = [&](size_t i) -> Status {
+      Env env;
       size_t rem = i;
       for (size_t di = doms.size(); di-- > 0;) {
         env[doms[di].get()] = rem % doms[di]->size();
         rem /= doms[di]->size();
       }
       ZV_ASSIGN_OR_RETURN(scores[i], EvalExpr(*decl.expr, env));
+      return Status::OK();
+    };
+    Status scored = Status::OK();
+    if (ExprParallelSafe(*decl.expr)) {
+      scored = ParallelForStatus(total, score_one);
+    } else {
+      for (size_t i = 0; i < total && scored.ok(); ++i) scored = score_one(i);
     }
+    scoring_ctx_.reset();
+    scoring_index_.clear();
+    ZV_RETURN_NOT_OK(scored);
     const std::vector<size_t> selected =
         ApplyMechanism(decl.mech, scores, decl.filter);
 
@@ -1538,6 +1622,12 @@ class ZqlExecutor::State {
   std::vector<std::shared_ptr<Component>> pinned_comps_;
   std::vector<PendingFetch> buffer_;
   ZqlStats stats_;
+
+  /// Batch-scoring state for the process declaration currently being
+  /// evaluated (see PrepareScoring). Read-only while the parallel scoring
+  /// loop runs; reset afterwards.
+  std::unique_ptr<ScoringContext> scoring_ctx_;
+  std::map<const Visualization*, size_t> scoring_index_;
 };
 
 // ===========================================================================

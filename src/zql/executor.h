@@ -50,7 +50,10 @@ struct NamedSets {
 };
 
 /// User-defined Process function: receives the visualizations bound to its
-/// arguments and returns a score (treated as a black box, §3.8).
+/// arguments and returns a score (treated as a black box, §3.8). Never
+/// called concurrently — expressions containing user functions (or custom
+/// TaskLibrary hooks) are scored serially; only the default, stateless
+/// primitives ride the ZV_THREADS pool.
 using UserProcessFn =
     std::function<double(const std::vector<const Visualization*>&)>;
 

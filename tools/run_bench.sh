@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs the Figure-7 benchmark harnesses and assembles their machine-readable
+# records into BENCH_fig7.json — the perf trajectory future PRs diff against.
+#
+# Usage: tools/run_bench.sh [build_dir] [output.json]
+#   build_dir   directory with the bench_fig7_* binaries (default: build)
+#   output.json destination (default: BENCH_fig7.json in the repo root)
+#
+# Knobs (environment):
+#   ZV_BENCH_SCALE   workload multiplier (default 1; benches document their
+#                    paper-scale values)
+#   ZV_THREADS       worker count for the parallel paths; the fig7_1 scoring
+#                    section additionally sweeps 1 vs 4 itself
+#   ZV_BENCH_ONLY    space-separated list of harness names to run
+#                    (default: "bench_fig7_1 bench_fig7_2 bench_fig7_3
+#                    bench_fig7_4 bench_fig7_5")
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build}"
+OUT="${2:-$ROOT/BENCH_fig7.json}"
+BENCHES="${ZV_BENCH_ONLY:-bench_fig7_1 bench_fig7_2 bench_fig7_3 bench_fig7_4 bench_fig7_5}"
+
+LINES="$(mktemp)"
+trap 'rm -f "$LINES"' EXIT
+
+for bench in $BENCHES; do
+  bin="$BUILD_DIR/$bench"
+  if [[ ! -x "$bin" ]]; then
+    echo "skipping $bench (not built at $bin)" >&2
+    continue
+  fi
+  echo "== running $bench =="
+  ZV_BENCH_JSON="$LINES" "$bin"
+done
+
+# Wrap the JSON lines into one array, with run metadata up front.
+{
+  printf '{\n'
+  printf '  "scale": "%s",\n' "${ZV_BENCH_SCALE:-1}"
+  printf '  "threads": "%s",\n' "${ZV_THREADS:-default}"
+  printf '  "records": [\n'
+  sed -e 's/^/    /' -e '$!s/$/,/' "$LINES"
+  printf '  ]\n'
+  printf '}\n'
+} > "$OUT"
+
+echo "wrote $(grep -c '"figure"' "$OUT") records to $OUT"
