@@ -31,6 +31,7 @@
 #include "engine/scan_db.h"
 #include "tasks/distance.h"
 #include "tasks/series_cache.h"
+#include "tasks/topk.h"
 #include "workload/datasets.h"
 #include "zql/executor.h"
 
@@ -194,6 +195,85 @@ void ScoringHotPath(JsonRecorder* recorder, zv::DistanceMetric metric,
                    {{"threads", "4"}, {"kind", "scoring"}});
 }
 
+/// Top-k pruned scoring vs the full scan on the same fig7 candidate
+/// workload: select the k visualizations nearest to the query. full =
+/// every exact ScoringContext distance + bounded-heap select; pruned =
+/// the SharedTopK bound feeding the early-termination kernels
+/// (PairDistanceBounded), serially and under ParallelFor at ZV_THREADS=4.
+/// The selected indices are asserted identical across all three — returns
+/// false (failing the harness) on any mismatch, so BENCH_fig7.json can
+/// never record speedups for a scan that stopped computing the right
+/// answer.
+bool TopKScoring(JsonRecorder* recorder, zv::DistanceMetric metric,
+                 const char* metric_name) {
+  const size_t n = zv::bench::ScaledRows(600);
+  const size_t points = 160;
+  const int rounds = metric == zv::DistanceMetric::kDtw ? 1 : 20;
+  const std::vector<zv::Visualization> candidates = MakeCandidates(n, points);
+  std::vector<const zv::Visualization*> set;
+  set.reserve(n);
+  for (const auto& v : candidates) set.push_back(&v);
+  const zv::ScoringContext ctx(set, zv::Normalization::kZScore,
+                               zv::Alignment::kZeroFill);
+
+  bool all_identical = true;
+  for (const size_t k : {size_t{1}, size_t{5}, size_t{20}}) {
+    zv::SetParallelThreads(1);
+    std::vector<size_t> full_sel, pruned_sel, parallel_sel;
+
+    zv::bench::WallTimer full_timer;
+    for (int r = 0; r < rounds; ++r) {
+      std::vector<double> scores(n);
+      for (size_t i = 0; i < n; ++i) {
+        scores[i] = ctx.PairDistance(0, i, metric);
+      }
+      full_sel = zv::TopKIndices(scores, k, zv::TopKOrder::kAscending);
+    }
+    const double full_ms = full_timer.ElapsedMs();
+
+    zv::bench::WallTimer pruned_timer;
+    for (int r = 0; r < rounds; ++r) {
+      zv::SharedTopK topk(k, zv::TopKOrder::kAscending);
+      for (size_t i = 0; i < n; ++i) {
+        const double d = ctx.PairDistanceBounded(0, i, metric, topk.bound());
+        if (!std::isinf(d)) topk.Offer(d, i);
+      }
+      pruned_sel = topk.SortedIndices();
+    }
+    const double pruned_ms = pruned_timer.ElapsedMs();
+
+    zv::SetParallelThreads(4);
+    zv::bench::WallTimer parallel_timer;
+    for (int r = 0; r < rounds; ++r) {
+      zv::SharedTopK topk(k, zv::TopKOrder::kAscending);
+      zv::ParallelFor(n, [&](size_t i) {
+        const double d = ctx.PairDistanceBounded(0, i, metric, topk.bound());
+        if (!std::isinf(d)) topk.Offer(d, i);
+      });
+      parallel_sel = topk.SortedIndices();
+    }
+    const double parallel_ms = parallel_timer.ElapsedMs();
+    zv::SetParallelThreads(0);
+
+    const bool identical = full_sel == pruned_sel && full_sel == parallel_sel;
+    all_identical &= identical;
+    std::printf(
+        "%-10s k=%-3zu %4zu cand x %3d rounds: full %8.1f ms | pruned(T1) "
+        "%8.1f ms (%.2fx) | pruned(T4) %8.1f ms (%.2fx) | identical: %s\n",
+        metric_name, k, n, rounds, full_ms, pruned_ms, full_ms / pruned_ms,
+        parallel_ms, full_ms / parallel_ms, identical ? "yes" : "NO");
+    const std::string prefix =
+        std::string("topk_") + metric_name + "/k" + std::to_string(k);
+    recorder->Record(prefix + "/full_t1", full_ms,
+                     {{"threads", "1"}, {"kind", "topk"}});
+    recorder->Record(prefix + "/pruned_t1", pruned_ms,
+                     {{"threads", "1"}, {"kind", "topk"}});
+    recorder->Record(prefix + "/pruned_t4", parallel_ms,
+                     {{"threads", "4"}, {"kind", "topk"}});
+  }
+  return all_identical;
+}
+
 /// End-to-end Table 5.2 run (Inter-Task batching) at ZV_THREADS=1 vs 4:
 /// the scoring loop, the k-means paths, and the partitioned table scan all
 /// ride the same pool.
@@ -277,6 +357,19 @@ int main() {
   ScoringHotPath(&recorder, zv::DistanceMetric::kEuclidean, "euclidean");
   ScoringHotPath(&recorder, zv::DistanceMetric::kDtw, "dtw");
 
+  PrintSubHeader("top-k pruned scoring vs full scan (argmin k nearest)");
+  std::printf("(pruned = early-termination kernels against the shared "
+              "k-th-best bound)\n");
+  bool topk_ok = TopKScoring(&recorder, zv::DistanceMetric::kEuclidean,
+                             "euclidean");
+  topk_ok &= TopKScoring(&recorder, zv::DistanceMetric::kDtw, "dtw");
+
   EndToEndThreads(&db, sets, &recorder);
+  if (!topk_ok) {
+    std::fprintf(stderr,
+                 "FATAL: pruned top-k selection diverged from the full "
+                 "scan\n");
+    return 1;
+  }
   return 0;
 }

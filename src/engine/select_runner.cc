@@ -1,6 +1,7 @@
 #include "engine/select_runner.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "common/parallel.h"
 #include "common/strings.h"
@@ -298,16 +299,46 @@ Status SelectRunner::ApplyOrderAndLimit(ResultSet* rs) const {
       }
       keys.emplace_back(idx, k.descending);
     }
-    std::stable_sort(rs->rows.begin(), rs->rows.end(),
-                     [&keys](const std::vector<Value>& a,
-                             const std::vector<Value>& b) {
-                       for (const auto& [idx, desc] : keys) {
-                         const int c = a[static_cast<size_t>(idx)].Compare(
-                             b[static_cast<size_t>(idx)]);
-                         if (c != 0) return desc ? c > 0 : c < 0;
-                       }
-                       return false;
-                     });
+    auto key_compare = [&keys](const std::vector<Value>& a,
+                               const std::vector<Value>& b) {
+      for (const auto& [idx, desc] : keys) {
+        const int c =
+            a[static_cast<size_t>(idx)].Compare(b[static_cast<size_t>(idx)]);
+        if (c != 0) return desc ? c > 0 : c < 0;
+      }
+      return false;
+    };
+    const size_t limit = static_cast<size_t>(stmt_.limit);
+    if (stmt_.limit >= 0 && rs->rows.size() > limit &&
+        limit <= rs->rows.size() / 2) {
+      // ORDER BY + LIMIT is a top-k problem: partially sort row *indices*
+      // with the original position as the tie-break, which reproduces the
+      // stable full sort's first `limit` rows exactly without ordering the
+      // (possibly much larger) tail. Limits past half the row count fall
+      // through to the stable sort — heap-selecting nearly everything at
+      // double compare cost (the tie-break comparator) would be slower
+      // than sorting once.
+      std::vector<size_t> order(rs->rows.size());
+      std::iota(order.begin(), order.end(), 0);
+      std::partial_sort(order.begin(), order.begin() + limit, order.end(),
+                        [&](size_t ia, size_t ib) {
+                          if (key_compare(rs->rows[ia], rs->rows[ib])) {
+                            return true;
+                          }
+                          if (key_compare(rs->rows[ib], rs->rows[ia])) {
+                            return false;
+                          }
+                          return ia < ib;
+                        });
+      std::vector<std::vector<Value>> kept;
+      kept.reserve(limit);
+      for (size_t i = 0; i < limit; ++i) {
+        kept.push_back(std::move(rs->rows[order[i]]));
+      }
+      rs->rows = std::move(kept);
+      return Status::OK();
+    }
+    std::stable_sort(rs->rows.begin(), rs->rows.end(), key_compare);
   }
   if (stmt_.limit >= 0 &&
       rs->rows.size() > static_cast<size_t>(stmt_.limit)) {

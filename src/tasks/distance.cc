@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/stats.h"
 #include "common/strings.h"
@@ -50,13 +51,70 @@ void ToDistributionSpan(const double* a, size_t n, double* out) {
 
 }  // namespace
 
+// Both Euclidean kernels accumulate through four independent partial sums
+// so the loop has no single carried dependence chain and auto-vectorizes;
+// they must stay structurally identical (same unroll, same tail, same final
+// combine) for the bounded kernel's completing calls to be bit-exact.
+
 double EuclideanSpan(const double* a, const double* b, size_t n) {
-  double s = 0;
-  for (size_t i = 0; i < n; ++i) {
-    const double d = a[i] - b[i];
-    s += d * d;
+  double s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double d0 = a[i] - b[i];
+    const double d1 = a[i + 1] - b[i + 1];
+    const double d2 = a[i + 2] - b[i + 2];
+    const double d3 = a[i + 3] - b[i + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
   }
-  return std::sqrt(s);
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    s0 += d * d;
+  }
+  return std::sqrt((s0 + s1) + (s2 + s3));
+}
+
+double EuclideanSpanBounded(const double* a, const double* b, size_t n,
+                            double bound) {
+  // No finite bound => no check can ever fire; take the unbounded kernel
+  // (bit-identical by construction) and spare the unpruned hot path the
+  // strided loop + periodic sqrt.
+  if (std::isinf(bound)) return EuclideanSpan(a, b, n);
+  // Check cadence: often enough to abandon early, seldom enough that the
+  // inner unrolled loop still vectorizes between checks.
+  constexpr size_t kCheckStride = 32;
+  double s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  size_t i = 0;
+  while (i + 4 <= n) {
+    const size_t stop = i + kCheckStride;
+    for (; i + 4 <= n && i + 4 <= stop; i += 4) {
+      const double d0 = a[i] - b[i];
+      const double d1 = a[i + 1] - b[i + 1];
+      const double d2 = a[i + 2] - b[i + 2];
+      const double d3 = a[i + 3] - b[i + 3];
+      s0 += d0 * d0;
+      s1 += d1 * d1;
+      s2 += d2 * d2;
+      s3 += d3 * d3;
+    }
+    // The partial sum only grows and sqrt is monotone, so once
+    // sqrt(partial) exceeds the bound the final distance must too. The
+    // comparison happens in *distance* space — comparing against
+    // bound*bound would spuriously abandon a candidate whose distance
+    // equals the bound exactly (squaring a rounded sqrt can round below
+    // the original sum), and exact ties must reach the collector for the
+    // index tie-break. Strict >: never abandons at the bound itself.
+    if (std::sqrt((s0 + s1) + (s2 + s3)) > bound) {
+      return std::numeric_limits<double>::infinity();
+    }
+  }
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    s0 += d * d;
+  }
+  return std::sqrt((s0 + s1) + (s2 + s3));
 }
 
 double DtwSpan(const double* a, size_t na, const double* b, size_t nb) {
@@ -78,6 +136,32 @@ double DtwSpan(const double* a, size_t na, const double* b, size_t nb) {
       const double cost = std::fabs(ai - b[j - 1]);
       cur[j] = cost + std::min({prev[j], cur[j - 1], prev[j - 1]});
     }
+    std::swap(prev, cur);
+  }
+  return prev[nb];
+}
+
+double DtwSpanBounded(const double* a, size_t na, const double* b, size_t nb,
+                      double bound) {
+  // No finite bound => the row-min bookkeeping is pure overhead on the
+  // dependence-bound DP loop; take the unbounded kernel (bit-identical).
+  if (std::isinf(bound)) return DtwSpan(a, na, b, nb);
+  if (na == 0 || nb == 0) return DtwSpan(a, na, b, nb);
+  constexpr double kInf = 1e300;
+  std::vector<double> prev(nb + 1, kInf), cur(nb + 1, kInf);
+  prev[0] = 0;
+  for (size_t i = 1; i <= na; ++i) {
+    cur[0] = kInf;
+    const double ai = a[i - 1];
+    double row_min = kInf;
+    for (size_t j = 1; j <= nb; ++j) {
+      const double cost = std::fabs(ai - b[j - 1]);
+      cur[j] = cost + std::min({prev[j], cur[j - 1], prev[j - 1]});
+      row_min = std::min(row_min, cur[j]);
+    }
+    // Every warping path passes through row i and later steps only add
+    // non-negative cost, so the final distance is >= min(cur row).
+    if (row_min > bound) return std::numeric_limits<double>::infinity();
     std::swap(prev, cur);
   }
   return prev[nb];
@@ -127,6 +211,22 @@ double SpanDistance(const double* a, const double* b, size_t n,
       return Emd1dSpan(a, b, n);
   }
   return EuclideanSpan(a, b, n);
+}
+
+double SpanDistanceBounded(const double* a, const double* b, size_t n,
+                           DistanceMetric metric, double bound) {
+  switch (metric) {
+    case DistanceMetric::kEuclidean:
+      return EuclideanSpanBounded(a, b, n, bound);
+    case DistanceMetric::kDtw:
+      return DtwSpanBounded(a, n, b, n, bound);
+    case DistanceMetric::kKlDivergence:
+    case DistanceMetric::kEmd:
+      // Distribution metrics renormalize over the whole span, so partial
+      // prefixes bound nothing — compute exactly.
+      return SpanDistance(a, b, n, metric);
+  }
+  return EuclideanSpanBounded(a, b, n, bound);
 }
 
 double VectorDistance(const std::vector<double>& a,

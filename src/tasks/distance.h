@@ -47,12 +47,37 @@ enum class Alignment {
 /// raw pointers into contiguous buffers (no per-call allocation except the
 /// DP/distribution scratch DTW/KL/EMD need), so the compiler can vectorize
 /// them and ScoringContext can score straight out of its row-major matrix.
+///
+/// The L2 kernel accumulates into four independent partial sums (4-wide
+/// unrolled), which breaks the loop-carried dependence and lets the
+/// compiler keep four vector accumulators in flight. The bounded variants
+/// below use the *identical* accumulation order, so a bounded call that
+/// runs to completion returns the exact same bits as the unbounded kernel
+/// (topk_test.cc asserts this) — the top-k pruned scan can mix the two
+/// freely without perturbing results.
 
 /// Pointwise L2 over n aligned points.
 double EuclideanSpan(const double* a, const double* b, size_t n);
 
+/// EuclideanSpan with early termination: once the partial distance (the
+/// sqrt of the growing sum of squares, checked every few unrolled blocks)
+/// exceeds `bound`, the candidate is provably farther than `bound` and
+/// +inf is returned. The comparison happens in distance space — see the
+/// implementation for why a squared-bound comparison would mis-prune exact
+/// ties. Completing calls are bit-identical to EuclideanSpan; bound = +inf
+/// never terminates early.
+double EuclideanSpanBounded(const double* a, const double* b, size_t n,
+                            double bound);
+
 /// Dynamic time warping between series of possibly different lengths.
 double DtwSpan(const double* a, size_t na, const double* b, size_t nb);
+
+/// DtwSpan with early abandoning: every warping path visits every row of
+/// the DP table and step costs are non-negative, so once an entire DP row
+/// exceeds `bound` the final distance must too — +inf is returned.
+/// Completing calls are bit-identical to DtwSpan.
+double DtwSpanBounded(const double* a, size_t na, const double* b, size_t nb,
+                      double bound);
 
 /// Symmetrized KL divergence of the induced probability distributions.
 double SymmetricKlSpan(const double* a, const double* b, size_t n);
@@ -63,6 +88,14 @@ double Emd1dSpan(const double* a, const double* b, size_t n);
 /// Dispatches to the span kernel for `metric` (equal-length series).
 double SpanDistance(const double* a, const double* b, size_t n,
                     DistanceMetric metric);
+
+/// Bounded dispatch: Euclidean and DTW route to their early-termination
+/// kernels (+inf once the distance provably exceeds `bound`); KL and EMD
+/// have no monotone partial form and fall through to the exact kernels.
+/// With bound = +inf this is bit-identical to SpanDistance for every
+/// metric.
+double SpanDistanceBounded(const double* a, const double* b, size_t n,
+                           DistanceMetric metric, double bound);
 
 /// Distance between raw vectors (already aligned). Vectors of unequal
 /// length are zero-extended to the longer one (DTW compares the raw

@@ -5,6 +5,7 @@
 
 #include "common/parallel.h"
 #include "common/stats.h"
+#include "tasks/topk.h"
 
 namespace zv {
 
@@ -122,6 +123,23 @@ TaskLibrary TaskLibrary::Default(const TaskOptions& opts) {
 std::vector<size_t> ApplyMechanism(Mechanism mech,
                                    const std::vector<double>& scores,
                                    const MechanismFilter& filter) {
+  // k-limited argmin/argmax without a threshold is a pure top-k problem:
+  // a bounded heap selects the same indices in the same order as the
+  // stable argsort below (ties break by lower index either way), in
+  // O(n log k) instead of O(n log n). k <= 0 stays on the legacy path,
+  // whose cut-after-push loop returns one element for k = 0 — ZQL rejects
+  // such filters at parse time, but direct callers get the historical
+  // behavior.
+  if (filter.k.has_value() && *filter.k > 0 && !filter.t_above.has_value() &&
+      !filter.t_below.has_value() &&
+      (mech == Mechanism::kArgMin || mech == Mechanism::kArgMax)) {
+    const size_t k =
+        std::min(scores.size(), static_cast<size_t>(*filter.k));
+    return TopKIndices(scores, k,
+                       mech == Mechanism::kArgMin ? TopKOrder::kAscending
+                                                  : TopKOrder::kDescending);
+  }
+
   std::vector<size_t> order(scores.size());
   std::iota(order.begin(), order.end(), 0);
 

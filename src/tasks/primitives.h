@@ -43,6 +43,13 @@ std::vector<size_t> Representatives(
 /// Outlier scores: distance from each visualization to its nearest of the
 /// k representative centroids (§7.2's outlier search = representative
 /// search + max-min-distance). Higher = more anomalous.
+///
+/// The set is aligned + normalized once (shared AlignmentLayout
+/// convention) and the per-candidate reference distances fan out over the
+/// ZV_THREADS pool into preallocated slots — no per-pair re-alignment, and
+/// byte-identical scores at any thread count. Pair with
+/// TopKIndices(scores, k, TopKOrder::kDescending) (tasks/topk.h) to pull
+/// just the k strongest outliers without a full argsort.
 std::vector<double> OutlierScores(const std::vector<const Visualization*>& set,
                                   size_t k_representatives,
                                   const TaskOptions& opts = {});
@@ -104,6 +111,10 @@ struct MechanismFilter {
 ///  - with [k=n]: first n after ordering; with [t>v]/[t<v]: all passing,
 ///    ordered by score (increasing for t<, decreasing for t>; argany keeps
 ///    input order).
+///
+/// argmin/argmax with a [k=n] filter and no threshold select through a
+/// bounded top-k heap (tasks/topk.h) — O(n log k), byte-identical indices
+/// and order to the stable full argsort.
 std::vector<size_t> ApplyMechanism(Mechanism mech,
                                    const std::vector<double>& scores,
                                    const MechanismFilter& filter);

@@ -1,7 +1,12 @@
 #include "tasks/recommender.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_set>
+
+#include "common/parallel.h"
+#include "tasks/series_cache.h"
+#include "tasks/topk.h"
 
 namespace zv {
 
@@ -10,6 +15,8 @@ std::vector<Recommendation> RecommendDiverse(
     const RecommenderOptions& opts) {
   std::vector<Recommendation> out;
   if (candidates.empty() || opts.k == 0) return out;
+  // One global alignment + normalization pass (the shared AlignmentLayout
+  // convention); k-means then works on plain row vectors.
   auto matrix = AlignToMatrix(candidates);
   for (auto& row : matrix) {
     NormalizeSeries(&row, opts.task_options.normalization);
@@ -35,6 +42,36 @@ std::vector<Recommendation> RecommendDiverse(
     if (seen.insert(r.index).second) dedup.push_back(r);
   }
   return dedup;
+}
+
+std::vector<SimilarResult> RecommendSimilar(
+    const Visualization& query,
+    const std::vector<const Visualization*>& candidates, size_t k,
+    const TaskOptions& opts) {
+  std::vector<SimilarResult> out;
+  if (candidates.empty() || k == 0) return out;
+  // Context row 0 is the query; candidate i lands in row i + 1.
+  std::vector<const Visualization*> pool;
+  pool.reserve(candidates.size() + 1);
+  pool.push_back(&query);
+  for (const Visualization* c : candidates) pool.push_back(c);
+  const ScoringContext ctx(pool, opts.normalization, opts.alignment);
+
+  SharedTopK topk(std::min(k, candidates.size()), TopKOrder::kAscending);
+  ParallelFor(candidates.size(), [&](size_t i) {
+    const double bound = topk.bound();
+    const double d = ctx.PairDistanceBounded(0, i + 1, opts.metric, bound);
+    // +inf under a *finite* bound marks a kernel abandoned past it —
+    // provably outside the top k, so dropping it cannot change the
+    // selection. Under an infinite bound no abandonment is possible: +inf
+    // is then the exact distance (overflowing un-normalized data) and must
+    // still compete, ranked last with index tie-breaks like any score.
+    if (!std::isinf(d) || std::isinf(bound)) topk.Offer(d, i);
+  });
+  for (const ScoredIndex& s : topk.Sorted()) {
+    out.push_back({s.index, s.score});
+  }
+  return out;
 }
 
 }  // namespace zv

@@ -1,7 +1,9 @@
 /// \file recommender.h
 /// \brief The zenvisage Recommendation Service (§6.2): given the
 /// visualizations for the data the user is currently viewing, surface the
-/// k most *diverse* trends via k-means clustering (default k = 5).
+/// k most *diverse* trends via k-means clustering (default k = 5), or the
+/// k most *similar* ones to a probe visualization via top-k pruned
+/// distance scoring (§6.1).
 
 #ifndef ZV_TASKS_RECOMMENDER_H_
 #define ZV_TASKS_RECOMMENDER_H_
@@ -26,9 +28,37 @@ struct Recommendation {
 
 /// Returns up to k recommendations — the medoid of each k-means cluster,
 /// ordered by descending cluster size (most common trend first).
+///
+/// The candidate set is aligned and normalized exactly once over the shared
+/// AlignmentLayout convention (the same layout ScoringContext caches for
+/// the ZQL scoring loop); no per-pair re-alignment happens anywhere in the
+/// clustering.
 std::vector<Recommendation> RecommendDiverse(
     const std::vector<const Visualization*>& candidates,
     const RecommenderOptions& opts = {});
+
+/// \brief One similarity-search hit: candidate index + its exact distance
+/// to the query.
+struct SimilarResult {
+  size_t index;     ///< into the candidate set
+  double distance;  ///< exact D(query, candidate) under opts
+};
+
+/// Returns the k candidates most similar to `query` (§6.1: the
+/// drag-and-drop / sketch "find me more like this" interaction), ordered
+/// most-similar first with ties broken by lower index — exactly the first
+/// k of a stable argsort over D(query, candidate).
+///
+/// Scoring runs through a ScoringContext (every series aligned +
+/// normalized once) with the early-terminating distance kernels: a shared,
+/// only-ever-tightening top-k bound lets candidates that provably fall
+/// outside the top k abandon their kernel mid-span. The scan parallelizes
+/// over ZV_THREADS; the bound is a pure optimization, so results are
+/// byte-identical to the full scan at any thread count.
+std::vector<SimilarResult> RecommendSimilar(
+    const Visualization& query,
+    const std::vector<const Visualization*>& candidates, size_t k,
+    const TaskOptions& opts = {});
 
 }  // namespace zv
 

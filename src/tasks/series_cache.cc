@@ -1,6 +1,7 @@
 #include "tasks/series_cache.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 
 namespace zv {
@@ -80,12 +81,19 @@ void ScoringContext::BuildPairRow(size_t r,
 
 double ScoringContext::PairDistance(size_t i, size_t j,
                                     DistanceMetric metric) const {
+  return PairDistanceBounded(i, j, metric,
+                             std::numeric_limits<double>::infinity());
+}
+
+double ScoringContext::PairDistanceBounded(size_t i, size_t j,
+                                           DistanceMetric metric,
+                                           double bound) const {
   if (full_[i] && full_[j]) {
     // Both rows cover the whole global domain, so the pairwise union domain
     // equals the global domain and the cached normalized rows are exactly
     // what the legacy per-pair path would have built.
-    return SpanDistance(normalized_.Row(i), normalized_.Row(j),
-                        normalized_.cols, metric);
+    return SpanDistanceBounded(normalized_.Row(i), normalized_.Row(j),
+                               normalized_.cols, metric, bound);
   }
   // Pairwise restriction: the union of the two x sets, in global (sorted)
   // order, re-interpolated and re-normalized — the legacy computation minus
@@ -103,9 +111,9 @@ double ScoringContext::PairDistance(size_t i, size_t j,
   BuildPairRow(i, positions, pair_series, &a);
   BuildPairRow(j, positions, pair_series, &b);
   if (metric == DistanceMetric::kDtw) {
-    return DtwSpan(a.data(), a.size(), b.data(), b.size());
+    return DtwSpanBounded(a.data(), a.size(), b.data(), b.size(), bound);
   }
-  return SpanDistance(a.data(), b.data(), a.size(), metric);
+  return SpanDistanceBounded(a.data(), b.data(), a.size(), metric, bound);
 }
 
 }  // namespace zv

@@ -59,6 +59,15 @@ class ScoringContext {
   /// Distance(*set[i], *set[j], metric, norm, align).
   double PairDistance(size_t i, size_t j, DistanceMetric metric) const;
 
+  /// PairDistance with early termination for the top-k pruned scan: once
+  /// the partial distance provably exceeds `bound` (see the bounded span
+  /// kernels in distance.h), scoring stops and +inf is returned — the
+  /// candidate cannot enter a top-k whose k-th best is `bound`. Calls that
+  /// run to completion return exactly PairDistance(i, j, metric), so
+  /// mixing bounded and unbounded calls never perturbs a selection.
+  double PairDistanceBounded(size_t i, size_t j, DistanceMetric metric,
+                             double bound) const;
+
   /// The set aligned over the global x-domain and normalized per row —
   /// exactly AlignToMatrix/AlignToMatrixInterpolated(set) + NormalizeSeries
   /// per row, but contiguous. Rows feed k-means and the outlier scorer.

@@ -1,0 +1,84 @@
+#include "tasks/topk.h"
+
+#include <algorithm>
+
+namespace zv {
+
+void TopKCollector::SiftUp(size_t i) {
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (!WorseThan(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void TopKCollector::SiftDown(size_t i) {
+  const size_t n = heap_.size();
+  while (true) {
+    const size_t l = 2 * i + 1;
+    const size_t r = l + 1;
+    size_t worst = i;
+    if (l < n && WorseThan(heap_[l], heap_[worst])) worst = l;
+    if (r < n && WorseThan(heap_[r], heap_[worst])) worst = r;
+    if (worst == i) return;
+    std::swap(heap_[i], heap_[worst]);
+    i = worst;
+  }
+}
+
+void TopKCollector::Offer(double score, size_t index) {
+  if (k_ == 0) return;
+  if (heap_.size() < k_) {
+    heap_.push_back({score, index});
+    SiftUp(heap_.size() - 1);
+    return;
+  }
+  // Full: the candidate enters only if it orders strictly before the worst
+  // kept one (the root). Equal (score, index) pairs cannot occur — indices
+  // are unique — so strictness matches the stable-argsort prefix exactly.
+  if (!TopKBefore(order_, score, index, heap_[0].score, heap_[0].index)) {
+    return;
+  }
+  heap_[0] = {score, index};
+  SiftDown(0);
+}
+
+std::vector<ScoredIndex> TopKCollector::Sorted() const {
+  std::vector<ScoredIndex> out = heap_;
+  std::sort(out.begin(), out.end(),
+            [this](const ScoredIndex& a, const ScoredIndex& b) {
+              return TopKBefore(order_, a.score, a.index, b.score, b.index);
+            });
+  return out;
+}
+
+std::vector<size_t> TopKCollector::SortedIndices() const {
+  std::vector<size_t> out;
+  const std::vector<ScoredIndex> sorted = Sorted();
+  out.reserve(sorted.size());
+  for (const ScoredIndex& s : sorted) out.push_back(s.index);
+  return out;
+}
+
+void SharedTopK::Offer(double score, size_t index) {
+  // Fast reject: once the heap is full, a candidate strictly worse than the
+  // published bound can never enter. Score ties still take the lock (the
+  // index tie-break needs the real heap root), but those are rare.
+  const double b = bound_.load(std::memory_order_relaxed);
+  if (collector_.order() == TopKOrder::kAscending ? score > b : score < b) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  collector_.Offer(score, index);
+  bound_.store(collector_.Bound(), std::memory_order_relaxed);
+}
+
+std::vector<size_t> TopKIndices(const std::vector<double>& scores, size_t k,
+                                TopKOrder order) {
+  TopKCollector topk(k, order);
+  for (size_t i = 0; i < scores.size(); ++i) topk.Offer(scores[i], i);
+  return topk.SortedIndices();
+}
+
+}  // namespace zv

@@ -1,0 +1,143 @@
+/// \file topk.h
+/// \brief Bounded top-k selection for the scoring hot path: a fixed-size
+/// heap that keeps the k best (score, index) candidates seen so far, a
+/// thread-safe variant whose current k-th-best score is published as a
+/// relaxed atomic *pruning bound* for the early-termination distance
+/// kernels, and a TopKIndices() helper that replaces full argsorts.
+///
+/// Selection contract (shared with ApplyMechanism): candidates are ordered
+/// by score — ascending for argmin-style selection, descending for
+/// argmax-style — with ties broken by the lower index. That is exactly the
+/// order a stable argsort produces, so "the first k of the stable argsort"
+/// and "the contents of a TopKCollector after offering every candidate"
+/// are byte-identical, which topk_test.cc asserts.
+///
+/// The pruning bound is a pure optimization: at any moment it is >= the
+/// *final* k-th best score (scores only improve as more candidates are
+/// seen), so a candidate whose partial distance already exceeds it is
+/// provably outside the final top-k and may be abandoned. Abandonment
+/// timing therefore never changes the selected set — results are identical
+/// at any ZV_THREADS, no matter how workers interleave bound updates.
+
+#ifndef ZV_TASKS_TOPK_H_
+#define ZV_TASKS_TOPK_H_
+
+#include <atomic>
+#include <cstddef>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+namespace zv {
+
+/// One scored candidate.
+struct ScoredIndex {
+  double score = 0;
+  size_t index = 0;
+};
+
+/// Selection order: kAscending keeps the k *smallest* scores (argmin,
+/// similarity search), kDescending the k largest (argmax).
+enum class TopKOrder { kAscending, kDescending };
+
+/// True when candidate (sa, ia) is selected before (sb, ib) under `order`
+/// — the comparator behind every top-k path and the stable argsort it
+/// must reproduce.
+inline bool TopKBefore(TopKOrder order, double sa, size_t ia, double sb,
+                       size_t ib) {
+  if (sa != sb) return order == TopKOrder::kAscending ? sa < sb : sa > sb;
+  return ia < ib;
+}
+
+/// \brief Fixed-capacity top-k accumulator: a binary heap whose root is the
+/// *worst* kept candidate, so Offer() is O(1) for the common reject case
+/// and O(log k) otherwise. Not thread-safe (see SharedTopK).
+class TopKCollector {
+ public:
+  TopKCollector(size_t k, TopKOrder order) : k_(k), order_(order) {}
+
+  size_t k() const { return k_; }
+  TopKOrder order() const { return order_; }
+  size_t size() const { return heap_.size(); }
+  /// k = 0 never counts as full: Bound() must keep returning the no-op
+  /// bound (nothing is ever kept, but nothing may be pruned by an empty
+  /// heap either).
+  bool full() const { return k_ > 0 && heap_.size() >= k_; }
+
+  /// The current k-th best score: the score a candidate must beat to enter
+  /// the heap. +inf (ascending) / -inf (descending) until k candidates have
+  /// been offered — no pruning is possible before the heap is full.
+  double Bound() const {
+    if (!full()) {
+      return order_ == TopKOrder::kAscending
+                 ? std::numeric_limits<double>::infinity()
+                 : -std::numeric_limits<double>::infinity();
+    }
+    return heap_.front().score;
+  }
+
+  /// Offers one candidate; keeps it iff it belongs to the k best seen.
+  void Offer(double score, size_t index);
+
+  /// The kept candidates in selection order (best first) — the first
+  /// min(k, offered) entries of the stable argsort.
+  std::vector<ScoredIndex> Sorted() const;
+
+  /// Sorted(), indices only.
+  std::vector<size_t> SortedIndices() const;
+
+ private:
+  /// True when a orders strictly after b — "worse first" heap order.
+  bool WorseThan(const ScoredIndex& a, const ScoredIndex& b) const {
+    return TopKBefore(order_, b.score, b.index, a.score, a.index);
+  }
+  void SiftDown(size_t i);
+  void SiftUp(size_t i);
+
+  size_t k_;
+  TopKOrder order_;
+  std::vector<ScoredIndex> heap_;  ///< root = worst kept candidate
+};
+
+/// \brief Thread-safe top-k accumulator shared by ParallelFor workers.
+///
+/// Offer() takes a mutex only when the candidate might enter the heap
+/// (score not worse than the published bound), which becomes rare once the
+/// heap warms up; the fast reject path is one relaxed atomic load. bound()
+/// is monotone — it only ever tightens — and reading a slightly stale value
+/// merely prunes less, never differently: the final selection is identical
+/// regardless of interleaving (see file header).
+class SharedTopK {
+ public:
+  SharedTopK(size_t k, TopKOrder order) : collector_(k, order) {
+    bound_.store(collector_.Bound(), std::memory_order_relaxed);
+  }
+
+  /// The current pruning bound (>= the final k-th best score, ascending
+  /// order; <= it for descending). Relaxed: staleness is safe.
+  double bound() const { return bound_.load(std::memory_order_relaxed); }
+
+  void Offer(double score, size_t index);
+
+  /// Kept candidates in selection order. Call only after all Offer()ing
+  /// threads have joined (ParallelFor provides that barrier).
+  std::vector<ScoredIndex> Sorted() const { return collector_.Sorted(); }
+  std::vector<size_t> SortedIndices() const {
+    return collector_.SortedIndices();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  TopKCollector collector_;  // guarded by mu_
+  std::atomic<double> bound_;
+};
+
+/// The first k of the stable argsort of `scores` under `order` — identical
+/// indices, in identical order, to sorting all of [0, n) and truncating,
+/// computed in O(n log k) instead of O(n log n).
+std::vector<size_t> TopKIndices(const std::vector<double>& scores, size_t k,
+                                TopKOrder order);
+
+}  // namespace zv
+
+#endif  // ZV_TASKS_TOPK_H_

@@ -1,14 +1,17 @@
 #include "zql/executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <chrono>
+#include <cmath>
 #include <set>
 
 #include "common/parallel.h"
 #include "common/strings.h"
 #include "sql/parser.h"
 #include "tasks/series_cache.h"
+#include "tasks/topk.h"
 #include "viz/binning.h"
 #include "zql/parser.h"
 
@@ -1481,6 +1484,88 @@ class ZqlExecutor::State {
                                                     topts.alignment);
   }
 
+  /// True when `decl` can take the top-k pruned scan: an argmin mechanism
+  /// with a [k=n] filter (and no threshold — thresholds need every exact
+  /// score), whose expression is a bare D(f, g) call scored through the
+  /// shared ScoringContext. argmax cannot prune at the kernel level: a
+  /// growing partial distance lower-bounds the final value, which proves
+  /// "too far" (argmin rejects) but never "not far enough" (argmax needs
+  /// an upper bound). Pruning with fewer than k candidates is vacuous, so
+  /// k >= total short-circuits to the plain scan.
+  bool PrunableTopK(const ProcessDecl& decl, size_t total) const {
+    if (!opts_.topk_pruning || scoring_ctx_ == nullptr) return false;
+    if (decl.kind != ProcessDecl::Kind::kMechanism ||
+        decl.mech != Mechanism::kArgMin) {
+      return false;
+    }
+    if (!decl.filter.k.has_value() || decl.filter.t_above.has_value() ||
+        decl.filter.t_below.has_value()) {
+      return false;
+    }
+    if (static_cast<size_t>(*decl.filter.k) >= total) return false;
+    const ProcessExpr* e = decl.expr.get();
+    return e != nullptr && e->kind == ProcessExpr::Kind::kCall &&
+           e->func == "D" && e->args.size() == 2;
+  }
+
+  /// The top-k pruned scan: scores every combination like the plain loop,
+  /// but shares the running k-th best distance (SharedTopK's relaxed
+  /// atomic bound, which only ever tightens) across workers and hands it to
+  /// the early-termination kernels. Abandoned combinations record +inf in
+  /// their slot — each is provably outside the final top k, so
+  /// ApplyMechanism still selects exactly the candidates (in exactly the
+  /// order) the full scan would, at any ZV_THREADS.
+  /// Always runs under ParallelForStatus: PrunableTopK requires an active
+  /// ScoringContext (default distance) and a bare D(f, g) call, which is
+  /// exactly what makes ExprParallelSafe true — and ZV_THREADS=1 already
+  /// runs the loop inline on the calling thread.
+  Status ScorePrunedTopK(const ProcessDecl& decl,
+                         const std::vector<std::shared_ptr<VarDomain>>& doms,
+                         size_t total, std::vector<double>* scores) {
+    const size_t k =
+        std::min(total, static_cast<size_t>(*decl.filter.k));
+    const DistanceMetric metric = opts_.tasks.default_options.metric;
+    SharedTopK topk(k, TopKOrder::kAscending);
+    std::atomic<uint64_t> pruned{0};
+    auto score_one = [&](size_t i) -> Status {
+      Env env;
+      size_t rem = i;
+      for (size_t di = doms.size(); di-- > 0;) {
+        env[doms[di].get()] = rem % doms[di]->size();
+        rem /= doms[di]->size();
+      }
+      ZV_ASSIGN_OR_RETURN(const Visualization* f,
+                          ResolveVisual(decl.expr->args[0], env));
+      ZV_ASSIGN_OR_RETURN(const Visualization* g,
+                          ResolveVisual(decl.expr->args[1], env));
+      const auto fi = scoring_index_.find(f);
+      const auto gi = scoring_index_.find(g);
+      if (fi == scoring_index_.end() || gi == scoring_index_.end()) {
+        // PrepareScoring pools every D() component, so this is unreachable;
+        // score exactly rather than fail if it ever regresses.
+        (*scores)[i] = opts_.tasks.distance(*f, *g);
+        topk.Offer((*scores)[i], i);
+        return Status::OK();
+      }
+      const double bound = topk.bound();
+      const double d = scoring_ctx_->PairDistanceBounded(
+          fi->second, gi->second, metric, bound);
+      (*scores)[i] = d;
+      // +inf under a finite bound = kernel abandoned; under an infinite
+      // bound no abandonment is possible, so +inf is the exact distance
+      // and still competes (and must not count as pruned).
+      if (std::isinf(d) && !std::isinf(bound)) {
+        pruned.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        topk.Offer(d, i);
+      }
+      return Status::OK();
+    };
+    const Status scored = ParallelForStatus(total, score_one);
+    stats_.scores_pruned += pruned.load(std::memory_order_relaxed);
+    return scored;
+  }
+
   Status RunProcess(const ProcessDecl& decl) {
     if (decl.kind == ProcessDecl::Kind::kRepresentative) {
       return RunRepresentative(decl);
@@ -1510,6 +1595,10 @@ class ZqlExecutor::State {
     // exactly like the serial loop. Custom trend/distance implementations
     // and user process functions carry no thread-safety contract, so
     // expressions using them keep the serial loop.
+    //
+    // argmin[k=n] over a bare D(f, g) additionally takes the top-k pruned
+    // scan (ScorePrunedTopK): same slots, same selected set, but candidates
+    // provably outside the top k abandon their distance kernel early.
     std::vector<double> scores(total, 0.0);
     auto score_one = [&](size_t i) -> Status {
       Env env;
@@ -1522,7 +1611,9 @@ class ZqlExecutor::State {
       return Status::OK();
     };
     Status scored = Status::OK();
-    if (ExprParallelSafe(*decl.expr)) {
+    if (PrunableTopK(decl, total)) {
+      scored = ScorePrunedTopK(decl, doms, total, &scores);
+    } else if (ExprParallelSafe(*decl.expr)) {
       scored = ParallelForStatus(total, score_one);
     } else {
       for (size_t i = 0; i < total && scored.ok(); ++i) scored = score_one(i);

@@ -66,12 +66,22 @@ struct ZqlOptions {
   /// order (one entry per statement; batch boundaries are not marked) —
   /// the observable form of the §5.1 ZQL→SQL translation.
   std::vector<std::string>* sql_trace = nullptr;
+  /// Top-k pruned scoring for `argmin[k=n] D(f, g)` process declarations
+  /// scored through a ScoringContext: candidates whose partial distance
+  /// already exceeds the current k-th best are abandoned mid-kernel. A pure
+  /// optimization — selected visualizations are byte-identical with the
+  /// flag off (topk_test.cc asserts it); exposed so tests and benches can
+  /// compare against the full scan.
+  bool topk_pruning = true;
 };
 
 /// \brief Execution instrumentation for the Chapter 7 experiments.
 struct ZqlStats {
   uint64_t sql_queries = 0;   ///< SELECT statements issued
   uint64_t sql_requests = 0;  ///< backend round trips
+  /// Candidates abandoned mid-kernel by top-k pruned scoring (a subset of
+  /// the scored combinations; 0 when pruning is off or never applicable).
+  uint64_t scores_pruned = 0;
   double total_ms = 0;
   double exec_ms = 0;     ///< time inside the database backend
   double compute_ms = 0;  ///< Process column (task processor) time

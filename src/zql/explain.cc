@@ -46,6 +46,44 @@ void CollectExprComponents(const ProcessExpr& e, std::set<std::string>* out) {
   }
 }
 
+void CollectExprFuncs(const ProcessExpr& e, std::set<std::string>* out) {
+  if (e.kind == ProcessExpr::Kind::kCall) {
+    out->insert(e.func);
+  } else if (e.child) {
+    CollectExprFuncs(*e.child, out);
+  }
+}
+
+/// How the default task library scores this declaration: D() calls go
+/// through the shared ScoringContext (one alignment pass, parallel scan),
+/// and an argmin[k=n] over a bare D(f, g) additionally takes the top-k
+/// pruned scan with early-terminating kernels. Anything calling a
+/// non-default function is scored serially, one pair at a time.
+std::string DescribeTaskScoring(const ProcessDecl& p) {
+  if (p.kind == ProcessDecl::Kind::kRepresentative) {
+    return StrFormat("R k=%lld: k-means medoids",
+                     static_cast<long long>(p.repr_k));
+  }
+  std::set<std::string> funcs;
+  if (p.expr) CollectExprFuncs(*p.expr, &funcs);
+  bool user_fn = false;
+  for (const std::string& f : funcs) user_fn |= f != "T" && f != "D";
+  if (user_fn) return "user fn: serial per-pair scoring";
+  if (funcs.count("D")) {
+    std::string out = "D: ScoringContext batch scan";
+    const bool bare_d = p.expr->kind == ProcessExpr::Kind::kCall &&
+                        p.expr->args.size() == 2;
+    if (bare_d && p.mech == Mechanism::kArgMin && p.filter.k.has_value() &&
+        !p.filter.t_above.has_value() && !p.filter.t_below.has_value()) {
+      out += StrFormat(", top-k pruned k=%lld",
+                       static_cast<long long>(*p.filter.k));
+    }
+    return out;
+  }
+  if (funcs.count("T")) return "T: parallel trend scan";
+  return "";
+}
+
 }  // namespace
 
 Result<QueryPlan> ExplainQuery(const ZqlQuery& query) {
@@ -106,6 +144,7 @@ Result<QueryPlan> ExplainQuery(const ZqlQuery& query) {
       if (!p.repr_component.empty()) comps.insert(p.repr_component);
       if (p.expr) CollectExprComponents(*p.expr, &comps);
       for (const auto& o : p.outputs) info.task_outputs.push_back(o);
+      info.task_scoring.push_back(DescribeTaskScoring(p));
     }
     comps.erase(row.name.name);
 
@@ -186,6 +225,11 @@ std::string QueryPlan::ToString() const {
     }
     if (row.has_task) {
       out += "  task -> {" + Join(row.task_outputs, ", ") + "}";
+      std::vector<std::string> notes;
+      for (const std::string& note : row.task_scoring) {
+        if (!note.empty()) notes.push_back(note);
+      }
+      if (!notes.empty()) out += " [" + Join(notes, "; ") + "]";
     }
     out += "\n";
   }

@@ -26,6 +26,12 @@ struct QueryPlan {
     std::vector<std::string> declares_vars;
     /// Variables produced by this row's tasks.
     std::vector<std::string> task_outputs;
+    /// One note per Process declaration describing how the default task
+    /// library will score it: batch ScoringContext vs. serial per-pair
+    /// calls, and whether the top-k pruned scan applies (argmin[k=n] over
+    /// a bare D(f, g)). A custom TaskLibrary downgrades batch paths to
+    /// per-pair at run time; EXPLAIN reports the default-library plan.
+    std::vector<std::string> task_scoring;
     /// Components referenced (by tasks or derivations).
     std::vector<std::string> consumes_components;
     /// Inter-Task wave this row's fetch lands in (0-based).

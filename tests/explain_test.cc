@@ -67,6 +67,38 @@ TEST(ExplainTest, UndefinedVariableIsCircular) {
   EXPECT_FALSE(ExplainQuery(q).ok());
 }
 
+// Task scoring annotations: a bare argmin[k=n] D(f, g) is reported as
+// ScoringContext-batched and top-k pruned; trend scans and user functions
+// are labelled with their own paths.
+TEST(ExplainTest, AnnotatesTaskScoringPaths) {
+  ZV_ASSERT_OK_AND_ASSIGN(
+      ZqlQuery q,
+      ParseQuery(
+          "f1 | 'year' | 'sales' | v1 <- 'product'.* | | |\n"
+          "f2 | 'year' | 'sales' | 'product'.'chair' | | | v2 <- "
+          "argmin_v1[k=2] D(f1, f2)\n"
+          "f4 | 'year' | 'profit' | v1 | | | v3 <- argany_v1[t > 0] T(f4)\n"
+          "*f3 | 'year' | 'profit' | v2 | | |"));
+  ZV_ASSERT_OK_AND_ASSIGN(QueryPlan plan, ExplainQuery(q));
+  ASSERT_EQ(plan.rows[1].task_scoring.size(), 1u);
+  EXPECT_EQ(plan.rows[1].task_scoring[0],
+            "D: ScoringContext batch scan, top-k pruned k=2");
+  ASSERT_EQ(plan.rows[2].task_scoring.size(), 1u);
+  EXPECT_EQ(plan.rows[2].task_scoring[0], "T: parallel trend scan");
+  const std::string rendered = plan.ToString();
+  EXPECT_NE(rendered.find("top-k pruned k=2"), std::string::npos);
+}
+
+TEST(ExplainTest, UserFunctionsAnnotatedSerial) {
+  ZV_ASSERT_OK_AND_ASSIGN(
+      ZqlQuery q,
+      ParseQuery("*f1 | 'year' | 'sales' | v1 <- 'product'.* | | | v2 <- "
+                 "argmax_v1[k=1] MyScore(f1)"));
+  ZV_ASSERT_OK_AND_ASSIGN(QueryPlan plan, ExplainQuery(q));
+  ASSERT_EQ(plan.rows[0].task_scoring.size(), 1u);
+  EXPECT_EQ(plan.rows[0].task_scoring[0], "user fn: serial per-pair scoring");
+}
+
 TEST(ExplainTest, IndependentRowsShareWave) {
   ZV_ASSERT_OK_AND_ASSIGN(
       ZqlQuery q,

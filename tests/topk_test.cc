@@ -1,0 +1,364 @@
+/// \file topk_test.cc
+/// \brief The top-k pruned scoring contract: bounded kernels are
+/// bit-identical to the unbounded ones whenever they complete (and always
+/// at bound = +inf), and every pruned selection path — TopKCollector,
+/// ApplyMechanism's heap select, the ScoringContext scan, the ZQL
+/// argmin[k=n] path, RecommendSimilar — returns byte-identical results to
+/// the full-scan stable argsort, at every tested k and thread count.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "engine/scan_db.h"
+#include "tasks/distance.h"
+#include "tasks/primitives.h"
+#include "tasks/recommender.h"
+#include "tasks/series_cache.h"
+#include "tasks/topk.h"
+#include "tests/test_util.h"
+#include "zql/executor.h"
+
+namespace zv {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Reference selection: the first k of a stable argsort — the definition
+/// every top-k path must reproduce byte-for-byte.
+std::vector<size_t> StableArgsortPrefix(const std::vector<double>& scores,
+                                        size_t k, TopKOrder order) {
+  std::vector<size_t> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    return order == TopKOrder::kAscending ? scores[a] < scores[b]
+                                          : scores[a] > scores[b];
+  });
+  idx.resize(std::min(k, idx.size()));
+  return idx;
+}
+
+std::vector<double> RandomScores(size_t n, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> dist(0, 20);  // coarse => many ties
+  std::vector<double> out(n);
+  for (double& s : out) s = dist(rng) * 0.25;
+  return out;
+}
+
+TEST(TopKCollectorTest, MatchesStableArgsortPrefix) {
+  for (const TopKOrder order :
+       {TopKOrder::kAscending, TopKOrder::kDescending}) {
+    for (const size_t n : {size_t{1}, size_t{7}, size_t{100}}) {
+      const std::vector<double> scores = RandomScores(n, 17 + n);
+      for (const size_t k : {size_t{0}, size_t{1}, n / 2, n, n + 5}) {
+        TopKCollector topk(k, order);
+        for (size_t i = 0; i < n; ++i) topk.Offer(scores[i], i);
+        EXPECT_EQ(topk.SortedIndices(),
+                  StableArgsortPrefix(scores, k, order))
+            << "n=" << n << " k=" << k;
+        EXPECT_EQ(TopKIndices(scores, k, order),
+                  StableArgsortPrefix(scores, k, order));
+      }
+    }
+  }
+}
+
+TEST(TopKCollectorTest, BoundIsWorstKeptScore) {
+  TopKCollector topk(2, TopKOrder::kAscending);
+  EXPECT_EQ(topk.Bound(), kInf);
+  topk.Offer(5.0, 0);
+  EXPECT_EQ(topk.Bound(), kInf);  // not full yet: no pruning allowed
+  topk.Offer(3.0, 1);
+  EXPECT_EQ(topk.Bound(), 5.0);
+  topk.Offer(1.0, 2);  // evicts 5.0
+  EXPECT_EQ(topk.Bound(), 3.0);
+  topk.Offer(9.0, 3);  // rejected
+  EXPECT_EQ(topk.Bound(), 3.0);
+}
+
+TEST(SharedTopKTest, KZeroIsSafeAndKeepsNothing) {
+  SharedTopK topk(0, TopKOrder::kAscending);  // must not touch an empty heap
+  EXPECT_EQ(topk.bound(), kInf);              // and must never prune
+  topk.Offer(1.0, 0);
+  EXPECT_TRUE(topk.SortedIndices().empty());
+  EXPECT_EQ(topk.bound(), kInf);
+}
+
+TEST(SharedTopKTest, OfferUnderParallelForIsDeterministic) {
+  const std::vector<double> scores = RandomScores(500, 99);
+  const std::vector<size_t> want =
+      StableArgsortPrefix(scores, 7, TopKOrder::kAscending);
+  for (const size_t threads : {size_t{1}, size_t{4}}) {
+    SetParallelThreads(threads);
+    SharedTopK topk(7, TopKOrder::kAscending);
+    ParallelFor(scores.size(),
+                [&](size_t i) { topk.Offer(scores[i], i); });
+    EXPECT_EQ(topk.SortedIndices(), want) << "threads=" << threads;
+  }
+  SetParallelThreads(0);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded kernels
+// ---------------------------------------------------------------------------
+
+std::vector<double> RandomSeries(size_t n, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-3.0, 3.0);
+  std::vector<double> out(n);
+  for (double& v : out) v = dist(rng);
+  return out;
+}
+
+TEST(BoundedKernelTest, EuclideanEqualsUnboundedAtInfinity) {
+  // Lengths straddling the unroll width and the check stride.
+  for (const size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{4},
+                         size_t{31}, size_t{32}, size_t{33}, size_t{100},
+                         size_t{257}}) {
+    const std::vector<double> a = RandomSeries(n, 1 + n);
+    const std::vector<double> b = RandomSeries(n, 1000 + n);
+    const double exact = EuclideanSpan(a.data(), b.data(), n);
+    // Bit-exact at +inf and at any bound the distance does not exceed.
+    EXPECT_EQ(EuclideanSpanBounded(a.data(), b.data(), n, kInf), exact);
+    EXPECT_EQ(EuclideanSpanBounded(a.data(), b.data(), n, exact), exact);
+    EXPECT_EQ(EuclideanSpanBounded(a.data(), b.data(), n, exact + 1), exact);
+    // A bound clearly below the distance terminates early with +inf.
+    if (exact > 1e-9 && n >= 64) {
+      EXPECT_EQ(EuclideanSpanBounded(a.data(), b.data(), n, exact / 4), kInf);
+    }
+  }
+}
+
+TEST(BoundedKernelTest, DtwEqualsUnboundedAtInfinity) {
+  for (const size_t n : {size_t{0}, size_t{1}, size_t{5}, size_t{40}}) {
+    const std::vector<double> a = RandomSeries(n, 7 + n);
+    const std::vector<double> b = RandomSeries(n + 3, 70 + n);
+    const double exact = DtwSpan(a.data(), n, b.data(), b.size());
+    EXPECT_EQ(DtwSpanBounded(a.data(), n, b.data(), b.size(), kInf), exact);
+    EXPECT_EQ(DtwSpanBounded(a.data(), n, b.data(), b.size(), exact), exact);
+    if (exact > 1e-9 && n >= 40) {
+      EXPECT_EQ(DtwSpanBounded(a.data(), n, b.data(), b.size(), exact / 8),
+                kInf);
+    }
+  }
+}
+
+TEST(BoundedKernelTest, SpanDistanceBoundedCoversEveryMetric) {
+  const size_t n = 80;
+  const std::vector<double> a = RandomSeries(n, 3);
+  const std::vector<double> b = RandomSeries(n, 4);
+  for (const DistanceMetric m :
+       {DistanceMetric::kEuclidean, DistanceMetric::kDtw,
+        DistanceMetric::kKlDivergence, DistanceMetric::kEmd}) {
+    EXPECT_EQ(SpanDistanceBounded(a.data(), b.data(), n, m, kInf),
+              SpanDistance(a.data(), b.data(), n, m));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ApplyMechanism heap select
+// ---------------------------------------------------------------------------
+
+TEST(ApplyMechanismTest, KLimitHeapPathMatchesStableSort) {
+  const std::vector<double> scores = RandomScores(200, 5);
+  for (const auto mech : {Mechanism::kArgMin, Mechanism::kArgMax}) {
+    const TopKOrder order = mech == Mechanism::kArgMin
+                                ? TopKOrder::kAscending
+                                : TopKOrder::kDescending;
+    for (const int64_t k : {int64_t{1}, int64_t{100}, int64_t{200},
+                            int64_t{500}}) {
+      MechanismFilter filter;
+      filter.k = k;
+      EXPECT_EQ(
+          ApplyMechanism(mech, scores, filter),
+          StableArgsortPrefix(scores, static_cast<size_t>(k), order))
+          << "k=" << k;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ScoringContext pruned scan
+// ---------------------------------------------------------------------------
+
+/// Candidates over a shared x domain, with every third one missing a point
+/// so both the cached fast path and the pairwise-restriction slow path get
+/// exercised by the pruned scan.
+std::vector<Visualization> MakeCandidates(size_t n, size_t points) {
+  std::vector<Visualization> out;
+  out.reserve(n);
+  for (size_t c = 0; c < n; ++c) {
+    Visualization v;
+    v.x_attr = "t";
+    v.y_attr = "y";
+    Series s;
+    s.name = "y";
+    for (size_t i = 0; i < points; ++i) {
+      if (c % 3 == 2 && i == points / 2) continue;  // partial coverage
+      v.xs.push_back(Value::Int(static_cast<int64_t>(i)));
+      s.ys.push_back(std::sin(0.37 * static_cast<double>(c) +
+                              0.21 * static_cast<double>(i)) +
+                     0.03 * static_cast<double>(c % 13) *
+                         static_cast<double>(i));
+    }
+    v.series.push_back(std::move(s));
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+TEST(PrunedScanTest, ByteIdenticalToFullScanAtEveryKAndThreadCount) {
+  const size_t n = 120;
+  const std::vector<Visualization> candidates = MakeCandidates(n, 48);
+  std::vector<const Visualization*> set;
+  for (const auto& v : candidates) set.push_back(&v);
+  for (const DistanceMetric metric :
+       {DistanceMetric::kEuclidean, DistanceMetric::kDtw}) {
+    const ScoringContext ctx(set, Normalization::kZScore,
+                             Alignment::kZeroFill);
+    // Full scan: every exact distance to candidate 0, stable argsort.
+    std::vector<double> scores(n);
+    for (size_t i = 0; i < n; ++i) {
+      scores[i] = ctx.PairDistance(0, i, metric);
+    }
+    for (const size_t k : {size_t{1}, n / 2, n}) {
+      const std::vector<size_t> want =
+          StableArgsortPrefix(scores, k, TopKOrder::kAscending);
+      for (const size_t threads : {size_t{1}, size_t{4}}) {
+        SetParallelThreads(threads);
+        SharedTopK topk(k, TopKOrder::kAscending);
+        ParallelFor(n, [&](size_t i) {
+          const double d =
+              ctx.PairDistanceBounded(0, i, metric, topk.bound());
+          if (!std::isinf(d)) topk.Offer(d, i);
+        });
+        EXPECT_EQ(topk.SortedIndices(), want)
+            << "metric=" << DistanceMetricToString(metric) << " k=" << k
+            << " threads=" << threads;
+        // Survivors carry exact, bit-identical distances.
+        for (const ScoredIndex& s : topk.Sorted()) {
+          EXPECT_EQ(s.score, scores[s.index]);
+        }
+      }
+    }
+  }
+  SetParallelThreads(0);
+}
+
+TEST(PrunedScanTest, RecommendSimilarMatchesFullScan) {
+  const std::vector<Visualization> candidates = MakeCandidates(40, 24);
+  std::vector<const Visualization*> set;
+  for (const auto& v : candidates) set.push_back(&v);
+  const Visualization query = candidates[11];
+  TaskOptions opts;
+  std::vector<double> scores(set.size());
+  for (size_t i = 0; i < set.size(); ++i) {
+    scores[i] = Distance(query, *set[i], opts.metric, opts.normalization,
+                         opts.alignment);
+  }
+  for (const size_t k : {size_t{1}, size_t{20}, size_t{40}}) {
+    const std::vector<size_t> want =
+        StableArgsortPrefix(scores, k, TopKOrder::kAscending);
+    for (const size_t threads : {size_t{1}, size_t{4}}) {
+      SetParallelThreads(threads);
+      const std::vector<SimilarResult> got =
+          RecommendSimilar(query, set, k, opts);
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].index, want[i]);
+        EXPECT_EQ(got[i].distance, scores[want[i]]);
+      }
+    }
+  }
+  SetParallelThreads(0);
+}
+
+// ---------------------------------------------------------------------------
+// ZQL argmin[k=n] pruned path
+// ---------------------------------------------------------------------------
+
+class ZqlTopKTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ZV_ASSERT_OK(db_.RegisterTable(testing::MakeTinySales()));
+  }
+
+  zql::ZqlResult Run(const std::string& text, bool pruning, size_t threads) {
+    SetParallelThreads(threads);
+    zql::ZqlOptions opts;
+    opts.topk_pruning = pruning;
+    zql::ZqlExecutor exec(&db_, "sales", std::move(opts));
+    auto result = exec.ExecuteText(text);
+    SetParallelThreads(0);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? std::move(result).value() : zql::ZqlResult{};
+  }
+
+  ScanDatabase db_;
+};
+
+/// The most-similar-to-chair query: argmin over D against a fixed slice —
+/// the shape the pruned scan accelerates.
+constexpr const char* kArgminQuery =
+    "f1 | 'year' | 'sales' | v1 <- 'product'.* | | |\n"
+    "f2 | 'year' | 'sales' | 'product'.'chair' | | | v2 <- argmin_v1[k=2] "
+    "D(f1, f2)\n"
+    "*f3 | 'year' | 'profit' | v2 | | |";
+
+TEST_F(ZqlTopKTest, PrunedArgminByteIdenticalToFullScan) {
+  const zql::ZqlResult base = Run(kArgminQuery, /*pruning=*/false, 1);
+  ASSERT_EQ(base.outputs.size(), 1u);
+  for (const bool pruning : {false, true}) {
+    for (const size_t threads : {size_t{1}, size_t{4}}) {
+      const zql::ZqlResult got = Run(kArgminQuery, pruning, threads);
+      ASSERT_EQ(got.outputs.size(), base.outputs.size());
+      const auto& want_viz = base.outputs[0].visuals;
+      const auto& got_viz = got.outputs[0].visuals;
+      ASSERT_EQ(got_viz.size(), want_viz.size())
+          << "pruning=" << pruning << " threads=" << threads;
+      for (size_t i = 0; i < got_viz.size(); ++i) {
+        EXPECT_EQ(got_viz[i].Label(), want_viz[i].Label());
+        EXPECT_EQ(got_viz[i].xs, want_viz[i].xs);
+        EXPECT_EQ(got_viz[i].series, want_viz[i].series);
+      }
+    }
+  }
+}
+
+TEST_F(ZqlTopKTest, ArgmaxAndThresholdQueriesUnaffectedByPruningFlag) {
+  const char* queries[] = {
+      // argmax: kernel pruning must not engage (and must not change output).
+      "f1 | 'year' | 'sales' | v1 <- 'product'.* | | | v2 <- argmax_v1[k=2] "
+      "D(f1, f1)\n"
+      "*f3 | 'year' | 'profit' | v2 | | |",
+      // threshold: needs every exact score.
+      "f1 | 'year' | 'sales' | v1 <- 'product'.* | | | v2 <- argany_v1[t > "
+      "0] T(f1)\n"
+      "*f3 | 'year' | 'profit' | v2 | | |",
+  };
+  for (const char* q : queries) {
+    const zql::ZqlResult base = Run(q, false, 1);
+    const zql::ZqlResult got = Run(q, true, 4);
+    ASSERT_EQ(got.outputs.size(), base.outputs.size());
+    for (size_t o = 0; o < got.outputs.size(); ++o) {
+      ASSERT_EQ(got.outputs[o].visuals.size(),
+                base.outputs[o].visuals.size());
+      for (size_t i = 0; i < got.outputs[o].visuals.size(); ++i) {
+        EXPECT_EQ(got.outputs[o].visuals[i].Label(),
+                  base.outputs[o].visuals[i].Label());
+        EXPECT_EQ(got.outputs[o].visuals[i].series,
+                  base.outputs[o].visuals[i].series);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace zv

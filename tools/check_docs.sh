@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Docs drift gate (run by ctest): every primitive, mechanism, distance
+# metric, and chart type the code registers must be mentioned in
+# docs/zql_reference.md. The lists are extracted from the sources, not
+# hardcoded, so adding e.g. a new metric without documenting it fails CI.
+#
+# Usage: tools/check_docs.sh [repo_root]
+
+set -u
+
+ROOT="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+DOC="$ROOT/docs/zql_reference.md"
+
+fail=0
+missing() {
+  echo "check_docs: '$1' ($2) is not documented in docs/zql_reference.md" >&2
+  fail=1
+}
+
+if [[ ! -f "$DOC" ]]; then
+  echo "check_docs: missing $DOC" >&2
+  exit 1
+fi
+
+# Functional primitives the ZQL executor dispatches (T, D) and the parser's
+# representative call (R).
+exec_prims="$(grep -oE 'e\.func == "[A-Z]+"' "$ROOT/src/zql/executor.cc" |
+                grep -oE '"[A-Z]+"' | tr -d '"' | sort -u)"
+[[ -n "$exec_prims" ]] || {
+  echo "check_docs: no primitives extracted from executor.cc" >&2; exit 1; }
+prims="$exec_prims
+R"
+for p in $prims; do
+  # Match the primitive as a call, e.g. `T(f1)` / `D(f1, f2)` / `R(3, ...`.
+  grep -qE "\\b$p\\(" "$DOC" || missing "$p" "functional primitive"
+done
+
+# Mechanisms from the Process-cell parser.
+mechs="$(grep -oE 'StartsWith\(rhs, "arg[a-z]+"\)' "$ROOT/src/zql/parser.cc" |
+           grep -oE 'arg[a-z]+' | sort -u)"
+[[ -n "$mechs" ]] || { echo "check_docs: no mechanisms extracted" >&2; exit 1; }
+for m in $mechs; do
+  grep -q "$m" "$DOC" || missing "$m" "mechanism"
+done
+
+# Distance metric spellings accepted by DistanceMetricFromString.
+metrics="$(sed -n '/DistanceMetricFromString/,/^}/p' \
+             "$ROOT/src/tasks/distance.cc" |
+           grep -oE 'lower == "[a-z0-9]+"' | grep -oE '"[a-z0-9]+"' |
+           tr -d '"' | sort -u)"
+[[ -n "$metrics" ]] || { echo "check_docs: no metrics extracted" >&2; exit 1; }
+for m in $metrics; do
+  grep -qE "\\b$m\\b" "$DOC" || missing "$m" "distance metric"
+done
+
+# Chart type spellings accepted by ChartTypeFromString.
+charts="$(sed -n '/ChartTypeFromString/,/^}/p' "$ROOT/src/viz/viz_spec.cc" |
+          grep -oE 'lower == "[a-z]+"' | grep -oE '"[a-z]+"' |
+          tr -d '"' | sort -u)"
+[[ -n "$charts" ]] || { echo "check_docs: no chart types extracted" >&2; exit 1; }
+for c in $charts; do
+  grep -qE "\\b$c\\b" "$DOC" || missing "$c" "chart type"
+done
+
+if [[ "$fail" -ne 0 ]]; then
+  exit 1
+fi
+echo "check_docs: OK (primitives: $(echo $prims | tr '\n' ' ')| mechanisms:" \
+     "$(echo $mechs | tr '\n' ' ')| metrics: $(echo $metrics | tr '\n' ' ')|" \
+     "chart types: $(echo $charts | tr '\n' ' '))"
