@@ -1,0 +1,261 @@
+/// \file bench_serve.cc
+/// \brief Serving-layer bench: a closed-loop multi-session load generator
+/// against one QueryService, reporting end-to-end latency percentiles and
+/// cache effectiveness — the serving analogue of the Figure-7 harnesses.
+///
+/// The workload models the paper's interactive front end: S sessions (one
+/// per simulated user), each issuing its query mix in a closed loop
+/// (submit, wait, submit the next — per-session FIFO makes this the
+/// natural client shape). Queries are similarity searches and trend scans
+/// over disjoint product slices, so:
+///
+///   pass 1 (cold) — first issuance of every query: result-cache misses
+///     except where sessions genuinely share a query (the trend scan is
+///     product-independent, so same-measure sessions share it — cross-
+///     session sharing working as designed);
+///   pass 2 (warm) — the same queries re-issued: result-cache hits, the
+///     paper's "user tweaks one knob and re-runs" steady state.
+///
+/// Reported per pass: p50 / p99 / mean latency and the service cache hit
+/// rate; plus the repeat-query speedup (cold mean / warm mean — the
+/// acceptance bar for this layer is >= 10x). A third pass re-issues the
+/// queries with one constraint changed, isolating the ContextCache's
+/// contribution (result cache misses, alignment matrices reused).
+///
+/// Knobs: ZV_BENCH_SCALE (rows), ZV_THREADS (scoring pool), ZV_CACHE_MB /
+/// ZV_MAX_INFLIGHT / ZV_MAX_QUEUE (service), ZV_SERVE_SESSIONS (default 8).
+/// Set ZV_BENCH_JSON=<file> for machine-readable records (figure "serve").
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/strings.h"
+#include "server/query_service.h"
+#include "workload/datasets.h"
+
+namespace {
+
+using zv::bench::JsonRecorder;
+using zv::bench::PrintHeader;
+using zv::bench::PrintSubHeader;
+
+struct Percentiles {
+  double p50 = 0;
+  double p99 = 0;
+  double mean = 0;
+};
+
+Percentiles Summarize(std::vector<double> ms) {
+  Percentiles out;
+  if (ms.empty()) return out;
+  std::sort(ms.begin(), ms.end());
+  out.p50 = ms[ms.size() / 2];
+  out.p99 = ms[std::min(ms.size() - 1,
+                        static_cast<size_t>(
+                            static_cast<double>(ms.size()) * 0.99))];
+  double sum = 0;
+  for (double v : ms) sum += v;
+  out.mean = sum / static_cast<double>(ms.size());
+  return out;
+}
+
+/// The per-user query mix over one slice of products: a similarity search
+/// (argmin D over all products), a trend filter, and a top-k against a
+/// fixed reference product — the Table 5.1 / §7.2 shapes.
+std::vector<std::string> SessionQueries(const std::string& product,
+                                        const std::string& measure,
+                                        const std::string& constraint) {
+  std::vector<std::string> queries;
+  queries.push_back(zv::StrFormat(
+      "f1 | 'year' | '%s' | 'product'.'%s' | %s | |\n"
+      "*f2 | 'year' | '%s' | v1 <- 'product'.* | %s | | v2 <- "
+      "argmin_v1[k=3] D(f2, f1)",
+      measure.c_str(), product.c_str(), constraint.c_str(), measure.c_str(),
+      constraint.c_str()));
+  queries.push_back(zv::StrFormat(
+      "*f1 | 'year' | '%s' | v1 <- 'product'.* | %s | | v2 <- "
+      "argany_v1[t > 0] T(f1)",
+      measure.c_str(), constraint.c_str()));
+  queries.push_back(zv::StrFormat(
+      "f1 | 'year' | '%s' | 'product'.'%s' | %s | |\n"
+      "*f2 | 'year' | '%s' | v1 <- 'product'.* | %s | | v2 <- "
+      "argmax_v1[k=2] D(f2, f1)",
+      measure.c_str(), product.c_str(), constraint.c_str(), measure.c_str(),
+      constraint.c_str()));
+  return queries;
+}
+
+/// One closed-loop pass: every session thread submits its queries in
+/// order, waiting on each. Returns all end-to-end latencies.
+std::vector<double> RunPass(zv::server::QueryService& service,
+                            const std::vector<zv::server::SessionId>& sessions,
+                            const std::string& dataset,
+                            const std::vector<std::vector<std::string>>& mixes,
+                            std::atomic<uint64_t>* errors) {
+  std::vector<double> latencies;
+  std::mutex mu;
+  std::vector<std::thread> threads;
+  threads.reserve(sessions.size());
+  for (size_t s = 0; s < sessions.size(); ++s) {
+    threads.emplace_back([&, s] {
+      std::vector<double> local;
+      for (const std::string& q : mixes[s]) {
+        zv::bench::WallTimer timer;
+        auto submitted = service.Submit(sessions[s], dataset, q);
+        if (!submitted.ok()) {
+          errors->fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        zv::server::QueryHandle handle = std::move(submitted).value();
+        if (!handle.Wait().ok()) {
+          errors->fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        local.push_back(timer.ElapsedMs());
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      latencies.insert(latencies.end(), local.begin(), local.end());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return latencies;
+}
+
+size_t EnvSessions() {
+  if (const char* env = std::getenv("ZV_SERVE_SESSIONS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return 8;
+}
+
+void PrintPass(const char* name, const Percentiles& p, size_t queries) {
+  std::printf("  %-18s %6zu queries   p50 %8.3f ms   p99 %8.3f ms   mean "
+              "%8.3f ms\n",
+              name, queries, p.p50, p.p99, p.mean);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("serving layer: multi-session closed-loop load");
+
+  zv::SalesDataOptions data_opts;
+  data_opts.num_rows = zv::bench::ScaledRows(200000);
+  data_opts.num_products = 40;
+  auto table = zv::MakeSalesTable(data_opts);
+
+  zv::server::QueryService service;
+  if (auto s = service.RegisterDataset(table); !s.ok()) {
+    std::fprintf(stderr, "register failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  const size_t num_sessions = EnvSessions();
+  std::vector<zv::server::SessionId> sessions;
+  std::vector<std::vector<std::string>> mixes;       // distinct per session
+  std::vector<std::vector<std::string>> remixed;     // constraint tweaked
+  for (size_t s = 0; s < num_sessions; ++s) {
+    sessions.push_back(std::move(service.CreateSession()).value());
+    // Disjoint product slices keep the similarity searches distinct per
+    // session (the shared trend scan demonstrates cross-session hits);
+    // measures alternate for extra key diversity.
+    const std::string product =
+        "product_" + std::to_string(s % data_opts.num_products);
+    const std::string measure = s % 2 == 0 ? "sales" : "profit";
+    mixes.push_back(SessionQueries(product, measure, "country='US'"));
+    remixed.push_back(SessionQueries(product, measure, "country='UK'"));
+  }
+  std::printf("dataset: %zu rows, %zu products; %zu sessions x %zu queries; "
+              "%zu workers, %.0f MB cache\n",
+              table->num_rows(), data_opts.num_products, num_sessions,
+              mixes[0].size(), service.max_inflight(),
+              static_cast<double>(service.cache_bytes()) / (1 << 20));
+
+  JsonRecorder json("serve");
+  std::atomic<uint64_t> errors{0};
+
+  PrintSubHeader("pass 1: cold (first issuance)");
+  const auto before_cold = service.stats();
+  const auto t_cold = zv::bench::WallTimer();
+  std::vector<double> cold =
+      RunPass(service, sessions, table->name(), mixes, &errors);
+  const double cold_wall = t_cold.ElapsedMs();
+  const Percentiles cold_p = Summarize(cold);
+  auto stats = service.stats();
+  const uint64_t cold_hits = stats.cache_hits - before_cold.cache_hits;
+  const uint64_t cold_misses = stats.cache_misses - before_cold.cache_misses;
+  PrintPass("cold", cold_p, cold.size());
+  std::printf("  wall %.1f ms; cache this pass: %llu hits / %llu misses\n",
+              cold_wall, static_cast<unsigned long long>(cold_hits),
+              static_cast<unsigned long long>(cold_misses));
+
+  PrintSubHeader("pass 2: warm (same queries re-issued)");
+  const auto before_warm = stats;
+  std::vector<double> warm =
+      RunPass(service, sessions, table->name(), mixes, &errors);
+  const Percentiles warm_p = Summarize(warm);
+  stats = service.stats();
+  const uint64_t warm_hits = stats.cache_hits - before_warm.cache_hits;
+  const uint64_t warm_misses = stats.cache_misses - before_warm.cache_misses;
+  const double speedup = warm_p.mean > 0 ? cold_p.mean / warm_p.mean : 0;
+  PrintPass("warm", warm_p, warm.size());
+  std::printf("  cache this pass: %llu hits / %llu misses; repeat-query "
+              "speedup (mean cold/warm): %.1fx\n",
+              static_cast<unsigned long long>(warm_hits),
+              static_cast<unsigned long long>(warm_misses), speedup);
+
+  PrintSubHeader("pass 3: tweaked constraint (result misses, contexts hit)");
+  const uint64_t reused_before = stats.contexts_reused;
+  std::vector<double> tweaked =
+      RunPass(service, sessions, table->name(), remixed, &errors);
+  const Percentiles tweaked_p = Summarize(tweaked);
+  stats = service.stats();
+  PrintPass("tweaked", tweaked_p, tweaked.size());
+  std::printf("  contexts reused this pass: %llu (cache: %zu entries, "
+              "%.1f KB)\n",
+              static_cast<unsigned long long>(stats.contexts_reused -
+                                              reused_before),
+              stats.context_cache_entries,
+              static_cast<double>(stats.context_cache_bytes) / 1024.0);
+
+  if (errors.load() > 0) {
+    std::printf("\n!! %llu queries failed\n",
+                static_cast<unsigned long long>(errors.load()));
+  }
+  const uint64_t probes = stats.cache_hits + stats.cache_misses;
+  std::printf("\noverall: %llu submitted, hit rate %.0f%%, %llu contexts "
+              "reused, 0 rejected expected (got %llu)\n",
+              static_cast<unsigned long long>(stats.submitted),
+              probes > 0 ? 100.0 * static_cast<double>(stats.cache_hits) /
+                               static_cast<double>(probes)
+                         : 0.0,
+              static_cast<unsigned long long>(stats.contexts_reused),
+              static_cast<unsigned long long>(stats.rejected));
+
+  auto extra = [&](const Percentiles& p, uint64_t hits, uint64_t misses) {
+    return std::map<std::string, std::string>{
+        {"p50_ms", zv::StrFormat("%.3f", p.p50)},
+        {"p99_ms", zv::StrFormat("%.3f", p.p99)},
+        {"sessions", std::to_string(num_sessions)},
+        {"hits", std::to_string(hits)},
+        {"misses", std::to_string(misses)},
+    };
+  };
+  json.Record("cold", cold_p.mean, extra(cold_p, cold_hits, cold_misses));
+  json.Record("warm", warm_p.mean, extra(warm_p, warm_hits, warm_misses));
+  json.Record("tweaked", tweaked_p.mean,
+              {{"contexts_reused",
+                std::to_string(stats.contexts_reused - reused_before)},
+               {"sessions", std::to_string(num_sessions)}});
+  json.Record("repeat_speedup", speedup,
+              {{"threshold", "10"},
+               {"pass", speedup >= 10.0 ? "yes" : "no"}});
+  return 0;
+}

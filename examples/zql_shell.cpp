@@ -1,25 +1,44 @@
 /// \file zql_shell.cpp
-/// \brief Interactive ZQL shell — the terminal stand-in for the zenvisage
-/// custom query builder (§6.1).
+/// \brief Interactive ZQL shell, now driving the serving layer — the
+/// terminal stand-in for the zenvisage front end (§6.1) talking to a
+/// QueryService instead of an embedded executor.
 ///
 ///   $ ./zql_shell [sales|census|airline|housing]
 ///
-/// Enter a ZQL query (multiple lines); finish with a blank line. Lines
-/// starting with ':' are commands:
-///   :tables          list columns of the active table
-///   :sql SELECT ...  run raw SQL against the backend
-///   :opt LEVEL       set optimization (noopt|intraline|intratask|intertask)
+/// Enter a ZQL query (multiple lines); finish with a blank line to submit
+/// it through the current session and wait. Lines starting with ':' are
+/// commands:
+///   :tables               list columns of the active dataset
+///   :sql SELECT ...       run raw SQL against the backend
+///   :opt LEVEL            set optimization (noopt|intraline|intratask|intertask)
+///   :explain              explain the buffered query (then keep the buffer)
+///   :session              show the current session
+///   :session new          open (and switch to) a fresh session
+///   :session end          end the current session and open a fresh one
+///   :async                submit the buffered query without waiting
+///   :wait N | :cancel N   wait on / cancel async query #N
+///   :stats                service counters (cache hit rate, sessions, …)
+///   :reload               regenerate the dataset — bumps its epoch, so
+///                         every cached result for it is invalidated
 ///   :quit
+///
+/// Repeat a query to watch the serving layer work: the second run reports
+/// "result cache HIT" and returns in microseconds; :reload and re-run to
+/// watch epoch invalidation force a recompute.
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "common/strings.h"
-#include "engine/roaring_db.h"
+#include "server/query_service.h"
 #include "viz/vega_emitter.h"
 #include "workload/datasets.h"
-#include "zql/executor.h"
+#include "zql/explain.h"
+#include "zql/parser.h"
 
 namespace {
 
@@ -45,24 +64,97 @@ std::shared_ptr<zv::Table> LoadDataset(const std::string& name) {
   return zv::MakeSalesTable(opts);
 }
 
+void PrintResult(const zv::zql::ZqlResult& result) {
+  for (const auto& output : result.outputs) {
+    std::printf("=== %s: %zu visualizations ===\n", output.name.c_str(),
+                output.visuals.size());
+    size_t shown = 0;
+    for (const auto& viz : output.visuals) {
+      if (++shown > 5) {
+        std::printf("  ... and %zu more\n", output.visuals.size() - 5);
+        break;
+      }
+      std::printf("%s\n", zv::ToAsciiChart(viz).c_str());
+    }
+  }
+  const zv::zql::ZqlStats& st = result.stats;
+  std::printf("(%llu SQL queries, %llu requests, exec %.1f ms, task "
+              "processor %.1f ms, %llu contexts reused)\n",
+              static_cast<unsigned long long>(st.sql_queries),
+              static_cast<unsigned long long>(st.sql_requests), st.exec_ms,
+              st.compute_ms,
+              static_cast<unsigned long long>(st.contexts_reused));
+}
+
+/// Waits on one query handle and prints its outcome, including the serving
+/// layer's cache verdict and end-to-end latency.
+void WaitAndPrint(zv::server::QueryHandle& handle) {
+  const zv::Status status = handle.Wait();
+  if (!status.ok()) {
+    std::printf("error: %s\n", status.ToString().c_str());
+    return;
+  }
+  const zv::zql::ZqlStats stats = handle.stats();
+  if (stats.cache_hits > 0) {
+    std::printf("[result cache HIT — %.3f ms]\n", stats.total_ms);
+  } else {
+    std::printf("[result cache MISS — computed in %.1f ms]\n",
+                stats.total_ms);
+  }
+  PrintResult(*handle.result());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string dataset = argc > 1 ? argv[1] : "sales";
   auto table = LoadDataset(dataset);
-  zv::RoaringDatabase db;
-  if (auto s = db.RegisterTable(table); !s.ok()) {
+  const std::string table_name = table->name();
+
+  zv::server::ServiceOptions service_opts;
+  zv::server::QueryService service(service_opts);
+  if (auto s = service.RegisterDataset(table); !s.ok()) {
     std::fprintf(stderr, "register failed: %s\n", s.ToString().c_str());
     return 1;
   }
-  zv::zql::ZqlOptions opts;
-  std::printf("zenvisage ZQL shell — table '%s' (%zu rows).\n",
-              table->name().c_str(), table->num_rows());
+  zv::server::SessionId session = std::move(service.CreateSession()).value();
+
+  std::printf("zenvisage ZQL service shell — dataset '%s' (%zu rows), "
+              "session %llu.\n",
+              table_name.c_str(), table->num_rows(),
+              static_cast<unsigned long long>(session));
+  std::printf("Serving: %zu workers, %zu queue slots, %.0f MB cache. "
+              "Repeat a query to hit the cache; :reload to invalidate.\n",
+              service.max_inflight(), service.max_queue(),
+              static_cast<double>(service.cache_bytes()) / (1 << 20));
   std::printf("Enter ZQL rows (Name | X | Y | Z | Constraints | Viz | "
               "Process), blank line to run, :quit to exit.\n\n");
 
+  std::optional<zv::zql::OptLevel> opt_override;
   std::string buffer;
   std::string line;
+  std::vector<zv::server::QueryHandle> async_handles;
+
+  auto submit_buffered = [&](bool async) {
+    auto submitted =
+        service.Submit(session, table_name, buffer, opt_override);
+    buffer.clear();
+    if (!submitted.ok()) {
+      std::printf("submit error: %s\n", submitted.status().ToString().c_str());
+      return;
+    }
+    if (async) {
+      async_handles.push_back(std::move(submitted).value());
+      std::printf("async query #%zu submitted (\":wait %zu\" / \":cancel "
+                  "%zu\")\n",
+                  async_handles.size() - 1, async_handles.size() - 1,
+                  async_handles.size() - 1);
+      return;
+    }
+    zv::server::QueryHandle handle = std::move(submitted).value();
+    WaitAndPrint(handle);
+  };
+
   while (true) {
     std::printf(buffer.empty() ? "zql> " : "...> ");
     std::fflush(stdout);
@@ -78,20 +170,135 @@ int main(int argc, char** argv) {
     }
     if (zv::StartsWith(trimmed, ":opt")) {
       const std::string level = zv::ToLower(zv::Trim(trimmed.substr(4)));
-      if (level == "noopt") opts.optimization = zv::zql::OptLevel::kNoOpt;
+      if (level == "noopt") opt_override = zv::zql::OptLevel::kNoOpt;
       else if (level == "intraline")
-        opts.optimization = zv::zql::OptLevel::kIntraLine;
+        opt_override = zv::zql::OptLevel::kIntraLine;
       else if (level == "intratask")
-        opts.optimization = zv::zql::OptLevel::kIntraTask;
-      else opts.optimization = zv::zql::OptLevel::kInterTask;
+        opt_override = zv::zql::OptLevel::kIntraTask;
+      else opt_override = zv::zql::OptLevel::kInterTask;
       std::printf("optimization: %s\n",
-                  zv::zql::OptLevelToString(opts.optimization));
+                  zv::zql::OptLevelToString(*opt_override));
       continue;
     }
     if (zv::StartsWith(trimmed, ":sql")) {
-      auto rs = db.ExecuteSql(trimmed.substr(4));
+      auto db = service.DatasetDatabase(table_name);
+      if (!db.ok()) {
+        std::printf("error: %s\n", db.status().ToString().c_str());
+        continue;
+      }
+      auto rs = (*db)->ExecuteSql(trimmed.substr(4));
       if (!rs.ok()) std::printf("error: %s\n", rs.status().ToString().c_str());
       else std::printf("%s\n", rs->ToString().c_str());
+      continue;
+    }
+    if (trimmed == ":explain") {
+      if (buffer.empty()) {
+        std::printf("nothing buffered — enter a query first\n");
+        continue;
+      }
+      auto parsed = zv::zql::ParseQuery(buffer);
+      if (!parsed.ok()) {
+        std::printf("parse error: %s\n", parsed.status().ToString().c_str());
+        continue;
+      }
+      auto plan = zv::zql::ExplainQuery(parsed.value());
+      if (!plan.ok()) {
+        std::printf("error: %s\n", plan.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s", plan->ToString().c_str());
+      continue;  // buffer intentionally kept: tweak and run
+    }
+    if (trimmed == ":session") {
+      std::printf("session %llu (%zu active on the service)\n",
+                  static_cast<unsigned long long>(session),
+                  service.ActiveSessions());
+      continue;
+    }
+    if (trimmed == ":session new" || trimmed == ":session end") {
+      if (trimmed == ":session end") {
+        if (auto s = service.EndSession(session); !s.ok()) {
+          std::printf("error: %s\n", s.ToString().c_str());
+        }
+      }
+      session = std::move(service.CreateSession()).value();
+      std::printf("now in session %llu\n",
+                  static_cast<unsigned long long>(session));
+      continue;
+    }
+    if (trimmed == ":async") {
+      if (buffer.empty()) {
+        std::printf("nothing buffered — enter a query first\n");
+      } else {
+        submit_buffered(/*async=*/true);
+      }
+      continue;
+    }
+    if (zv::StartsWith(trimmed, ":wait") || zv::StartsWith(trimmed, ":cancel")) {
+      const bool is_cancel = zv::StartsWith(trimmed, ":cancel");
+      const std::string arg = zv::Trim(trimmed.substr(is_cancel ? 7 : 5));
+      char* end = nullptr;
+      const long long parsed =
+          arg.empty() ? -1 : std::strtoll(arg.c_str(), &end, 10);
+      // Reject trailing garbage ("1x", "one") — atoll-style truncation
+      // would silently act on query #0.
+      if (arg.empty() || end == nullptr || *end != '\0' || parsed < 0 ||
+          static_cast<size_t>(parsed) >= async_handles.size() ||
+          !async_handles[static_cast<size_t>(parsed)].valid()) {
+        std::printf("no such async query (0..%zu)\n",
+                    async_handles.empty() ? 0 : async_handles.size() - 1);
+        continue;
+      }
+      const size_t idx = static_cast<size_t>(parsed);
+      if (is_cancel) {
+        async_handles[idx].Cancel();
+        std::printf("cancel requested; status: %s\n",
+                    async_handles[idx].Wait().ToString().c_str());
+      } else {
+        WaitAndPrint(async_handles[idx]);
+      }
+      continue;
+    }
+    if (trimmed == ":stats") {
+      const zv::server::ServiceStats st = service.stats();
+      const uint64_t probes = st.cache_hits + st.cache_misses;
+      std::printf(
+          "queries: %llu submitted, %llu completed, %llu failed, %llu "
+          "cancelled, %llu rejected\n",
+          static_cast<unsigned long long>(st.submitted),
+          static_cast<unsigned long long>(st.completed),
+          static_cast<unsigned long long>(st.failed),
+          static_cast<unsigned long long>(st.cancelled),
+          static_cast<unsigned long long>(st.rejected));
+      std::printf(
+          "result cache: %llu/%llu hits (%.0f%%), %zu entries, %.1f KB; "
+          "contexts reused: %llu (%zu cached, %.1f KB)\n",
+          static_cast<unsigned long long>(st.cache_hits),
+          static_cast<unsigned long long>(probes),
+          probes > 0 ? 100.0 * static_cast<double>(st.cache_hits) /
+                           static_cast<double>(probes)
+                     : 0.0,
+          st.result_cache_entries,
+          static_cast<double>(st.result_cache_bytes) / 1024.0,
+          static_cast<unsigned long long>(st.contexts_reused),
+          st.context_cache_entries,
+          static_cast<double>(st.context_cache_bytes) / 1024.0);
+      std::printf("sessions: %zu active; %zu in flight, %zu queued\n",
+                  st.sessions, st.in_flight, st.queued);
+      continue;
+    }
+    if (trimmed == ":reload") {
+      auto fresh = LoadDataset(dataset);
+      if (auto s = service.ReplaceDataset(fresh); !s.ok()) {
+        std::printf("error: %s\n", s.ToString().c_str());
+        continue;
+      }
+      table = std::move(fresh);
+      std::printf("dataset '%s' reloaded — epoch is now %llu, cached "
+                  "results invalidated\n",
+                  table_name.c_str(),
+                  static_cast<unsigned long long>(
+                      std::move(service.DatasetEpoch(table_name)).value()));
       continue;
     }
     if (!trimmed.empty()) {
@@ -100,32 +307,7 @@ int main(int argc, char** argv) {
       continue;
     }
     if (buffer.empty()) continue;
-    // Blank line: execute the buffered query.
-    zv::zql::ZqlExecutor executor(&db, table->name(), opts);
-    auto result = executor.ExecuteText(buffer);
-    buffer.clear();
-    if (!result.ok()) {
-      std::printf("error: %s\n", result.status().ToString().c_str());
-      continue;
-    }
-    for (const auto& output : result->outputs) {
-      std::printf("=== %s: %zu visualizations ===\n", output.name.c_str(),
-                  output.visuals.size());
-      size_t shown = 0;
-      for (const auto& viz : output.visuals) {
-        if (++shown > 5) {
-          std::printf("  ... and %zu more\n", output.visuals.size() - 5);
-          break;
-        }
-        std::printf("%s\n", zv::ToAsciiChart(viz).c_str());
-      }
-    }
-    std::printf("(%llu SQL queries, %llu requests, %.1f ms — exec %.1f ms, "
-                "task processor %.1f ms)\n",
-                static_cast<unsigned long long>(result->stats.sql_queries),
-                static_cast<unsigned long long>(result->stats.sql_requests),
-                result->stats.total_ms, result->stats.exec_ms,
-                result->stats.compute_ms);
+    submit_buffered(/*async=*/false);
   }
   std::printf("\nbye.\n");
   return 0;

@@ -1,0 +1,32 @@
+#include "common/cancel.h"
+
+namespace zv {
+
+namespace {
+
+thread_local const std::atomic<bool>* t_cancel_flag = nullptr;
+
+}  // namespace
+
+CancelScope::CancelScope(const std::atomic<bool>* flag)
+    : prev_(t_cancel_flag) {
+  t_cancel_flag = flag;
+}
+
+CancelScope::~CancelScope() { t_cancel_flag = prev_; }
+
+const std::atomic<bool>* CurrentCancelFlag() { return t_cancel_flag; }
+
+bool CancellationRequested() {
+  return t_cancel_flag != nullptr &&
+         t_cancel_flag->load(std::memory_order_relaxed);
+}
+
+Status CheckCancelled() {
+  if (CancellationRequested()) {
+    return Status::Cancelled("query cancelled");
+  }
+  return Status::OK();
+}
+
+}  // namespace zv

@@ -1,0 +1,81 @@
+/// \file cancel.h
+/// \brief Cooperative cancellation for long-running query execution.
+///
+/// A CancelToken is a cheap shared handle to one cancellation flag. The
+/// serving layer hands every in-flight query a token; Cancel() flips the
+/// flag, and the execution layers poll it at natural safepoints — between
+/// ZQL rows, per scored combination, and at ParallelFor chunk boundaries —
+/// returning StatusCode::kCancelled. Cancellation is *cooperative*: no
+/// thread is ever interrupted mid-kernel, so the engine's data structures
+/// are always left healthy and the worker is immediately reusable.
+///
+/// Propagation is ambient rather than threaded through every signature:
+/// CancelScope installs a token on the current thread, and ParallelFor
+/// captures the calling thread's token when it fans out, re-installing it
+/// on every pool worker for the duration of the job. Deep engine code only
+/// ever calls CheckCancelled() / CancellationRequested(), which are a
+/// thread-local load plus one relaxed atomic load — cheap enough for
+/// per-iteration polling — and no-ops when no token is installed.
+
+#ifndef ZV_COMMON_CANCEL_H_
+#define ZV_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <memory>
+
+#include "common/status.h"
+
+namespace zv {
+
+/// \brief Shared handle to one cancellation flag. Copies observe the same
+/// flag. All methods are thread-safe.
+class CancelToken {
+ public:
+  /// A fresh, uncancelled token.
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation. Idempotent; never blocks.
+  void Cancel() const { flag_->store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+  /// The underlying flag, for code (the thread pool) that must observe the
+  /// token from threads the scope was never installed on.
+  const std::shared_ptr<std::atomic<bool>>& flag() const { return flag_; }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// \brief RAII installation of a cancellation flag on the current thread.
+/// Nested scopes shadow outer ones; destruction restores the previous flag.
+class CancelScope {
+ public:
+  explicit CancelScope(const CancelToken& token)
+      : CancelScope(token.flag().get()) {}
+  /// Raw-flag form used by the thread pool to mirror the submitting
+  /// thread's flag onto workers (the Job owns a shared_ptr keeping it
+  /// alive for the duration).
+  explicit CancelScope(const std::atomic<bool>* flag);
+  ~CancelScope();
+
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
+
+ private:
+  const std::atomic<bool>* prev_;
+};
+
+/// The flag installed on this thread, or nullptr. Exposed so ParallelFor
+/// can forward the caller's cancellation context to its workers.
+const std::atomic<bool>* CurrentCancelFlag();
+
+/// True when the current thread's installed token (if any) is cancelled.
+bool CancellationRequested();
+
+/// kCancelled when the current thread's token is cancelled, OK otherwise.
+Status CheckCancelled();
+
+}  // namespace zv
+
+#endif  // ZV_COMMON_CANCEL_H_

@@ -1,0 +1,23 @@
+#include "common/clock.h"
+
+namespace zv {
+
+namespace {
+
+class SteadyClock : public Clock {
+ public:
+  int64_t NowMs() const override {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+}  // namespace
+
+Clock* Clock::System() {
+  static SteadyClock clock;
+  return &clock;
+}
+
+}  // namespace zv

@@ -1,0 +1,46 @@
+/// \file clock.h
+/// \brief Monotonic time source abstraction so TTL logic (session eviction,
+/// cache aging) is testable without sleeping: production code reads the
+/// steady clock, tests inject a ManualClock and advance it by hand.
+
+#ifndef ZV_COMMON_CLOCK_H_
+#define ZV_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace zv {
+
+/// \brief Monotonic milliseconds source. Implementations are thread-safe.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Milliseconds since an arbitrary (per-process) epoch. Never decreases.
+  virtual int64_t NowMs() const = 0;
+
+  /// The process-wide steady-clock instance.
+  static Clock* System();
+};
+
+/// \brief Test clock: time moves only when Advance()d.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(int64_t start_ms = 0) : now_ms_(start_ms) {}
+
+  int64_t NowMs() const override {
+    return now_ms_.load(std::memory_order_relaxed);
+  }
+  void Advance(int64_t delta_ms) {
+    now_ms_.fetch_add(delta_ms, std::memory_order_relaxed);
+  }
+  void Set(int64_t ms) { now_ms_.store(ms, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> now_ms_;
+};
+
+}  // namespace zv
+
+#endif  // ZV_COMMON_CLOCK_H_

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.h"
+
 namespace zv {
 
 namespace {
@@ -39,6 +41,11 @@ struct Job {
   size_t allowed_helpers = 0;  ///< pool workers admitted (caller always runs)
   const std::function<void(size_t)>* fn = nullptr;
   const std::function<Status(size_t)>* status_fn = nullptr;
+  /// The submitting thread's cancellation flag (see cancel.h), checked at
+  /// every chunk boundary and mirrored onto workers so fn can poll it too.
+  /// The submitting thread blocks until the job drains, so the raw pointer
+  /// stays valid for the job's lifetime.
+  const std::atomic<bool>* cancel = nullptr;
 
   std::atomic<size_t> next_chunk{0};
   std::atomic<size_t> done_chunks{0};
@@ -69,15 +76,30 @@ struct Job {
 
   /// Claims and runs chunks until the cursor is exhausted.
   void RunChunks() {
+    // Mirror the submitting thread's cancellation flag so fn's own
+    // CheckCancelled() polls observe it from pool workers too.
+    CancelScope cancel_scope(cancel);
     for (;;) {
       const size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (c >= total_chunks) return;
+      const size_t begin = c * chunk;
+      // Cooperative cancellation at chunk granularity: a cancelled Status
+      // job surfaces kCancelled (lowest-index error capture still prefers
+      // any real error below it); a cancelled void job just stops claiming
+      // work — its caller re-checks the token after the join.
+      if (cancel != nullptr && !abort.load(std::memory_order_relaxed) &&
+          cancel->load(std::memory_order_relaxed)) {
+        if (status_fn != nullptr) {
+          RecordError(begin, Status::Cancelled("query cancelled"), nullptr);
+        } else {
+          abort.store(true, std::memory_order_relaxed);
+        }
+      }
       // Chunks are claimed in increasing order, so when an error aborts the
       // job every unclaimed chunk lies entirely above the erroring index.
       // Already-claimed chunks run to completion, which makes the captured
       // min-index error exactly the one a serial loop would hit first.
       if (!abort.load(std::memory_order_relaxed)) {
-        const size_t begin = c * chunk;
         const size_t end = std::min(n, begin + chunk);
         for (size_t i = begin; i < end; ++i) {
           try {
@@ -190,7 +212,10 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   const size_t workers = std::min(n, ResolveWorkerCount());
   if (workers <= 1 || t_in_worker) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    for (size_t i = 0; i < n; ++i) {
+      if (CancellationRequested()) return;  // caller re-checks the token
+      fn(i);
+    }
     return;
   }
   auto job = std::make_shared<Job>();
@@ -199,6 +224,7 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   job->total_chunks = (n + job->chunk - 1) / job->chunk;
   job->allowed_helpers = workers - 1;  // the caller is the last worker
   job->fn = &fn;
+  job->cancel = CurrentCancelFlag();
   ThreadPool::Instance().Run(job);
   if (job->exception != nullptr) std::rethrow_exception(job->exception);
 }
@@ -208,6 +234,7 @@ Status ParallelForStatus(size_t n, const std::function<Status(size_t)>& fn) {
   const size_t workers = std::min(n, ResolveWorkerCount());
   if (workers <= 1 || t_in_worker) {
     for (size_t i = 0; i < n; ++i) {
+      ZV_RETURN_NOT_OK(CheckCancelled());
       ZV_RETURN_NOT_OK(fn(i));
     }
     return Status::OK();
@@ -218,6 +245,7 @@ Status ParallelForStatus(size_t n, const std::function<Status(size_t)>& fn) {
   job->total_chunks = (n + job->chunk - 1) / job->chunk;
   job->allowed_helpers = workers - 1;
   job->status_fn = &fn;
+  job->cancel = CurrentCancelFlag();
   ThreadPool::Instance().Run(job);
   if (job->exception != nullptr) std::rethrow_exception(job->exception);
   return job->has_error ? job->error : Status::OK();

@@ -16,6 +16,15 @@
 /// the calling thread with zero synchronization, so ZV_THREADS=1 is the
 /// exact serial baseline. Calls issued *from* a pool worker also run inline
 /// (no nested fan-out, no deadlock).
+///
+/// Cancellation (see cancel.h): when the calling thread has a CancelToken
+/// installed (CancelScope), both variants observe it — the flag is mirrored
+/// onto every worker for the job's duration (so fn's own CheckCancelled()
+/// polls see it) and checked at chunk boundaries. A cancelled
+/// ParallelForStatus returns kCancelled (unless a real error at a lower
+/// index was already captured); a cancelled ParallelFor stops claiming
+/// chunks and returns early — the only case where fn may not run for every
+/// i — so cancellable void callers must re-check the token afterwards.
 
 #ifndef ZV_COMMON_PARALLEL_H_
 #define ZV_COMMON_PARALLEL_H_

@@ -24,6 +24,8 @@ enum class StatusCode {
   kTypeMismatch,
   kUnsupported,
   kInternal,
+  kCancelled,     ///< cooperatively cancelled by the caller (see cancel.h)
+  kUnavailable,   ///< transient overload — retry later (admission control)
 };
 
 /// \brief Returns a short human-readable label for a status code.
@@ -64,6 +66,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

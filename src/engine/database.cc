@@ -12,8 +12,8 @@ Status Database::RegisterTable(std::shared_ptr<Table> table) {
 }
 
 void Database::BeginRequest(size_t num_queries) {
-  ++requests_;
-  queries_ += num_queries;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  queries_.fetch_add(num_queries, std::memory_order_relaxed);
   if (request_latency_micros_ > 0) {
     std::this_thread::sleep_for(
         std::chrono::microseconds(request_latency_micros_));

@@ -16,6 +16,7 @@
 #ifndef ZV_ENGINE_DATABASE_H_
 #define ZV_ENGINE_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -54,11 +55,18 @@ class Database {
       const std::vector<sql::SelectStatement>& stmts);
 
   /// --- Instrumentation -------------------------------------------------
-  uint64_t queries_executed() const { return queries_; }
-  uint64_t requests_made() const { return requests_; }
+  /// Counters are atomic because one Database serves every session of a
+  /// QueryService concurrently; relaxed order suffices — they are read
+  /// for reporting, never for synchronization.
+  uint64_t queries_executed() const {
+    return queries_.load(std::memory_order_relaxed);
+  }
+  uint64_t requests_made() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
   void ResetCounters() {
-    queries_ = 0;
-    requests_ = 0;
+    queries_.store(0, std::memory_order_relaxed);
+    requests_.store(0, std::memory_order_relaxed);
   }
 
   /// Sleeps this long at the start of every request, emulating a
@@ -77,8 +85,8 @@ class Database {
  private:
   void BeginRequest(size_t num_queries);
 
-  uint64_t queries_ = 0;
-  uint64_t requests_ = 0;
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> requests_{0};
   uint64_t request_latency_micros_ = 0;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/cancel.h"
 #include "common/parallel.h"
 #include "common/strings.h"
 
@@ -423,6 +424,7 @@ Result<ResultSet> RunBlocked(
     const Table& table, const sql::SelectStatement& stmt,
     const std::function<void(size_t begin, size_t end, SelectRunner& runner)>&
         scan_block) {
+  ZV_RETURN_NOT_OK(CheckCancelled());
   ZV_ASSIGN_OR_RETURN(SelectRunner runner, SelectRunner::Plan(table, stmt));
   const size_t n = table.num_rows();
   const size_t blocks =
@@ -442,6 +444,9 @@ Result<ResultSet> RunBlocked(
   ParallelFor(blocks, [&](size_t b) {
     scan_block(n * b / blocks, n * (b + 1) / blocks, runners[b]);
   });
+  // A cancelled void ParallelFor stops claiming chunks without reporting;
+  // some blocks may be unscanned, so the merge below must not run.
+  ZV_RETURN_NOT_OK(CheckCancelled());
   for (size_t b = 1; b < blocks; ++b) {
     runners[0].MergeFrom(std::move(runners[b]));
   }

@@ -1,0 +1,83 @@
+#include "server/fingerprint.h"
+
+#include "common/hash.h"
+#include "tasks/context_cache.h"
+
+namespace zv::server {
+
+std::string CanonicalZql(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  std::string line;
+  auto flush_line = [&] {
+    // Trim trailing whitespace (leading/internal handled during the scan).
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\t')) {
+      line.pop_back();
+    }
+    if (!line.empty()) {
+      out += line;
+      out += '\n';
+    }
+    line.clear();
+  };
+  bool in_quote = false;
+  bool pending_space = false;  // a collapsed whitespace run awaits a token
+  for (char c : text) {
+    if (c == '\n') {
+      in_quote = false;  // ZQL string literals do not span lines
+      pending_space = false;
+      flush_line();
+      continue;
+    }
+    if (in_quote) {
+      line += c;
+      if (c == '\'') in_quote = false;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      if (!line.empty()) pending_space = true;  // drop leading whitespace
+      continue;
+    }
+    if (pending_space) {
+      line += ' ';
+      pending_space = false;
+    }
+    line += c;
+    if (c == '\'') in_quote = true;
+  }
+  flush_line();
+  return out;
+}
+
+std::string UserInputsFingerprint(
+    const std::map<std::string, Visualization>& inputs) {
+  if (inputs.empty()) return "";
+  Fingerprint128 fp;
+  fp.U64(inputs.size());
+  for (const auto& [name, viz] : inputs) {  // std::map: deterministic order
+    fp.Str(name);
+    // Identity + data, via the same content hash the ContextCache uses
+    // (the norm/align arguments only need to be fixed, not meaningful).
+    const Visualization* v = &viz;
+    fp.Str(ScoringSetFingerprint({v}, Normalization::kZScore,
+                                 Alignment::kZeroFill));
+  }
+  return fp.Hex();
+}
+
+std::string QueryFingerprint(const std::string& dataset, uint64_t epoch,
+                             const std::string& backend,
+                             zql::OptLevel optimization,
+                             const std::string& canonical_zql,
+                             const std::string& user_inputs_fp) {
+  Fingerprint128 fp;
+  fp.Str(dataset);
+  fp.U64(epoch);
+  fp.Str(backend);
+  fp.U64(static_cast<uint64_t>(optimization));
+  fp.Str(canonical_zql);
+  fp.Str(user_inputs_fp);
+  return fp.Hex();
+}
+
+}  // namespace zv::server

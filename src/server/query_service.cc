@@ -1,0 +1,559 @@
+#include "server/query_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "common/cancel.h"
+#include "common/strings.h"
+#include "engine/roaring_db.h"
+#include "server/fingerprint.h"
+
+namespace zv::server {
+
+namespace {
+
+size_t EnvSize(const char* name, size_t def) {
+  if (const char* env = std::getenv(name)) {
+    const long long v = std::atoll(env);
+    if (v >= 0) return static_cast<size_t>(v);
+  }
+  return def;
+}
+
+/// For knobs where 0 is nonsense (0 workers = every query hangs; 0 queue
+/// slots = every Submit rejected) — and where atoll's 0-on-garbage would
+/// silently produce exactly that. Falls back to the default instead.
+size_t EnvSizePositive(const char* name, size_t def) {
+  if (const char* env = std::getenv(name)) {
+    const long long v = std::atoll(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return def;
+}
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// ZV_CACHE_MB split: results dominate by value-per-byte for an
+/// interactive UI (a hit skips the whole query), contexts amortize the
+/// alignment pass — 3/4 : 1/4.
+size_t ResolveCacheBytes(size_t cache_mb) {
+  const size_t mb = cache_mb == static_cast<size_t>(-1)
+                        ? EnvSize("ZV_CACHE_MB", 64)
+                        : cache_mb;
+  return mb * (1ull << 20);
+}
+
+}  // namespace
+
+/// \brief One submitted query, shared between its QueryHandle copies, the
+/// session FIFO, the ready queue, and the executing worker. Immutable
+/// after Submit() except for the mu-guarded resolution block.
+struct QueryTask {
+  SessionId session = 0;
+  std::string dataset;
+  std::string text;  ///< original ZQL text (the executor parses this)
+  std::string fingerprint;
+  std::shared_ptr<Database> db;  ///< snapshot: ReplaceDataset can't race us
+  std::string table_name;
+  std::map<std::string, Visualization> user_inputs;  ///< session snapshot
+  std::optional<zql::OptLevel> opt_override;
+  CancelToken token;
+
+  /// The service's admission gauge, co-owned so the slot can be released
+  /// from the handle even as the service shuts down.
+  std::shared_ptr<std::atomic<int64_t>> queued_slot;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool queued_counted = false;  ///< still holds an admission-queue slot
+  bool started = false;
+  bool done = false;
+  Status status;
+  std::shared_ptr<const zql::ZqlResult> result;
+  zql::ZqlStats stats;
+};
+
+namespace {
+
+/// Releases the task's admission-queue slot. Exactly-once: guarded by
+/// queued_counted under t.mu, so the handle's Cancel, the popping worker,
+/// session drains, and shutdown can all race to it safely.
+void ReleaseQueueSlotLocked(QueryTask& t) {
+  if (t.queued_counted) {
+    t.queued_counted = false;
+    t.queued_slot->fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void ReleaseQueueSlot(QueryTask& t) {
+  std::lock_guard<std::mutex> lock(t.mu);
+  ReleaseQueueSlotLocked(t);
+}
+
+/// Resolves `t` exactly once; later calls (a lost cancel/finish race) are
+/// no-ops, so the first resolution wins.
+void ResolveTask(QueryTask& t, Status status,
+                 std::shared_ptr<const zql::ZqlResult> result,
+                 const zql::ZqlStats& stats) {
+  std::lock_guard<std::mutex> lock(t.mu);
+  if (t.done) return;
+  t.done = true;
+  t.status = std::move(status);
+  t.result = std::move(result);
+  t.stats = stats;
+  t.cv.notify_all();
+}
+
+}  // namespace
+
+// ===========================================================================
+// QueryHandle
+// ===========================================================================
+
+void QueryHandle::Cancel() {
+  if (task_ == nullptr) return;
+  task_->token.Cancel();
+  // A query that never started needs no cooperation — resolve it here.
+  // The worker that later pops it sees done and skips (counting it
+  // cancelled); an already-started query resolves through its executor.
+  std::lock_guard<std::mutex> lock(task_->mu);
+  if (!task_->done && !task_->started) {
+    task_->done = true;
+    task_->status = Status::Cancelled("cancelled while queued");
+    // Free the admission slot now — a dead queued entry must not keep
+    // rejecting new submissions until a worker happens to pop it.
+    ReleaseQueueSlotLocked(*task_);
+    task_->cv.notify_all();
+  }
+}
+
+Status QueryHandle::Wait() {
+  if (task_ == nullptr) return Status::InvalidArgument("null query handle");
+  std::unique_lock<std::mutex> lock(task_->mu);
+  task_->cv.wait(lock, [&] { return task_->done; });
+  return task_->status;
+}
+
+bool QueryHandle::done() const {
+  if (task_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(task_->mu);
+  return task_->done;
+}
+
+std::shared_ptr<const zql::ZqlResult> QueryHandle::result() const {
+  if (task_ == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lock(task_->mu);
+  return task_->result;
+}
+
+zql::ZqlStats QueryHandle::stats() const {
+  if (task_ == nullptr) return {};
+  std::lock_guard<std::mutex> lock(task_->mu);
+  return task_->stats;
+}
+
+// ===========================================================================
+// QueryService
+// ===========================================================================
+
+QueryService::QueryService(ServiceOptions options)
+    : base_zql_(std::move(options.zql)),
+      max_inflight_(options.max_inflight > 0
+                        ? options.max_inflight
+                        : EnvSizePositive("ZV_MAX_INFLIGHT", 4)),
+      max_queue_(options.max_queue > 0
+                     ? options.max_queue
+                     : EnvSizePositive("ZV_MAX_QUEUE", 32)),
+      result_cache_enabled_(options.result_cache),
+      clock_(options.clock != nullptr ? options.clock : Clock::System()),
+      result_cache_(ResolveCacheBytes(options.cache_mb) / 4 * 3),
+      context_cache_(ResolveCacheBytes(options.cache_mb) / 4),
+      sessions_(clock_, options.session_ttl_ms) {
+  base_zql_.sql_trace = nullptr;  // executors run concurrently
+  if (result_cache_.max_bytes_total() == 0) result_cache_enabled_ = false;
+  current_.resize(max_inflight_);
+  workers_.reserve(max_inflight_);
+  for (size_t i = 0; i < max_inflight_; ++i) {
+    workers_.emplace_back([this, i] { WorkerMain(i); });
+  }
+}
+
+QueryService::~QueryService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    // Resolve everything still waiting; cancel everything executing. No
+    // handle is left unresolved, so handles may safely outlive us.
+    for (const auto& task : ready_) {
+      ResolveTask(*task, Status::Cancelled("service shutting down"), nullptr,
+                  {});
+      ReleaseQueueSlot(*task);
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ready_.clear();
+    for (const auto& session : sessions_.All()) {
+      DrainSessionLocked(*session);
+    }
+    for (const auto& task : current_) {
+      if (task != nullptr) task->token.Cancel();
+    }
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+// --- Datasets --------------------------------------------------------------
+
+Status QueryService::RegisterDataset(std::shared_ptr<Table> table,
+                                     std::shared_ptr<Database> db) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  if (db == nullptr) {
+    db = std::make_shared<RoaringDatabase>();
+    ZV_RETURN_NOT_OK(db->RegisterTable(table));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string& name = table->name();
+  if (datasets_.count(name)) {
+    return Status::AlreadyExists("dataset already registered: " + name);
+  }
+  datasets_[name] = Dataset{std::move(table), std::move(db), 1};
+  return Status::OK();
+}
+
+Status QueryService::ReplaceDataset(std::shared_ptr<Table> table,
+                                    std::shared_ptr<Database> db) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  if (db == nullptr) {
+    db = std::make_shared<RoaringDatabase>();
+    ZV_RETURN_NOT_OK(db->RegisterTable(table));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = datasets_.find(table->name());
+  if (it == datasets_.end()) {
+    return Status::NotFound("no such dataset: " + table->name());
+  }
+  it->second.table = std::move(table);
+  it->second.db = std::move(db);
+  ++it->second.epoch;  // every old fingerprint is now unreachable
+  return Status::OK();
+}
+
+Result<uint64_t> QueryService::DatasetEpoch(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) return Status::NotFound("no such dataset: " + name);
+  return it->second.epoch;
+}
+
+Result<std::shared_ptr<Database>> QueryService::DatasetDatabase(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) return Status::NotFound("no such dataset: " + name);
+  return it->second.db;
+}
+
+Result<std::shared_ptr<Table>> QueryService::DatasetTable(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) return Status::NotFound("no such dataset: " + name);
+  return it->second.table;
+}
+
+std::vector<std::string> QueryService::DatasetNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(datasets_.size());
+  for (const auto& [name, d] : datasets_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+// --- Sessions --------------------------------------------------------------
+
+Result<SessionId> QueryService::CreateSession() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) return Status::Unavailable("service shutting down");
+  sessions_.SweepExpired();  // expired sessions have no queued work
+  return sessions_.Create()->id;
+}
+
+Status QueryService::EndSession(SessionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto session = sessions_.Find(id);
+  if (session == nullptr) {
+    return Status::NotFound(StrFormat("unknown session %llu",
+                                      static_cast<unsigned long long>(id)));
+  }
+  DrainSessionLocked(*session);
+  sessions_.End(id);
+  return Status::OK();
+}
+
+Status QueryService::SetUserInput(SessionId id, const std::string& name,
+                                  Visualization viz) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto session = sessions_.Find(id);
+  if (session == nullptr) {
+    return Status::NotFound(StrFormat("unknown session %llu",
+                                      static_cast<unsigned long long>(id)));
+  }
+  session->user_inputs[name] = std::move(viz);
+  session->inputs_fingerprint = UserInputsFingerprint(session->user_inputs);
+  sessions_.Touch(*session);
+  return Status::OK();
+}
+
+size_t QueryService::ActiveSessions() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.SweepExpired();
+  return sessions_.size();
+}
+
+// --- Queries ---------------------------------------------------------------
+
+Result<QueryHandle> QueryService::Submit(
+    SessionId session_id, const std::string& dataset,
+    const std::string& zql_text, std::optional<zql::OptLevel> optimization) {
+  std::shared_ptr<QueryTask> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return Status::Unavailable("service shutting down");
+    sessions_.SweepExpired();
+    auto session = sessions_.Find(session_id);
+    if (session == nullptr) {
+      return Status::NotFound(
+          StrFormat("unknown or expired session %llu",
+                    static_cast<unsigned long long>(session_id)));
+    }
+    auto dit = datasets_.find(dataset);
+    if (dit == datasets_.end()) {
+      return Status::NotFound("unknown dataset: " + dataset);
+    }
+    const int64_t waiting =
+        queued_count_->load(std::memory_order_relaxed);
+    if (waiting >= static_cast<int64_t>(max_queue_)) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable(StrFormat(
+          "admission control: %lld queries already waiting "
+          "(ZV_MAX_QUEUE=%zu) — retry later",
+          static_cast<long long>(waiting), max_queue_));
+    }
+    sessions_.Touch(*session);
+    ++session->queries_submitted;
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+
+    task = std::make_shared<QueryTask>();
+    task->session = session_id;
+    task->dataset = dataset;
+    task->text = zql_text;
+    task->db = dit->second.db;
+    task->table_name = dit->second.table->name();
+    task->user_inputs = session->user_inputs;
+    task->opt_override = optimization;
+    const zql::OptLevel effective =
+        optimization.value_or(base_zql_.optimization);
+    task->fingerprint = QueryFingerprint(
+        dataset, dit->second.epoch, dit->second.db->name(), effective,
+        CanonicalZql(zql_text), session->inputs_fingerprint);
+
+    // Fast path: an *idle* session's repeat query is a shard-local hash
+    // lookup — serve it here, consuming neither a queue slot nor a worker,
+    // so a cached answer can never be rejected by admission control or
+    // convoyed behind cold queries. Gated on the session being idle
+    // because serving it early would otherwise reorder the session's
+    // responses (per-session FIFO); queued tasks re-probe in RunTask.
+    if (result_cache_enabled_ && !session->running) {
+      const auto t0 = std::chrono::steady_clock::now();
+      if (auto hit = result_cache_.Probe(task->fingerprint)) {
+        zql::ZqlStats stats = hit->stats;
+        stats.cache_hits = 1;
+        stats.cache_misses = 0;
+        stats.total_ms = MsSince(t0);
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        ++session->queries_completed;
+        ResolveTask(*task, Status::OK(), std::move(hit), stats);
+        return QueryHandle(std::move(task));
+      }
+    }
+
+    task->queued_slot = queued_count_;
+    task->queued_counted = true;
+    queued_count_->fetch_add(1, std::memory_order_relaxed);
+    if (session->running) {
+      session->fifo.push_back(task);  // per-session FIFO: wait for earlier
+    } else {
+      session->running = true;
+      session->active = task;
+      ready_.push_back(task);
+      work_cv_.notify_one();
+    }
+  }
+  return QueryHandle(std::move(task));
+}
+
+void QueryService::WorkerMain(size_t worker_index) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || !ready_.empty(); });
+    if (stop_) return;
+    std::shared_ptr<QueryTask> task = ready_.front();
+    ready_.pop_front();
+    ++in_flight_;
+    current_[worker_index] = task;
+    lock.unlock();
+
+    bool skip = false;
+    {
+      std::lock_guard<std::mutex> tl(task->mu);
+      ReleaseQueueSlotLocked(*task);  // no longer waiting (it's ours now)
+      if (task->done) {
+        skip = true;  // cancelled while queued; already resolved
+      } else {
+        task->started = true;
+      }
+    }
+    if (skip) {
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      RunTask(task);
+    }
+
+    lock.lock();
+    current_[worker_index] = nullptr;
+    --in_flight_;
+    AdvanceSessionLocked(task);
+  }
+}
+
+void QueryService::RunTask(const std::shared_ptr<QueryTask>& task) {
+  const auto t0 = std::chrono::steady_clock::now();
+  if (result_cache_enabled_) {
+    if (auto hit = result_cache_.Get(task->fingerprint)) {
+      zql::ZqlStats stats = hit->stats;
+      stats.cache_hits = 1;
+      stats.cache_misses = 0;
+      stats.total_ms = MsSince(t0);  // the lookup, not the original run
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      ResolveTask(*task, Status::OK(), std::move(hit), stats);
+      return;
+    }
+  }
+
+  zql::ZqlOptions opts = base_zql_;
+  if (context_cache_.max_bytes_total() > 0) {
+    opts.context_cache = &context_cache_;
+  }
+  if (task->opt_override.has_value()) {
+    opts.optimization = *task->opt_override;
+  }
+  zql::ZqlExecutor executor(task->db.get(), task->table_name, opts);
+  for (const auto& [name, viz] : task->user_inputs) {
+    executor.SetUserInput(name, viz);
+  }
+
+  CancelScope cancel_scope(task->token);
+  Result<zql::ZqlResult> res = executor.ExecuteText(task->text);
+  if (!res.ok()) {
+    auto& counter =
+        res.status().code() == StatusCode::kCancelled ? cancelled_ : failed_;
+    counter.fetch_add(1, std::memory_order_relaxed);
+    ResolveTask(*task, res.status(), nullptr, {});
+    return;
+  }
+
+  zql::ZqlResult result = std::move(res).value();
+  contexts_reused_.fetch_add(result.stats.contexts_reused,
+                             std::memory_order_relaxed);
+  if (result_cache_enabled_) result.stats.cache_misses = 1;
+  auto shared = std::make_shared<const zql::ZqlResult>(std::move(result));
+  // A cancel that arrived after the last cancellation point must not
+  // poison the cache with a result we'll report as kCancelled elsewhere —
+  // it didn't: execution completed. Cache it; it is a full, valid result.
+  if (result_cache_enabled_) {
+    result_cache_.Put(task->fingerprint, shared);
+  }
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  ResolveTask(*task, Status::OK(), shared, shared->stats);
+}
+
+void QueryService::AdvanceSessionLocked(
+    const std::shared_ptr<QueryTask>& finished) {
+  auto session = sessions_.Find(finished->session);
+  if (session == nullptr) return;  // ended while we executed
+  sessions_.Touch(*session);
+  ++session->queries_completed;
+  session->active = nullptr;
+  while (!session->fifo.empty()) {
+    std::shared_ptr<QueryTask> next = session->fifo.front();
+    session->fifo.pop_front();
+    bool already_done;
+    {
+      std::lock_guard<std::mutex> tl(next->mu);
+      already_done = next->done;
+      if (already_done) ReleaseQueueSlotLocked(*next);
+    }
+    if (already_done) {  // cancelled while in the FIFO
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    session->active = next;
+    ready_.push_back(next);
+    work_cv_.notify_one();
+    return;  // session keeps its running slot
+  }
+  session->running = false;
+}
+
+void QueryService::DrainSessionLocked(Session& session) {
+  for (const auto& task : session.fifo) {
+    ResolveTask(*task, Status::Cancelled("session ended"), nullptr, {});
+    ReleaseQueueSlot(*task);
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+  }
+  session.fifo.clear();
+  if (session.active != nullptr) {
+    // Executing (or sitting in ready_): cancel cooperatively; the worker
+    // resolves it and finds the session gone.
+    session.active->token.Cancel();
+    std::lock_guard<std::mutex> tl(session.active->mu);
+    if (!session.active->done && !session.active->started) {
+      session.active->done = true;
+      session.active->status = Status::Cancelled("session ended");
+      ReleaseQueueSlotLocked(*session.active);
+      session.active->cv.notify_all();
+    }
+  }
+}
+
+ServiceStats QueryService::stats() const {
+  ServiceStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.cache_hits = result_cache_.hits();
+  s.cache_misses = result_cache_.misses();
+  s.contexts_reused = contexts_reused_.load(std::memory_order_relaxed);
+  s.result_cache_bytes = result_cache_.bytes();
+  s.result_cache_entries = result_cache_.entries();
+  s.context_cache_bytes = context_cache_.bytes();
+  s.context_cache_entries = context_cache_.entries();
+  const int64_t waiting = queued_count_->load(std::memory_order_relaxed);
+  s.queued = waiting > 0 ? static_cast<size_t>(waiting) : 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.sessions = sessions_.size();
+    s.in_flight = in_flight_;
+  }
+  return s;
+}
+
+}  // namespace zv::server

@@ -1,0 +1,253 @@
+/// \file query_service.h
+/// \brief The interactive serving layer: one QueryService owns named
+/// datasets and serves ZQL requests from many concurrent sessions.
+///
+/// The engine underneath (PR 1 parallel scoring, PR 2 top-k pruning) makes
+/// one query fast; this layer makes the *system* responsive under the
+/// paper's actual workload — a front end firing a query per user gesture,
+/// re-issuing near-identical queries dozens of times per minute:
+///
+///  - SessionManager (session.h): per-session sketch state and TTL
+///    eviction, with a per-session FIFO guarantee (a session's queries
+///    execute in submission order; different sessions run concurrently).
+///  - ResultCache (result_cache.h): sharded LRU over finished results,
+///    keyed by canonicalized query fingerprint + dataset epoch. Any table
+///    mutation bumps the epoch, so a stale entry can never be served.
+///  - ContextCache (tasks/context_cache.h): ScoringContext alignment
+///    matrices shared across queries and sessions by content fingerprint —
+///    the dominant setup cost of repeat exploration becomes a hash lookup.
+///  - Async execution: Submit() returns a QueryHandle immediately; the
+///    query runs on one of max_inflight service workers (each of which
+///    still fans its scoring loops over the ZV_THREADS pool). Cancel()
+///    flips a cooperative CancelToken observed at ParallelFor chunk
+///    boundaries and per scored combination; a cancelled query returns
+///    kCancelled and leaves the service healthy.
+///  - Admission control: at most max_inflight queries execute and at most
+///    max_queue wait; past that Submit() returns kUnavailable immediately
+///    instead of queueing unboundedly (fail fast beats convoying an
+///    interactive UI).
+///
+/// Knobs (constructor options override; 0 / unset falls back to env):
+///   ZV_CACHE_MB      total cache budget, MB (default 64; 3/4 results,
+///                    1/4 contexts; 0 disables both caches)
+///   ZV_MAX_INFLIGHT  concurrent executing queries (default 4)
+///   ZV_MAX_QUEUE     waiting queries before kUnavailable (default 32)
+
+#ifndef ZV_SERVER_QUERY_SERVICE_H_
+#define ZV_SERVER_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "engine/database.h"
+#include "server/result_cache.h"
+#include "server/session.h"
+#include "tasks/context_cache.h"
+#include "zql/executor.h"
+
+namespace zv::server {
+
+struct ServiceOptions {
+  /// Base executor configuration (task library, optimization level, named
+  /// sets, …) applied to every query. sql_trace is ignored (executors run
+  /// concurrently; a shared trace pointer would race).
+  zql::ZqlOptions zql;
+  /// 0 = resolve from ZV_MAX_INFLIGHT (default 4).
+  size_t max_inflight = 0;
+  /// 0 = resolve from ZV_MAX_QUEUE (default 32).
+  size_t max_queue = 0;
+  /// Total cache budget in MB; SIZE_MAX = resolve from ZV_CACHE_MB
+  /// (default 64). 0 disables both the result and the context cache.
+  size_t cache_mb = static_cast<size_t>(-1);
+  /// Serve repeat queries from the ResultCache (tests disable this to
+  /// isolate ContextCache effects while keeping the budget).
+  bool result_cache = true;
+  /// Idle sessions expire after this long; <= 0 never expires.
+  int64_t session_ttl_ms = 10 * 60 * 1000;
+  /// Time source for TTLs (tests inject ManualClock); null = system.
+  Clock* clock = nullptr;
+};
+
+/// Monitoring snapshot (see QueryService::stats()).
+struct ServiceStats {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;   ///< finished OK (including cache hits)
+  uint64_t failed = 0;      ///< finished with a non-cancel error
+  uint64_t cancelled = 0;   ///< cancelled before or during execution
+  uint64_t rejected = 0;    ///< refused by admission control
+  uint64_t cache_hits = 0;  ///< ResultCache
+  uint64_t cache_misses = 0;
+  uint64_t contexts_reused = 0;  ///< ScoringContext dedupe + cache hits
+  size_t sessions = 0;
+  size_t in_flight = 0;
+  size_t queued = 0;
+  size_t result_cache_bytes = 0;
+  size_t result_cache_entries = 0;
+  size_t context_cache_bytes = 0;
+  size_t context_cache_entries = 0;
+};
+
+struct QueryTask;  // internal; defined in query_service.cc
+
+/// \brief Future-like handle to one submitted query. Copyable; all copies
+/// observe the same execution. Outliving the service is safe: the service
+/// resolves every outstanding handle (kCancelled) before it destructs.
+class QueryHandle {
+ public:
+  QueryHandle() = default;
+
+  bool valid() const { return task_ != nullptr; }
+
+  /// Requests cooperative cancellation: a queued query resolves
+  /// kCancelled immediately; an executing one stops at its next
+  /// cancellation point (chunk boundary / scored combination / row
+  /// boundary). Idempotent; never blocks on the query.
+  void Cancel();
+
+  /// Blocks until the query resolves; returns its final status.
+  Status Wait();
+
+  bool done() const;
+
+  /// The finished result (null until done, and on error). Shared with the
+  /// ResultCache: treat as immutable.
+  std::shared_ptr<const zql::ZqlResult> result() const;
+
+  /// Per-call stats: on a cache hit, cache_hits = 1 and total_ms is the
+  /// lookup time; on a miss, the executing run's stats with
+  /// cache_misses = 1.
+  zql::ZqlStats stats() const;
+
+ private:
+  friend class QueryService;
+  explicit QueryHandle(std::shared_ptr<QueryTask> task)
+      : task_(std::move(task)) {}
+
+  std::shared_ptr<QueryTask> task_;
+};
+
+/// \brief The serving facade. Thread-safe; create one per process (or per
+/// tenant) and share it across sessions.
+class QueryService {
+ public:
+  explicit QueryService(ServiceOptions options = {});
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// --- Datasets ---------------------------------------------------------
+
+  /// Registers `table` under its own name, backed by `db` (a fresh
+  /// RoaringDatabase when null). Fails on duplicate names.
+  Status RegisterDataset(std::shared_ptr<Table> table,
+                         std::shared_ptr<Database> db = nullptr);
+
+  /// Atomically replaces the dataset of the same name and bumps its epoch:
+  /// queries already executing keep their snapshot; every later query sees
+  /// the new table, and no cached result from the old epoch can be served.
+  Status ReplaceDataset(std::shared_ptr<Table> table,
+                        std::shared_ptr<Database> db = nullptr);
+
+  Result<uint64_t> DatasetEpoch(const std::string& name) const;
+  Result<std::shared_ptr<Database>> DatasetDatabase(
+      const std::string& name) const;
+  Result<std::shared_ptr<Table>> DatasetTable(const std::string& name) const;
+  std::vector<std::string> DatasetNames() const;
+
+  /// --- Sessions ---------------------------------------------------------
+
+  Result<SessionId> CreateSession();
+
+  /// Ends the session now: queued queries resolve kCancelled, an executing
+  /// one is cancelled cooperatively.
+  Status EndSession(SessionId id);
+
+  /// Registers a user-drawn input visualization (`-name` rows) on the
+  /// session; snapshotted into subsequently submitted queries and folded
+  /// into their cache fingerprints.
+  Status SetUserInput(SessionId id, const std::string& name,
+                      Visualization viz);
+
+  /// Sweeps expired sessions, then returns the live count.
+  size_t ActiveSessions();
+
+  /// --- Queries ----------------------------------------------------------
+
+  /// Enqueues `zql_text` against `dataset` for `session`. Returns
+  /// kUnavailable under overload, kNotFound for unknown session/dataset.
+  /// Parse and execution errors surface on the handle, not here.
+  Result<QueryHandle> Submit(SessionId session, const std::string& dataset,
+                             const std::string& zql_text,
+                             std::optional<zql::OptLevel> optimization = {});
+
+  ServiceStats stats() const;
+
+  size_t max_inflight() const { return max_inflight_; }
+  size_t max_queue() const { return max_queue_; }
+  size_t cache_bytes() const { return result_cache_.max_bytes_total(); }
+
+ private:
+  struct Dataset {
+    std::shared_ptr<Table> table;
+    std::shared_ptr<Database> db;
+    uint64_t epoch = 1;
+  };
+
+  void WorkerMain(size_t worker_index);
+  void RunTask(const std::shared_ptr<QueryTask>& task);
+  /// Moves the session's next runnable task to the ready queue (or clears
+  /// its running slot). Requires mu_.
+  void AdvanceSessionLocked(const std::shared_ptr<QueryTask>& finished);
+  /// Resolves every queued task of `session` with kCancelled and cancels
+  /// its executing one, if any. Requires mu_.
+  void DrainSessionLocked(Session& session);
+
+  zql::ZqlOptions base_zql_;
+  size_t max_inflight_ = 4;
+  size_t max_queue_ = 32;
+  bool result_cache_enabled_ = true;
+  Clock* clock_;
+
+  ResultCache result_cache_;
+  ContextCache context_cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  bool stop_ = false;
+  std::unordered_map<std::string, Dataset> datasets_;
+  SessionManager sessions_;
+  std::deque<std::shared_ptr<QueryTask>> ready_;
+  /// Waiting queries (ready_ + session fifos, not yet started) — the
+  /// admission-control gauge. Shared with every task (each holds the
+  /// pointer) so QueryHandle::Cancel can release a dead queued entry's
+  /// slot immediately instead of leaving it counted until a worker pops
+  /// it; tasks therefore never need a back-pointer into the service.
+  std::shared_ptr<std::atomic<int64_t>> queued_count_ =
+      std::make_shared<std::atomic<int64_t>>(0);
+  size_t in_flight_ = 0;  ///< currently executing
+  std::vector<std::shared_ptr<QueryTask>> current_;  ///< per-worker slot
+  std::vector<std::thread> workers_;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> contexts_reused_{0};
+};
+
+}  // namespace zv::server
+
+#endif  // ZV_SERVER_QUERY_SERVICE_H_

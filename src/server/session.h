@@ -1,0 +1,139 @@
+/// \file session.h
+/// \brief Per-session serving state: identity, TTL bookkeeping, registered
+/// user-input sketches, and the per-session FIFO of submitted queries.
+///
+/// zenvisage is interactive: one front-end user = one session, issuing a
+/// stream of queries as they explore. The serving contract is:
+///  - queries *within* a session execute in submission order (a user's
+///    later gesture never observes state from before their earlier one);
+///  - queries *across* sessions run concurrently up to the service's
+///    in-flight bound;
+///  - idle sessions expire after a TTL, reclaiming their sketch state.
+///
+/// SessionManager is intentionally NOT self-locking: every method must be
+/// called with the owning QueryService's mutex held. The service has one
+/// lock covering sessions + queues + admission counters, so session-FIFO
+/// transitions and admission decisions are a single atomic step — the
+/// alternative (per-manager locks) invites lock-order cycles between the
+/// queue and the session table for no contention win at query granularity.
+
+#ifndef ZV_SERVER_SESSION_H_
+#define ZV_SERVER_SESSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "viz/visualization.h"
+
+namespace zv::server {
+
+using SessionId = uint64_t;
+
+struct QueryTask;  // defined in query_service.cc
+
+/// \brief One interactive client. All fields are guarded by the owning
+/// QueryService's mutex.
+struct Session {
+  SessionId id = 0;
+  int64_t last_active_ms = 0;
+
+  /// User-drawn input visualizations (`-f1` rows, §2) registered on this
+  /// session; snapshotted into each submitted task.
+  std::map<std::string, Visualization> user_inputs;
+  /// Content hash of user_inputs, folded into every query fingerprint.
+  /// Maintained by SetUserInput so Submit doesn't rehash sketch data.
+  std::string inputs_fingerprint;
+
+  /// FIFO of tasks waiting on this session's in-order guarantee. The task
+  /// currently occupying the session's running slot is not in here — it is
+  /// `active` (sitting in the service ready queue or executing).
+  std::deque<std::shared_ptr<QueryTask>> fifo;
+  bool running = false;
+  std::shared_ptr<QueryTask> active;
+
+  uint64_t queries_submitted = 0;
+  uint64_t queries_completed = 0;
+};
+
+/// \brief Session table with TTL eviction. Externally synchronized (see
+/// file comment).
+class SessionManager {
+ public:
+  /// `clock` must outlive the manager; `ttl_ms <= 0` disables expiry.
+  SessionManager(Clock* clock, int64_t ttl_ms)
+      : clock_(clock), ttl_ms_(ttl_ms) {}
+
+  std::shared_ptr<Session> Create() {
+    auto s = std::make_shared<Session>();
+    s->id = next_id_++;
+    s->last_active_ms = clock_->NowMs();
+    sessions_[s->id] = s;
+    return s;
+  }
+
+  /// nullptr when the id is unknown or the session has expired.
+  std::shared_ptr<Session> Find(SessionId id) {
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return nullptr;
+    if (Expired(*it->second)) {
+      sessions_.erase(it);
+      return nullptr;
+    }
+    return it->second;
+  }
+
+  bool End(SessionId id) { return sessions_.erase(id) > 0; }
+
+  /// Evicts every expired session; returns how many were evicted.
+  /// Invariant: an evicted session can never hold unresolved work —
+  /// Expired() refuses sessions with a running slot or a non-empty FIFO,
+  /// so eviction is purely a bookkeeping cleanup.
+  size_t SweepExpired() {
+    size_t evicted = 0;
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if (Expired(*it->second)) {
+        it = sessions_.erase(it);
+        ++evicted;
+      } else {
+        ++it;
+      }
+    }
+    return evicted;
+  }
+
+  void Touch(Session& s) { s.last_active_ms = clock_->NowMs(); }
+
+  size_t size() const { return sessions_.size(); }
+  int64_t ttl_ms() const { return ttl_ms_; }
+
+  /// All live sessions (for stats / shutdown drains).
+  std::vector<std::shared_ptr<Session>> All() const {
+    std::vector<std::shared_ptr<Session>> out;
+    out.reserve(sessions_.size());
+    for (const auto& [id, s] : sessions_) out.push_back(s);
+    return out;
+  }
+
+ private:
+  bool Expired(const Session& s) const {
+    // A session with queued or running work is live by definition — its
+    // last_active stamp refreshes when the work completes.
+    if (s.running || !s.fifo.empty()) return false;
+    return ttl_ms_ > 0 && clock_->NowMs() - s.last_active_ms > ttl_ms_;
+  }
+
+  Clock* clock_;
+  const int64_t ttl_ms_;
+  SessionId next_id_ = 1;
+  std::unordered_map<SessionId, std::shared_ptr<Session>> sessions_;
+};
+
+}  // namespace zv::server
+
+#endif  // ZV_SERVER_SESSION_H_

@@ -1,0 +1,65 @@
+#include "tasks/context_cache.h"
+
+#include "common/hash.h"
+
+namespace zv {
+
+namespace {
+
+/// Exact Value hashing: type tag + full-precision payload. ToString would
+/// be lossy (%.6g doubles, untagged "NULL"/"5" collisions), and a
+/// fingerprint collision here serves another query's alignment matrices.
+/// Int(5) and Double(5.0) hash differently even though Value::Compare
+/// treats them as equal — that can only split cache entries (missed
+/// reuse), never merge distinct data.
+void HashValue(Fingerprint128* fp, const Value& v) {
+  fp->U64(static_cast<uint64_t>(v.type()));
+  switch (v.type()) {
+    case DataType::kNull:
+      break;
+    case DataType::kInt64:
+      fp->U64(static_cast<uint64_t>(v.AsInt()));
+      break;
+    case DataType::kDouble:
+      fp->F64(v.AsDouble());
+      break;
+    case DataType::kString:
+      fp->Str(v.AsString());
+      break;
+  }
+}
+
+}  // namespace
+
+std::string ScoringSetFingerprint(const std::vector<const Visualization*>& set,
+                                  Normalization norm, Alignment align) {
+  Fingerprint128 fp;
+  fp.U64(static_cast<uint64_t>(norm));
+  fp.U64(static_cast<uint64_t>(align));
+  fp.U64(set.size());
+  for (const Visualization* v : set) {
+    // Identity — cheap disambiguation and debuggability…
+    fp.Str(v->x_attr);
+    fp.Str(v->y_attr);
+    fp.Str(v->constraints);
+    fp.Str(v->spec.ToString());
+    fp.U64(v->slices.size());
+    for (const Slice& s : v->slices) {
+      fp.Str(s.attribute);
+      HashValue(&fp, s.value);
+    }
+    // …and data — the part that actually makes reuse safe across table
+    // mutations and user-drawn inputs.
+    fp.U64(v->xs.size());
+    for (const Value& x : v->xs) HashValue(&fp, x);
+    fp.U64(v->series.size());
+    for (const Series& s : v->series) {
+      fp.Str(s.name);
+      fp.U64(s.ys.size());
+      for (double y : s.ys) fp.F64(y);
+    }
+  }
+  return fp.Hex();
+}
+
+}  // namespace zv

@@ -1,0 +1,74 @@
+/// \file context_cache.h
+/// \brief Cross-query reuse of ScoringContext alignment matrices.
+///
+/// Building a ScoringContext — sorting the union x-domain, aligning and
+/// normalizing every candidate row — is the dominant setup cost of repeat
+/// exploration: the same user tweaks one constraint and re-scores the same
+/// candidate set dozens of times per minute. A ContextCache turns that
+/// setup into a hash lookup shared across queries *and* sessions.
+///
+/// Keys are content-addressed: ScoringSetFingerprint hashes each
+/// candidate's identity (axes, slices, constraints, spec) AND its fetched
+/// data (x values, y series), plus the normalization/alignment
+/// configuration. Hashing the data — not just the identity — makes reuse
+/// unconditionally safe: a table mutation (dataset epoch bump) changes the
+/// fetched series, so the fingerprint changes and the stale context simply
+/// misses. User-drawn input sketches, whose data is not derivable from any
+/// table, are covered by the same property.
+///
+/// Values are shared_ptr<const ScoringContext>: contexts are immutable and
+/// internally thread-safe after construction, so many concurrent queries
+/// can score out of one cached instance while the LRU evicts it for new
+/// arrivals.
+
+#ifndef ZV_TASKS_CONTEXT_CACHE_H_
+#define ZV_TASKS_CONTEXT_CACHE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/lru_cache.h"
+#include "tasks/series_cache.h"
+
+namespace zv {
+
+/// Content hash (identity + data + scoring configuration) of a candidate
+/// set, in the set's order. Two queries that would build bit-identical
+/// ScoringContexts produce equal fingerprints; any difference in shape,
+/// identity, data, or configuration produces (with 128-bit probability)
+/// different ones.
+std::string ScoringSetFingerprint(const std::vector<const Visualization*>& set,
+                                  Normalization norm, Alignment align);
+
+/// \brief Byte-budgeted sharded LRU of immutable ScoringContexts, keyed by
+/// ScoringSetFingerprint. Thread-safe; one instance serves every session.
+class ContextCache {
+ public:
+  explicit ContextCache(size_t max_bytes, size_t shards = 4)
+      : cache_(max_bytes, shards) {}
+
+  std::shared_ptr<const ScoringContext> Get(const std::string& fingerprint) {
+    return cache_.Get(fingerprint);
+  }
+
+  void Put(const std::string& fingerprint,
+           std::shared_ptr<const ScoringContext> ctx) {
+    const size_t bytes = ctx->MemoryBytes();
+    cache_.Put(fingerprint, std::move(ctx), bytes);
+  }
+
+  void Clear() { cache_.Clear(); }
+  size_t bytes() const { return cache_.bytes(); }
+  size_t entries() const { return cache_.entries(); }
+  uint64_t hits() const { return cache_.hits(); }
+  uint64_t misses() const { return cache_.misses(); }
+  size_t max_bytes_total() const { return cache_.max_bytes(); }
+
+ private:
+  ShardedLruCache<ScoringContext> cache_;
+};
+
+}  // namespace zv
+
+#endif  // ZV_TASKS_CONTEXT_CACHE_H_

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <set>
 
+#include "common/cancel.h"
 #include "common/parallel.h"
 #include "common/strings.h"
 #include "sql/parser.h"
@@ -164,6 +165,11 @@ class ZqlExecutor::State {
         break;
     }
 
+    // A cancelled token must never yield an OK result: void ParallelFor
+    // consumers (k-means in R tasks, outlier scans) stop early when
+    // cancelled and would otherwise hand back partially-scored data.
+    ZV_RETURN_NOT_OK(CheckCancelled());
+
     ZqlResult result;
     for (const auto& row : query.rows) {
       if (!row.name.output) continue;
@@ -188,6 +194,7 @@ class ZqlExecutor::State {
 
   Status RunSequential(const ZqlQuery& query) {
     for (const auto& row : query.rows) {
+      ZV_RETURN_NOT_OK(CheckCancelled());
       const bool needs_flush_before =
           row.name.user_input || row.name.derive != NameEntry::Derive::kNone;
       if (needs_flush_before) {
@@ -211,6 +218,7 @@ class ZqlExecutor::State {
     std::vector<const ZqlRow*> remaining;
     for (const auto& row : query.rows) remaining.push_back(&row);
     while (!remaining.empty()) {
+      ZV_RETURN_NOT_OK(CheckCancelled());
       // Select every remaining row whose variable dependencies are already
       // bound — or *statically declared* by an earlier row of this wave
       // (axis/Z sets that need no process output are known at plan time,
@@ -1009,6 +1017,7 @@ class ZqlExecutor::State {
 
   Status Flush() {
     if (buffer_.empty()) return Status::OK();
+    ZV_RETURN_NOT_OK(CheckCancelled());
     const auto t0 = Clock::now();
     std::vector<PendingFetch> pending = std::move(buffer_);
     buffer_.clear();
@@ -1365,6 +1374,10 @@ class ZqlExecutor::State {
       double acc = 0;
       bool first = true;
       for (size_t i = 0; i < total; ++i) {
+        // A reducer hides an O(domain) scan inside one scored combination,
+        // so the per-combination cancel polls alone could lag by the whole
+        // inner loop; poll here too.
+        ZV_RETURN_NOT_OK(CheckCancelled());
         size_t rem = i;
         for (size_t di = doms.size(); di-- > 0;) {
           env[doms[di].get()] = rem % doms[di]->size();
@@ -1456,11 +1469,22 @@ class ZqlExecutor::State {
     }
   }
 
-  /// Builds the shared ScoringContext for one process declaration: every
-  /// visualization of every component referenced by a D() call is aligned
-  /// and normalized exactly once, instead of once per scored pair. Only
-  /// active when the task library's distance is the default one (a custom
-  /// distance must keep being called per pair).
+  /// Builds — or reuses — the shared ScoringContext for one process
+  /// declaration: every visualization of every component referenced by a
+  /// D() call is aligned and normalized exactly once, instead of once per
+  /// scored pair. Only active when the task library's distance is the
+  /// default one (a custom distance must keep being called per pair).
+  ///
+  /// Reuse happens at two levels, both keyed by the content fingerprint of
+  /// the pool (identity + data + normalization/alignment):
+  ///  - within this query: two Process declarations over the same candidate
+  ///    set — e.g. an argmin and an argmax over one (x, y, z) config —
+  ///    share one context instead of rebuilding it per declaration;
+  ///  - across queries/sessions: ZqlOptions::context_cache, when wired by
+  ///    the serving layer.
+  /// The pool (and therefore the row order the fingerprint covers) is
+  /// rebuilt deterministically here, so scoring_index_ maps this query's
+  /// Visualization pointers onto the cached context's rows.
   void PrepareScoring(const ProcessDecl& decl) {
     scoring_ctx_.reset();
     scoring_index_.clear();
@@ -1480,8 +1504,26 @@ class ZqlExecutor::State {
     }
     if (pool.empty()) return;
     const TaskOptions& topts = opts_.tasks.default_options;
-    scoring_ctx_ = std::make_unique<ScoringContext>(pool, topts.normalization,
-                                                    topts.alignment);
+    const std::string key =
+        ScoringSetFingerprint(pool, topts.normalization, topts.alignment);
+    if (auto it = query_contexts_.find(key); it != query_contexts_.end()) {
+      scoring_ctx_ = it->second;
+      ++stats_.contexts_reused;
+      return;
+    }
+    if (opts_.context_cache != nullptr) {
+      if (auto cached = opts_.context_cache->Get(key)) {
+        scoring_ctx_ = std::move(cached);
+        query_contexts_[key] = scoring_ctx_;
+        ++stats_.contexts_reused;
+        return;
+      }
+    }
+    auto ctx = std::make_shared<const ScoringContext>(
+        pool, topts.normalization, topts.alignment);
+    scoring_ctx_ = ctx;
+    query_contexts_[key] = ctx;
+    if (opts_.context_cache != nullptr) opts_.context_cache->Put(key, ctx);
   }
 
   /// True when `decl` can take the top-k pruned scan: an argmin mechanism
@@ -1528,6 +1570,10 @@ class ZqlExecutor::State {
     SharedTopK topk(k, TopKOrder::kAscending);
     std::atomic<uint64_t> pruned{0};
     auto score_one = [&](size_t i) -> Status {
+      // Per-combination cancellation poll: one DTW pair on a long series
+      // can take milliseconds, so chunk-boundary checks alone would make
+      // Cancel() latency proportional to the chunk size.
+      ZV_RETURN_NOT_OK(CheckCancelled());
       Env env;
       size_t rem = i;
       for (size_t di = doms.size(); di-- > 0;) {
@@ -1601,6 +1647,7 @@ class ZqlExecutor::State {
     // provably outside the top k abandon their distance kernel early.
     std::vector<double> scores(total, 0.0);
     auto score_one = [&](size_t i) -> Status {
+      ZV_RETURN_NOT_OK(CheckCancelled());  // per-combination cancel poll
       Env env;
       size_t rem = i;
       for (size_t di = doms.size(); di-- > 0;) {
@@ -1678,6 +1725,10 @@ class ZqlExecutor::State {
     }
     const std::vector<size_t> chosen = opts_.tasks.representatives(
         visuals, static_cast<size_t>(decl.repr_k));
+    // The default representatives implementation runs k-means over void
+    // ParallelFor, which stops early under cancellation — discard its
+    // output rather than bind variables to a partial clustering.
+    ZV_RETURN_NOT_OK(CheckCancelled());
 
     std::vector<std::vector<VarValue>> tuples;
     for (size_t sel : chosen) {
@@ -1717,8 +1768,12 @@ class ZqlExecutor::State {
   /// Batch-scoring state for the process declaration currently being
   /// evaluated (see PrepareScoring). Read-only while the parallel scoring
   /// loop runs; reset afterwards.
-  std::unique_ptr<ScoringContext> scoring_ctx_;
+  std::shared_ptr<const ScoringContext> scoring_ctx_;
   std::map<const Visualization*, size_t> scoring_index_;
+  /// Contexts already built (or fetched from the cross-query cache) during
+  /// this query, by content fingerprint — the within-query dedupe level.
+  std::map<std::string, std::shared_ptr<const ScoringContext>>
+      query_contexts_;
 };
 
 // ===========================================================================

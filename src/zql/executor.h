@@ -27,6 +27,7 @@
 
 #include "common/status.h"
 #include "engine/database.h"
+#include "tasks/context_cache.h"
 #include "tasks/primitives.h"
 #include "viz/visualization.h"
 #include "zql/ast.h"
@@ -73,15 +74,38 @@ struct ZqlOptions {
   /// flag off (topk_test.cc asserts it); exposed so tests and benches can
   /// compare against the full scan.
   bool topk_pruning = true;
+  /// When set, Process-declaration ScoringContexts are shared across
+  /// queries (and sessions) through this cache, keyed by content
+  /// fingerprint (see tasks/context_cache.h) — the serving layer wires the
+  /// QueryService's cache in here. Within one query, identical scoring
+  /// sets are always deduplicated, cache or no cache. Reuse is a pure
+  /// optimization: fingerprints cover identity, data, and configuration,
+  /// so a reused context scores bit-identically to a rebuilt one.
+  ContextCache* context_cache = nullptr;
 };
 
 /// \brief Execution instrumentation for the Chapter 7 experiments.
+/// Counts are exact when the executor has the backend to itself; under a
+/// QueryService, sql_queries/sql_requests are deltas of the *shared*
+/// backend counters, so concurrent queries' statements can interleave
+/// into each other's deltas (monitoring noise only — results are
+/// unaffected, and cached stats replay the first execution's values).
 struct ZqlStats {
   uint64_t sql_queries = 0;   ///< SELECT statements issued
   uint64_t sql_requests = 0;  ///< backend round trips
   /// Candidates abandoned mid-kernel by top-k pruned scoring (a subset of
   /// the scored combinations; 0 when pruning is off or never applicable).
   uint64_t scores_pruned = 0;
+  /// Result-cache verdicts, filled by the serving layer (QueryService): a
+  /// hit means this ZqlResult was served from the ResultCache without
+  /// executing; a miss means it executed and was (re)inserted. Both stay 0
+  /// when the executor runs outside a service.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  /// ScoringContexts reused instead of rebuilt: within-query dedupe (two
+  /// Process declarations sharing one (x, y, z, normalization) candidate
+  /// set) plus cross-query ContextCache hits.
+  uint64_t contexts_reused = 0;
   double total_ms = 0;
   double exec_ms = 0;     ///< time inside the database backend
   double compute_ms = 0;  ///< Process column (task processor) time

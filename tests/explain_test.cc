@@ -82,7 +82,8 @@ TEST(ExplainTest, AnnotatesTaskScoringPaths) {
   ZV_ASSERT_OK_AND_ASSIGN(QueryPlan plan, ExplainQuery(q));
   ASSERT_EQ(plan.rows[1].task_scoring.size(), 1u);
   EXPECT_EQ(plan.rows[1].task_scoring[0],
-            "D: ScoringContext batch scan, top-k pruned k=2");
+            "D: ScoringContext batch scan, top-k pruned k=2, "
+            "context-cacheable");
   ASSERT_EQ(plan.rows[2].task_scoring.size(), 1u);
   EXPECT_EQ(plan.rows[2].task_scoring[0], "T: parallel trend scan");
   const std::string rendered = plan.ToString();
@@ -96,7 +97,8 @@ TEST(ExplainTest, UserFunctionsAnnotatedSerial) {
                  "argmax_v1[k=1] MyScore(f1)"));
   ZV_ASSERT_OK_AND_ASSIGN(QueryPlan plan, ExplainQuery(q));
   ASSERT_EQ(plan.rows[0].task_scoring.size(), 1u);
-  EXPECT_EQ(plan.rows[0].task_scoring[0], "user fn: serial per-pair scoring");
+  EXPECT_EQ(plan.rows[0].task_scoring[0],
+            "user fn: serial per-pair scoring, context cache bypassed");
 }
 
 TEST(ExplainTest, IndependentRowsShareWave) {

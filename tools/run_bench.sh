@@ -13,14 +13,16 @@
 #                    section additionally sweeps 1 vs 4 itself
 #   ZV_BENCH_ONLY    space-separated list of harness names to run
 #                    (default: "bench_fig7_1 bench_fig7_2 bench_fig7_3
-#                    bench_fig7_4 bench_fig7_5")
+#                    bench_fig7_4 bench_fig7_5 bench_serve")
+#   ZV_CACHE_MB / ZV_MAX_INFLIGHT / ZV_MAX_QUEUE  serving-layer knobs
+#                    (bench_serve; see src/server/query_service.h)
 
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$ROOT/build}"
 OUT="${2:-$ROOT/BENCH_fig7.json}"
-BENCHES="${ZV_BENCH_ONLY:-bench_fig7_1 bench_fig7_2 bench_fig7_3 bench_fig7_4 bench_fig7_5}"
+BENCHES="${ZV_BENCH_ONLY:-bench_fig7_1 bench_fig7_2 bench_fig7_3 bench_fig7_4 bench_fig7_5 bench_serve}"
 
 LINES="$(mktemp)"
 trap 'rm -f "$LINES"' EXIT

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Race gate for the concurrent layers: builds a ThreadSanitizer tree
+# (-DZV_TSAN=ON) and runs the concurrency-sensitive suites under it —
+#   parallel_test  (thread pool, deterministic ParallelFor, cancellation)
+#   topk_test      (SharedTopK's relaxed atomic bound)
+#   server_test    (sessions, caches, async execution, admission control)
+#
+# Usage: tools/run_tsan.sh [source_root] [build_dir]
+#   source_root  repo root (default: parent of this script)
+#   build_dir    TSan build tree (default: <source_root>/build-tsan)
+#
+# Registered in ctest under the "tsan" label with CONFIGURATIONS tsan, so
+# plain `ctest` skips it; run `ctest -C tsan` — or this script directly.
+
+set -euo pipefail
+
+ROOT="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+BUILD="${2:-$ROOT/build-tsan}"
+SUITES="parallel_test topk_test server_test"
+
+echo "== configuring TSan tree at $BUILD =="
+cmake -B "$BUILD" -S "$ROOT" -DZV_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  > /dev/null
+
+echo "== building $SUITES =="
+# shellcheck disable=SC2086  # word-splitting the target list is the point
+cmake --build "$BUILD" -j --target $SUITES
+
+echo "== running under ThreadSanitizer =="
+# halt_on_error surfaces the first race as a test failure instead of a log
+# line; second_deadlock_stack improves lock-inversion reports.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+(cd "$BUILD" && ctest --output-on-failure -R '^(parallel_test|topk_test|server_test)$')
+
+echo "TSan gate passed: no races reported in $SUITES"
