@@ -7,8 +7,9 @@
 /// Steps:
 ///  1. Generate the synthetic product-sales table.
 ///  2. Register it with the in-memory Roaring Bitmap database.
-///  3. Execute a one-line ZQL query: "the set of total-sales-over-years
-///     bar charts for each product sold in the US".
+///  3. Build the Table 2.1 query programmatically with ZqlBuilder — "the
+///     set of total-sales-over-years bar charts for each product sold in
+///     the US" — and execute the typed AST (no parser involved).
 ///  4. Print the result as ASCII charts and one Vega-lite spec.
 
 #include <cstdio>
@@ -16,6 +17,8 @@
 #include "engine/roaring_db.h"
 #include "viz/vega_emitter.h"
 #include "workload/datasets.h"
+#include "zql/builder.h"
+#include "zql/canonical.h"
 #include "zql/executor.h"
 
 int main() {
@@ -37,14 +40,27 @@ int main() {
   }
   std::printf("roaring indexes: %zu KiB\n\n", db.IndexBytes("sales") / 1024);
 
-  // 3. ZQL, straight from Table 2.1 of the paper.
-  const char* query =
-      "*f1 | 'year' | 'sales' | v1 <- 'product'.* | location='US' | "
-      "bar.(y=agg('sum')) |";
-  std::printf("ZQL> %s\n\n", query);
+  // 3. The Table 2.1 query, built structurally: each fluent call is one
+  //    cell of the paper's tabular form. CanonicalText renders the exact
+  //    ZQL a text client would have typed.
+  auto built = zv::zql::ZqlBuilder()
+                   .Row("f1").Output()
+                   .X("year").Y("sales")
+                   .ZDeclare("v1", zv::zql::ZSet::All("product"))
+                   .Where("location='US'")
+                   .Viz("bar.(y=agg('sum'))")
+                   .Build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "builder error: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  const zv::zql::ZqlQuery query = std::move(built).value();
+  std::printf("ZQL (canonical)>\n%s\n",
+              zv::zql::CanonicalText(query).c_str());
 
   zv::zql::ZqlExecutor executor(&db, "sales");
-  auto result = executor.ExecuteText(query);
+  auto result = executor.Execute(query);
   if (!result.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
                  result.status().ToString().c_str());

@@ -10,6 +10,8 @@
 #include "tasks/recommender.h"
 #include "viz/vega_emitter.h"
 #include "workload/datasets.h"
+#include "zql/builder.h"
+#include "zql/canonical.h"
 #include "zql/executor.h"
 
 int main() {
@@ -36,18 +38,36 @@ int main() {
   }
   std::printf("user-drawn pattern:\n%s\n", zv::ToAsciiChart(drawn).c_str());
 
-  // Table 2.2: compare the drawn line against the average sold price per
-  // state and return the 3 closest matches.
-  const char* query =
-      "-f1 | | | | | |\n"
-      "f2 | 'year' | 'sold_price' | v1 <- 'state'.* | | "
-      "bar.(y=agg('avg')) | v2 <- argmin_v1[k=3] D(f1, f2)\n"
-      "*f3 | 'year' | 'sold_price' | v2 | | bar.(y=agg('avg')) |";
-  std::printf("ZQL>\n%s\n\n", query);
+  // Table 2.2, built with ZqlBuilder: f1 binds the sketch, f2 scans every
+  // state's average sold price and keeps the 3 closest to the sketch, f3
+  // iterates the selection for output.
+  auto built =
+      zv::zql::ZqlBuilder()
+          .Row("f1").UserInput()
+          .Row("f2")
+              .X("year").Y("sold_price")
+              .ZDeclare("v1", zv::zql::ZSet::All("state"))
+              .Viz("bar.(y=agg('avg'))")
+              .Process(zv::zql::ProcessBuilder({"v2"})
+                           .ArgMin({"v1"}).K(3)
+                           .Call("D", {"f1", "f2"}))
+          .Row("f3").Output()
+              .X("year").Y("sold_price")
+              .ZReuse("v2")
+              .Viz("bar.(y=agg('avg'))")
+          .Build();
+  if (!built.ok()) {
+    std::fprintf(stderr, "builder error: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  const zv::zql::ZqlQuery query = std::move(built).value();
+  std::printf("ZQL (canonical)>\n%s\n",
+              zv::zql::CanonicalText(query).c_str());
 
   zv::zql::ZqlExecutor executor(&db, "housing");
   executor.SetUserInput("f1", drawn);
-  auto result = executor.ExecuteText(query);
+  auto result = executor.Execute(query);
   if (!result.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
                  result.status().ToString().c_str());
@@ -60,11 +80,15 @@ int main() {
   }
 
   // The recommendation panel (§6.1): diverse trends for the same axes.
-  const char* all_states_query =
-      "*f1 | 'year' | 'sold_price' | v1 <- 'state'.* | | "
-      "bar.(y=agg('avg')) |";
+  const zv::zql::ZqlQuery all_states_query =
+      zv::zql::ZqlBuilder()
+          .Row("f1").Output()
+          .X("year").Y("sold_price")
+          .ZDeclare("v1", zv::zql::ZSet::All("state"))
+          .Viz("bar.(y=agg('avg'))")
+          .Build().ValueOrDie();
   zv::zql::ZqlExecutor rec_exec(&db, "housing");
-  auto all = rec_exec.ExecuteText(all_states_query);
+  auto all = rec_exec.Execute(all_states_query);
   if (all.ok()) {
     std::vector<const zv::Visualization*> candidates;
     for (const auto& v : all->outputs[0].visuals) candidates.push_back(&v);

@@ -20,11 +20,20 @@
 ///   :stats                service counters (cache hit rate, sessions, …)
 ///   :reload               regenerate the dataset — bumps its epoch, so
 ///                         every cached result for it is invalidated
+///   :json                 enter wire mode: each subsequent line is one
+///                         JSON QueryRequest (docs/api_reference.md), each
+///                         reply one JSON QueryResponse — the same protocol
+///                         a browser front end speaks. ":text" leaves.
 ///   :quit
 ///
 /// Repeat a query to watch the serving layer work: the second run reports
 /// "result cache HIT" and returns in microseconds; :reload and re-run to
-/// watch epoch invalidation force a recompute.
+/// watch epoch invalidation force a recompute. Wire mode drives the whole
+/// typed path over stdin/stdout:
+///
+///   zql> :json
+///   json> {"dataset":"sales","zql":"*f1 | 'year' | 'sales' | | | |","page":{"limit":1},"include_vega":true}
+///   {"v":1,"outputs":[...],"stats":{...},"fingerprint":"..."}
 
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "api/service.h"
 #include "common/strings.h"
 #include "server/query_service.h"
 #include "viz/vega_emitter.h"
@@ -134,6 +144,7 @@ int main(int argc, char** argv) {
   std::string buffer;
   std::string line;
   std::vector<zv::server::QueryHandle> async_handles;
+  bool wire_mode = false;
 
   auto submit_buffered = [&](bool async) {
     auto submitted =
@@ -156,11 +167,34 @@ int main(int argc, char** argv) {
   };
 
   while (true) {
-    std::printf(buffer.empty() ? "zql> " : "...> ");
+    std::printf(wire_mode ? "json> " : (buffer.empty() ? "zql> " : "...> "));
     std::fflush(stdout);
     if (!std::getline(std::cin, line)) break;
     const std::string trimmed = zv::Trim(line);
     if (trimmed == ":quit" || trimmed == ":q") break;
+    if (wire_mode) {
+      if (trimmed == ":text") {
+        wire_mode = false;
+        std::printf("back to interactive mode\n");
+        continue;
+      }
+      if (trimmed.empty()) continue;
+      // One JSON QueryRequest per line; one JSON QueryResponse per line.
+      std::printf("%s\n",
+                  zv::api::HandleWireRequest(service, session, trimmed)
+                      .c_str());
+      continue;
+    }
+    if (trimmed == ":json") {
+      wire_mode = true;
+      std::printf(
+          "wire mode (protocol v%d): one JSON request per line, e.g.\n"
+          "  {\"dataset\":\"%s\",\"zql\":\"*f1 | 'year' | 'sales' | | | "
+          "|\",\"page\":{\"limit\":1}}\n"
+          "\":text\" returns to the interactive shell.\n",
+          zv::api::kProtocolVersion, table_name.c_str());
+      continue;
+    }
     if (trimmed == ":tables") {
       for (const auto& col : table->schema().columns()) {
         std::printf("  %-20s %s\n", col.name.c_str(),

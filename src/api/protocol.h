@@ -1,0 +1,199 @@
+/// \file protocol.h
+/// \brief The versioned, typed query protocol: QueryRequest / QueryResponse
+/// and their JSON wire codec.
+///
+/// This is the public surface a front end programs against (§6: the
+/// zenvisage browser client fires a request per user gesture and renders
+/// the returned visualizations). The old string-in/string-out entry points
+/// remain as thin wrappers; everything structured lives here:
+///
+///  - *Versioning*: every message carries `v`. The server accepts any
+///    version in [kMinProtocolVersion, ∞) and replies with
+///    min(client, kProtocolVersion) — additive evolution; a client below
+///    the floor gets a structured `unsupported` error.
+///  - *Typed queries*: QueryRequest holds a zql::ZqlQuery AST (built with
+///    ZqlBuilder or parsed from text). On the wire the AST travels as its
+///    canonical serialization (zql::CanonicalText) — deterministic,
+///    re-parseable, and the same string the ResultCache keys on.
+///  - *Structured errors*: ErrorInfo maps every StatusCode (including
+///    kCancelled and kUnavailable) to a stable wire name, a retryable
+///    flag, and — for parse errors — line/column/token diagnostics.
+///  - *Pagination*: PageSpec windows every output independently
+///    (offset/limit over its visualization list); OutputSlice reports the
+///    pre-pagination total so clients can page without a count query.
+///  - *Vega payloads*: with include_vega, each returned visualization
+///    carries its Vega-Lite spec (viz/vega_emitter), so a browser can
+///    render results with no further translation.
+///
+/// Encode/Decode are exact inverses on the wire: for any request or
+/// response, Encode(Decode(Encode(x))) == Encode(x) byte-for-byte
+/// (tests/api_test.cc locks this).
+
+#ifndef ZV_API_PROTOCOL_H_
+#define ZV_API_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "viz/visualization.h"
+#include "zql/ast.h"
+#include "zql/executor.h"
+#include "zql/parser.h"
+
+namespace zv::api {
+
+/// Highest protocol version this build speaks.
+inline constexpr int kProtocolVersion = 1;
+/// Lowest version still accepted.
+inline constexpr int kMinProtocolVersion = 1;
+
+/// min(client, server) when the client is modern enough; a structured
+/// kUnsupported error otherwise.
+Result<int> NegotiateVersion(int client_version);
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// \brief Machine-consumable error payload. Built from any Status via
+/// ErrorFromStatus — the mapping is total: every StatusCode has a stable
+/// wire name and a retryable verdict.
+struct ErrorInfo {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  /// True for transient conditions a client should retry with backoff
+  /// (kUnavailable — admission control / shutdown races).
+  bool retryable = false;
+  /// Parse diagnostics (ZQL or JSON), when the failure was a parse: 1-based
+  /// position and the offending token. 0 / empty = not applicable.
+  int line = 0;
+  int column = 0;
+  std::string token;
+
+  bool ok() const { return code == StatusCode::kOk; }
+};
+
+/// Stable wire spelling of a status code ("parse_error", "cancelled", ...).
+const char* WireErrorName(StatusCode code);
+/// Inverse of WireErrorName; kParseError on unknown names (forward compat:
+/// an unknown error name still decodes as an error).
+StatusCode WireErrorCode(const std::string& name);
+
+/// Total mapping Status -> ErrorInfo. Parse-error statuses get their
+/// line/column/token extracted; pass `diag` when the caller already has the
+/// structured form (zql::ParseQuery fills one).
+ErrorInfo ErrorFromStatus(const Status& status,
+                          const zql::ParseDiagnostic* diag = nullptr);
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// \brief Pagination window applied to *each* output independently.
+/// limit == 0 means "no limit" (offset still applies).
+struct PageSpec {
+  uint64_t offset = 0;
+  uint64_t limit = 0;
+
+  bool operator==(const PageSpec&) const = default;
+};
+
+/// \brief One query, fully typed.
+struct QueryRequest {
+  int version = kProtocolVersion;
+  std::string dataset;
+  zql::ZqlQuery query;
+  /// Override the service's optimization level for this query only.
+  std::optional<zql::OptLevel> optimization;
+  PageSpec page;
+  /// Attach a Vega-Lite spec per returned visualization.
+  bool include_vega = false;
+  /// Include the data points (xs / series). Off = identity-only responses
+  /// (labels + totals), for clients that lazily fetch page contents.
+  bool include_data = true;
+  /// Opaque client tag, echoed in the response (request correlation).
+  std::string client_tag;
+
+  /// Builds a request by parsing ZQL text (the boundary adapter for text
+  /// clients); parse failures carry line/column diagnostics.
+  static Result<QueryRequest> FromText(std::string dataset,
+                                       const std::string& zql_text);
+};
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// \brief One output component's page of results.
+struct OutputSlice {
+  std::string name;
+  /// Pre-pagination visualization count (clients page against this).
+  uint64_t total = 0;
+  /// Echo of the applied window start.
+  uint64_t offset = 0;
+  /// Identity labels for the page, always present (even without data).
+  std::vector<std::string> labels;
+  /// The page's visualizations (empty when include_data was false).
+  std::vector<Visualization> visuals;
+  /// Vega-Lite spec per page entry (empty when include_vega was false).
+  std::vector<std::string> vega;
+};
+
+/// \brief The reply to one QueryRequest.
+struct QueryResponse {
+  int version = kProtocolVersion;
+  ErrorInfo error;  ///< code == kOk on success
+  std::vector<OutputSlice> outputs;
+  zql::ZqlStats stats;
+  /// The ResultCache fingerprint this query keyed to — lets a client
+  /// correlate repeats and observe cache identity. Empty on errors that
+  /// precede fingerprinting (parse, unknown dataset).
+  std::string fingerprint;
+  std::string client_tag;  ///< echoed from the request
+
+  bool ok() const { return error.ok(); }
+};
+
+/// Packages a finished ZqlResult according to the request's pagination and
+/// payload flags.
+QueryResponse BuildResponse(const zql::ZqlResult& result,
+                            const QueryRequest& request,
+                            std::string fingerprint);
+
+/// Packages a failure (total mapping; see ErrorFromStatus).
+QueryResponse BuildErrorResponse(const Status& status,
+                                 const QueryRequest& request,
+                                 const zql::ParseDiagnostic* diag = nullptr);
+
+// ---------------------------------------------------------------------------
+// JSON codec
+// ---------------------------------------------------------------------------
+
+Json EncodeRequest(const QueryRequest& request);
+/// `diag` (optional) receives ZQL parse diagnostics when the embedded
+/// query text fails to parse.
+Result<QueryRequest> DecodeRequest(const Json& json,
+                                   zql::ParseDiagnostic* diag = nullptr);
+
+Json EncodeResponse(const QueryResponse& response);
+Result<QueryResponse> DecodeResponse(const Json& json);
+
+/// Visualization <-> JSON (identity + data; the spec travels in its ZQL
+/// textual form).
+Json EncodeVisualization(const Visualization& viz);
+Result<Visualization> DecodeVisualization(const Json& json);
+
+/// Value <-> JSON, preserving the int/double/string/null distinction.
+Json EncodeValue(const Value& value);
+Result<Value> DecodeValue(const Json& json);
+
+const char* OptLevelWireName(zql::OptLevel level);
+Result<zql::OptLevel> OptLevelFromWireName(const std::string& name);
+
+}  // namespace zv::api
+
+#endif  // ZV_API_PROTOCOL_H_

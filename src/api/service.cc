@@ -1,0 +1,55 @@
+#include "api/service.h"
+
+namespace zv::api {
+
+QueryResponse ExecuteRequest(server::QueryService& service,
+                             server::SessionId session,
+                             const QueryRequest& request) {
+  Result<int> version = NegotiateVersion(request.version);
+  if (!version.ok()) {
+    return BuildErrorResponse(version.status(), request);
+  }
+  Result<server::QueryHandle> submitted = service.Submit(
+      session, request.dataset, request.query, request.optimization);
+  if (!submitted.ok()) {
+    QueryResponse response = BuildErrorResponse(submitted.status(), request);
+    response.version = *version;
+    return response;
+  }
+  server::QueryHandle handle = std::move(submitted).value();
+  const Status status = handle.Wait();
+  if (!status.ok()) {
+    QueryResponse response = BuildErrorResponse(status, request);
+    response.version = *version;
+    response.fingerprint = handle.fingerprint();
+    return response;
+  }
+  QueryResponse response =
+      BuildResponse(*handle.result(), request, handle.fingerprint());
+  response.version = *version;
+  // The serving layer's verdict (hit/miss, lookup latency) supersedes the
+  // executing run's embedded stats.
+  response.stats = handle.stats();
+  return response;
+}
+
+std::string HandleWireRequest(server::QueryService& service,
+                              server::SessionId session,
+                              const std::string& request_json, int indent) {
+  Result<Json> parsed = Json::Parse(request_json);
+  if (!parsed.ok()) {
+    return EncodeResponse(BuildErrorResponse(parsed.status(), QueryRequest{}))
+        .Dump(indent);
+  }
+  zql::ParseDiagnostic diag;
+  Result<QueryRequest> request = DecodeRequest(*parsed, &diag);
+  if (!request.ok()) {
+    return EncodeResponse(
+               BuildErrorResponse(request.status(), QueryRequest{}, &diag))
+        .Dump(indent);
+  }
+  return EncodeResponse(ExecuteRequest(service, session, *request))
+      .Dump(indent);
+}
+
+}  // namespace zv::api

@@ -1,0 +1,40 @@
+/// \file service.h
+/// \brief Bridges the wire protocol to a QueryService: typed request in,
+/// typed (or JSON) response out.
+///
+/// Layering: protocol.h defines the messages and their codec with no
+/// server dependency; this header owns the request lifecycle —
+/// negotiate version, submit through the typed QueryService entry point,
+/// wait, paginate/package. zql_shell's :json mode and the wire bench are
+/// thin loops over HandleWireRequest.
+
+#ifndef ZV_API_SERVICE_H_
+#define ZV_API_SERVICE_H_
+
+#include <string>
+
+#include "api/protocol.h"
+#include "server/query_service.h"
+
+namespace zv::api {
+
+/// Executes one typed request synchronously against `service` on behalf of
+/// `session`. Never fails at the C++ level: every Status (bad version,
+/// unknown dataset/session, admission rejection, cancellation, execution
+/// error) becomes a structured error response; response.version is the
+/// negotiated version.
+QueryResponse ExecuteRequest(server::QueryService& service,
+                             server::SessionId session,
+                             const QueryRequest& request);
+
+/// The full wire path: one JSON request document in, one JSON response
+/// document out (always valid JSON — malformed input yields a parse_error
+/// response). `indent` 0 emits the compact one-line wire form.
+std::string HandleWireRequest(server::QueryService& service,
+                              server::SessionId session,
+                              const std::string& request_json,
+                              int indent = 0);
+
+}  // namespace zv::api
+
+#endif  // ZV_API_SERVICE_H_

@@ -1,0 +1,461 @@
+#include "common/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace zv {
+
+std::string CanonicalDouble(double d) {
+  if (std::isnan(d)) return "NaN";
+  if (std::isinf(d)) return d > 0 ? "Infinity" : "-Infinity";
+  char buf[40];
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+  // Shortest round-trip representation, natively (and ~10x faster than the
+  // printf probe loop below — this sits on the wire hot path).
+  const auto res = std::to_chars(buf, buf + sizeof(buf) - 3, d);
+  *res.ptr = '\0';
+#else
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, d);
+    if (std::strtod(buf, nullptr) == d) break;
+  }
+#endif
+  // Ensure a re-parse stays a double: shortest forms drop ".0" for
+  // integral values.
+  if (std::strchr(buf, '.') == nullptr && std::strchr(buf, 'e') == nullptr &&
+      std::strchr(buf, 'E') == nullptr && std::strchr(buf, 'n') == nullptr &&
+      std::strchr(buf, 'i') == nullptr) {
+    std::strcat(buf, ".0");
+  }
+  return buf;
+}
+
+Json& Json::Set(const std::string& key, Json v) {
+  Object& obj = object();
+  for (Member& m : obj) {
+    if (m.first == key) {
+      m.second = std::move(v);
+      return m.second;
+    }
+  }
+  obj.emplace_back(key, std::move(v));
+  return obj.back().second;
+}
+
+const Json* Json::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const Member& m : object()) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Emission
+// ---------------------------------------------------------------------------
+
+std::string JsonQuote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);  // UTF-8 bytes pass through verbatim
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  const bool pretty = indent > 0;
+  auto newline = [&](int d) {
+    if (!pretty) return;
+    *out += '\n';
+    out->append(static_cast<size_t>(indent * d), ' ');
+  };
+  switch (type()) {
+    case Type::kNull:
+      *out += "null";
+      return;
+    case Type::kBool:
+      *out += as_bool() ? "true" : "false";
+      return;
+    case Type::kInt:
+      *out += std::to_string(std::get<int64_t>(data_));
+      return;
+    case Type::kDouble: {
+      const double d = std::get<double>(data_);
+      // Strict JSON has no non-finite literals; null is the least-wrong
+      // representation (and decodes as "absent").
+      *out += std::isfinite(d) ? CanonicalDouble(d) : "null";
+      return;
+    }
+    case Type::kString:
+      *out += JsonQuote(as_string());
+      return;
+    case Type::kArray: {
+      const Array& arr = array();
+      if (arr.empty()) {
+        *out += "[]";
+        return;
+      }
+      *out += '[';
+      for (size_t i = 0; i < arr.size(); ++i) {
+        if (i) *out += ",";
+        newline(depth + 1);
+        arr[i].DumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      *out += ']';
+      return;
+    }
+    case Type::kObject: {
+      const Object& obj = object();
+      if (obj.empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += '{';
+      for (size_t i = 0; i < obj.size(); ++i) {
+        if (i) *out += ",";
+        newline(depth + 1);
+        *out += JsonQuote(obj[i].first);
+        *out += pretty ? ": " : ":";
+        obj[i].second.DumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      *out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<Json> Parse() {
+    SkipWhitespace();
+    Json value;
+    ZV_RETURN_NOT_OK(ParseValue(&value, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  Status Error(const std::string& what) const {
+    int line = 1, col = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    return Status::ParseError(
+        StrFormat("JSON: line %d, column %d: %s", line, col, what.c_str()));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') ++pos_;
+      else break;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(Json* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"': return ParseString(out);
+      case 't':
+      case 'f': return ParseBool(out);
+      case 'n': return ParseNull(out);
+      default: return ParseNumber(out);
+    }
+  }
+
+  Status ParseLiteral(const char* lit) {
+    const size_t n = std::strlen(lit);
+    if (text_.compare(pos_, n, lit) != 0) {
+      return Error(StrFormat("expected '%s'", lit));
+    }
+    pos_ += n;
+    return Status::OK();
+  }
+
+  Status ParseNull(Json* out) {
+    ZV_RETURN_NOT_OK(ParseLiteral("null"));
+    *out = Json::Null();
+    return Status::OK();
+  }
+
+  Status ParseBool(Json* out) {
+    if (text_[pos_] == 't') {
+      ZV_RETURN_NOT_OK(ParseLiteral("true"));
+      *out = Json::Bool(true);
+    } else {
+      ZV_RETURN_NOT_OK(ParseLiteral("false"));
+      *out = Json::Bool(false);
+    }
+    return Status::OK();
+  }
+
+  Status ParseNumber(Json* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    if (pos_ >= text_.size() ||
+        !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+      pos_ = start;
+      return Error("invalid value");
+    }
+    // Integer part: a leading 0 must stand alone (no 0123).
+    if (text_[pos_] == '0') {
+      ++pos_;
+      if (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        return Error("leading zero in number");
+      }
+    } else {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    bool is_double = false;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      is_double = true;
+      ++pos_;
+      const size_t frac = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      if (pos_ == frac) return Error("missing digits after decimal point");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      const size_t exp = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      if (pos_ == exp) return Error("missing digits in exponent");
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (!is_double) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno != ERANGE && end == token.c_str() + token.size()) {
+        *out = Json::Int(v);
+        return Status::OK();
+      }
+      // Out of int64 range: fall through to double.
+    }
+    *out = Json::Double(std::strtod(token.c_str(), nullptr));
+    return Status::OK();
+  }
+
+  /// Appends the UTF-8 encoding of `cp` to `out`.
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      *out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      *out += static_cast<char>(0xC0 | (cp >> 6));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      *out += static_cast<char>(0xE0 | (cp >> 12));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      *out += static_cast<char>(0xF0 | (cp >> 18));
+      *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Result<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<uint32_t>(c - 'A' + 10);
+      else return Error("bad hex digit in \\u escape");
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  Status ParseString(Json* out) {
+    std::string s;
+    ZV_RETURN_NOT_OK(ParseRawString(&s));
+    *out = Json::Str(std::move(s));
+    return Status::OK();
+  }
+
+  Status ParseRawString(std::string* out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c < 0x20) return Error("unescaped control character in string");
+      if (c != '\\') {
+        *out += static_cast<char>(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          ZV_ASSIGN_OR_RETURN(uint32_t cp, ParseHex4());
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: require the paired low surrogate.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Error("unpaired UTF-16 surrogate");
+            }
+            pos_ += 2;
+            ZV_ASSIGN_OR_RETURN(uint32_t lo, ParseHex4());
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("unpaired UTF-16 surrogate");
+          }
+          AppendUtf8(cp, out);
+          break;
+        }
+        default:
+          return Error("bad escape character");
+      }
+    }
+  }
+
+  Status ParseArray(Json* out, int depth) {
+    ++pos_;  // '['
+    *out = Json::MakeArray();
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      Json elem;
+      ZV_RETURN_NOT_OK(ParseValue(&elem, depth + 1));
+      out->Append(std::move(elem));
+      SkipWhitespace();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseObject(Json* out, int depth) {
+    ++pos_;  // '{'
+    *out = Json::MakeObject();
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    // Fresh keys append directly (O(1) with the set membership check) —
+    // routing every member through Set's linear scan would make decoding
+    // an untrusted many-member object quadratic. Duplicate keys take the
+    // rare linear path: last wins, matching common parsers.
+    std::unordered_set<std::string> seen;
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      ZV_RETURN_NOT_OK(ParseRawString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      SkipWhitespace();
+      Json value;
+      ZV_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      if (seen.insert(key).second) {
+        out->object().emplace_back(std::move(key), std::move(value));
+      } else {
+        out->Set(key, std::move(value));
+      }
+      SkipWhitespace();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(const std::string& text) {
+  return JsonParser(text).Parse();
+}
+
+}  // namespace zv

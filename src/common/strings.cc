@@ -29,8 +29,9 @@ std::vector<std::string> Split(std::string_view s, char sep) {
   return out;
 }
 
-std::vector<std::string> SplitTopLevel(std::string_view s, char sep) {
-  std::vector<std::string> out;
+std::vector<std::pair<std::string, size_t>> SplitTopLevelWithOffsets(
+    std::string_view s, char sep) {
+  std::vector<std::pair<std::string, size_t>> out;
   int depth = 0;
   bool in_quote = false;
   size_t start = 0;
@@ -56,12 +57,20 @@ std::vector<std::string> SplitTopLevel(std::string_view s, char sep) {
         break;
       default:
         if (c == sep && depth == 0) {
-          out.emplace_back(s.substr(start, i - start));
+          out.emplace_back(std::string(s.substr(start, i - start)), start);
           start = i + 1;
         }
     }
   }
-  out.emplace_back(s.substr(start));
+  out.emplace_back(std::string(s.substr(start)), start);
+  return out;
+}
+
+std::vector<std::string> SplitTopLevel(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  for (auto& [piece, offset] : SplitTopLevelWithOffsets(s, sep)) {
+    out.push_back(std::move(piece));
+  }
   return out;
 }
 

@@ -6,6 +6,7 @@
 
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace zv {
@@ -21,6 +22,13 @@ std::vector<std::string> Split(std::string_view s, char sep);
 /// (), [], {}, or single quotes are not split points. Used by the ZQL parser
 /// for '|'-separated rows and comma-separated argument lists.
 std::vector<std::string> SplitTopLevel(std::string_view s, char sep);
+
+/// SplitTopLevel that also reports each piece's 0-based start offset in
+/// `s` — the raw material for parser error columns. SplitTopLevel is a
+/// thin wrapper over this, so the depth/quote tokenization rules cannot
+/// diverge between the two.
+std::vector<std::pair<std::string, size_t>> SplitTopLevelWithOffsets(
+    std::string_view s, char sep);
 
 /// Joins with a separator.
 std::string Join(const std::vector<std::string>& parts, std::string_view sep);

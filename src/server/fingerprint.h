@@ -4,8 +4,9 @@
 /// Two requests must share a cache entry exactly when they would produce
 /// byte-identical results. The fingerprint therefore covers every
 /// result-relevant coordinate:
-///  - the *canonicalized* ZQL text (whitespace outside string literals is
-///    normalized, blank lines dropped), so cosmetic retyping still hits;
+///  - the canonical *AST* serialization (zql::CanonicalText of the parsed
+///    or builder-built query), so cosmetic retyping, reordered whitespace,
+///    AND a ZqlBuilder-built equivalent of typed text all share one entry;
 ///  - the dataset name AND its epoch — any table mutation bumps the epoch,
 ///    so a stale entry's key simply stops being generated and can never be
 ///    served again (it ages out of the LRU);
@@ -30,7 +31,9 @@ namespace zv::server {
 /// Whitespace-normalized ZQL: per line, leading/trailing whitespace is
 /// trimmed and internal runs of spaces/tabs collapse to one space — except
 /// inside single-quoted literals, which are preserved verbatim. Blank
-/// lines are dropped.
+/// lines are dropped. No longer the cache-key path (QueryService now keys
+/// on zql::CanonicalText of the AST); kept for text-level tooling that
+/// wants normalization without a full parse.
 std::string CanonicalZql(const std::string& text);
 
 /// Content hash of a session's registered user-input visualizations

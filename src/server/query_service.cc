@@ -8,6 +8,8 @@
 #include "common/strings.h"
 #include "engine/roaring_db.h"
 #include "server/fingerprint.h"
+#include "zql/canonical.h"
+#include "zql/parser.h"
 
 namespace zv::server {
 
@@ -56,7 +58,7 @@ size_t ResolveCacheBytes(size_t cache_mb) {
 struct QueryTask {
   SessionId session = 0;
   std::string dataset;
-  std::string text;  ///< original ZQL text (the executor parses this)
+  zql::ZqlQuery query;  ///< the typed payload (parsed or builder-built)
   std::string fingerprint;
   std::shared_ptr<Database> db;  ///< snapshot: ReplaceDataset can't race us
   std::string table_name;
@@ -155,6 +157,11 @@ zql::ZqlStats QueryHandle::stats() const {
   if (task_ == nullptr) return {};
   std::lock_guard<std::mutex> lock(task_->mu);
   return task_->stats;
+}
+
+std::string QueryHandle::fingerprint() const {
+  // Immutable after Submit — no lock needed.
+  return task_ == nullptr ? std::string() : task_->fingerprint;
 }
 
 // ===========================================================================
@@ -321,6 +328,58 @@ size_t QueryService::ActiveSessions() {
 Result<QueryHandle> QueryService::Submit(
     SessionId session_id, const std::string& dataset,
     const std::string& zql_text, std::optional<zql::OptLevel> optimization) {
+  // Parse outside the service lock; the shared canonical path does the
+  // rest. A parse failure is a property of the query, not the service —
+  // it surfaces on the handle, exactly as execution errors do.
+  Result<zql::ZqlQuery> parsed = zql::ParseQuery(zql_text);
+  if (!parsed.ok()) {
+    return SubmitParseError(session_id, dataset, parsed.status());
+  }
+  zql::ZqlQuery query = std::move(parsed).value();
+  std::string canonical = zql::CanonicalText(query);
+  return SubmitCanonical(session_id, dataset, std::move(query), canonical,
+                         optimization);
+}
+
+Result<QueryHandle> QueryService::Submit(
+    SessionId session_id, const std::string& dataset,
+    const zql::ZqlQuery& query, std::optional<zql::OptLevel> optimization) {
+  // Canonicalize outside the lock: this serialization is the cache
+  // identity, shared by text- and builder-submitted queries.
+  return SubmitCanonical(session_id, dataset, query,
+                         zql::CanonicalText(query), optimization);
+}
+
+Result<QueryHandle> QueryService::SubmitParseError(SessionId session_id,
+                                                   const std::string& dataset,
+                                                   Status parse_error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) return Status::Unavailable("service shutting down");
+  sessions_.SweepExpired();
+  auto session = sessions_.Find(session_id);
+  if (session == nullptr) {
+    return Status::NotFound(
+        StrFormat("unknown or expired session %llu",
+                  static_cast<unsigned long long>(session_id)));
+  }
+  if (datasets_.find(dataset) == datasets_.end()) {
+    return Status::NotFound("unknown dataset: " + dataset);
+  }
+  sessions_.Touch(*session);
+  ++session->queries_submitted;
+  ++session->queries_completed;
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  failed_.fetch_add(1, std::memory_order_relaxed);
+  auto task = std::make_shared<QueryTask>();
+  task->session = session_id;
+  task->dataset = dataset;
+  ResolveTask(*task, std::move(parse_error), nullptr, {});
+  return QueryHandle(std::move(task));
+}
+
+Result<QueryHandle> QueryService::SubmitCanonical(
+    SessionId session_id, const std::string& dataset, zql::ZqlQuery query,
+    const std::string& canonical, std::optional<zql::OptLevel> optimization) {
   std::shared_ptr<QueryTask> task;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -352,7 +411,7 @@ Result<QueryHandle> QueryService::Submit(
     task = std::make_shared<QueryTask>();
     task->session = session_id;
     task->dataset = dataset;
-    task->text = zql_text;
+    task->query = std::move(query);
     task->db = dit->second.db;
     task->table_name = dit->second.table->name();
     task->user_inputs = session->user_inputs;
@@ -361,7 +420,7 @@ Result<QueryHandle> QueryService::Submit(
         optimization.value_or(base_zql_.optimization);
     task->fingerprint = QueryFingerprint(
         dataset, dit->second.epoch, dit->second.db->name(), effective,
-        CanonicalZql(zql_text), session->inputs_fingerprint);
+        canonical, session->inputs_fingerprint);
 
     // Fast path: an *idle* session's repeat query is a shard-local hash
     // lookup — serve it here, consuming neither a queue slot nor a worker,
@@ -459,7 +518,7 @@ void QueryService::RunTask(const std::shared_ptr<QueryTask>& task) {
   }
 
   CancelScope cancel_scope(task->token);
-  Result<zql::ZqlResult> res = executor.ExecuteText(task->text);
+  Result<zql::ZqlResult> res = executor.Execute(task->query);
   if (!res.ok()) {
     auto& counter =
         res.status().code() == StatusCode::kCancelled ? cancelled_ : failed_;

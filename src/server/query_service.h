@@ -129,6 +129,12 @@ class QueryHandle {
   /// cache_misses = 1.
   zql::ZqlStats stats() const;
 
+  /// The ResultCache key this query was filed under (hash of the canonical
+  /// AST serialization + dataset epoch + backend + opt level + session
+  /// sketches). Stable across handle copies; empty for a handle that was
+  /// resolved before fingerprinting (e.g. a parse error).
+  std::string fingerprint() const;
+
  private:
   friend class QueryService;
   explicit QueryHandle(std::shared_ptr<QueryTask> task)
@@ -187,9 +193,25 @@ class QueryService {
 
   /// Enqueues `zql_text` against `dataset` for `session`. Returns
   /// kUnavailable under overload, kNotFound for unknown session/dataset.
-  /// Parse and execution errors surface on the handle, not here.
+  /// Parse and execution errors surface on the handle, not here. A thin
+  /// wrapper: parses the text and forwards to the typed overload below, so
+  /// both entry points share one fingerprint space (a retyped query and
+  /// its builder-built equivalent hit the same cache entry).
   Result<QueryHandle> Submit(SessionId session, const std::string& dataset,
                              const std::string& zql_text,
+                             std::optional<zql::OptLevel> optimization = {});
+
+  /// Typed entry point: enqueues an already-built AST (from ZqlBuilder or a
+  /// prior parse) — no text round trip. The cache key is the canonical AST
+  /// serialization (zql::CanonicalText). The snapshot copies the row
+  /// structure but *shares* the set/process expression nodes
+  /// (shared_ptr<ZSetExpr> / shared_ptr<ProcessExpr>): dropping the
+  /// caller's query is always safe, but mutating those shared nodes after
+  /// Submit races with the executing worker and desynchronizes the
+  /// already-computed fingerprint — build a fresh query per variant
+  /// instead (ZqlBuilder makes that cheap).
+  Result<QueryHandle> Submit(SessionId session, const std::string& dataset,
+                             const zql::ZqlQuery& query,
                              std::optional<zql::OptLevel> optimization = {});
 
   ServiceStats stats() const;
@@ -207,6 +229,18 @@ class QueryService {
 
   void WorkerMain(size_t worker_index);
   void RunTask(const std::shared_ptr<QueryTask>& task);
+  /// Shared Submit body: `canonical` is the query's canonical AST
+  /// serialization (already computed so the text path canonicalizes once).
+  Result<QueryHandle> SubmitCanonical(
+      SessionId session, const std::string& dataset, zql::ZqlQuery query,
+      const std::string& canonical,
+      std::optional<zql::OptLevel> optimization);
+  /// Admits a query whose parse already failed: the error surfaces on the
+  /// returned handle (kNotFound still surfaces here for a dead session or
+  /// dataset, matching the typed path).
+  Result<QueryHandle> SubmitParseError(SessionId session,
+                                       const std::string& dataset,
+                                       Status parse_error);
   /// Moves the session's next runnable task to the ready queue (or clears
   /// its running slot). Requires mu_.
   void AdvanceSessionLocked(const std::shared_ptr<QueryTask>& finished);

@@ -1,5 +1,6 @@
 #include "viz/viz_spec.h"
 
+#include "common/json.h"
 #include "common/strings.h"
 
 namespace zv {
@@ -39,11 +40,14 @@ Result<ChartType> ChartTypeFromString(const std::string& s) {
 std::string VizSpec::ToString() const {
   std::string out = ChartTypeToString(chart);
   std::vector<std::string> parts;
-  if (x_bin > 0) parts.push_back(StrFormat("x=bin(%g)", x_bin));
+  if (x_bin > 0) {
+    parts.push_back("x=bin(" + CanonicalDouble(x_bin) + ")");
+  }
   if (y_agg != sql::AggFunc::kNone) {
     parts.push_back(StrFormat("y=agg('%s')",
                               ToLower(sql::AggFuncToString(y_agg)).c_str()));
   }
+  if (param != 0) parts.push_back("param=" + CanonicalDouble(param));
   if (!parts.empty()) out += ".(" + Join(parts, ", ") + ")";
   return out;
 }

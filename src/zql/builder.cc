@@ -1,0 +1,577 @@
+#include "zql/builder.h"
+
+#include "common/strings.h"
+#include "viz/viz_spec.h"
+
+namespace zv::zql {
+
+// ---------------------------------------------------------------------------
+// ZSet
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::shared_ptr<ZSetExpr> AttrValueExpr(std::string attr, ValueSpec value) {
+  auto e = std::make_shared<ZSetExpr>();
+  e->kind = ZSetExpr::Kind::kAttrDotValue;
+  e->attr.kind = AttrSpec::Kind::kLiteral;
+  e->attr.names = {std::move(attr)};
+  e->value = std::move(value);
+  return e;
+}
+
+/// Deep copy: ZSet composition must not alias subtrees between the operand
+/// sets and the composed set (ZSetExpr::lhs/rhs are unique_ptr).
+std::unique_ptr<ZSetExpr> CloneExpr(const ZSetExpr& e) {
+  auto out = std::make_unique<ZSetExpr>();
+  out->kind = e.kind;
+  out->attr = e.attr;
+  out->value = e.value;
+  out->var = e.var;
+  out->op = e.op;
+  if (e.lhs != nullptr) out->lhs = CloneExpr(*e.lhs);
+  if (e.rhs != nullptr) out->rhs = CloneExpr(*e.rhs);
+  return out;
+}
+
+}  // namespace
+
+ZSet ZSet::All(std::string attr) {
+  ZSet s;
+  ValueSpec v;
+  v.kind = ValueSpec::Kind::kAll;
+  s.expr_ = AttrValueExpr(std::move(attr), std::move(v));
+  return s;
+}
+
+ZSet ZSet::One(std::string attr, Value value) {
+  ZSet s;
+  ValueSpec v;
+  v.kind = ValueSpec::Kind::kLiteral;
+  v.values = {std::move(value)};
+  s.expr_ = AttrValueExpr(std::move(attr), std::move(v));
+  return s;
+}
+
+ZSet ZSet::Values(std::string attr, std::vector<Value> values) {
+  ZSet s;
+  ValueSpec v;
+  v.kind = ValueSpec::Kind::kList;
+  v.values = std::move(values);
+  s.expr_ = AttrValueExpr(std::move(attr), std::move(v));
+  return s;
+}
+
+ZSet ZSet::AllExcept(std::string attr, std::vector<Value> values) {
+  ZSet s;
+  ValueSpec v;
+  v.kind = ValueSpec::Kind::kAllExcept;
+  v.values = std::move(values);
+  s.expr_ = AttrValueExpr(std::move(attr), std::move(v));
+  return s;
+}
+
+ZSet ZSet::Range(std::string var) {
+  ZSet s;
+  auto e = std::make_shared<ZSetExpr>();
+  e->kind = ZSetExpr::Kind::kVarRange;
+  e->var = std::move(var);
+  s.expr_ = std::move(e);
+  return s;
+}
+
+ZSet ZSet::Named(std::string name) {
+  ZSet s;
+  auto e = std::make_shared<ZSetExpr>();
+  e->kind = ZSetExpr::Kind::kNamedSet;
+  e->var = std::move(name);
+  s.expr_ = std::move(e);
+  return s;
+}
+
+ZSet ZSet::Op(char op, ZSet rhs) const {
+  ZSet s;
+  auto e = std::make_shared<ZSetExpr>();
+  e->kind = ZSetExpr::Kind::kOp;
+  e->op = op;
+  if (expr_ != nullptr) e->lhs = CloneExpr(*expr_);
+  if (rhs.expr_ != nullptr) e->rhs = CloneExpr(*rhs.expr_);
+  s.expr_ = std::move(e);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// ProcessBuilder
+// ---------------------------------------------------------------------------
+
+ProcessBuilder::ProcessBuilder(std::vector<std::string> outputs) {
+  decl_.outputs = std::move(outputs);
+}
+
+ProcessBuilder& ProcessBuilder::Mech(Mechanism mech,
+                                     std::vector<std::string> iter_vars) {
+  if (has_mechanism_ && error_.ok()) {
+    error_ = Status::InvalidArgument("process already has a mechanism");
+  }
+  has_mechanism_ = true;
+  decl_.kind = ProcessDecl::Kind::kMechanism;
+  decl_.mech = mech;
+  decl_.iter_vars = std::move(iter_vars);
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::ArgMin(std::vector<std::string> iter_vars) {
+  return Mech(Mechanism::kArgMin, std::move(iter_vars));
+}
+ProcessBuilder& ProcessBuilder::ArgMax(std::vector<std::string> iter_vars) {
+  return Mech(Mechanism::kArgMax, std::move(iter_vars));
+}
+ProcessBuilder& ProcessBuilder::ArgAny(std::vector<std::string> iter_vars) {
+  return Mech(Mechanism::kArgAny, std::move(iter_vars));
+}
+
+ProcessBuilder& ProcessBuilder::K(int64_t k) {
+  if (k <= 0 && error_.ok()) {
+    error_ = Status::InvalidArgument("filter k must be positive");
+  }
+  decl_.filter.k = k;
+  return *this;
+}
+ProcessBuilder& ProcessBuilder::Above(double t) {
+  decl_.filter.t_above = t;
+  return *this;
+}
+ProcessBuilder& ProcessBuilder::Below(double t) {
+  decl_.filter.t_below = t;
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::Reduce(ProcessExpr::Reduce r,
+                                       std::vector<std::string> vars) {
+  reducers_.emplace_back(r, std::move(vars));
+  return *this;
+}
+ProcessBuilder& ProcessBuilder::MinOver(std::vector<std::string> vars) {
+  return Reduce(ProcessExpr::Reduce::kMin, std::move(vars));
+}
+ProcessBuilder& ProcessBuilder::MaxOver(std::vector<std::string> vars) {
+  return Reduce(ProcessExpr::Reduce::kMax, std::move(vars));
+}
+ProcessBuilder& ProcessBuilder::SumOver(std::vector<std::string> vars) {
+  return Reduce(ProcessExpr::Reduce::kSum, std::move(vars));
+}
+
+ProcessBuilder& ProcessBuilder::Call(std::string func,
+                                     std::vector<std::string> args) {
+  if (call_ != nullptr && error_.ok()) {
+    error_ = Status::InvalidArgument("process already has an objective call");
+  }
+  auto e = std::make_shared<ProcessExpr>();
+  e->kind = ProcessExpr::Kind::kCall;
+  e->func = std::move(func);
+  e->args = std::move(args);
+  call_ = std::move(e);
+  return *this;
+}
+
+ProcessBuilder& ProcessBuilder::Representative(int64_t k,
+                                               std::vector<std::string> vars,
+                                               std::string component) {
+  if (k <= 0 && error_.ok()) {
+    error_ = Status::InvalidArgument("R(k, ...) requires k > 0");
+  }
+  is_representative_ = true;
+  decl_.kind = ProcessDecl::Kind::kRepresentative;
+  decl_.repr_k = k;
+  decl_.repr_vars = std::move(vars);
+  decl_.repr_component = std::move(component);
+  return *this;
+}
+
+Result<ProcessDecl> ProcessBuilder::BuildDecl() const {
+  ZV_RETURN_NOT_OK(error_);
+  if (decl_.outputs.empty()) {
+    return Status::InvalidArgument("process declares no outputs");
+  }
+  ProcessDecl decl = decl_;
+  if (is_representative_) return decl;
+  if (!has_mechanism_) {
+    return Status::InvalidArgument(
+        "process needs a mechanism (ArgMin/ArgMax/ArgAny) or Representative");
+  }
+  if (call_ == nullptr) {
+    return Status::InvalidArgument("process needs an objective Call()");
+  }
+  if (decl.outputs.size() != decl.iter_vars.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "process declares %zu outputs for %zu iteration variables",
+        decl.outputs.size(), decl.iter_vars.size()));
+  }
+  // Assemble the expression: reducers nest outermost-first around the call.
+  std::unique_ptr<ProcessExpr> expr;
+  {
+    auto leaf = std::make_unique<ProcessExpr>();
+    leaf->kind = ProcessExpr::Kind::kCall;
+    leaf->func = call_->func;
+    leaf->args = call_->args;
+    expr = std::move(leaf);
+  }
+  for (auto it = reducers_.rbegin(); it != reducers_.rend(); ++it) {
+    auto node = std::make_unique<ProcessExpr>();
+    node->kind = ProcessExpr::Kind::kReduce;
+    node->reduce = it->first;
+    node->reduce_vars = it->second;
+    node->child = std::move(expr);
+    expr = std::move(node);
+  }
+  decl.expr = std::shared_ptr<ProcessExpr>(std::move(expr));
+  return decl;
+}
+
+// ---------------------------------------------------------------------------
+// RowBuilder
+// ---------------------------------------------------------------------------
+
+ZqlRow& RowBuilder::row() { return owner_->query_.rows[index_]; }
+
+RowBuilder& RowBuilder::Fail(std::string message) {
+  owner_->RecordError(Status::InvalidArgument(std::move(message)));
+  return *this;
+}
+
+RowBuilder& RowBuilder::Output() {
+  row().name.output = true;
+  return *this;
+}
+
+RowBuilder& RowBuilder::UserInput() {
+  row().name.user_input = true;
+  return *this;
+}
+
+namespace {
+
+void SetDerive(NameEntry* name, NameEntry::Derive d, std::string a,
+               std::string b = "", int64_t i = 0, int64_t j = 0) {
+  name->derive = d;
+  name->source_a = std::move(a);
+  name->source_b = std::move(b);
+  name->index_a = i;
+  name->index_b = j;
+}
+
+}  // namespace
+
+RowBuilder& RowBuilder::DerivePlus(std::string a, std::string b) {
+  SetDerive(&row().name, NameEntry::Derive::kPlus, std::move(a), std::move(b));
+  return *this;
+}
+RowBuilder& RowBuilder::DeriveMinus(std::string a, std::string b) {
+  SetDerive(&row().name, NameEntry::Derive::kMinus, std::move(a),
+            std::move(b));
+  return *this;
+}
+RowBuilder& RowBuilder::DeriveIntersect(std::string a, std::string b) {
+  SetDerive(&row().name, NameEntry::Derive::kIntersect, std::move(a),
+            std::move(b));
+  return *this;
+}
+RowBuilder& RowBuilder::DeriveIndex(std::string src, int64_t i) {
+  SetDerive(&row().name, NameEntry::Derive::kIndex, std::move(src), "", i);
+  return *this;
+}
+RowBuilder& RowBuilder::DeriveSlice(std::string src, int64_t i, int64_t j) {
+  SetDerive(&row().name, NameEntry::Derive::kSlice, std::move(src), "", i, j);
+  return *this;
+}
+RowBuilder& RowBuilder::DeriveRange(std::string src) {
+  SetDerive(&row().name, NameEntry::Derive::kRange, std::move(src));
+  return *this;
+}
+RowBuilder& RowBuilder::DeriveOrder(std::string src) {
+  SetDerive(&row().name, NameEntry::Derive::kOrder, std::move(src));
+  return *this;
+}
+
+AxisEntry RowBuilder::MakeDeclare(std::string var,
+                                  std::vector<std::string> attrs) {
+  AxisEntry e;
+  e.kind = AxisEntry::Kind::kDeclare;
+  e.var = std::move(var);
+  for (std::string& a : attrs) {
+    e.set.push_back(AxisValue::Single(std::move(a)));
+  }
+  return e;
+}
+
+RowBuilder& RowBuilder::X(std::string attr) {
+  row().x.kind = AxisEntry::Kind::kLiteral;
+  row().x.literal = AxisValue::Single(std::move(attr));
+  return *this;
+}
+RowBuilder& RowBuilder::XComposed(std::vector<std::string> attrs,
+                                  AxisValue::Compose c) {
+  if (attrs.size() < 2) return Fail("composed axis needs >= 2 attributes");
+  row().x.kind = AxisEntry::Kind::kLiteral;
+  row().x.literal = {std::move(attrs), c};
+  return *this;
+}
+RowBuilder& RowBuilder::XDeclare(std::string var,
+                                 std::vector<std::string> attrs) {
+  if (attrs.empty()) return Fail("axis declaration needs attributes");
+  row().x = MakeDeclare(std::move(var), std::move(attrs));
+  return *this;
+}
+RowBuilder& RowBuilder::XDeclareNamed(std::string var, std::string set_name) {
+  row().x.kind = AxisEntry::Kind::kDeclare;
+  row().x.var = std::move(var);
+  row().x.named_set = std::move(set_name);
+  return *this;
+}
+RowBuilder& RowBuilder::XReuse(std::string var) {
+  row().x.kind = AxisEntry::Kind::kReuse;
+  row().x.var = std::move(var);
+  return *this;
+}
+RowBuilder& RowBuilder::XDerived(std::string var) {
+  row().x.kind = AxisEntry::Kind::kDerived;
+  row().x.var = std::move(var);
+  return *this;
+}
+RowBuilder& RowBuilder::XOrderBy(std::string var) {
+  row().x.kind = AxisEntry::Kind::kOrderBy;
+  row().x.var = std::move(var);
+  return *this;
+}
+
+RowBuilder& RowBuilder::Y(std::string attr) {
+  row().y.kind = AxisEntry::Kind::kLiteral;
+  row().y.literal = AxisValue::Single(std::move(attr));
+  return *this;
+}
+RowBuilder& RowBuilder::YComposed(std::vector<std::string> attrs,
+                                  AxisValue::Compose c) {
+  if (attrs.size() < 2) return Fail("composed axis needs >= 2 attributes");
+  row().y.kind = AxisEntry::Kind::kLiteral;
+  row().y.literal = {std::move(attrs), c};
+  return *this;
+}
+RowBuilder& RowBuilder::YDeclare(std::string var,
+                                 std::vector<std::string> attrs) {
+  if (attrs.empty()) return Fail("axis declaration needs attributes");
+  row().y = MakeDeclare(std::move(var), std::move(attrs));
+  return *this;
+}
+RowBuilder& RowBuilder::YDeclareNamed(std::string var, std::string set_name) {
+  row().y.kind = AxisEntry::Kind::kDeclare;
+  row().y.var = std::move(var);
+  row().y.named_set = std::move(set_name);
+  return *this;
+}
+RowBuilder& RowBuilder::YReuse(std::string var) {
+  row().y.kind = AxisEntry::Kind::kReuse;
+  row().y.var = std::move(var);
+  return *this;
+}
+RowBuilder& RowBuilder::YDerived(std::string var) {
+  row().y.kind = AxisEntry::Kind::kDerived;
+  row().y.var = std::move(var);
+  return *this;
+}
+RowBuilder& RowBuilder::YOrderBy(std::string var) {
+  row().y.kind = AxisEntry::Kind::kOrderBy;
+  row().y.var = std::move(var);
+  return *this;
+}
+
+RowBuilder& RowBuilder::Z(std::string attr, Value value) {
+  ZEntry e;
+  e.kind = ZEntry::Kind::kLiteral;
+  e.literal = {std::move(attr), std::move(value)};
+  row().zs.push_back(std::move(e));
+  return *this;
+}
+RowBuilder& RowBuilder::ZDeclare(std::string var, ZSet set) {
+  if (set.expr() == nullptr) return Fail("Z declaration needs a set");
+  ZEntry e;
+  e.kind = ZEntry::Kind::kDeclare;
+  e.vars = {std::move(var)};
+  e.set = set.expr();
+  row().zs.push_back(std::move(e));
+  return *this;
+}
+RowBuilder& RowBuilder::ZDeclare(std::string attr_var, std::string value_var,
+                                 ZSet set) {
+  if (set.expr() == nullptr) return Fail("Z declaration needs a set");
+  ZEntry e;
+  e.kind = ZEntry::Kind::kDeclare;
+  e.vars = {std::move(attr_var), std::move(value_var)};
+  e.set = set.expr();
+  row().zs.push_back(std::move(e));
+  return *this;
+}
+RowBuilder& RowBuilder::ZReuse(std::string var) {
+  ZEntry e;
+  e.kind = ZEntry::Kind::kReuse;
+  e.vars = {std::move(var)};
+  row().zs.push_back(std::move(e));
+  return *this;
+}
+RowBuilder& RowBuilder::ZDerived(std::string var, std::string attr) {
+  ZEntry e;
+  e.kind = ZEntry::Kind::kDerived;
+  e.vars = {std::move(var)};
+  e.derived_attr = std::move(attr);
+  row().zs.push_back(std::move(e));
+  return *this;
+}
+RowBuilder& RowBuilder::ZOrderBy(std::string var) {
+  ZEntry e;
+  e.kind = ZEntry::Kind::kOrderBy;
+  e.vars = {std::move(var)};
+  row().zs.push_back(std::move(e));
+  return *this;
+}
+
+RowBuilder& RowBuilder::Where(std::string constraints) {
+  row().constraints = Trim(constraints);
+  return *this;
+}
+
+RowBuilder& RowBuilder::Viz(VizSpec spec) {
+  row().viz.kind = VizEntry::Kind::kLiteral;
+  row().viz.literal = spec;
+  return *this;
+}
+RowBuilder& RowBuilder::Viz(const std::string& spec_text) {
+  Result<VizSpec> spec = ParseVizSpec(spec_text);
+  if (!spec.ok()) {
+    owner_->RecordError(spec.status());
+    return *this;
+  }
+  return Viz(std::move(spec).value());
+}
+RowBuilder& RowBuilder::VizDeclare(std::string var, std::vector<VizSpec> set) {
+  if (set.empty()) return Fail("viz declaration needs at least one spec");
+  row().viz.kind = VizEntry::Kind::kDeclare;
+  row().viz.var = std::move(var);
+  row().viz.set = std::move(set);
+  return *this;
+}
+RowBuilder& RowBuilder::VizReuse(std::string var) {
+  row().viz.kind = VizEntry::Kind::kReuse;
+  row().viz.var = std::move(var);
+  return *this;
+}
+
+RowBuilder& RowBuilder::Process(const ProcessBuilder& process) {
+  Result<ProcessDecl> decl = process.BuildDecl();
+  if (!decl.ok()) {
+    owner_->RecordError(decl.status());
+    return *this;
+  }
+  row().processes.push_back(std::move(decl).value());
+  return *this;
+}
+
+RowBuilder& RowBuilder::Row(std::string name) {
+  return owner_->Row(std::move(name));
+}
+
+Result<ZqlQuery> RowBuilder::Build() const { return owner_->Build(); }
+
+// ---------------------------------------------------------------------------
+// ZqlBuilder
+// ---------------------------------------------------------------------------
+
+ZqlBuilder::ZqlBuilder() = default;
+ZqlBuilder::~ZqlBuilder() = default;
+
+RowBuilder& ZqlBuilder::Row(std::string name) {
+  ZqlRow row;
+  row.name.name = std::move(name);
+  row.line = static_cast<int>(query_.rows.size()) + 1;
+  query_.rows.push_back(std::move(row));
+  row_builders_.push_back(std::unique_ptr<RowBuilder>(
+      new RowBuilder(this, query_.rows.size() - 1)));
+  return *row_builders_.back();
+}
+
+void ZqlBuilder::RecordError(Status status) {
+  if (error_.ok()) error_ = std::move(status);
+}
+
+namespace {
+
+/// The ZQL lexer has no escape syntax: a single quote inside an attribute
+/// or string value cannot be serialized into canonical text, so such a
+/// query would be unparseable on the wire — or worse, collide with a
+/// structurally different query's fingerprint. Reject at Build().
+Status CheckQuotable(const std::string& s, const char* what) {
+  if (s.find('\'') != std::string::npos) {
+    return Status::InvalidArgument(
+        StrFormat("%s contains a single quote (not representable in ZQL "
+                  "text): %s",
+                  what, s.c_str()));
+  }
+  return Status::OK();
+}
+
+Status CheckValue(const Value& v, const char* what) {
+  if (v.is_string()) return CheckQuotable(v.AsString(), what);
+  return Status::OK();
+}
+
+Status CheckZSetExpr(const ZSetExpr& e) {
+  for (const std::string& n : e.attr.names) {
+    ZV_RETURN_NOT_OK(CheckQuotable(n, "Z set attribute"));
+  }
+  for (const Value& v : e.value.values) {
+    ZV_RETURN_NOT_OK(CheckValue(v, "Z set value"));
+  }
+  if (e.lhs != nullptr) ZV_RETURN_NOT_OK(CheckZSetExpr(*e.lhs));
+  if (e.rhs != nullptr) ZV_RETURN_NOT_OK(CheckZSetExpr(*e.rhs));
+  return Status::OK();
+}
+
+Status CheckAxisEntry(const AxisEntry& e) {
+  for (const std::string& a : e.literal.attrs) {
+    ZV_RETURN_NOT_OK(CheckQuotable(a, "axis attribute"));
+  }
+  for (const AxisValue& v : e.set) {
+    for (const std::string& a : v.attrs) {
+      ZV_RETURN_NOT_OK(CheckQuotable(a, "axis attribute"));
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckRowQuotable(const ZqlRow& row) {
+  ZV_RETURN_NOT_OK(CheckAxisEntry(row.x));
+  ZV_RETURN_NOT_OK(CheckAxisEntry(row.y));
+  for (const ZEntry& z : row.zs) {
+    ZV_RETURN_NOT_OK(CheckQuotable(z.literal.attr, "Z attribute"));
+    ZV_RETURN_NOT_OK(CheckValue(z.literal.value, "Z value"));
+    ZV_RETURN_NOT_OK(CheckQuotable(z.derived_attr, "Z attribute"));
+    if (z.set != nullptr) ZV_RETURN_NOT_OK(CheckZSetExpr(*z.set));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ZqlQuery> ZqlBuilder::Build() const {
+  ZV_RETURN_NOT_OK(error_);
+  if (query_.rows.empty()) {
+    return Status::InvalidArgument("query has no rows");
+  }
+  for (const ZqlRow& row : query_.rows) {
+    if (row.name.name.empty()) {
+      return Status::InvalidArgument("row with empty component name");
+    }
+    ZV_RETURN_NOT_OK(CheckRowQuotable(row));
+  }
+  return query_;
+}
+
+}  // namespace zv::zql

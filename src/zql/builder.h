@@ -1,0 +1,219 @@
+/// \file builder.h
+/// \brief ZqlBuilder — fluent, programmatic construction of the ZQL AST.
+///
+/// The typed front door to the engine: C++ callers (front-end adapters,
+/// tests, benches) assemble queries structurally instead of concatenating
+/// ZQL text, skip the parser entirely, and still share cache entries with
+/// text-submitted equivalents (both fingerprint through
+/// zql::CanonicalText). Table 2.1 of the paper becomes:
+///
+///   ZqlQuery q = ZqlBuilder()
+///       .Row("f1").Output()
+///           .X("year").Y("sales")
+///           .ZDeclare("v1", ZSet::All("product"))
+///           .Where("location='US'")
+///           .Viz("bar.(y=agg('sum'))")
+///       .Build().ValueOrDie();
+///
+/// Fluent methods never fail mid-chain: malformed pieces (bad viz spec,
+/// output/iterator arity mismatch, empty set) are recorded and surface as
+/// the Build() error, so call sites stay linear.
+
+#ifndef ZV_ZQL_BUILDER_H_
+#define ZV_ZQL_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "zql/ast.h"
+
+namespace zv::zql {
+
+/// \brief Value-semantics wrapper over a ZSetExpr tree (the Z column's set
+/// algebra). Compose with Union / Intersect / Minus, mirroring ZQL's
+/// `|`, `&`, `\`.
+class ZSet {
+ public:
+  /// 'attr'.* — every value of the attribute.
+  static ZSet All(std::string attr);
+  /// 'attr'.v — a single slice.
+  static ZSet One(std::string attr, Value value);
+  static ZSet One(std::string attr, std::string value) {
+    return One(std::move(attr), Value::Str(std::move(value)));
+  }
+  /// 'attr'.{v1, v2, ...}.
+  static ZSet Values(std::string attr, std::vector<Value> values);
+  /// 'attr'.(* \ {v1, ...}).
+  static ZSet AllExcept(std::string attr, std::vector<Value> values);
+  /// v.range — the values a process output ranged over (§3.7).
+  static ZSet Range(std::string var);
+  /// A registered named value set (NamedSets::value_sets).
+  static ZSet Named(std::string name);
+
+  ZSet Union(ZSet other) const { return Op('|', std::move(other)); }
+  ZSet Intersect(ZSet other) const { return Op('&', std::move(other)); }
+  ZSet Minus(ZSet other) const { return Op('\\', std::move(other)); }
+
+  std::shared_ptr<ZSetExpr> expr() const { return expr_; }
+
+ private:
+  ZSet Op(char op, ZSet rhs) const;
+  std::shared_ptr<ZSetExpr> expr_;
+};
+
+/// \brief One Process-column task under construction. Reading order matches
+/// ZQL: outputs, mechanism + iteration variables, optional filter,
+/// objective expression (reducers outermost-first, then the call).
+///
+///   ProcessBuilder({"v2"}).ArgMin({"v1"}).K(3).Call("D", {"f1", "f2"})
+///     ==  v2 <- argmin_v1[k=3] D(f1, f2)
+class ProcessBuilder {
+ public:
+  explicit ProcessBuilder(std::vector<std::string> outputs);
+
+  ProcessBuilder& ArgMin(std::vector<std::string> iter_vars);
+  ProcessBuilder& ArgMax(std::vector<std::string> iter_vars);
+  ProcessBuilder& ArgAny(std::vector<std::string> iter_vars);
+
+  ProcessBuilder& K(int64_t k);       ///< [k=n]
+  ProcessBuilder& Above(double t);    ///< [t > v]
+  ProcessBuilder& Below(double t);    ///< [t < v]
+
+  /// Wraps the (eventual) call in an inner reducer; repeated calls nest
+  /// outermost-first: MinOver({"v2"}).Call(...) == min_v2 CALL.
+  ProcessBuilder& MinOver(std::vector<std::string> vars);
+  ProcessBuilder& MaxOver(std::vector<std::string> vars);
+  ProcessBuilder& SumOver(std::vector<std::string> vars);
+
+  /// The leaf objective: T(f), D(f, g), or a user function of components.
+  ProcessBuilder& Call(std::string func, std::vector<std::string> args);
+
+  /// Representative task: R(k, vars..., component). Exclusive with the
+  /// mechanism/filter/call methods.
+  ProcessBuilder& Representative(int64_t k, std::vector<std::string> vars,
+                                 std::string component);
+
+  /// Finalizes; validates arity (|outputs| == |iter_vars|) and completeness.
+  Result<ProcessDecl> BuildDecl() const;
+
+ private:
+  ProcessBuilder& Mech(Mechanism mech, std::vector<std::string> iter_vars);
+  ProcessBuilder& Reduce(ProcessExpr::Reduce r, std::vector<std::string> vars);
+
+  ProcessDecl decl_;
+  std::vector<std::pair<ProcessExpr::Reduce, std::vector<std::string>>>
+      reducers_;
+  std::shared_ptr<ProcessExpr> call_;
+  bool has_mechanism_ = false;
+  bool is_representative_ = false;
+  Status error_;
+};
+
+class ZqlBuilder;
+
+/// \brief Fluent builder for one ZqlRow. Obtained from ZqlBuilder::Row();
+/// also forwards Row()/Build() so chains read top-to-bottom like the table.
+class RowBuilder {
+ public:
+  // --- Name column ---------------------------------------------------------
+  RowBuilder& Output();     ///< *name — emit this component in the result
+  RowBuilder& UserInput();  ///< -name — bound to a user-drawn sketch
+
+  RowBuilder& DerivePlus(std::string a, std::string b);       ///< f3=f1+f2
+  RowBuilder& DeriveMinus(std::string a, std::string b);      ///< f3=f1-f2
+  RowBuilder& DeriveIntersect(std::string a, std::string b);  ///< f3=f1^f2
+  RowBuilder& DeriveIndex(std::string src, int64_t i);        ///< f2=f1[i]
+  RowBuilder& DeriveSlice(std::string src, int64_t i, int64_t j);
+  RowBuilder& DeriveRange(std::string src);                   ///< f2=f1.range
+  RowBuilder& DeriveOrder(std::string src);                   ///< f2=f1.order
+
+  // --- X / Y columns -------------------------------------------------------
+  RowBuilder& X(std::string attr);  ///< literal single attribute
+  /// Literal composed axis: attrs joined with '+' (concatenate) or '*'
+  /// (cross), e.g. XComposed({"profit","sales"}, AxisValue::Compose::kPlus).
+  RowBuilder& XComposed(std::vector<std::string> attrs, AxisValue::Compose c);
+  RowBuilder& XDeclare(std::string var, std::vector<std::string> attrs);
+  RowBuilder& XDeclareNamed(std::string var, std::string set_name);
+  RowBuilder& XReuse(std::string var);
+  RowBuilder& XDerived(std::string var);  ///< x1 <- _
+  RowBuilder& XOrderBy(std::string var);  ///< u1 ->
+
+  RowBuilder& Y(std::string attr);
+  RowBuilder& YComposed(std::vector<std::string> attrs, AxisValue::Compose c);
+  RowBuilder& YDeclare(std::string var, std::vector<std::string> attrs);
+  RowBuilder& YDeclareNamed(std::string var, std::string set_name);
+  RowBuilder& YReuse(std::string var);
+  RowBuilder& YDerived(std::string var);
+  RowBuilder& YOrderBy(std::string var);
+
+  // --- Z columns (repeat for Z2, Z3, ...) ----------------------------------
+  RowBuilder& Z(std::string attr, Value value);  ///< literal slice
+  RowBuilder& Z(std::string attr, std::string value) {
+    return Z(std::move(attr), Value::Str(std::move(value)));
+  }
+  RowBuilder& ZDeclare(std::string var, ZSet set);
+  /// Two-variable form: z1.v1 <- set (binds attribute and value variables).
+  RowBuilder& ZDeclare(std::string attr_var, std::string value_var, ZSet set);
+  RowBuilder& ZReuse(std::string var);
+  /// v2 <- 'attr'._ (attr == "" for the unconstrained v2 <- _).
+  RowBuilder& ZDerived(std::string var, std::string attr = "");
+  RowBuilder& ZOrderBy(std::string var);
+
+  // --- Constraints / Viz ---------------------------------------------------
+  RowBuilder& Where(std::string constraints);
+  RowBuilder& Viz(VizSpec spec);
+  RowBuilder& Viz(const std::string& spec_text);  ///< "bar.(y=agg('sum'))"
+  RowBuilder& VizDeclare(std::string var, std::vector<VizSpec> set);
+  RowBuilder& VizReuse(std::string var);
+
+  // --- Process column ------------------------------------------------------
+  RowBuilder& Process(const ProcessBuilder& process);
+
+  // --- Chain back to the query builder -------------------------------------
+  RowBuilder& Row(std::string name);
+  Result<ZqlQuery> Build() const;
+
+ private:
+  friend class ZqlBuilder;
+  RowBuilder(ZqlBuilder* owner, size_t index) : owner_(owner), index_(index) {}
+
+  RowBuilder& Fail(std::string message);
+  ZqlRow& row();
+  static AxisEntry MakeDeclare(std::string var,
+                               std::vector<std::string> attrs);
+
+  ZqlBuilder* owner_;
+  size_t index_;  ///< into the owner's query_.rows (stable across growth)
+};
+
+/// \brief Builds a ZqlQuery row by row. See the file comment for the shape.
+class ZqlBuilder {
+ public:
+  ZqlBuilder();
+  ~ZqlBuilder();
+  ZqlBuilder(const ZqlBuilder&) = delete;
+  ZqlBuilder& operator=(const ZqlBuilder&) = delete;
+
+  /// Starts a new row named `name`. The returned builder stays valid for
+  /// the ZqlBuilder's lifetime.
+  RowBuilder& Row(std::string name);
+
+  /// Returns the assembled query, or the first error recorded by any
+  /// fluent call. The builder may keep being extended afterwards.
+  Result<ZqlQuery> Build() const;
+
+ private:
+  friend class RowBuilder;
+  void RecordError(Status status);
+
+  ZqlQuery query_;
+  std::vector<std::unique_ptr<RowBuilder>> row_builders_;
+  Status error_;
+};
+
+}  // namespace zv::zql
+
+#endif  // ZV_ZQL_BUILDER_H_

@@ -922,9 +922,59 @@ std::optional<ColumnRole> RoleFromHeader(const std::string& cell) {
   return std::nullopt;
 }
 
+/// Wraps a cell parser's flat error with its source position and offending
+/// token: "line L, column C near 'tok': message". Cell parser messages end
+/// with ": <offending text>" by convention; when that text can be located
+/// inside the cell, the column points at it exactly, otherwise at the
+/// cell's first non-blank character.
+Status CellError(const Status& inner, int line_no, size_t line_indent,
+                 const std::string& cell, size_t cell_offset,
+                 ParseDiagnostic* diag) {
+  const std::string& msg = inner.message();
+  std::string token;
+  const size_t colon = msg.rfind(": ");
+  if (colon != std::string::npos) token = Trim(msg.substr(colon + 2));
+  if (token.empty()) token = Trim(cell);
+  size_t col = cell_offset;
+  size_t lead = 0;
+  while (lead < cell.size() && (cell[lead] == ' ' || cell[lead] == '\t')) {
+    ++lead;
+  }
+  col += lead;
+  if (!token.empty()) {
+    const size_t at = cell.find(token);
+    if (at != std::string::npos) col = cell_offset + at;
+  }
+  const int column = static_cast<int>(line_indent + col) + 1;  // 1-based
+  if (diag != nullptr) {
+    diag->line = line_no;
+    diag->column = column;
+    diag->token = token;
+    diag->message = msg;
+  }
+  return Status::ParseError(StrFormat("line %d, column %d near '%s': %s",
+                                      line_no, column, token.c_str(),
+                                      msg.c_str()));
+}
+
+/// Query-level error (no specific cell): position is the start of the line.
+Status RowError(std::string message, int line_no, ParseDiagnostic* diag) {
+  if (diag != nullptr) {
+    diag->line = line_no;
+    diag->column = 1;
+    diag->token.clear();
+    diag->message = message;
+  }
+  if (line_no > 0) {
+    return Status::ParseError(
+        StrFormat("line %d: %s", line_no, message.c_str()));
+  }
+  return Status::ParseError(std::move(message));
+}
+
 }  // namespace
 
-Result<ZqlQuery> ParseQuery(const std::string& text) {
+Result<ZqlQuery> ParseQuery(const std::string& text, ParseDiagnostic* diag) {
   ZqlQuery query;
   std::vector<ColumnRole> layout = {
       ColumnRole::kName, ColumnRole::kX,   ColumnRole::kY,
@@ -937,13 +987,15 @@ Result<ZqlQuery> ParseQuery(const std::string& text) {
     ++line_no;
     const std::string line = Trim(raw_line);
     if (line.empty() || line[0] == '#') continue;
-    std::vector<std::string> cells = SplitTopLevel(line, '|');
+    const size_t line_indent = raw_line.find_first_not_of(" \t\r");
+    std::vector<std::pair<std::string, size_t>> cells =
+        SplitTopLevelWithOffsets(line, '|');
 
     // Header detection: every cell names a column role.
     if (!saw_row) {
       std::vector<ColumnRole> maybe;
       bool all_roles = true;
-      for (const std::string& cell : cells) {
+      for (const auto& [cell, offset] : cells) {
         auto role = RoleFromHeader(cell);
         if (!role.has_value()) {
           all_roles = false;
@@ -960,51 +1012,62 @@ Result<ZqlQuery> ParseQuery(const std::string& text) {
 
     ZqlRow row;
     row.line = line_no;
-    size_t z_count = 0;
     for (size_t i = 0; i < cells.size() && i < layout.size(); ++i) {
-      const std::string& cell = cells[i];
+      const std::string& cell = cells[i].first;
+      const size_t offset = cells[i].second;
+      auto cell_error = [&](const Status& inner) {
+        return CellError(inner, line_no, line_indent, cell, offset, diag);
+      };
       switch (layout[i]) {
         case ColumnRole::kName: {
-          ZV_ASSIGN_OR_RETURN(row.name, ParseNameEntry(cell));
+          Result<NameEntry> r = ParseNameEntry(cell);
+          if (!r.ok()) return cell_error(r.status());
+          row.name = std::move(r).value();
           break;
         }
         case ColumnRole::kX: {
-          ZV_ASSIGN_OR_RETURN(row.x, ParseAxisEntry(cell));
+          Result<AxisEntry> r = ParseAxisEntry(cell);
+          if (!r.ok()) return cell_error(r.status());
+          row.x = std::move(r).value();
           break;
         }
         case ColumnRole::kY: {
-          ZV_ASSIGN_OR_RETURN(row.y, ParseAxisEntry(cell));
+          Result<AxisEntry> r = ParseAxisEntry(cell);
+          if (!r.ok()) return cell_error(r.status());
+          row.y = std::move(r).value();
           break;
         }
         case ColumnRole::kZ:
         case ColumnRole::kZ2:
         case ColumnRole::kZ3: {
-          ZV_ASSIGN_OR_RETURN(ZEntry z, ParseZEntry(cell));
-          row.zs.push_back(std::move(z));
-          ++z_count;
+          Result<ZEntry> r = ParseZEntry(cell);
+          if (!r.ok()) return cell_error(r.status());
+          row.zs.push_back(std::move(r).value());
           break;
         }
         case ColumnRole::kConstraints:
           row.constraints = Trim(cell);
           break;
         case ColumnRole::kViz: {
-          ZV_ASSIGN_OR_RETURN(row.viz, ParseVizEntry(cell));
+          Result<VizEntry> r = ParseVizEntry(cell);
+          if (!r.ok()) return cell_error(r.status());
+          row.viz = std::move(r).value();
           break;
         }
         case ColumnRole::kProcess: {
-          ZV_ASSIGN_OR_RETURN(row.processes, ParseProcessCell(cell));
+          Result<std::vector<ProcessDecl>> r = ParseProcessCell(cell);
+          if (!r.ok()) return cell_error(r.status());
+          row.processes = std::move(r).value();
           break;
         }
       }
     }
-    (void)z_count;
     if (row.name.name.empty()) {
-      return Status::ParseError(
-          StrFormat("line %d: missing component name", line_no));
+      return RowError("missing component name", line_no, diag);
     }
     query.rows.push_back(std::move(row));
   }
-  if (query.rows.empty()) return Status::ParseError("empty ZQL query");
+  if (query.rows.empty()) return RowError("empty ZQL query", 0, diag);
   return query;
 }
 

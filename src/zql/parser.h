@@ -21,8 +21,20 @@
 
 namespace zv::zql {
 
-/// Parses a full query (multiple lines).
-Result<ZqlQuery> ParseQuery(const std::string& text);
+/// \brief Where and why a parse failed — the structured form behind the
+/// error message, consumed by the typed API's error payload (src/api/).
+struct ParseDiagnostic {
+  int line = 0;         ///< 1-based source line (0 = unknown)
+  int column = 0;       ///< 1-based column of the offending token (or cell)
+  std::string token;    ///< offending token text, best effort (may be empty)
+  std::string message;  ///< the underlying cell parser's message
+};
+
+/// Parses a full query (multiple lines). On error the Status message reads
+/// "line L, column C near '<token>': <message>"; pass `diag` to also get
+/// the pieces individually.
+Result<ZqlQuery> ParseQuery(const std::string& text,
+                            ParseDiagnostic* diag = nullptr);
 
 /// Cell-level parsers, exposed for tests.
 Result<NameEntry> ParseNameEntry(const std::string& text);

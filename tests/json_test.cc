@@ -1,0 +1,198 @@
+/// \file json_test.cc
+/// \brief The JSON codec's contracts: value-model round trips (including a
+/// randomized property sweep), number fidelity (int64 vs double, shortest
+/// round-trip doubles), string escapes, and malformed-input rejection.
+
+#include <cstring>
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "tests/test_util.h"
+
+namespace zv {
+namespace {
+
+TEST(JsonTest, ScalarsRoundTrip) {
+  const char* docs[] = {
+      "null", "true", "false", "0", "-1", "42", "9223372036854775807",
+      "-9223372036854775808", "0.5", "-3.25", "1e+20", "\"\"",
+      "\"hello world\"", "[]", "{}",
+  };
+  for (const char* doc : docs) {
+    ZV_ASSERT_OK_AND_ASSIGN(Json v, Json::Parse(doc));
+    ZV_ASSERT_OK_AND_ASSIGN(Json again, Json::Parse(v.Dump()));
+    EXPECT_EQ(v, again) << doc;
+  }
+}
+
+TEST(JsonTest, IntegersStayIntegers) {
+  ZV_ASSERT_OK_AND_ASSIGN(Json v, Json::Parse("[1, 2.0, -7, 1e2]"));
+  EXPECT_TRUE(v.array()[0].is_int());
+  EXPECT_TRUE(v.array()[1].is_double());
+  EXPECT_TRUE(v.array()[2].is_int());
+  EXPECT_TRUE(v.array()[3].is_double());
+  EXPECT_EQ(v.array()[0].as_int(), 1);
+  EXPECT_EQ(v.array()[1].as_double(), 2.0);
+  // int64 extremes survive exactly (a double would lose the low bits).
+  ZV_ASSERT_OK_AND_ASSIGN(Json big, Json::Parse("9223372036854775807"));
+  EXPECT_TRUE(big.is_int());
+  EXPECT_EQ(big.as_int(), INT64_MAX);
+  EXPECT_EQ(big.Dump(), "9223372036854775807");
+  // Beyond int64: degrades to double instead of failing.
+  ZV_ASSERT_OK_AND_ASSIGN(Json huge, Json::Parse("18446744073709551616"));
+  EXPECT_TRUE(huge.is_double());
+}
+
+TEST(JsonTest, DoublesRoundTripBitExact) {
+  const double values[] = {0.1,      1.0 / 3.0, 6.02214076e23, -2.5e-10,
+                           123456.75, 1e300,    5e-324 /* min denormal */};
+  for (double d : values) {
+    const std::string text = Json::Double(d).Dump();
+    ZV_ASSERT_OK_AND_ASSIGN(Json parsed, Json::Parse(text));
+    ASSERT_TRUE(parsed.is_double()) << text;
+    uint64_t want, got;
+    const double pd = parsed.as_double();
+    std::memcpy(&want, &d, sizeof(want));
+    std::memcpy(&got, &pd, sizeof(got));
+    EXPECT_EQ(want, got) << text;
+  }
+  // Non-finite doubles emit as null (strict JSON has no literal for them).
+  EXPECT_EQ(Json::Double(std::nan("")).Dump(), "null");
+}
+
+TEST(JsonTest, StringEscapes) {
+  const std::string raw = "line1\nline2\t\"quoted\"\\slash\x01";
+  const std::string text = Json::Str(raw).Dump();
+  ZV_ASSERT_OK_AND_ASSIGN(Json parsed, Json::Parse(text));
+  EXPECT_EQ(parsed.as_string(), raw);
+  // \u escapes decode to UTF-8, including surrogate pairs.
+  ZV_ASSERT_OK_AND_ASSIGN(Json uni, Json::Parse("\"\\u00e9\\ud83d\\ude00\""));
+  EXPECT_EQ(uni.as_string(), "\xc3\xa9\xf0\x9f\x98\x80");
+  // Raw UTF-8 passes through emission untouched.
+  EXPECT_EQ(Json::Str("\xc3\xa9").Dump(), "\"\xc3\xa9\"");
+}
+
+TEST(JsonTest, ObjectsPreserveInsertionOrderAndReplace) {
+  Json obj = Json::MakeObject();
+  obj.Set("b", Json::Int(1));
+  obj.Set("a", Json::Int(2));
+  obj.Set("b", Json::Int(3));  // replaces in place, keeps position
+  EXPECT_EQ(obj.Dump(), "{\"b\":3,\"a\":2}");
+  EXPECT_EQ(obj.Find("b")->as_int(), 3);
+  EXPECT_EQ(obj.Find("missing"), nullptr);
+}
+
+TEST(JsonTest, PrettyAndCompactFormsParseAlike) {
+  ZV_ASSERT_OK_AND_ASSIGN(
+      Json v, Json::Parse("{\"a\":[1,2,{\"b\":null}],\"c\":\"x\"}"));
+  ZV_ASSERT_OK_AND_ASSIGN(Json pretty, Json::Parse(v.Dump(2)));
+  EXPECT_EQ(v, pretty);
+  // Compact emission is byte-stable through a round trip.
+  EXPECT_EQ(v.Dump(), pretty.Dump());
+}
+
+/// Randomized property test: generate value trees, require
+/// parse(dump(v)) == v for both compact and indented forms.
+TEST(JsonTest, RandomTreesRoundTrip) {
+  std::mt19937 rng(20260731);
+  std::uniform_int_distribution<int> kind(0, 6);
+  std::uniform_int_distribution<int> width(0, 4);
+  std::uniform_int_distribution<int64_t> ints(INT64_MIN, INT64_MAX);
+  std::uniform_real_distribution<double> reals(-1e6, 1e6);
+  std::uniform_int_distribution<int> chars(0, 255);
+
+  std::function<Json(int)> gen = [&](int depth) -> Json {
+    const int k = depth > 3 ? kind(rng) % 5 : kind(rng);
+    switch (k) {
+      case 0: return Json::Null();
+      case 1: return Json::Bool(rng() % 2 == 0);
+      case 2: return Json::Int(ints(rng));
+      case 3: return Json::Double(reals(rng));
+      case 4: {
+        std::string s;
+        const int n = width(rng) * 3;
+        for (int i = 0; i < n; ++i) {
+          s += static_cast<char>(chars(rng) % 0x70 + 1);  // ASCII-ish
+        }
+        return Json::Str(s);
+      }
+      case 5: {
+        Json arr = Json::MakeArray();
+        const int n = width(rng);
+        for (int i = 0; i < n; ++i) arr.Append(gen(depth + 1));
+        return arr;
+      }
+      default: {
+        Json obj = Json::MakeObject();
+        const int n = width(rng);
+        for (int i = 0; i < n; ++i) {
+          obj.Set("k" + std::to_string(i), gen(depth + 1));
+        }
+        return obj;
+      }
+    }
+  };
+
+  for (int i = 0; i < 500; ++i) {
+    const Json v = gen(0);
+    ZV_ASSERT_OK_AND_ASSIGN(Json compact, Json::Parse(v.Dump()));
+    EXPECT_EQ(v, compact) << v.Dump();
+    ZV_ASSERT_OK_AND_ASSIGN(Json pretty, Json::Parse(v.Dump(2)));
+    EXPECT_EQ(v, pretty) << v.Dump(2);
+  }
+}
+
+TEST(JsonTest, MalformedInputsAreRejectedWithPositions) {
+  const char* bad[] = {
+      "",
+      "   ",
+      "{",
+      "[1, 2",
+      "{\"a\":}",
+      "{\"a\" 1}",
+      "{a: 1}",
+      "[1,]",         // trailing comma
+      "{\"a\":1,}",
+      "01",            // leading zero
+      "1.",            // missing fraction digits
+      "1e",            // missing exponent digits
+      "+1",
+      "nul",
+      "tru",
+      "\"unterminated",
+      "\"bad \\q escape\"",
+      "\"\\u12\"",     // truncated \u
+      "\"\\ud800\"",   // unpaired surrogate
+      "\"ctrl \x01 char\"",
+      "[1] trailing",
+      "NaN",
+      "Infinity",
+  };
+  for (const char* doc : bad) {
+    Result<Json> r = Json::Parse(doc);
+    EXPECT_FALSE(r.ok()) << "should reject: " << doc;
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+      EXPECT_NE(r.status().message().find("line "), std::string::npos)
+          << r.status().message();
+    }
+  }
+  // Deep nesting is bounded, not a stack overflow.
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(Json::Parse(deep).ok());
+}
+
+TEST(JsonTest, DuplicateKeysLastWins) {
+  ZV_ASSERT_OK_AND_ASSIGN(Json v, Json::Parse("{\"a\":1,\"a\":2}"));
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.Find("a")->as_int(), 2);
+}
+
+}  // namespace
+}  // namespace zv

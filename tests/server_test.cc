@@ -25,6 +25,8 @@
 #include "server/fingerprint.h"
 #include "server/query_service.h"
 #include "tests/test_util.h"
+#include "zql/builder.h"
+#include "zql/canonical.h"
 #include "zql/executor.h"
 
 namespace zv {
@@ -296,6 +298,85 @@ TEST(QueryServiceTest, RepeatQueryServedFromResultCache) {
   EXPECT_EQ(second.stats().cache_hits, 1u);
   EXPECT_EQ(Canon(*second.result()), Canon(*first.result()));
   EXPECT_EQ(service.stats().cache_hits, 1u);
+}
+
+TEST(QueryServiceTest, TypedAndTextSubmissionsShareOneCacheEntry) {
+  // The PR-4 unification contract: a ZqlBuilder-built query and its
+  // equivalent ZQL text produce the same QueryFingerprint (the cache key is
+  // the canonical AST serialization, not source text), so the second
+  // submission — through the *other* entry point — is a ResultCache hit.
+  QueryService service;
+  ZV_ASSERT_OK(service.RegisterDataset(zv::testing::MakeTinySales()));
+  ZV_ASSERT_OK_AND_ASSIGN(SessionId session, service.CreateSession());
+
+  zql::ZqlQuery built =
+      zql::ZqlBuilder()
+          .Row("f1")
+              .X("year").Y("sales").Z("product", "chair")
+          .Row("f2").Output()
+              .X("year").Y("sales")
+              .ZDeclare("v1", zql::ZSet::All("product"))
+              .Process(zql::ProcessBuilder({"v2"}).ArgMin({"v1"}).K(2).Call(
+                  "D", {"f2", "f1"}))
+          .Build().ValueOrDie();
+  const std::string text =
+      "f1 | 'year' | 'sales' | 'product'.'chair' | | |\n"
+      "*f2 | 'year' | 'sales' | v1 <- 'product'.* | | | v2 <- "
+      "argmin_v1[k=2] D(f2, f1)";
+
+  ZV_ASSERT_OK_AND_ASSIGN(QueryHandle typed,
+                          service.Submit(session, "sales", built));
+  ZV_ASSERT_OK(typed.Wait());
+  EXPECT_EQ(typed.stats().cache_misses, 1u);
+
+  ZV_ASSERT_OK_AND_ASSIGN(QueryHandle texty,
+                          service.Submit(session, "sales", text));
+  ZV_ASSERT_OK(texty.Wait());
+  EXPECT_EQ(typed.fingerprint(), texty.fingerprint())
+      << "builder-built and parsed-text queries must share one fingerprint";
+  EXPECT_EQ(texty.stats().cache_hits, 1u)
+      << "the text twin of a typed query must be a ResultCache hit";
+  EXPECT_EQ(Canon(*texty.result()), Canon(*typed.result()));
+
+  // The canonical serialization itself is a third spelling of the same key.
+  ZV_ASSERT_OK_AND_ASSIGN(
+      QueryHandle canonical,
+      service.Submit(session, "sales", zql::CanonicalText(built)));
+  ZV_ASSERT_OK(canonical.Wait());
+  EXPECT_EQ(canonical.fingerprint(), typed.fingerprint());
+  EXPECT_EQ(canonical.stats().cache_hits, 1u);
+}
+
+TEST(QueryServiceTest, ParseErrorsResolveOnTheHandleWithDiagnostics) {
+  QueryService service;
+  ZV_ASSERT_OK(service.RegisterDataset(zv::testing::MakeTinySales()));
+  ZV_ASSERT_OK_AND_ASSIGN(SessionId session, service.CreateSession());
+
+  ZV_ASSERT_OK_AND_ASSIGN(
+      QueryHandle handle,
+      service.Submit(session, "sales", "*f1 | 'year' | ??? | | | |"));
+  const Status status = handle.Wait();
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_NE(status.message().find("line 1"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("'???'"), std::string::npos)
+      << status.message();
+  EXPECT_EQ(handle.result(), nullptr);
+  EXPECT_EQ(service.stats().failed, 1u);
+
+  // Session and dataset validation still happens at Submit, even for
+  // unparseable text.
+  auto bad_session =
+      service.Submit(SessionId{424242}, "sales", "*f1 | ??? |");
+  EXPECT_EQ(bad_session.status().code(), StatusCode::kNotFound);
+  auto bad_dataset = service.Submit(session, "nope", "*f1 | ??? |");
+  EXPECT_EQ(bad_dataset.status().code(), StatusCode::kNotFound);
+
+  // The service stays healthy.
+  ZV_ASSERT_OK_AND_ASSIGN(
+      QueryHandle ok,
+      service.Submit(session, "sales", "*f1 | 'year' | 'sales' | | | |"));
+  ZV_ASSERT_OK(ok.Wait());
 }
 
 TEST(QueryServiceTest, UserInputChangesFingerprintNotStaleServed) {

@@ -1,0 +1,352 @@
+/// \file zql_builder_test.cc
+/// \brief ZqlBuilder and the canonical AST serialization:
+///  - builder-built queries serialize identically to their parsed-text
+///    equivalents (the fingerprint-unification foundation);
+///  - CanonicalText is idempotent over the full grammar: parse ->
+///    serialize -> parse -> serialize is byte-identical;
+///  - executing the builder AST and the parsed AST yields the identical
+///    ZqlResult.
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/roaring_db.h"
+#include "tests/test_util.h"
+#include "zql/builder.h"
+#include "zql/canonical.h"
+#include "zql/executor.h"
+#include "zql/parser.h"
+
+namespace zv::zql {
+namespace {
+
+/// Byte rendering of a result (identities + exact double bits).
+std::string Canon(const ZqlResult& r) {
+  std::string out;
+  for (const auto& o : r.outputs) {
+    out += o.name + "[";
+    for (const auto& v : o.visuals) {
+      out += v.Label() + "(";
+      for (const auto& x : v.xs) out += x.ToString() + ",";
+      for (const auto& s : v.series) {
+        out += s.name + ":";
+        for (double y : s.ys) {
+          uint64_t bits;
+          std::memcpy(&bits, &y, sizeof(bits));
+          out += std::to_string(bits) + ",";
+        }
+      }
+      out += ")";
+    }
+    out += "]";
+  }
+  return out;
+}
+
+/// The idempotence contract: parse(text) -> canonical -> parse -> canonical
+/// must be byte-stable, and the canonical text must re-parse at all.
+void ExpectCanonicalStable(const std::string& text) {
+  SCOPED_TRACE(text);
+  ZV_ASSERT_OK_AND_ASSIGN(ZqlQuery q1, ParseQuery(text));
+  const std::string c1 = CanonicalText(q1);
+  ZV_ASSERT_OK_AND_ASSIGN(ZqlQuery q2, ParseQuery(c1));
+  const std::string c2 = CanonicalText(q2);
+  EXPECT_EQ(c1, c2) << "canonical serialization is not idempotent";
+}
+
+// ---------------------------------------------------------------------------
+// Canonical round trips over the grammar
+// ---------------------------------------------------------------------------
+
+TEST(CanonicalTextTest, IdempotentAcrossTheGrammar) {
+  const char* queries[] = {
+      // Table 2.1: the quickstart shape.
+      "*f1 | 'year' | 'sales' | v1 <- 'product'.* | location='US' | "
+      "bar.(y=agg('sum')) |",
+      // User sketch + similarity search + output iteration (Table 2.2).
+      "-f1 | | | | | |\n"
+      "f2 | 'year' | 'sales' | v1 <- 'product'.* | | | v2 <- "
+      "argmin_v1[k=3] D(f1, f2)\n"
+      "*f3 | 'year' | 'sales' | v2 | | |",
+      // Axis declarations, named sets, reuse.
+      "*f1 | x1 <- {'year', 'month'} | y1 <- M | v1 <- 'product'.* | | |",
+      // Composed axes.
+      "*f1 | 'year' | 'profit'+'sales' | | | |",
+      "*f1 | 'product'*'location' | 'sales' | | | |",
+      // Z set algebra with ops and parens.
+      "*f1 | 'year' | 'sales' | v1 <- 'product'.* \\ 'product'.'chair' | | |",
+      "*f1 | 'year' | 'sales' | v1 <- ('product'.{'chair', 'desk'} | "
+      "'product'.'stapler') & 'product'.* | | |",
+      // All-except attr spec and derived bindings.
+      "f1 | 'year' | y1 <- {'sales', 'profit'} | v1 <- 'product'.* | | | "
+      "z2, y2 <- argmax_v1,y1[k=2] D(f1, f1)\n"
+      "*f2 | 'year' | y2 | v2 <- z2.range | | |",
+      // Multiple Z columns via a header.
+      "name | x | y | z | z2 | viz | process\n"
+      "*f1 | 'year' | 'sales' | v1 <- 'product'.* | 'location'.'US' | | ",
+      // Filters: k, k=inf, thresholds.
+      "*f1 | 'year' | 'sales' | v1 <- 'product'.* | | | v2 <- "
+      "argany_v1[t > 0] T(f1)",
+      "*f1 | 'year' | 'sales' | v1 <- 'product'.* | | | v2 <- "
+      "argmin_v1[k=inf] T(f1)",
+      "*f1 | 'year' | 'sales' | v1 <- 'product'.* | | | v2 <- "
+      "argany_v1[t < -0.5] T(f1)",
+      // Reducers (nested), multiple processes, R().
+      "f1 | 'year' | 'sales' | v1 <- 'product'.* | | |\n"
+      "*f2 | 'year' | 'sales' | v2 <- 'product'.* | | | v3 <- "
+      "argmin_v2[k=1] min_v1 D(f1, f2)",
+      "f1 | 'year' | 'profit' | 'product'.'desk' | | |\n"
+      "*f2 | 'year' | 'profit' | v1 <- 'product'.* | | | (v2 <- "
+      "argmin_v1[k=1] D(f2, f1)), (v3 <- argmax_v1[k=1] D(f2, f1))",
+      "f1 | 'year' | 'sales' | v1 <- 'product'.* | | | v2 <- R(2, v1, f1)\n"
+      "*f2 | 'year' | 'sales' | v2 | | |",
+      // Name derivations.
+      "f1 | 'year' | 'sales' | v1 <- 'product'.* | | |\n"
+      "f2 | 'year' | 'profit' | v1 | | |\n"
+      "*f3=f1+f2 | | | | | |",
+      "f1 | 'year' | 'sales' | v1 <- 'product'.* | | |\n"
+      "*f2=f1[1] | | | | | |",
+      "f1 | 'year' | 'sales' | v1 <- 'product'.* | | |\n"
+      "*f2=f1[1:2] | | | | | |",
+      // Viz declarations (set of specs) and reuse.
+      "*f1 | 'year' | 'sales' | 'product'.'chair' | | w1 <- "
+      "{bar.(y=agg('sum')), line.(y=agg('avg'))} |\n"
+      "*f2 | 'year' | 'profit' | 'product'.'desk' | | w1 |",
+      // Constraints with odd spacing collapse deterministically.
+      "*f1 | 'year' | 'sales' | | location = 'US'   AND  sales > 10 | |",
+  };
+  for (const char* q : queries) ExpectCanonicalStable(q);
+}
+
+TEST(CanonicalTextTest, WhitespaceVariantsShareOneSerialization) {
+  ZV_ASSERT_OK_AND_ASSIGN(
+      ZqlQuery a,
+      ParseQuery("*f1 | 'year' | 'sales' | v1 <- 'product'.* | "
+                 "location='US' | bar.(y=agg('sum')) |"));
+  ZV_ASSERT_OK_AND_ASSIGN(
+      ZqlQuery b,
+      ParseQuery("  *f1 |\t'year'   | 'sales' |v1<-'product'.*| location "
+                 "= 'US' |  bar.(y=agg('sum'))  |"));
+  EXPECT_EQ(CanonicalText(a), CanonicalText(b));
+}
+
+TEST(CanonicalTextTest, DistinctQueriesStayDistinct) {
+  const char* base =
+      "*f1 | 'year' | 'sales' | v1 <- 'product'.* | | | v2 <- "
+      "argmin_v1[k=3] D(f1, f1)";
+  const char* variants[] = {
+      "*f1 | 'year' | 'profit' | v1 <- 'product'.* | | | v2 <- "
+      "argmin_v1[k=3] D(f1, f1)",
+      "*f1 | 'year' | 'sales' | v1 <- 'location'.* | | | v2 <- "
+      "argmin_v1[k=3] D(f1, f1)",
+      "*f1 | 'year' | 'sales' | v1 <- 'product'.* | | | v2 <- "
+      "argmin_v1[k=4] D(f1, f1)",
+      "*f1 | 'year' | 'sales' | v1 <- 'product'.* | | | v2 <- "
+      "argmax_v1[k=3] D(f1, f1)",
+      "*f1 | 'year' | 'sales' | v1 <- 'product'.* | location='US' | | v2 <- "
+      "argmin_v1[k=3] D(f1, f1)",
+      "f1 | 'year' | 'sales' | v1 <- 'product'.* | | | v2 <- "
+      "argmin_v1[k=3] D(f1, f1)",
+  };
+  ZV_ASSERT_OK_AND_ASSIGN(ZqlQuery base_q, ParseQuery(base));
+  const std::string base_c = CanonicalText(base_q);
+  for (const char* v : variants) {
+    ZV_ASSERT_OK_AND_ASSIGN(ZqlQuery q, ParseQuery(v));
+    EXPECT_NE(CanonicalText(q), base_c) << v;
+  }
+}
+
+TEST(CanonicalTextTest, DoubleValuesKeepFullPrecision) {
+  // Two Z thresholds differing beyond %.6g must not collide.
+  ZqlQuery a = ZqlBuilder()
+                   .Row("f1").Output().X("year").Y("sales")
+                   .Z("price", Value::Double(0.12345678901234567))
+                   .Build().ValueOrDie();
+  ZqlQuery b = ZqlBuilder()
+                   .Row("f1").Output().X("year").Y("sales")
+                   .Z("price", Value::Double(0.12345678901234999))
+                   .Build().ValueOrDie();
+  EXPECT_NE(CanonicalText(a), CanonicalText(b));
+  // And the dotless double form re-parses to the identical bits.
+  ZV_ASSERT_OK_AND_ASSIGN(ZqlQuery back, ParseQuery(CanonicalText(a)));
+  ASSERT_EQ(back.rows[0].zs.size(), 1u);
+  EXPECT_EQ(back.rows[0].zs[0].literal.value,
+            Value::Double(0.12345678901234567));
+  EXPECT_EQ(CanonicalText(back), CanonicalText(a));
+}
+
+// ---------------------------------------------------------------------------
+// Builder == parsed text
+// ---------------------------------------------------------------------------
+
+TEST(ZqlBuilderTest, QuickstartShapeMatchesText) {
+  ZqlQuery built = ZqlBuilder()
+                       .Row("f1").Output()
+                       .X("year").Y("sales")
+                       .ZDeclare("v1", ZSet::All("product"))
+                       .Where("location='US'")
+                       .Viz("bar.(y=agg('sum'))")
+                       .Build().ValueOrDie();
+  ZV_ASSERT_OK_AND_ASSIGN(
+      ZqlQuery parsed,
+      ParseQuery("*f1 | 'year' | 'sales' | v1 <- 'product'.* | "
+                 "location='US' | bar.(y=agg('sum')) |"));
+  EXPECT_EQ(CanonicalText(built), CanonicalText(parsed));
+}
+
+TEST(ZqlBuilderTest, SimilaritySearchShapeMatchesText) {
+  ZqlQuery built =
+      ZqlBuilder()
+          .Row("f1").UserInput()
+          .Row("f2")
+              .X("year").Y("sold_price")
+              .ZDeclare("v1", ZSet::All("state"))
+              .Viz("bar.(y=agg('avg'))")
+              .Process(ProcessBuilder({"v2"}).ArgMin({"v1"}).K(3).Call(
+                  "D", {"f1", "f2"}))
+          .Row("f3").Output()
+              .X("year").Y("sold_price")
+              .ZReuse("v2")
+              .Viz("bar.(y=agg('avg'))")
+          .Build().ValueOrDie();
+  ZV_ASSERT_OK_AND_ASSIGN(
+      ZqlQuery parsed,
+      ParseQuery("-f1 | | | | | |\n"
+                 "f2 | 'year' | 'sold_price' | v1 <- 'state'.* | | "
+                 "bar.(y=agg('avg')) | v2 <- argmin_v1[k=3] D(f1, f2)\n"
+                 "*f3 | 'year' | 'sold_price' | v2 | | bar.(y=agg('avg')) |"));
+  EXPECT_EQ(CanonicalText(built), CanonicalText(parsed));
+}
+
+TEST(ZqlBuilderTest, SetAlgebraReducersAndRepresentatives) {
+  ZqlQuery built =
+      ZqlBuilder()
+          .Row("f1")
+              .X("year").Y("sales")
+              .ZDeclare("v1", ZSet::All("product").Minus(
+                                  ZSet::One("product", "chair")))
+              .Process(ProcessBuilder({"v2"}).Representative(2, {"v1"}, "f1"))
+          .Row("f2").Output()
+              .X("year").Y("sales")
+              .ZReuse("v2")
+          .Build().ValueOrDie();
+  ZV_ASSERT_OK_AND_ASSIGN(
+      ZqlQuery parsed,
+      ParseQuery(
+          "f1 | 'year' | 'sales' | v1 <- 'product'.* \\ 'product'.'chair' "
+          "| | | v2 <- R(2, v1, f1)\n"
+          "*f2 | 'year' | 'sales' | v2 | | |"));
+  EXPECT_EQ(CanonicalText(built), CanonicalText(parsed));
+
+  ZqlQuery reduced =
+      ZqlBuilder()
+          .Row("f1")
+              .X("year").Y("sales").ZDeclare("v1", ZSet::All("product"))
+          .Row("f2").Output()
+              .X("year").Y("sales").ZDeclare("v2", ZSet::All("product"))
+              .Process(ProcessBuilder({"v3"}).ArgMin({"v2"}).K(1).MinOver(
+                  {"v1"}).Call("D", {"f1", "f2"}))
+          .Build().ValueOrDie();
+  ZV_ASSERT_OK_AND_ASSIGN(
+      ZqlQuery reduced_parsed,
+      ParseQuery("f1 | 'year' | 'sales' | v1 <- 'product'.* | | |\n"
+                 "*f2 | 'year' | 'sales' | v2 <- 'product'.* | | | v3 <- "
+                 "argmin_v2[k=1] min_v1 D(f1, f2)"));
+  EXPECT_EQ(CanonicalText(reduced), CanonicalText(reduced_parsed));
+}
+
+TEST(ZqlBuilderTest, BuilderAndTextExecuteIdentically) {
+  auto table = zv::testing::MakeTinySales();
+  RoaringDatabase db;
+  ZV_ASSERT_OK(db.RegisterTable(table));
+
+  ZqlQuery built =
+      ZqlBuilder()
+          .Row("f1")
+              .X("year").Y("sales").Z("product", "chair")
+          .Row("f2").Output()
+              .X("year").Y("sales").ZDeclare("v1", ZSet::All("product"))
+              .Process(ProcessBuilder({"v2"}).ArgMin({"v1"}).K(2).Call(
+                  "D", {"f2", "f1"}))
+          .Build().ValueOrDie();
+  const char* text =
+      "f1 | 'year' | 'sales' | 'product'.'chair' | | |\n"
+      "*f2 | 'year' | 'sales' | v1 <- 'product'.* | | | v2 <- "
+      "argmin_v1[k=2] D(f2, f1)";
+
+  ZqlExecutor exec_a(&db, "sales");
+  ZV_ASSERT_OK_AND_ASSIGN(ZqlResult from_builder, exec_a.Execute(built));
+  ZqlExecutor exec_b(&db, "sales");
+  ZV_ASSERT_OK_AND_ASSIGN(ZqlResult from_text, exec_b.ExecuteText(text));
+  EXPECT_EQ(Canon(from_builder), Canon(from_text));
+
+  // And the canonical text of the builder AST executes identically too —
+  // the full AST round trip preserves results, not just serialization.
+  ZqlExecutor exec_c(&db, "sales");
+  ZV_ASSERT_OK_AND_ASSIGN(ZqlResult from_canonical,
+                          exec_c.ExecuteText(CanonicalText(built)));
+  EXPECT_EQ(Canon(from_builder), Canon(from_canonical));
+}
+
+TEST(ZqlBuilderTest, ErrorsSurfaceAtBuild) {
+  // Arity mismatch: 1 output, 2 iteration variables.
+  {
+    ZqlBuilder b;
+    b.Row("f1").X("year").Y("sales")
+        .ZDeclare("v1", ZSet::All("product"))
+        .Process(ProcessBuilder({"v2"}).ArgMin({"v1", "y1"}).Call("T",
+                                                                  {"f1"}));
+    Result<ZqlQuery> r = b.Build();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+  // Bad viz spec text.
+  {
+    ZqlBuilder b;
+    b.Row("f1").X("year").Y("sales").Viz("sparkline.(nope)");
+    EXPECT_FALSE(b.Build().ok());
+  }
+  // Missing objective call.
+  {
+    ZqlBuilder b;
+    b.Row("f1").X("year").Y("sales")
+        .ZDeclare("v1", ZSet::All("product"))
+        .Process(ProcessBuilder({"v2"}).ArgMin({"v1"}));
+    EXPECT_FALSE(b.Build().ok());
+  }
+  // Empty builder.
+  EXPECT_FALSE(ZqlBuilder().Build().ok());
+  // Embedded single quote: not representable in ZQL text, so the canonical
+  // serialization (the cache key and wire form) could not round-trip —
+  // rejected at Build rather than silently colliding fingerprints.
+  {
+    ZqlBuilder b;
+    b.Row("f1").X("year").Y("sales")
+        .ZDeclare("v1", ZSet::One("state", "O'Brien"));
+    Result<ZqlQuery> r = b.Build();
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("single quote"), std::string::npos);
+  }
+  {
+    ZqlBuilder b;
+    b.Row("f1").X("ye'ar").Y("sales");
+    EXPECT_FALSE(b.Build().ok());
+  }
+}
+
+TEST(ZqlBuilderTest, BuilderIsReusableAndSnapshotting) {
+  ZqlBuilder b;
+  b.Row("f1").Output().X("year").Y("sales");
+  ZqlQuery one = b.Build().ValueOrDie();
+  EXPECT_EQ(one.rows.size(), 1u);
+  b.Row("f2").Output().X("year").Y("profit");
+  ZqlQuery two = b.Build().ValueOrDie();
+  EXPECT_EQ(two.rows.size(), 2u);
+  EXPECT_EQ(one.rows.size(), 1u) << "earlier snapshot must not grow";
+}
+
+}  // namespace
+}  // namespace zv::zql

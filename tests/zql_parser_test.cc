@@ -377,5 +377,56 @@ TEST(ZqlQueryTest, EmptyQueryFails) {
   EXPECT_FALSE(ParseQuery("# nothing\n").ok());
 }
 
+// --- Structured diagnostics --------------------------------------------------
+
+TEST(ZqlDiagnosticsTest, ErrorsCarryLineColumnAndToken) {
+  ParseDiagnostic diag;
+  Result<ZqlQuery> r = ParseQuery(
+      "# comment line\n"
+      "*f1 | 'year' | 'sales' | | | |\n"
+      "*f2 | 'year' | ??? | v1 <- 'product'.* | | |",
+      &diag);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(diag.line, 3);
+  // "???" starts at 1-based column 16 of the third line.
+  EXPECT_EQ(diag.column, 16);
+  EXPECT_EQ(diag.token, "???");
+  EXPECT_NE(r.status().message().find("line 3, column 16 near '???'"),
+            std::string::npos)
+      << r.status().message();
+}
+
+TEST(ZqlDiagnosticsTest, IndentationCountsTowardColumns) {
+  ParseDiagnostic diag;
+  Result<ZqlQuery> r = ParseQuery("   *f1 | bad~name | 'sales' | | | |",
+                                  &diag);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(diag.line, 1);
+  EXPECT_EQ(diag.column, 10);  // 3 spaces of indent + "*f1 | " prefix
+  EXPECT_EQ(diag.token, "bad~name");
+}
+
+TEST(ZqlDiagnosticsTest, ProcessCellErrorsPointIntoTheCell) {
+  ParseDiagnostic diag;
+  Result<ZqlQuery> r = ParseQuery(
+      "*f1 | 'year' | 'sales' | v1 <- 'product'.* | | | v2 <- "
+      "argmin_v1[k=0] T(f1)",
+      &diag);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(diag.line, 1);
+  EXPECT_GT(diag.column, 40) << "column should land inside the process cell";
+  EXPECT_FALSE(diag.message.empty());
+}
+
+TEST(ZqlDiagnosticsTest, RowLevelErrorsStillCarryTheLine) {
+  ParseDiagnostic diag;
+  Result<ZqlQuery> r = ParseQuery("*f1 | 'x' | 'y' | | | |\n | 'x' |", &diag);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(diag.line, 2);
+  ParseDiagnostic empty_diag;
+  EXPECT_FALSE(ParseQuery("", &empty_diag).ok());
+  EXPECT_EQ(empty_diag.line, 0);
+}
+
 }  // namespace
 }  // namespace zv::zql

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Docs drift gate (run by ctest): every primitive, mechanism, distance
 # metric, and chart type the code registers must be mentioned in
-# docs/zql_reference.md. The lists are extracted from the sources, not
-# hardcoded, so adding e.g. a new metric without documenting it fails CI.
+# docs/zql_reference.md, and every field of the wire protocol's
+# request/response structs must be mentioned in docs/api_reference.md.
+# The lists are extracted from the sources, not hardcoded, so adding e.g.
+# a new metric or a new protocol field without documenting it fails CI.
 #
 # Usage: tools/check_docs.sh [repo_root]
 
@@ -10,6 +12,7 @@ set -u
 
 ROOT="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 DOC="$ROOT/docs/zql_reference.md"
+API_DOC="$ROOT/docs/api_reference.md"
 
 fail=0
 missing() {
@@ -19,6 +22,10 @@ missing() {
 
 if [[ ! -f "$DOC" ]]; then
   echo "check_docs: missing $DOC" >&2
+  exit 1
+fi
+if [[ ! -f "$API_DOC" ]]; then
+  echo "check_docs: missing $API_DOC" >&2
   exit 1
 fi
 
@@ -62,9 +69,43 @@ for c in $charts; do
   grep -qE "\\b$c\\b" "$DOC" || missing "$c" "chart type"
 done
 
+# Wire protocol fields: every member of every struct defined in
+# src/api/protocol.h (they are all wire messages) must appear as a word in
+# docs/api_reference.md. The struct list is NOT hardcoded — a new message
+# type added to the header is covered automatically.
+proto_fields="$(awk '
+  /^struct [A-Za-z_][A-Za-z0-9_]* \{/ {
+    in_struct = 1; next
+  }
+  in_struct && /^\};/ { in_struct = 0; next }
+  in_struct {
+    # A member line ends in ";" (optionally followed by a trailing ///<
+    # comment) and is not itself a comment line or a method declaration.
+    if ($0 ~ /;[[:space:]]*(\/\/.*)?$/ && $0 !~ /^[[:space:]]*\/\// &&
+        $0 !~ /\(/) {
+      line = $0
+      sub(/[[:space:]]*=[^;]*;.*/, "", line)  # strip initializer
+      sub(/;.*/, "", line)                     # strip bare semicolon
+      n = split(line, parts, /[[:space:]]+/)
+      if (n > 0 && parts[n] ~ /^[A-Za-z_][A-Za-z0-9_]*$/) print parts[n]
+    }
+  }' "$ROOT/src/api/protocol.h" | sort -u)"
+[[ -n "$proto_fields" ]] || {
+  echo "check_docs: no protocol fields extracted from src/api/protocol.h" >&2
+  exit 1
+}
+for f in $proto_fields; do
+  if ! grep -qE "\\b$f\\b" "$API_DOC"; then
+    echo "check_docs: protocol field '$f' is not documented in" \
+         "docs/api_reference.md" >&2
+    fail=1
+  fi
+done
+
 if [[ "$fail" -ne 0 ]]; then
   exit 1
 fi
 echo "check_docs: OK (primitives: $(echo $prims | tr '\n' ' ')| mechanisms:" \
      "$(echo $mechs | tr '\n' ' ')| metrics: $(echo $metrics | tr '\n' ' ')|" \
-     "chart types: $(echo $charts | tr '\n' ' '))"
+     "chart types: $(echo $charts | tr '\n' ' ')| protocol fields:" \
+     "$(echo $proto_fields | tr '\n' ' '))"

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Memory gate for the wire-facing layers: builds an AddressSanitizer tree
+# (-DZV_ASAN=ON) and runs the codec/api/server suites under it —
+#   json_test         (the JSON parser: the code that touches raw,
+#                      untrusted wire bytes)
+#   api_test          (protocol encode/decode, end-to-end wire path)
+#   zql_builder_test  (AST construction + canonical serialization)
+#   server_test       (task lifecycle: shared QueryTask state, caches)
+#
+# Usage: tools/run_asan.sh [source_root] [build_dir]
+#   source_root  repo root (default: parent of this script)
+#   build_dir    ASan build tree (default: <source_root>/build-asan)
+#
+# Registered in ctest under the "asan" label with CONFIGURATIONS asan, so
+# plain `ctest` skips it; run `ctest -C asan` — or this script directly.
+
+set -euo pipefail
+
+ROOT="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+BUILD="${2:-$ROOT/build-asan}"
+SUITES="json_test api_test zql_builder_test server_test"
+
+echo "== configuring ASan tree at $BUILD =="
+cmake -B "$BUILD" -S "$ROOT" -DZV_ASAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  > /dev/null
+
+echo "== building $SUITES =="
+# shellcheck disable=SC2086  # word-splitting the target list is the point
+cmake --build "$BUILD" -j --target $SUITES
+
+echo "== running under AddressSanitizer =="
+# detect_leaks catches forgotten Json/AST nodes; abort_on_error turns the
+# first report into a test failure instead of a log line.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1 abort_on_error=1}"
+(cd "$BUILD" && ctest --output-on-failure \
+  -R '^(json_test|api_test|zql_builder_test|server_test)$')
+
+echo "ASan gate passed: no memory errors reported in $SUITES"
