@@ -49,6 +49,7 @@
 #include "workload/datasets.h"
 #include "zql/explain.h"
 #include "zql/parser.h"
+#include "zql/plan.h"
 
 namespace {
 
@@ -241,6 +242,17 @@ int main(int argc, char** argv) {
         continue;
       }
       std::printf("%s", plan->ToString().c_str());
+      // The physical plan the scheduler will actually run: the operator
+      // tree under the effective optimization level, stage by stage.
+      zv::zql::ZqlOptions plan_opts = service.zql_options();
+      if (opt_override.has_value()) plan_opts.optimization = *opt_override;
+      auto physical = zv::zql::BuildPhysicalPlan(parsed.value(), plan_opts);
+      if (!physical.ok()) {
+        std::printf("plan error: %s\n",
+                    physical.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s", physical->Render(parsed.value()).c_str());
       continue;  // buffer intentionally kept: tweak and run
     }
     if (trimmed == ":session") {

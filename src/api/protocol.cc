@@ -338,6 +338,7 @@ Json EncodeRequest(const QueryRequest& request) {
   }
   if (request.include_vega) out.Set("include_vega", Json::Bool(true));
   if (!request.include_data) out.Set("include_data", Json::Bool(false));
+  if (request.explain) out.Set("explain", Json::Bool(true));
   if (!request.client_tag.empty()) {
     out.Set("client", Json::Str(request.client_tag));
   }
@@ -384,6 +385,8 @@ Result<QueryRequest> DecodeRequest(const Json& json,
                       GetBoolOr(json, "include_vega", false, "request"));
   ZV_ASSIGN_OR_RETURN(request.include_data,
                       GetBoolOr(json, "include_data", true, "request"));
+  ZV_ASSIGN_OR_RETURN(request.explain,
+                      GetBoolOr(json, "explain", false, "request"));
   request.client_tag = GetStringOr(json, "client", "");
   return request;
 }
@@ -449,6 +452,8 @@ Json EncodeStats(const zql::ZqlStats& stats) {
   out.Set("total_ms", Json::Double(stats.total_ms));
   out.Set("exec_ms", Json::Double(stats.exec_ms));
   out.Set("compute_ms", Json::Double(stats.compute_ms));
+  out.Set("fetch_ms", Json::Double(stats.fetch_ms));
+  out.Set("score_ms", Json::Double(stats.score_ms));
   return out;
 }
 
@@ -470,6 +475,8 @@ zql::ZqlStats DecodeStats(const Json& json) {
   stats.total_ms = GetDoubleOr(json, "total_ms", 0);
   stats.exec_ms = GetDoubleOr(json, "exec_ms", 0);
   stats.compute_ms = GetDoubleOr(json, "compute_ms", 0);
+  stats.fetch_ms = GetDoubleOr(json, "fetch_ms", 0);
+  stats.score_ms = GetDoubleOr(json, "score_ms", 0);
   return stats;
 }
 
@@ -540,6 +547,9 @@ Json EncodeResponse(const QueryResponse& response) {
   if (!response.fingerprint.empty()) {
     out.Set("fingerprint", Json::Str(response.fingerprint));
   }
+  if (!response.plan.empty()) {
+    out.Set("plan", Json::Str(response.plan));
+  }
   if (!response.client_tag.empty()) {
     out.Set("client", Json::Str(response.client_tag));
   }
@@ -607,6 +617,7 @@ Result<QueryResponse> DecodeResponse(const Json& json) {
     response.stats = DecodeStats(*stats);
   }
   response.fingerprint = GetStringOr(json, "fingerprint", "");
+  response.plan = GetStringOr(json, "plan", "");
   response.client_tag = GetStringOr(json, "client", "");
   return response;
 }

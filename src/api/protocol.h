@@ -115,6 +115,11 @@ struct QueryRequest {
   /// Include the data points (xs / series). Off = identity-only responses
   /// (labels + totals), for clients that lazily fetch page contents.
   bool include_data = true;
+  /// EXPLAIN: instead of executing, return the physical execution plan —
+  /// the operator tree (Fetch/Materialize/Score/Reduce/Output per stage)
+  /// the query would run, rendered into QueryResponse::plan. Plan building
+  /// is pure (no data access), so no query is admitted or executed.
+  bool explain = false;
   /// Opaque client tag, echoed in the response (request correlation).
   std::string client_tag;
 
@@ -153,6 +158,9 @@ struct QueryResponse {
   /// correlate repeats and observe cache identity. Empty on errors that
   /// precede fingerprinting (parse, unknown dataset).
   std::string fingerprint;
+  /// EXPLAIN payload: the rendered physical operator tree (zql/plan.h),
+  /// present only when the request set `explain`.
+  std::string plan;
   std::string client_tag;  ///< echoed from the request
 
   bool ok() const { return error.ok(); }

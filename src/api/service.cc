@@ -1,6 +1,46 @@
 #include "api/service.h"
 
+#include "zql/plan.h"
+
 namespace zv::api {
+
+namespace {
+
+/// EXPLAIN path: render the physical plan the query would execute under —
+/// the service's base options with the request's optimization override —
+/// without admitting or executing anything (plan building is pure). The
+/// session and dataset are still validated (and the session touched), so
+/// EXPLAIN traffic observes the same lifecycle semantics as execution.
+QueryResponse ExplainRequest(server::QueryService& service,
+                             server::SessionId session,
+                             const QueryRequest& request, int version) {
+  QueryResponse response;
+  response.version = version;
+  response.client_tag = request.client_tag;
+  if (Status touched = service.TouchSession(session); !touched.ok()) {
+    response.error = ErrorFromStatus(touched);
+    return response;
+  }
+  if (Result<uint64_t> dataset = service.DatasetEpoch(request.dataset);
+      !dataset.ok()) {
+    response.error = ErrorFromStatus(dataset.status());
+    return response;
+  }
+  zql::ZqlOptions options = service.zql_options();
+  if (request.optimization.has_value()) {
+    options.optimization = *request.optimization;
+  }
+  Result<zql::PhysicalPlan> plan =
+      zql::BuildPhysicalPlan(request.query, options);
+  if (!plan.ok()) {
+    response.error = ErrorFromStatus(plan.status());
+    return response;
+  }
+  response.plan = plan->Render(request.query);
+  return response;
+}
+
+}  // namespace
 
 QueryResponse ExecuteRequest(server::QueryService& service,
                              server::SessionId session,
@@ -8,6 +48,9 @@ QueryResponse ExecuteRequest(server::QueryService& service,
   Result<int> version = NegotiateVersion(request.version);
   if (!version.ok()) {
     return BuildErrorResponse(version.status(), request);
+  }
+  if (request.explain) {
+    return ExplainRequest(service, session, request, *version);
   }
   Result<server::QueryHandle> submitted = service.Submit(
       session, request.dataset, request.query, request.optimization);

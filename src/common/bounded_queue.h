@@ -1,0 +1,74 @@
+/// \file bounded_queue.h
+/// \brief A small bounded blocking MPMC queue — the hand-off primitive of
+/// the pipelined ZQL scheduler (fetch thread -> materializer).
+///
+/// Push blocks while the queue is full, Pop blocks while it is empty, and
+/// Close wakes every waiter: pushes after Close are dropped (the consumer
+/// is gone), pops drain the remaining items and then fail. The bound is
+/// what turns the queue into back-pressure — a fetch thread can run at
+/// most `capacity` results ahead of the scoring consumer, so memory stays
+/// proportional to the pipeline depth, not to the query.
+
+#ifndef ZV_COMMON_BOUNDED_QUEUE_H_
+#define ZV_COMMON_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace zv {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  /// Blocks until there is room (or the queue is closed). Returns false if
+  /// the queue was closed — the item is dropped in that case.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (or the queue is closed and empty).
+  /// Returns false only when closed and drained.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Wakes all waiters. Pending items remain poppable; new pushes fail.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+ private:
+  const size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable not_full_, not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace zv
+
+#endif  // ZV_COMMON_BOUNDED_QUEUE_H_

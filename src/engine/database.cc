@@ -32,11 +32,36 @@ Result<ResultSet> Database::Execute(const sql::SelectStatement& stmt) {
 
 std::vector<Result<ResultSet>> Database::ExecuteBatch(
     const std::vector<sql::SelectStatement>& stmts) {
-  BeginRequest(stmts.size());
   std::vector<Result<ResultSet>> out;
   out.reserve(stmts.size());
-  for (const auto& stmt : stmts) out.push_back(ExecuteInternal(stmt));
+  ScanBatch(stmts, /*batched=*/true, [&out](size_t, Result<ResultSet> rs) {
+    out.push_back(std::move(rs));
+    return true;
+  });
   return out;
+}
+
+void Database::ScanBatch(
+    const std::vector<sql::SelectStatement>& stmts, bool batched,
+    const std::function<bool(size_t, Result<ResultSet>)>& sink,
+    double* scan_ms) {
+  using Clock = std::chrono::steady_clock;
+  auto t0 = Clock::now();
+  auto flush_timer = [&] {
+    if (scan_ms != nullptr) {
+      *scan_ms +=
+          std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    }
+  };
+  if (batched) BeginRequest(stmts.size());
+  for (size_t i = 0; i < stmts.size(); ++i) {
+    if (!batched) BeginRequest(1);
+    Result<ResultSet> rs = ExecuteInternal(stmts[i]);
+    flush_timer();
+    const bool keep_going = sink(i, std::move(rs));
+    t0 = Clock::now();
+    if (!keep_going) return;
+  }
 }
 
 }  // namespace zv

@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -53,6 +54,23 @@ class Database {
   /// Executes a batch of statements in a single request.
   std::vector<Result<ResultSet>> ExecuteBatch(
       const std::vector<sql::SelectStatement>& stmts);
+
+  /// Streaming batch scan — the entry point the ZQL FetchOp drives (shared
+  /// by both backends; ExecuteBatch is a thin wrapper). Statements execute
+  /// in order; `sink(i, result)` is invoked as each one completes, so a
+  /// pipelined consumer can route/score statement i while statement i+1 is
+  /// still scanning. `batched` selects the request accounting: true = the
+  /// whole batch is one round trip (ExecuteBatch semantics; the simulated
+  /// per-request latency is paid once), false = one round trip per
+  /// statement (Execute semantics, the NoOpt compiler). A sink returning
+  /// false stops the scan without executing the remaining statements
+  /// (queries are still counted up front in batched mode, matching
+  /// ExecuteBatch). When `scan_ms` is non-null it accumulates wall time
+  /// spent inside the backend — statement execution plus request latency,
+  /// excluding sink time.
+  void ScanBatch(const std::vector<sql::SelectStatement>& stmts, bool batched,
+                 const std::function<bool(size_t, Result<ResultSet>)>& sink,
+                 double* scan_ms = nullptr);
 
   /// --- Instrumentation -------------------------------------------------
   /// Counters are atomic because one Database serves every session of a

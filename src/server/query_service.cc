@@ -323,6 +323,20 @@ size_t QueryService::ActiveSessions() {
   return sessions_.size();
 }
 
+Status QueryService::TouchSession(SessionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) return Status::Unavailable("service shutting down");
+  sessions_.SweepExpired();
+  auto session = sessions_.Find(id);
+  if (session == nullptr) {
+    return Status::NotFound(
+        StrFormat("unknown or expired session %llu",
+                  static_cast<unsigned long long>(id)));
+  }
+  sessions_.Touch(*session);
+  return Status::OK();
+}
+
 // --- Queries ---------------------------------------------------------------
 
 Result<QueryHandle> QueryService::Submit(

@@ -189,6 +189,12 @@ class QueryService {
   /// Sweeps expired sessions, then returns the live count.
   size_t ActiveSessions();
 
+  /// Validates `id` exactly the way Submit does — shutdown gate, TTL
+  /// sweep, lookup — and refreshes its activity timestamp. The session
+  /// check for request paths that do not execute (wire EXPLAIN), so both
+  /// request kinds share one lifecycle semantics.
+  Status TouchSession(SessionId id);
+
   /// --- Queries ----------------------------------------------------------
 
   /// Enqueues `zql_text` against `dataset` for `session`. Returns
@@ -215,6 +221,10 @@ class QueryService {
                              std::optional<zql::OptLevel> optimization = {});
 
   ServiceStats stats() const;
+
+  /// The base ZqlOptions every query executes under (modulo the per-query
+  /// `optimization` override) — the configuration EXPLAIN plans against.
+  const zql::ZqlOptions& zql_options() const { return base_zql_; }
 
   size_t max_inflight() const { return max_inflight_; }
   size_t max_queue() const { return max_queue_; }

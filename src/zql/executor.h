@@ -4,6 +4,14 @@
 /// according to the configured optimization level, and evaluates Process
 /// column tasks over the fetched visualizations.
 ///
+/// Execution is plan-driven: the query is first lowered into a physical
+/// plan of typed operators (zql/plan.h — FetchOp, MaterializeOp, ScoreOp,
+/// ReduceOp, OutputOp) and then run by a scheduler (zql/scheduler.h) that
+/// is either staged (every flush completes before anything downstream
+/// runs) or pipelined (backend scans overlap materialization and scoring;
+/// see ZqlOptions::pipelined_execution). Both schedules produce
+/// byte-identical results.
+///
 /// Optimization levels (§5.2):
 ///  - kNoOpt:     one SQL query *and* one request per visualization — the
 ///                naive compiler of §5.1.
@@ -82,6 +90,19 @@ struct ZqlOptions {
   /// optimization: fingerprints cover identity, data, and configuration,
   /// so a reused context scores bit-identically to a rebuilt one.
   ContextCache* context_cache = nullptr;
+  /// Pipelined execution of the physical plan (see zql/plan.h): backend
+  /// scans run on a dedicated fetch thread feeding a bounded hand-off
+  /// queue, so scoring of an already-materialized row overlaps the scan of
+  /// the next one. A pure scheduling change: routing and scoring still run
+  /// on the calling thread in plan order, so results are byte-identical to
+  /// the staged path at any ZV_THREADS (tests/pipeline_test.cc locks
+  /// this); off = the staged oracle, which executes every flush to
+  /// completion before anything downstream runs.
+  bool pipelined_execution = true;
+  /// Capacity of the fetch->materialize hand-off queue: how many scanned
+  /// ResultSets the fetch thread may run ahead of the consumer before it
+  /// blocks (memory bound per in-flight query).
+  size_t pipeline_depth = 4;
 };
 
 /// \brief Execution instrumentation for the Chapter 7 experiments.
@@ -107,8 +128,17 @@ struct ZqlStats {
   /// set) plus cross-query ContextCache hits.
   uint64_t contexts_reused = 0;
   double total_ms = 0;
-  double exec_ms = 0;     ///< time inside the database backend
+  double exec_ms = 0;     ///< flush time: backend scans + result routing
   double compute_ms = 0;  ///< Process column (task processor) time
+  /// Per-stage breakdown across the operator pipeline. fetch_ms is pure
+  /// backend scan time (statement execution + simulated request latency,
+  /// a subset of exec_ms); score_ms is pure combination-scoring time
+  /// (including ScoringContext assembly, a subset of compute_ms). Under
+  /// pipelined execution the stages overlap in wall time, so
+  /// fetch_ms + score_ms may exceed total_ms — the gap between
+  /// (fetch_ms + score_ms) and total_ms is the overlap won.
+  double fetch_ms = 0;
+  double score_ms = 0;
 };
 
 struct ZqlOutput {
@@ -149,8 +179,6 @@ class ZqlExecutor {
   const ZqlOptions& options() const { return options_; }
 
  private:
-  class State;  // defined in executor.cc
-
   Database* db_;
   std::string table_name_;
   ZqlOptions options_;

@@ -54,6 +54,8 @@ void CollectExprFuncs(const ProcessExpr& e, std::set<std::string>* out) {
   }
 }
 
+}  // namespace
+
 /// How the default task library scores this declaration: D() calls go
 /// through the shared ScoringContext (one alignment pass, parallel scan),
 /// and an argmin[k=n] over a bare D(f, g) additionally takes the top-k
@@ -92,8 +94,6 @@ std::string DescribeTaskScoring(const ProcessDecl& p) {
   if (funcs.count("T")) return "T: parallel trend scan";
   return "";
 }
-
-}  // namespace
 
 Result<QueryPlan> ExplainQuery(const ZqlQuery& query) {
   QueryPlan plan;

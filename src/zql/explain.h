@@ -51,6 +51,13 @@ struct QueryPlan {
 /// dependency structure is reported.
 Result<QueryPlan> ExplainQuery(const ZqlQuery& query);
 
+/// One-line description of how the default task library will score a
+/// Process declaration (batch ScoringContext scan / top-k pruned / serial
+/// user function / R k-means) plus its context-cacheability verdict.
+/// Shared EXPLAIN vocabulary: QueryPlan task annotations and the physical
+/// plan's ScoreOp lines (zql/plan.h) both use it.
+std::string DescribeTaskScoring(const ProcessDecl& decl);
+
 }  // namespace zv::zql
 
 #endif  // ZV_ZQL_EXPLAIN_H_

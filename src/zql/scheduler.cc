@@ -1,0 +1,218 @@
+#include "zql/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/cancel.h"
+
+namespace zv::zql::exec {
+
+namespace {
+
+constexpr size_t kDrainAll = static_cast<size_t>(-1);
+
+}  // namespace
+
+PipelineScheduler::PipelineScheduler(const PhysicalPlan& plan,
+                                     const ZqlQuery& query, ExecState* st)
+    : plan_(plan), query_(query), st_(st) {
+  cancel_flag_ = CurrentCancelFlag();
+}
+
+PipelineScheduler::~PipelineScheduler() {
+  abandon_.store(true, std::memory_order_relaxed);
+  if (fetch_thread_.joinable()) {
+    jobs_->Close();
+    // Every dispatched statement yields exactly one FetchItem (a result,
+    // an error, or a placeholder), so popping once per unrouted fetch is
+    // guaranteed to terminate and unblocks a worker stuck on the bounded
+    // results queue.
+    while (!in_flight_.empty()) {
+      FetchItem item;
+      if (!results_->Pop(&item)) break;
+      in_flight_.pop_front();
+    }
+    fetch_thread_.join();
+  }
+}
+
+Status PipelineScheduler::Run() {
+  ScoreResult pending_score;
+  for (const PlanStep& step : plan_.steps) {
+    ZV_RETURN_NOT_OK(CheckCancelled());
+    switch (step.kind) {
+      case PlanStep::Kind::kFetch: {
+        const ZqlRow& row = query_.rows[static_cast<size_t>(step.row)];
+        ZV_RETURN_NOT_OK(PlanRowFetches(
+            row, static_cast<size_t>(step.row), st_, &buffer_));
+        break;
+      }
+      case PlanStep::Kind::kFlush:
+        ZV_RETURN_NOT_OK(StepFlush());
+        break;
+      case PlanStep::Kind::kMaterialize: {
+        const ZqlRow& row = query_.rows[static_cast<size_t>(step.row)];
+        ZV_RETURN_NOT_OK(
+            StepMaterialize(row, static_cast<size_t>(step.row)));
+        break;
+      }
+      case PlanStep::Kind::kScore: {
+        const ZqlRow& row = query_.rows[static_cast<size_t>(step.row)];
+        const ProcessDecl& decl =
+            row.processes[static_cast<size_t>(step.decl)];
+        const auto t0 = std::chrono::steady_clock::now();
+        pending_score = ScoreResult();
+        const Status scored = ScoreProcess(decl, st_, &pending_score);
+        st_->stats.compute_ms += MsSince(t0);
+        ZV_RETURN_NOT_OK(scored);
+        break;
+      }
+      case PlanStep::Kind::kReduce: {
+        const ZqlRow& row = query_.rows[static_cast<size_t>(step.row)];
+        const ProcessDecl& decl =
+            row.processes[static_cast<size_t>(step.decl)];
+        const auto t0 = std::chrono::steady_clock::now();
+        const Status reduced =
+            ReduceProcess(decl, std::move(pending_score), st_);
+        st_->stats.compute_ms += MsSince(t0);
+        ZV_RETURN_NOT_OK(reduced);
+        break;
+      }
+      case PlanStep::Kind::kOutput:
+        ZV_RETURN_NOT_OK(DrainUpTo(kDrainAll));
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status PipelineScheduler::StepFlush() {
+  if (buffer_.empty()) return Status::OK();
+  ZV_RETURN_NOT_OK(CheckCancelled());
+  if (st_->opts->sql_trace != nullptr) {
+    for (const PendingFetch& pf : buffer_) {
+      st_->opts->sql_trace->push_back(pf.stmt.ToSql());
+    }
+  }
+  const bool batched = st_->opts->optimization != OptLevel::kNoOpt;
+  std::vector<sql::SelectStatement> stmts;
+  stmts.reserve(buffer_.size());
+  for (const PendingFetch& pf : buffer_) stmts.push_back(pf.stmt);
+
+  if (plan_.pipelined) {
+    // Hand the batch to the fetch thread and keep walking the plan — the
+    // results come back through the bounded queue at drain points.
+    StartWorker();
+    for (PendingFetch& pf : buffer_) in_flight_.push_back(std::move(pf));
+    buffer_.clear();
+    jobs_->Push({std::move(stmts), batched});
+    return Status::OK();
+  }
+
+  // Staged: execute and route the whole batch before anything downstream
+  // runs — the serial oracle the pipelined schedule is checked against.
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<PendingFetch> pending = std::move(buffer_);
+  buffer_.clear();
+  Status first_error = Status::OK();
+  double scan_ms = 0;
+  st_->db->ScanBatch(
+      stmts, batched,
+      [&](size_t i, Result<ResultSet> rs) {
+        if (!rs.ok()) {
+          first_error = rs.status();
+          return false;
+        }
+        first_error = RouteFetch(pending[i], rs.value(), st_);
+        return first_error.ok();
+      },
+      &scan_ms);
+  st_->stats.fetch_ms += scan_ms;
+  st_->stats.exec_ms += MsSince(t0);
+  return first_error;
+}
+
+Status PipelineScheduler::StepMaterialize(const ZqlRow& row, size_t row_tag) {
+  if (IsLocalRow(row)) {
+    // User-input and derived components read other components' final
+    // visuals, so everything dispatched must be routed first.
+    ZV_RETURN_NOT_OK(DrainUpTo(kDrainAll));
+    ZV_RETURN_NOT_OK(MaterializeLocal(row, st_));
+  } else {
+    // Route this row's (and earlier rows') fetches; scans of later rows
+    // keep running on the fetch thread underneath the scoring that
+    // follows this step.
+    ZV_RETURN_NOT_OK(DrainUpTo(row_tag));
+  }
+  MarkReady(row, st_);
+  return Status::OK();
+}
+
+Status PipelineScheduler::DrainUpTo(size_t limit_tag) {
+  while (!in_flight_.empty() && in_flight_.front().row_tag <= limit_tag) {
+    FetchItem item;
+    if (!results_->Pop(&item)) {
+      return Status::Internal("fetch pipeline closed with fetches in flight");
+    }
+    PendingFetch pf = std::move(in_flight_.front());
+    in_flight_.pop_front();
+    st_->stats.fetch_ms += item.scan_ms;
+    if (!item.result.ok()) return item.result.status();
+    const auto t0 = std::chrono::steady_clock::now();
+    const Status routed = RouteFetch(pf, item.result.value(), st_);
+    st_->stats.exec_ms += item.scan_ms + MsSince(t0);
+    ZV_RETURN_NOT_OK(routed);
+  }
+  return Status::OK();
+}
+
+void PipelineScheduler::StartWorker() {
+  if (fetch_thread_.joinable()) return;
+  // Jobs can never pile up past the flush count; the results bound is the
+  // actual pipeline depth (how far the fetch thread may run ahead).
+  jobs_ = std::make_unique<BoundedQueue<FetchJob>>(plan_.steps.size() + 1);
+  results_ = std::make_unique<BoundedQueue<FetchItem>>(
+      std::max<size_t>(1, st_->opts->pipeline_depth));
+  fetch_thread_ = std::thread([this] { FetchWorkerMain(); });
+}
+
+void PipelineScheduler::FetchWorkerMain() {
+  // Mirror the coordinator's cancellation context so backend scans poll
+  // the same token (RunBlocked checks it at block boundaries).
+  CancelScope scope(cancel_flag_);
+  FetchJob job;
+  while (jobs_->Pop(&job)) {
+    size_t produced = 0;
+    if (!abandon_.load(std::memory_order_relaxed)) {
+      double scan_total = 0;
+      double scan_last = 0;
+      st_->db->ScanBatch(
+          job.stmts, job.batched,
+          [&](size_t, Result<ResultSet> rs) {
+            const bool ok = rs.ok();
+            FetchItem item;
+            item.result = std::move(rs);
+            item.scan_ms = scan_total - scan_last;
+            scan_last = scan_total;
+            results_->Push(std::move(item));
+            ++produced;
+            // Stop at the first failed statement (matching the staged
+            // schedule, which never scans past an error) and on
+            // cancellation/teardown; skipped statements get placeholders.
+            return ok && !abandon_.load(std::memory_order_relaxed) &&
+                   !CancellationRequested();
+          },
+          &scan_total);
+    }
+    // Exactly one item per statement, always: statements skipped by an
+    // early stop yield placeholders so the coordinator's accounting (one
+    // pop per dispatched fetch) never blocks.
+    for (size_t i = produced; i < job.stmts.size(); ++i) {
+      FetchItem item;
+      item.result = Status(StatusCode::kCancelled, "query cancelled");
+      results_->Push(std::move(item));
+    }
+  }
+}
+
+}  // namespace zv::zql::exec

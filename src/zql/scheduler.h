@@ -1,0 +1,104 @@
+/// \file scheduler.h
+/// \brief Executes a physical plan (zql/plan.h) over the operator layer
+/// (zql/operators.h) in one of two schedules:
+///
+///  - *staged* (the oracle): every flush runs to completion — all buffered
+///    statements execute and route — before any downstream operator runs.
+///    This is exactly the pre-plan executor's behavior.
+///  - *pipelined*: a flush hands its statement batch to a dedicated fetch
+///    thread, which drives the backend's streaming ScanBatch entry point
+///    and pushes each ResultSet through a bounded hand-off queue. The
+///    coordinator keeps walking the plan; a MaterializeOp drains (routes)
+///    only the fetches tagged at or before its own row, so scoring of an
+///    already-materialized row overlaps the backend scan of later rows.
+///
+/// Determinism contract: everything except the backend scan — routing,
+/// derivations, scoring, reduction, variable binding — runs on the
+/// coordinating thread in plan order under both schedules, and a scan's
+/// ResultSet does not depend on when it executes (the query holds one
+/// table snapshot). Results are therefore byte-identical across schedules
+/// and across ZV_THREADS (tests/pipeline_test.cc). Errors surface as the
+/// first failing statement in dispatch order, same as staged execution;
+/// cancellation is polled at every step, per scanned statement on the
+/// fetch thread, and per scored combination.
+
+#ifndef ZV_ZQL_SCHEDULER_H_
+#define ZV_ZQL_SCHEDULER_H_
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/status.h"
+#include "zql/operators.h"
+#include "zql/plan.h"
+
+namespace zv::zql::exec {
+
+class PipelineScheduler {
+ public:
+  /// `plan`, `query`, and `st` must outlive the scheduler. The scheduler
+  /// captures the calling thread's cancellation token (common/cancel.h)
+  /// and mirrors it onto the fetch thread.
+  PipelineScheduler(const PhysicalPlan& plan, const ZqlQuery& query,
+                    ExecState* st);
+  ~PipelineScheduler();
+
+  PipelineScheduler(const PipelineScheduler&) = delete;
+  PipelineScheduler& operator=(const PipelineScheduler&) = delete;
+
+  /// Walks the plan's steps to completion (or first error). After an OK
+  /// return every fetch is routed and every component is final.
+  Status Run();
+
+ private:
+  /// One scanned statement coming back from the fetch thread. Exactly one
+  /// item is produced per dispatched statement, always — on cancellation
+  /// the remaining statements of a batch yield kCancelled placeholders —
+  /// so the coordinator can account for every dispatch.
+  struct FetchItem {
+    Result<ResultSet> result = Status::Internal("unset");
+    double scan_ms = 0;
+  };
+  /// One flush's statement batch, handed to the fetch thread.
+  struct FetchJob {
+    std::vector<sql::SelectStatement> stmts;
+    bool batched = true;  ///< one request for the batch vs one per statement
+  };
+
+  Status StepFlush();
+  Status StepMaterialize(const ZqlRow& row, size_t row_tag);
+
+  /// Routes completed fetches in dispatch order until none remain whose
+  /// row_tag is <= `limit_tag` (SIZE_MAX = drain everything outstanding).
+  Status DrainUpTo(size_t limit_tag);
+
+  void FetchWorkerMain();
+  void StartWorker();
+
+  const PhysicalPlan& plan_;
+  const ZqlQuery& query_;
+  ExecState* st_;
+
+  /// Planned statements not yet dispatched (current batch).
+  std::vector<PendingFetch> buffer_;
+  /// Dispatched statements not yet routed, in dispatch order (FIFO).
+  std::deque<PendingFetch> in_flight_;
+
+  // Pipelined-mode machinery. Queues are sized so the fetch thread can run
+  // only pipeline_depth results ahead of the coordinator (back-pressure).
+  std::unique_ptr<BoundedQueue<FetchJob>> jobs_;
+  std::unique_ptr<BoundedQueue<FetchItem>> results_;
+  std::thread fetch_thread_;
+  /// The coordinator's cancel flag, mirrored onto the fetch thread.
+  const std::atomic<bool>* cancel_flag_ = nullptr;
+  /// Tells the fetch thread to stop scanning (teardown after an error).
+  std::atomic<bool> abandon_{false};
+};
+
+}  // namespace zv::zql::exec
+
+#endif  // ZV_ZQL_SCHEDULER_H_

@@ -47,6 +47,7 @@ TEST(ApiProtocolTest, RequestWireRoundTripIsLossless) {
   request.page = {2, 5};
   request.include_vega = true;
   request.include_data = false;
+  request.explain = true;
   request.client_tag = "panel-3";
 
   const std::string wire = EncodeRequest(request).Dump();
@@ -61,6 +62,7 @@ TEST(ApiProtocolTest, RequestWireRoundTripIsLossless) {
   EXPECT_EQ(decoded.page, request.page);
   EXPECT_EQ(decoded.include_vega, true);
   EXPECT_EQ(decoded.include_data, false);
+  EXPECT_EQ(decoded.explain, true);
   EXPECT_EQ(decoded.client_tag, "panel-3");
   // Byte-stable re-encode: encode(decode(wire)) == wire.
   EXPECT_EQ(EncodeRequest(decoded).Dump(), wire);
@@ -88,7 +90,10 @@ TEST(ApiProtocolTest, ResponseWireRoundTripIsLossless) {
   response.stats.sql_queries = 3;
   response.stats.cache_hits = 1;
   response.stats.total_ms = 0.125;
+  response.stats.fetch_ms = 0.0625;
+  response.stats.score_ms = 0.03125;
   response.fingerprint = "abc123";
+  response.plan = "physical plan: opt=Inter-Task, staged, 1 stage\n";
   response.client_tag = "panel-3";
 
   const std::string wire = EncodeResponse(response).Dump();
@@ -110,7 +115,10 @@ TEST(ApiProtocolTest, ResponseWireRoundTripIsLossless) {
   EXPECT_EQ(out.vega, slice.vega);
   EXPECT_EQ(decoded.stats.sql_queries, 3u);
   EXPECT_EQ(decoded.stats.total_ms, 0.125);
+  EXPECT_EQ(decoded.stats.fetch_ms, 0.0625);
+  EXPECT_EQ(decoded.stats.score_ms, 0.03125);
   EXPECT_EQ(decoded.fingerprint, "abc123");
+  EXPECT_EQ(decoded.plan, response.plan);
   // Byte-stable re-encode.
   EXPECT_EQ(EncodeResponse(decoded).Dump(), wire);
 }
@@ -261,6 +269,47 @@ TEST_F(ApiServiceTest, ExecutePaginatesEachOutput) {
   ASSERT_TRUE(past.ok());
   EXPECT_EQ(past.outputs[0].visuals.size(), 0u);
   EXPECT_EQ(past.outputs[0].total, 3u);
+}
+
+TEST_F(ApiServiceTest, ExplainReturnsThePhysicalPlanWithoutExecuting) {
+  QueryRequest request;
+  request.dataset = "sales";
+  request.query = QuickstartQuery();
+  request.explain = true;
+  request.client_tag = "inspector";
+
+  const uint64_t submitted_before = service_.stats().submitted;
+  const QueryResponse response =
+      ExecuteRequest(service_, session_, request);
+  ASSERT_TRUE(response.ok()) << response.error.message;
+  EXPECT_NE(response.plan.find("physical plan:"), std::string::npos);
+  EXPECT_NE(response.plan.find("FetchOp"), std::string::npos);
+  EXPECT_NE(response.plan.find("OutputOp"), std::string::npos);
+  EXPECT_EQ(response.client_tag, "inspector");
+  // Nothing was admitted or executed; no outputs, no stats.
+  EXPECT_EQ(service_.stats().submitted, submitted_before);
+  EXPECT_TRUE(response.outputs.empty());
+  EXPECT_EQ(response.stats.sql_queries, 0u);
+
+  // The per-query optimization override shapes the plan.
+  request.optimization = zql::OptLevel::kNoOpt;
+  const QueryResponse noopt = ExecuteRequest(service_, session_, request);
+  ASSERT_TRUE(noopt.ok());
+  EXPECT_NE(noopt.plan.find("opt=NoOpt"), std::string::npos);
+
+  // Unknown datasets still fail in the structured way.
+  request.dataset = "nope";
+  const QueryResponse missing = ExecuteRequest(service_, session_, request);
+  EXPECT_EQ(missing.error.code, StatusCode::kNotFound);
+  EXPECT_TRUE(missing.plan.empty());
+
+  // EXPLAIN shares execution's session lifecycle: an unknown session is
+  // rejected the same way Submit rejects it.
+  request.dataset = "sales";
+  const QueryResponse dead_session =
+      ExecuteRequest(service_, server::SessionId{999999}, request);
+  EXPECT_EQ(dead_session.error.code, StatusCode::kNotFound);
+  EXPECT_TRUE(dead_session.plan.empty());
 }
 
 TEST_F(ApiServiceTest, VegaPayloadsRenderPerVisualization) {

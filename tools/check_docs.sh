@@ -29,12 +29,12 @@ if [[ ! -f "$API_DOC" ]]; then
   exit 1
 fi
 
-# Functional primitives the ZQL executor dispatches (T, D) and the parser's
-# representative call (R).
-exec_prims="$(grep -oE 'e\.func == "[A-Z]+"' "$ROOT/src/zql/executor.cc" |
+# Functional primitives the ZQL engine dispatches (T, D — the ScoreOp
+# layer) and the parser's representative call (R).
+exec_prims="$(grep -oE 'e\.func == "[A-Z]+"' "$ROOT/src/zql/operators.cc" |
                 grep -oE '"[A-Z]+"' | tr -d '"' | sort -u)"
 [[ -n "$exec_prims" ]] || {
-  echo "check_docs: no primitives extracted from executor.cc" >&2; exit 1; }
+  echo "check_docs: no primitives extracted from operators.cc" >&2; exit 1; }
 prims="$exec_prims
 R"
 for p in $prims; do
@@ -102,10 +102,30 @@ for f in $proto_fields; do
   fi
 done
 
+# Wire stats fields: ZqlStats travels on the wire through EncodeStats, whose
+# keys are Set() literals rather than protocol.h struct members — extract
+# them too, so adding a stats field (e.g. a new per-stage timing) without
+# documenting it fails the same way.
+stats_fields="$(sed -n '/^Json EncodeStats/,/^}/p' "$ROOT/src/api/protocol.cc" |
+                grep -oE 'Set\("[a-z_]+"' | grep -oE '"[a-z_]+"' |
+                tr -d '"' | sort -u)"
+[[ -n "$stats_fields" ]] || {
+  echo "check_docs: no stats fields extracted from EncodeStats" >&2
+  exit 1
+}
+for f in $stats_fields; do
+  if ! grep -qE "\\b$f\\b" "$API_DOC"; then
+    echo "check_docs: wire stats field '$f' is not documented in" \
+         "docs/api_reference.md" >&2
+    fail=1
+  fi
+done
+
 if [[ "$fail" -ne 0 ]]; then
   exit 1
 fi
 echo "check_docs: OK (primitives: $(echo $prims | tr '\n' ' ')| mechanisms:" \
      "$(echo $mechs | tr '\n' ' ')| metrics: $(echo $metrics | tr '\n' ' ')|" \
      "chart types: $(echo $charts | tr '\n' ' ')| protocol fields:" \
-     "$(echo $proto_fields | tr '\n' ' '))"
+     "$(echo $proto_fields | tr '\n' ' ')| stats fields:" \
+     "$(echo $stats_fields | tr '\n' ' '))"

@@ -4,6 +4,8 @@
 #   parallel_test  (thread pool, deterministic ParallelFor, cancellation)
 #   topk_test      (SharedTopK's relaxed atomic bound)
 #   server_test    (sessions, caches, async execution, admission control)
+#   pipeline_test  (fetch thread + bounded hand-off queue byte-identity,
+#                   mid-pipeline cancellation)
 #
 # Usage: tools/run_tsan.sh [source_root] [build_dir]
 #   source_root  repo root (default: parent of this script)
@@ -16,7 +18,7 @@ set -euo pipefail
 
 ROOT="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 BUILD="${2:-$ROOT/build-tsan}"
-SUITES="parallel_test topk_test server_test"
+SUITES="parallel_test topk_test server_test pipeline_test"
 
 echo "== configuring TSan tree at $BUILD =="
 cmake -B "$BUILD" -S "$ROOT" -DZV_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -30,6 +32,6 @@ echo "== running under ThreadSanitizer =="
 # halt_on_error surfaces the first race as a test failure instead of a log
 # line; second_deadlock_stack improves lock-inversion reports.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
-(cd "$BUILD" && ctest --output-on-failure -R '^(parallel_test|topk_test|server_test)$')
+(cd "$BUILD" && ctest --output-on-failure -R '^(parallel_test|topk_test|server_test|pipeline_test)$')
 
 echo "TSan gate passed: no races reported in $SUITES"
