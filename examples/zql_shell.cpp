@@ -252,7 +252,15 @@ int main(int argc, char** argv) {
                     physical.status().ToString().c_str());
         continue;
       }
-      std::printf("%s", physical->Render(parsed.value()).c_str());
+      // Chunk count makes the FetchOp fan-out annotation concrete
+      // (chunks=K, shards=N) — same data the wire EXPLAIN supplies.
+      size_t table_chunks = 0;
+      if (auto db = service.DatasetDatabase(dataset); db.ok()) {
+        if (auto map = (*db)->GetChunkMap(dataset); map.ok()) {
+          table_chunks = map->num_chunks();
+        }
+      }
+      std::printf("%s", physical->Render(parsed.value(), table_chunks).c_str());
       continue;  // buffer intentionally kept: tweak and run
     }
     if (trimmed == ":session") {

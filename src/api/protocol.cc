@@ -449,11 +449,14 @@ Json EncodeStats(const zql::ZqlStats& stats) {
           Json::Int(static_cast<int64_t>(stats.cache_misses)));
   out.Set("contexts_reused",
           Json::Int(static_cast<int64_t>(stats.contexts_reused)));
+  out.Set("chunks_scanned",
+          Json::Int(static_cast<int64_t>(stats.chunks_scanned)));
   out.Set("total_ms", Json::Double(stats.total_ms));
   out.Set("exec_ms", Json::Double(stats.exec_ms));
   out.Set("compute_ms", Json::Double(stats.compute_ms));
   out.Set("fetch_ms", Json::Double(stats.fetch_ms));
   out.Set("score_ms", Json::Double(stats.score_ms));
+  out.Set("shard_ms", Json::Double(stats.shard_ms));
   return out;
 }
 
@@ -472,11 +475,13 @@ zql::ZqlStats DecodeStats(const Json& json) {
   stats.cache_hits = u64("cache_hits");
   stats.cache_misses = u64("cache_misses");
   stats.contexts_reused = u64("contexts_reused");
+  stats.chunks_scanned = u64("chunks_scanned");
   stats.total_ms = GetDoubleOr(json, "total_ms", 0);
   stats.exec_ms = GetDoubleOr(json, "exec_ms", 0);
   stats.compute_ms = GetDoubleOr(json, "compute_ms", 0);
   stats.fetch_ms = GetDoubleOr(json, "fetch_ms", 0);
   stats.score_ms = GetDoubleOr(json, "score_ms", 0);
+  stats.shard_ms = GetDoubleOr(json, "shard_ms", 0);
   return stats;
 }
 

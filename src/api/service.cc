@@ -36,7 +36,19 @@ QueryResponse ExplainRequest(server::QueryService& service,
     response.error = ErrorFromStatus(plan.status());
     return response;
   }
-  response.plan = plan->Render(request.query);
+  // Unlike plan building, the FetchOp fan-out annotation is data-dependent
+  // (chunks = the dataset's ChunkMap size) — the serving layer is the one
+  // EXPLAIN caller with a backend to ask. Tables that fit in one chunk
+  // render the plain unsharded form.
+  size_t table_chunks = 0;
+  if (Result<std::shared_ptr<Database>> db =
+          service.DatasetDatabase(request.dataset);
+      db.ok()) {
+    if (Result<ChunkMap> map = (*db)->GetChunkMap(request.dataset); map.ok()) {
+      table_chunks = map->num_chunks();
+    }
+  }
+  response.plan = plan->Render(request.query, table_chunks);
   return response;
 }
 

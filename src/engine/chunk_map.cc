@@ -1,0 +1,26 @@
+#include "engine/chunk_map.h"
+
+#include <cstdlib>
+
+namespace zv {
+
+size_t DefaultChunkRows() {
+  static const size_t cached = [] {
+    if (const char* env = std::getenv("ZV_CHUNK_ROWS")) {
+      char* end = nullptr;
+      const long long v = std::strtoll(env, &end, 10);
+      if (end != env && v > 0) return static_cast<size_t>(v);
+    }
+    return static_cast<size_t>(1) << 18;
+  }();
+  return cached;
+}
+
+ChunkMap ChunkMap::Build(size_t num_rows, size_t chunk_rows) {
+  ChunkMap map;
+  map.num_rows_ = num_rows;
+  map.chunk_rows_ = chunk_rows > 0 ? chunk_rows : DefaultChunkRows();
+  return map;
+}
+
+}  // namespace zv

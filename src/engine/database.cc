@@ -1,14 +1,97 @@
 #include "engine/database.h"
 
+#include <algorithm>
 #include <chrono>
+#include <optional>
 #include <thread>
+#include <utility>
 
+#include "common/cancel.h"
+#include "engine/predicate.h"
+#include "engine/select_runner.h"
 #include "sql/parser.h"
 
 namespace zv {
 
+namespace {
+
+/// Cancellation poll granularity inside ScanRange row loops.
+constexpr uint32_t kChunkCancelPollRows = 32768;
+
+/// The generic chunk scanner: CompiledPredicate per row (no predicate =
+/// every row survives). Matches ScanDatabase's selection semantics exactly.
+class PredicateChunkScanner : public ChunkScanner {
+ public:
+  PredicateChunkScanner(std::shared_ptr<Table> table,
+                        std::optional<CompiledPredicate> pred)
+      : table_(std::move(table)), pred_(std::move(pred)) {}
+
+  Status ScanRange(uint32_t begin, uint32_t end,
+                   std::vector<uint32_t>* out) const override {
+    for (uint32_t lo = begin; lo < end;) {
+      ZV_RETURN_NOT_OK(CheckCancelled());
+      const uint32_t hi = static_cast<uint32_t>(std::min<uint64_t>(
+          end, static_cast<uint64_t>(lo) + kChunkCancelPollRows));
+      if (pred_.has_value()) {
+        const CompiledPredicate& pred = *pred_;
+        for (uint32_t row = lo; row < hi; ++row) {
+          if (pred.Test(row)) out->push_back(row);
+        }
+      } else {
+        for (uint32_t row = lo; row < hi; ++row) out->push_back(row);
+      }
+      lo = hi;
+    }
+    return Status::OK();
+  }
+
+ private:
+  /// Keeps the compiled predicate's column pointers alive.
+  std::shared_ptr<Table> table_;
+  std::optional<CompiledPredicate> pred_;
+};
+
+}  // namespace
+
 Status Database::RegisterTable(std::shared_ptr<Table> table) {
-  return catalog_.AddTable(std::move(table));
+  const std::string name = table->name();
+  const size_t num_rows = table->num_rows();
+  ZV_RETURN_NOT_OK(catalog_.AddTable(std::move(table)));
+  chunk_maps_[name] = ChunkMap::Build(num_rows);
+  return Status::OK();
+}
+
+Result<ChunkMap> Database::GetChunkMap(const std::string& table) const {
+  auto it = chunk_maps_.find(table);
+  if (it == chunk_maps_.end()) {
+    return Status::NotFound("no chunk map for table '" + table + "'");
+  }
+  return it->second;
+}
+
+Status Database::RebuildChunkMap(const std::string& table, size_t chunk_rows) {
+  ZV_ASSIGN_OR_RETURN(std::shared_ptr<Table> t, GetTable(table));
+  chunk_maps_[table] = ChunkMap::Build(t->num_rows(), chunk_rows);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ChunkScanner>> Database::PrepareChunkScan(
+    const sql::SelectStatement& stmt) {
+  ZV_ASSIGN_OR_RETURN(std::shared_ptr<Table> table, GetTable(stmt.table));
+  std::optional<CompiledPredicate> pred;
+  if (stmt.where != nullptr) {
+    ZV_ASSIGN_OR_RETURN(CompiledPredicate compiled,
+                        CompiledPredicate::Compile(*table, *stmt.where));
+    pred = std::move(compiled);
+  }
+  return std::unique_ptr<ChunkScanner>(
+      new PredicateChunkScanner(std::move(table), std::move(pred)));
+}
+
+Result<ResultSet> Database::FinishChunkScan(const sql::SelectStatement& stmt,
+                                            const std::vector<uint32_t>& rows) {
+  ZV_ASSIGN_OR_RETURN(std::shared_ptr<Table> table, GetTable(stmt.table));
+  return RunBlockedOverRows(*table, stmt, rows);
 }
 
 void Database::BeginRequest(size_t num_queries) {

@@ -21,14 +21,35 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "engine/chunk_map.h"
 #include "engine/result_set.h"
 #include "sql/ast.h"
 #include "storage/table.h"
 
 namespace zv {
+
+/// \brief A statement's WHERE clause compiled for chunk-range evaluation —
+/// the per-chunk unit the shard worker pool (zql/scheduler.h) executes.
+///
+/// PrepareChunkScan compiles the statement once; ScanRange may then be
+/// called concurrently on disjoint row ranges (const, no shared mutable
+/// state). Each call appends the surviving row ids of [begin, end) to
+/// `out` in ascending order, so concatenating the per-chunk lists in chunk
+/// order reproduces exactly the row list a serial scan would select —
+/// FinishChunkScan then aggregates that list through the same blocked
+/// runner both backends share, keeping sharded results byte-identical to
+/// unsharded ones. ScanRange polls the calling thread's cancellation token
+/// (common/cancel.h) at least every ~64K rows and returns kCancelled.
+class ChunkScanner {
+ public:
+  virtual ~ChunkScanner() = default;
+  virtual Status ScanRange(uint32_t begin, uint32_t end,
+                           std::vector<uint32_t>* out) const = 0;
+};
 
 /// \brief Abstract SQL execution backend with instrumentation.
 class Database {
@@ -72,6 +93,44 @@ class Database {
                  const std::function<bool(size_t, Result<ResultSet>)>& sink,
                  double* scan_ms = nullptr);
 
+  /// --- Chunked scans ---------------------------------------------------
+  /// The three-call protocol the sharded FetchOp path drives instead of
+  /// ExecuteInternal: PrepareChunkScan once per statement, ScanRange per
+  /// chunk (concurrently, on the shard workers), FinishChunkScan on the
+  /// merged row list. Splitting selection from aggregation this way keeps
+  /// the aggregation block structure — a pure function of table size — out
+  /// of the fan-out, so float sums associate identically at any shard or
+  /// chunk count.
+
+  /// Chunk partitioning of a registered table, built at RegisterTable time
+  /// with the default chunk size (kNotFound for unknown tables). Returned
+  /// by value: the copy pins the partitioning for one query's lifetime.
+  Result<ChunkMap> GetChunkMap(const std::string& table) const;
+
+  /// Re-partitions `table` with an explicit chunk size (0 = default).
+  /// Registration-time API for tests and benches — not safe to call while
+  /// queries are executing against this Database.
+  Status RebuildChunkMap(const std::string& table, size_t chunk_rows);
+
+  /// Compiles `stmt`'s WHERE clause for chunk-range evaluation. The base
+  /// implementation serves any backend whose selection semantics are
+  /// "CompiledPredicate over catalog rows" (the scan backend); the Roaring
+  /// backend overrides it to reuse its bitmap indexes.
+  virtual Result<std::unique_ptr<ChunkScanner>> PrepareChunkScan(
+      const sql::SelectStatement& stmt);
+
+  /// Aggregates the merged (ascending) surviving-row list through the
+  /// shared blocked runner — the same code path both backends' unsharded
+  /// scans finish with.
+  Result<ResultSet> FinishChunkScan(const sql::SelectStatement& stmt,
+                                    const std::vector<uint32_t>& rows);
+
+  /// Request/query accounting for scans that bypass Execute*/ScanBatch
+  /// (the sharded chunk path): one round trip carrying `num_queries`
+  /// statements — identical counter and simulated-latency semantics, so
+  /// sql_queries/sql_requests deltas match the unsharded execution.
+  void AccountRequest(size_t num_queries) { BeginRequest(num_queries); }
+
   /// --- Instrumentation -------------------------------------------------
   /// Counters are atomic because one Database serves every session of a
   /// QueryService concurrently; relaxed order suffices — they are read
@@ -103,6 +162,7 @@ class Database {
  private:
   void BeginRequest(size_t num_queries);
 
+  std::unordered_map<std::string, ChunkMap> chunk_maps_;
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> requests_{0};
   uint64_t request_latency_micros_ = 0;

@@ -1,5 +1,9 @@
 #include "engine/roaring_db.h"
 
+#include <algorithm>
+#include <utility>
+
+#include "common/cancel.h"
 #include "engine/predicate.h"
 #include "engine/select_runner.h"
 
@@ -111,27 +115,92 @@ std::optional<RoaringBitmap> RoaringDatabase::TryBitmap(
   }
 }
 
-namespace {
-
-/// Feeds a sorted row-id list to per-block runners: each block consumes the
-/// ids inside its [begin, end) range, located by binary search. Row ids stay
-/// in ascending order inside every block, so the blocked result matches the
-/// scan backend's byte for byte.
-Result<ResultSet> RunBlockedOverRows(const Table& table,
-                                     const sql::SelectStatement& stmt,
-                                     const std::vector<uint32_t>& rows) {
-  return RunBlocked(
-      table, stmt,
-      [&rows](size_t begin, size_t end, SelectRunner& runner) {
-        auto lo = std::lower_bound(rows.begin(), rows.end(),
-                                   static_cast<uint32_t>(begin));
-        auto hi = std::lower_bound(rows.begin(), rows.end(),
-                                   static_cast<uint32_t>(end));
-        for (auto it = lo; it != hi; ++it) runner.Consume(*it);
-      });
+Result<RoaringDatabase::SplitPredicate> RoaringDatabase::SplitWhere(
+    const Table& table, const TableIndex& index, const Expr& where) const {
+  SplitPredicate split;
+  std::vector<const Expr*> residual_parts;
+  auto add_conjunct = [&](const Expr& e) {
+    auto bm = TryBitmap(table, index, e);
+    if (bm.has_value()) {
+      if (!split.filter.has_value()) split.filter = std::move(bm);
+      else split.filter = RoaringBitmap::And(*split.filter, *bm);
+    } else {
+      residual_parts.push_back(&e);
+    }
+  };
+  if (where.kind == Expr::Kind::kAnd) {
+    for (const auto& child : where.children) add_conjunct(*child);
+  } else {
+    add_conjunct(where);
+  }
+  if (!residual_parts.empty()) {
+    std::vector<std::unique_ptr<Expr>> clones;
+    clones.reserve(residual_parts.size());
+    for (const Expr* e : residual_parts) clones.push_back(e->Clone());
+    auto conj = Expr::And(std::move(clones));
+    ZV_ASSIGN_OR_RETURN(CompiledPredicate pred,
+                        CompiledPredicate::Compile(table, *conj));
+    split.residual = std::move(pred);
+  }
+  return split;
 }
 
+namespace {
+
+/// Chunk scanner over a bitmap selection: per chunk range, extract the
+/// filter's values (ascending) and keep the residual's survivors. Slices at
+/// container granularity so long extractions poll cancellation, mirroring
+/// the blocked scan's block-boundary polls.
+class RoaringChunkScanner : public ChunkScanner {
+ public:
+  RoaringChunkScanner(std::shared_ptr<Table> table, RoaringBitmap filter,
+                      std::optional<CompiledPredicate> residual)
+      : table_(std::move(table)),
+        filter_(std::move(filter)),
+        residual_(std::move(residual)) {}
+
+  Status ScanRange(uint32_t begin, uint32_t end,
+                   std::vector<uint32_t>* out) const override {
+    for (uint32_t lo = begin; lo < end;) {
+      ZV_RETURN_NOT_OK(CheckCancelled());
+      const uint32_t hi = static_cast<uint32_t>(std::min<uint64_t>(
+          end, (static_cast<uint64_t>(lo) | 0xFFFF) + 1));
+      if (residual_.has_value()) {
+        const CompiledPredicate& pred = *residual_;
+        filter_.ForEachInRange(lo, hi, [out, &pred](uint32_t row) {
+          if (pred.Test(row)) out->push_back(row);
+        });
+      } else {
+        filter_.ForEachInRange(lo, hi,
+                               [out](uint32_t row) { out->push_back(row); });
+      }
+      lo = hi;
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<Table> table_;  ///< keeps residual's column pointers alive
+  RoaringBitmap filter_;
+  std::optional<CompiledPredicate> residual_;
+};
+
 }  // namespace
+
+Result<std::unique_ptr<ChunkScanner>> RoaringDatabase::PrepareChunkScan(
+    const sql::SelectStatement& stmt) {
+  // No WHERE (all rows) and nothing-indexable (pure residual) both reduce
+  // to the generic predicate scanner — same survivors, no bitmap needed.
+  if (stmt.where == nullptr) return Database::PrepareChunkScan(stmt);
+  ZV_ASSIGN_OR_RETURN(std::shared_ptr<Table> table, GetTable(stmt.table));
+  auto idx_it = indexes_.find(stmt.table);
+  if (idx_it == indexes_.end()) return Status::Internal("missing index");
+  ZV_ASSIGN_OR_RETURN(SplitPredicate split,
+                      SplitWhere(*table, idx_it->second, *stmt.where));
+  if (!split.filter.has_value()) return Database::PrepareChunkScan(stmt);
+  return std::unique_ptr<ChunkScanner>(new RoaringChunkScanner(
+      std::move(table), std::move(*split.filter), std::move(split.residual)));
+}
 
 Result<ResultSet> RoaringDatabase::ExecuteInternal(
     const sql::SelectStatement& stmt) {
@@ -154,52 +223,26 @@ Result<ResultSet> RoaringDatabase::ExecuteInternal(
 
   auto idx_it = indexes_.find(stmt.table);
   if (idx_it == indexes_.end()) return Status::Internal("missing index");
-  const TableIndex& index = idx_it->second;
 
   // Split a top-level conjunction into index-answerable and residual parts.
-  std::optional<RoaringBitmap> filter;
-  std::vector<const Expr*> residual_parts;
-  auto add_conjunct = [&](const Expr& e) {
-    auto bm = TryBitmap(*table, index, e);
-    if (bm.has_value()) {
-      if (!filter.has_value()) filter = std::move(bm);
-      else filter = RoaringBitmap::And(*filter, *bm);
-    } else {
-      residual_parts.push_back(&e);
-    }
-  };
-  if (stmt.where->kind == Expr::Kind::kAnd) {
-    for (const auto& child : stmt.where->children) add_conjunct(*child);
-  } else {
-    add_conjunct(*stmt.where);
-  }
+  ZV_ASSIGN_OR_RETURN(SplitPredicate split,
+                      SplitWhere(*table, idx_it->second, *stmt.where));
 
-  std::optional<CompiledPredicate> residual;
-  if (!residual_parts.empty()) {
-    std::vector<std::unique_ptr<Expr>> clones;
-    clones.reserve(residual_parts.size());
-    for (const Expr* e : residual_parts) clones.push_back(e->Clone());
-    auto conj = Expr::And(std::move(clones));
-    ZV_ASSIGN_OR_RETURN(CompiledPredicate pred,
-                        CompiledPredicate::Compile(*table, *conj));
-    residual = std::move(pred);
-  }
-
-  if (filter.has_value()) {
+  if (split.filter.has_value()) {
     std::vector<uint32_t> rows;
-    rows.reserve(filter->Cardinality());
-    if (residual.has_value()) {
-      const CompiledPredicate& pred = *residual;
-      filter->ForEach([&rows, &pred](uint32_t row) {
+    rows.reserve(split.filter->Cardinality());
+    if (split.residual.has_value()) {
+      const CompiledPredicate& pred = *split.residual;
+      split.filter->ForEach([&rows, &pred](uint32_t row) {
         if (pred.Test(row)) rows.push_back(row);
       });
     } else {
-      filter->ForEach([&rows](uint32_t row) { rows.push_back(row); });
+      split.filter->ForEach([&rows](uint32_t row) { rows.push_back(row); });
     }
     return RunBlockedOverRows(*table, stmt, rows);
   }
   // Nothing indexable: full scan with the residual predicate.
-  const CompiledPredicate& pred = *residual;
+  const CompiledPredicate& pred = *split.residual;
   return RunBlocked(*table, stmt,
                     [&pred](size_t begin, size_t end, SelectRunner& runner) {
                       for (size_t row = begin; row < end; ++row) {

@@ -10,10 +10,12 @@
 #ifndef ZV_ENGINE_ROARING_DB_H_
 #define ZV_ENGINE_ROARING_DB_H_
 
+#include <memory>
 #include <optional>
 #include <unordered_map>
 
 #include "engine/database.h"
+#include "engine/predicate.h"
 #include "roaring/roaring.h"
 
 namespace zv {
@@ -28,6 +30,14 @@ class RoaringDatabase : public Database {
 
   /// Total index memory for a table (bytes), for reporting.
   size_t IndexBytes(const std::string& table_name) const;
+
+  /// Chunk-scan compilation reusing the bitmap indexes: the index-answerable
+  /// part of the WHERE becomes one Roaring filter (built once per
+  /// statement), and ScanRange extracts the filter's values inside each
+  /// chunk range, testing the residual predicate per survivor — the same
+  /// split ExecuteInternal uses, so the selected rows are identical.
+  Result<std::unique_ptr<ChunkScanner>> PrepareChunkScan(
+      const sql::SelectStatement& stmt) override;
 
  protected:
   Result<ResultSet> ExecuteInternal(const sql::SelectStatement& stmt) override;
@@ -44,6 +54,19 @@ class RoaringDatabase : public Database {
   std::optional<roaring::RoaringBitmap> TryBitmap(const Table& table,
                                                   const TableIndex& index,
                                                   const sql::Expr& expr) const;
+
+  /// A WHERE clause split into its index-answerable bitmap and the residual
+  /// row-wise predicate (either part may be absent, never both).
+  struct SplitPredicate {
+    std::optional<roaring::RoaringBitmap> filter;
+    std::optional<CompiledPredicate> residual;
+  };
+
+  /// Splits a top-level conjunction into conjuncts TryBitmap can answer
+  /// (ANDed into one filter) and the compiled conjunction of the rest.
+  Result<SplitPredicate> SplitWhere(const Table& table,
+                                    const TableIndex& index,
+                                    const sql::Expr& where) const;
 
   std::unordered_map<std::string, TableIndex> indexes_;
 };

@@ -453,4 +453,18 @@ Result<ResultSet> RunBlocked(
   return runners[0].Finish();
 }
 
+Result<ResultSet> RunBlockedOverRows(const Table& table,
+                                     const sql::SelectStatement& stmt,
+                                     const std::vector<uint32_t>& rows) {
+  return RunBlocked(
+      table, stmt,
+      [&rows](size_t begin, size_t end, SelectRunner& runner) {
+        auto lo = std::lower_bound(rows.begin(), rows.end(),
+                                   static_cast<uint32_t>(begin));
+        auto hi = std::lower_bound(rows.begin(), rows.end(),
+                                   static_cast<uint32_t>(end));
+        for (auto it = lo; it != hi; ++it) runner.Consume(*it);
+      });
+}
+
 }  // namespace zv

@@ -133,6 +133,16 @@ Result<ResultSet> RunBlocked(
     const std::function<void(size_t begin, size_t end, SelectRunner& runner)>&
         scan_block);
 
+/// Feeds a sorted row-id list to RunBlocked: each block consumes the ids
+/// inside its [begin, end) range, located by binary search. Row ids stay in
+/// ascending order inside every block, so the result is byte-identical to a
+/// scan that selected the same rows in place — this is how the Roaring
+/// backend finishes a bitmap selection and how the sharded chunk path
+/// (engine/database.h FinishChunkScan) aggregates its merged row list.
+Result<ResultSet> RunBlockedOverRows(const Table& table,
+                                     const sql::SelectStatement& stmt,
+                                     const std::vector<uint32_t>& rows);
+
 }  // namespace zv
 
 #endif  // ZV_ENGINE_SELECT_RUNNER_H_

@@ -9,6 +9,7 @@
 #ifndef ZV_ROARING_ROARING_H_
 #define ZV_ROARING_ROARING_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -68,6 +69,34 @@ class RoaringBitmap {
     for (const auto& [key, container] : chunks_) {
       const uint32_t base = static_cast<uint32_t>(key) << 16;
       container.ForEach([&fn, base](uint16_t low) { fn(base | low); });
+    }
+  }
+
+  /// Calls fn(uint32_t) for every value in [lo, hi), ascending. Containers
+  /// fully inside the range iterate directly; the boundary containers (at
+  /// most two per call) filter per value — so a range restricted to one
+  /// 64K-aligned chunk costs one binary search plus that chunk's values.
+  /// This is the chunk-range extraction the sharded scan path relies on.
+  template <typename Fn>
+  void ForEachInRange(uint32_t lo, uint32_t hi, Fn&& fn) const {
+    if (hi <= lo) return;
+    const uint16_t key_lo = static_cast<uint16_t>(lo >> 16);
+    const uint16_t key_hi = static_cast<uint16_t>((hi - 1) >> 16);
+    auto it = std::lower_bound(
+        chunks_.begin(), chunks_.end(), key_lo,
+        [](const std::pair<uint16_t, Container>& chunk, uint16_t key) {
+          return chunk.first < key;
+        });
+    for (; it != chunks_.end() && it->first <= key_hi; ++it) {
+      const uint32_t base = static_cast<uint32_t>(it->first) << 16;
+      if (base >= lo && base + 0xFFFF < hi) {
+        it->second.ForEach([&fn, base](uint16_t low) { fn(base | low); });
+      } else {
+        it->second.ForEach([&fn, base, lo, hi](uint16_t low) {
+          const uint32_t v = base | low;
+          if (v >= lo && v < hi) fn(v);
+        });
+      }
     }
   }
 

@@ -103,6 +103,16 @@ struct ZqlOptions {
   /// ResultSets the fetch thread may run ahead of the consumer before it
   /// blocks (memory bound per in-flight query).
   size_t pipeline_depth = 4;
+  /// Sharded scan fan-out (docs/architecture.md "Sharded execution"): when
+  /// the effective value is >1 and the table's ChunkMap has >=2 chunks,
+  /// each FetchOp statement is compiled once and its chunks are scanned by
+  /// a pool of min(shards, chunks) shard workers, the per-chunk row lists
+  /// merged positionally before the shared blocked aggregation runs. 0
+  /// resolves the ZV_SHARDS environment variable (default: min(4,
+  /// hardware concurrency) — wider-than-the-machine fan-out only pays
+  /// when chunk scans wait on a remote store); 1 disables sharding. A pure execution strategy: results are byte-identical at
+  /// any setting (tests/shard_test.cc locks the matrix).
+  size_t shards = 0;
 };
 
 /// \brief Execution instrumentation for the Chapter 7 experiments.
@@ -139,6 +149,13 @@ struct ZqlStats {
   /// (fetch_ms + score_ms) and total_ms is the overlap won.
   double fetch_ms = 0;
   double score_ms = 0;
+  /// Sharded-scan instrumentation: chunk sub-scans executed by the shard
+  /// worker pool, and the cumulative time those workers spent scanning
+  /// (summed across workers, so under parallel fan-out shard_ms exceeds
+  /// the wall time the scans took — the ratio is the fan-out won). Both
+  /// stay 0 when sharding is off or the table fits in one chunk.
+  uint64_t chunks_scanned = 0;
+  double shard_ms = 0;
 };
 
 struct ZqlOutput {

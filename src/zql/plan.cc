@@ -1,7 +1,10 @@
 #include "zql/plan.h"
 
+#include <algorithm>
 #include <cctype>
+#include <cstdlib>
 #include <set>
+#include <thread>
 
 #include "common/strings.h"
 #include "zql/canonical.h"
@@ -292,11 +295,27 @@ class PlanEmitter {
 
 }  // namespace
 
+size_t ResolveShardWorkers(const ZqlOptions& options) {
+  if (options.shards > 0) return options.shards;
+  if (const char* env = std::getenv("ZV_SHARDS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) return static_cast<size_t>(v);
+  }
+  // Shard workers are threads: defaulting past the core count only pays
+  // off when chunk scans wait on a remote store, which callers opt into
+  // explicitly (opts.shards / ZV_SHARDS). A CPU-bound local scan sharded
+  // wider than the machine just buys row-id materialization overhead.
+  const unsigned cores = std::thread::hardware_concurrency();
+  return cores == 0 ? 1 : std::min<size_t>(4, cores);
+}
+
 Result<PhysicalPlan> BuildPhysicalPlan(const ZqlQuery& query,
                                        const ZqlOptions& options) {
   PhysicalPlan plan;
   plan.optimization = options.optimization;
   plan.pipelined = options.pipelined_execution;
+  plan.shard_workers = ResolveShardWorkers(options);
   PlanEmitter emit(&plan);
 
   if (options.optimization == OptLevel::kInterTask) {
@@ -341,7 +360,8 @@ Result<PhysicalPlan> BuildPhysicalPlan(const ZqlQuery& query,
   return plan;
 }
 
-std::string PhysicalPlan::Render(const ZqlQuery& query) const {
+std::string PhysicalPlan::Render(const ZqlQuery& query,
+                                 size_t table_chunks) const {
   std::string out = StrFormat(
       "physical plan: opt=%s, %s, %d stage%s\n", OptLevelToString(optimization),
       pipelined ? "pipelined (fetch/score overlap)" : "staged", num_stages,
@@ -363,12 +383,20 @@ std::string PhysicalPlan::Render(const ZqlQuery& query) const {
     const ZqlRow& row = query.rows[static_cast<size_t>(step.row)];
     const std::string name = CanonicalNameEntry(row.name);
     switch (step.kind) {
-      case PlanStep::Kind::kFetch:
+      case PlanStep::Kind::kFetch: {
+        std::string detail = optimization == OptLevel::kNoOpt
+                                 ? "one scan per viz"
+                                 : "batched scan";
+        // The fan-out the scheduler will use: sharding engages only when
+        // workers > 1 and the table splits into at least two chunks.
+        if (shard_workers > 1 && table_chunks >= 2) {
+          detail += StrFormat(", chunks=%zu, shards=%zu", table_chunks,
+                              std::min(shard_workers, table_chunks));
+        }
         out += StrFormat("  %-15s%s  [%s]\n", "FetchOp", name.c_str(),
-                         optimization == OptLevel::kNoOpt
-                             ? "one scan per viz"
-                             : "batched scan");
+                         detail.c_str());
         break;
+      }
       case PlanStep::Kind::kMaterialize:
         out += StrFormat("  %-15s%s%s\n", "MaterializeOp", name.c_str(),
                          row.name.user_input

@@ -17,6 +17,17 @@ PipelineScheduler::PipelineScheduler(const PhysicalPlan& plan,
                                      const ZqlQuery& query, ExecState* st)
     : plan_(plan), query_(query), st_(st) {
   cancel_flag_ = CurrentCancelFlag();
+  // Resolve the fan-out once per query: the plan's requested worker count
+  // against the table's chunk catalog. Single-chunk (or empty) tables and
+  // shards<=1 run the plain unsharded path.
+  if (plan.shard_workers > 1 && st->db != nullptr) {
+    Result<ChunkMap> map = st->db->GetChunkMap(st->table_name);
+    if (map.ok() && map.value().num_chunks() >= 2) {
+      chunk_map_ = map.value();
+      shard_workers_ = plan.shard_workers;
+      sharded_ = true;
+    }
+  }
 }
 
 PipelineScheduler::~PipelineScheduler() {
@@ -33,6 +44,15 @@ PipelineScheduler::~PipelineScheduler() {
       in_flight_.pop_front();
     }
     fetch_thread_.join();
+  }
+  // The shard pool outlives the fetch thread (which may be mid-
+  // ExecuteSharded): every dispatched chunk yields exactly one item — on
+  // abandon the workers answer with kCancelled items — so the fetch
+  // thread's merge loop always completes and the join above terminates.
+  // Only then is it safe to close the job queue and reap the workers.
+  if (!shard_threads_.empty()) {
+    chunk_jobs_->Close();
+    for (std::thread& t : shard_threads_) t.join();
   }
 }
 
@@ -116,7 +136,9 @@ Status PipelineScheduler::StepFlush() {
   buffer_.clear();
   Status first_error = Status::OK();
   double scan_ms = 0;
-  st_->db->ScanBatch(
+  uint64_t chunks_scanned = 0;
+  double shard_ms = 0;
+  RunBatch(
       stmts, batched,
       [&](size_t i, Result<ResultSet> rs) {
         if (!rs.ok()) {
@@ -126,9 +148,11 @@ Status PipelineScheduler::StepFlush() {
         first_error = RouteFetch(pending[i], rs.value(), st_);
         return first_error.ok();
       },
-      &scan_ms);
+      &scan_ms, &chunks_scanned, &shard_ms);
   st_->stats.fetch_ms += scan_ms;
   st_->stats.exec_ms += MsSince(t0);
+  st_->stats.chunks_scanned += chunks_scanned;
+  st_->stats.shard_ms += shard_ms;
   return first_error;
 }
 
@@ -157,6 +181,8 @@ Status PipelineScheduler::DrainUpTo(size_t limit_tag) {
     PendingFetch pf = std::move(in_flight_.front());
     in_flight_.pop_front();
     st_->stats.fetch_ms += item.scan_ms;
+    st_->stats.chunks_scanned += item.chunks_scanned;
+    st_->stats.shard_ms += item.shard_ms;
     if (!item.result.ok()) return item.result.status();
     const auto t0 = std::chrono::steady_clock::now();
     const Status routed = RouteFetch(pf, item.result.value(), st_);
@@ -186,7 +212,11 @@ void PipelineScheduler::FetchWorkerMain() {
     if (!abandon_.load(std::memory_order_relaxed)) {
       double scan_total = 0;
       double scan_last = 0;
-      st_->db->ScanBatch(
+      uint64_t chunks_total = 0;
+      uint64_t chunks_last = 0;
+      double shard_total = 0;
+      double shard_last = 0;
+      RunBatch(
           job.stmts, job.batched,
           [&](size_t, Result<ResultSet> rs) {
             const bool ok = rs.ok();
@@ -194,6 +224,10 @@ void PipelineScheduler::FetchWorkerMain() {
             item.result = std::move(rs);
             item.scan_ms = scan_total - scan_last;
             scan_last = scan_total;
+            item.chunks_scanned = chunks_total - chunks_last;
+            chunks_last = chunks_total;
+            item.shard_ms = shard_total - shard_last;
+            shard_last = shard_total;
             results_->Push(std::move(item));
             ++produced;
             // Stop at the first failed statement (matching the staged
@@ -202,7 +236,7 @@ void PipelineScheduler::FetchWorkerMain() {
             return ok && !abandon_.load(std::memory_order_relaxed) &&
                    !CancellationRequested();
           },
-          &scan_total);
+          &scan_total, &chunks_total, &shard_total);
     }
     // Exactly one item per statement, always: statements skipped by an
     // early stop yield placeholders so the coordinator's accounting (one
@@ -212,6 +246,99 @@ void PipelineScheduler::FetchWorkerMain() {
       item.result = Status(StatusCode::kCancelled, "query cancelled");
       results_->Push(std::move(item));
     }
+  }
+}
+
+void PipelineScheduler::RunBatch(
+    const std::vector<sql::SelectStatement>& stmts, bool batched,
+    const std::function<bool(size_t, Result<ResultSet>)>& sink,
+    double* scan_ms, uint64_t* chunks_scanned, double* shard_ms) {
+  if (!sharded_) {
+    st_->db->ScanBatch(stmts, batched, sink, scan_ms);
+    return;
+  }
+  // Sharded execution of the batch. Accounting mirrors ScanBatch exactly:
+  // batched = one round trip for the whole batch, counted up front even if
+  // an early stop skips statements; unbatched = one round trip each.
+  StartShardPool();
+  if (batched) st_->db->AccountRequest(stmts.size());
+  for (size_t i = 0; i < stmts.size(); ++i) {
+    if (!batched) st_->db->AccountRequest(1);
+    const auto t0 = std::chrono::steady_clock::now();
+    Result<ResultSet> rs = ExecuteSharded(stmts[i], chunks_scanned, shard_ms);
+    if (scan_ms != nullptr) *scan_ms += MsSince(t0);
+    if (!sink(i, std::move(rs))) return;
+  }
+}
+
+Result<ResultSet> PipelineScheduler::ExecuteSharded(
+    const sql::SelectStatement& stmt, uint64_t* chunks_scanned,
+    double* shard_ms) {
+  ZV_ASSIGN_OR_RETURN(std::unique_ptr<ChunkScanner> scanner,
+                      st_->db->PrepareChunkScan(stmt));
+  const size_t chunks = chunk_map_.num_chunks();
+  for (size_t c = 0; c < chunks; ++c) {
+    const auto [begin, end] = chunk_map_.chunk_range(c);
+    chunk_jobs_->Push({scanner.get(), c, begin, end});
+  }
+  // Collect exactly one item per chunk (the workers' guarantee), slotting
+  // by chunk index — the positional merge that makes the concatenated row
+  // list identical to a serial scan's.
+  std::vector<ChunkItem> slots(chunks);
+  for (size_t received = 0; received < chunks; ++received) {
+    ChunkItem item;
+    if (!chunk_results_->Pop(&item)) {
+      return Status::Internal("shard pool closed with chunks in flight");
+    }
+    slots[item.chunk] = std::move(item);
+  }
+  // First error by chunk index — the failure a serial scan, which visits
+  // rows in ascending order, would have hit first.
+  size_t total_rows = 0;
+  for (const ChunkItem& slot : slots) {
+    ZV_RETURN_NOT_OK(slot.status);
+    total_rows += slot.rows.size();
+  }
+  std::vector<uint32_t> rows;
+  rows.reserve(total_rows);
+  for (ChunkItem& slot : slots) {
+    rows.insert(rows.end(), slot.rows.begin(), slot.rows.end());
+    if (shard_ms != nullptr) *shard_ms += slot.scan_ms;
+  }
+  if (chunks_scanned != nullptr) *chunks_scanned += chunks;
+  return st_->db->FinishChunkScan(stmt, rows);
+}
+
+void PipelineScheduler::StartShardPool() {
+  if (!shard_threads_.empty()) return;
+  const size_t chunks = chunk_map_.num_chunks();
+  chunk_jobs_ = std::make_unique<BoundedQueue<ChunkJob>>(chunks);
+  chunk_results_ = std::make_unique<BoundedQueue<ChunkItem>>(chunks);
+  const size_t workers = std::min(shard_workers_, chunks);
+  shard_threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    shard_threads_.emplace_back([this] { ShardWorkerMain(); });
+  }
+}
+
+void PipelineScheduler::ShardWorkerMain() {
+  // Same mirroring as the fetch thread: chunk scans poll the coordinator's
+  // token inside ScanRange, so cancellation reaches every shard worker.
+  CancelScope scope(cancel_flag_);
+  ChunkJob job;
+  while (chunk_jobs_->Pop(&job)) {
+    ChunkItem item;
+    item.chunk = job.chunk;
+    const auto t0 = std::chrono::steady_clock::now();
+    if (abandon_.load(std::memory_order_relaxed) || CancellationRequested()) {
+      item.status = Status(StatusCode::kCancelled, "query cancelled");
+    } else {
+      item.status = job.scanner->ScanRange(job.begin, job.end, &item.rows);
+    }
+    item.scan_ms = MsSince(t0);
+    // Never silent: every claimed chunk answers, so ExecuteSharded's
+    // accounting (one pop per dispatched chunk) always terminates.
+    chunk_results_->Push(std::move(item));
   }
 }
 

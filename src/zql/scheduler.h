@@ -12,15 +12,28 @@
 ///    only the fetches tagged at or before its own row, so scoring of an
 ///    already-materialized row overlaps the backend scan of later rows.
 ///
+/// Under either schedule a flush's statements may additionally be
+/// *sharded* (docs/architecture.md "Sharded execution"): when the plan
+/// asks for >1 shard worker and the table's ChunkMap splits into >=2
+/// chunks, each statement is compiled once (Database::PrepareChunkScan)
+/// and its chunks fan out to a pool of shard workers whose per-chunk
+/// row lists come back through a bounded queue tagged by chunk index,
+/// merge positionally, and finish through the shared blocked aggregation
+/// (FinishChunkScan) — so the ResultSet bytes match the unsharded scan at
+/// any ZV_SHARDS / chunk size.
+///
 /// Determinism contract: everything except the backend scan — routing,
 /// derivations, scoring, reduction, variable binding — runs on the
 /// coordinating thread in plan order under both schedules, and a scan's
 /// ResultSet does not depend on when it executes (the query holds one
 /// table snapshot). Results are therefore byte-identical across schedules
-/// and across ZV_THREADS (tests/pipeline_test.cc). Errors surface as the
-/// first failing statement in dispatch order, same as staged execution;
+/// and across ZV_THREADS (tests/pipeline_test.cc) and across shard
+/// settings (tests/shard_test.cc). Errors surface as the first failing
+/// statement in dispatch order — and within a sharded statement, as the
+/// lowest failing chunk index, mirroring a serial scan's row order;
 /// cancellation is polled at every step, per scanned statement on the
-/// fetch thread, and per scored combination.
+/// fetch thread, per chunk range on every shard worker, and per scored
+/// combination.
 
 #ifndef ZV_ZQL_SCHEDULER_H_
 #define ZV_ZQL_SCHEDULER_H_
@@ -33,6 +46,7 @@
 
 #include "common/bounded_queue.h"
 #include "common/status.h"
+#include "engine/chunk_map.h"
 #include "zql/operators.h"
 #include "zql/plan.h"
 
@@ -62,11 +76,32 @@ class PipelineScheduler {
   struct FetchItem {
     Result<ResultSet> result = Status::Internal("unset");
     double scan_ms = 0;
+    /// Sharded-scan deltas for this statement (0 when unsharded).
+    uint64_t chunks_scanned = 0;
+    double shard_ms = 0;
   };
   /// One flush's statement batch, handed to the fetch thread.
   struct FetchJob {
     std::vector<sql::SelectStatement> stmts;
     bool batched = true;  ///< one request for the batch vs one per statement
+  };
+  /// One chunk sub-scan, handed to a shard worker. The scanner is owned by
+  /// ExecuteSharded's frame, which outlives the chunk (it blocks until
+  /// every dispatched chunk's item is back).
+  struct ChunkJob {
+    const ChunkScanner* scanner = nullptr;
+    size_t chunk = 0;
+    uint32_t begin = 0;
+    uint32_t end = 0;
+  };
+  /// A chunk's surviving rows (ascending), tagged for positional merge.
+  /// Exactly one item comes back per dispatched chunk, always — workers
+  /// answer cancellation/teardown with kCancelled items, never silence.
+  struct ChunkItem {
+    size_t chunk = 0;
+    Status status = Status::OK();
+    std::vector<uint32_t> rows;
+    double scan_ms = 0;
   };
 
   Status StepFlush();
@@ -76,8 +111,23 @@ class PipelineScheduler {
   /// row_tag is <= `limit_tag` (SIZE_MAX = drain everything outstanding).
   Status DrainUpTo(size_t limit_tag);
 
+  /// Executes one flush's statement batch and feeds results to `sink` —
+  /// contract identical to Database::ScanBatch (which it delegates to when
+  /// sharding is inactive). Sharded: per statement, compile once, fan the
+  /// chunks out to the shard pool, merge positionally, aggregate through
+  /// FinishChunkScan; accounting mirrors ScanBatch via AccountRequest so
+  /// sql_queries/sql_requests deltas are unchanged. Runs on the
+  /// coordinator (staged) or the fetch thread (pipelined) — never both.
+  void RunBatch(const std::vector<sql::SelectStatement>& stmts, bool batched,
+                const std::function<bool(size_t, Result<ResultSet>)>& sink,
+                double* scan_ms, uint64_t* chunks_scanned, double* shard_ms);
+  Result<ResultSet> ExecuteSharded(const sql::SelectStatement& stmt,
+                                   uint64_t* chunks_scanned, double* shard_ms);
+
   void FetchWorkerMain();
   void StartWorker();
+  void ShardWorkerMain();
+  void StartShardPool();
 
   const PhysicalPlan& plan_;
   const ZqlQuery& query_;
@@ -93,10 +143,24 @@ class PipelineScheduler {
   std::unique_ptr<BoundedQueue<FetchJob>> jobs_;
   std::unique_ptr<BoundedQueue<FetchItem>> results_;
   std::thread fetch_thread_;
-  /// The coordinator's cancel flag, mirrored onto the fetch thread.
+  /// The coordinator's cancel flag, mirrored onto the fetch thread and
+  /// every shard worker.
   const std::atomic<bool>* cancel_flag_ = nullptr;
-  /// Tells the fetch thread to stop scanning (teardown after an error).
+  /// Tells the fetch thread and shard workers to stop scanning (teardown
+  /// after an error).
   std::atomic<bool> abandon_{false};
+
+  // Sharded-scan machinery (resolved in the constructor; inactive unless
+  // the plan wants >1 worker and the table has >=2 chunks). The chunk map
+  // is copied in, pinning the partitioning for this query even if the
+  // backend's map is rebuilt. Queues are sized to the chunk count so a
+  // full fan-out can never wedge on its own results.
+  bool sharded_ = false;
+  ChunkMap chunk_map_;
+  size_t shard_workers_ = 0;
+  std::unique_ptr<BoundedQueue<ChunkJob>> chunk_jobs_;
+  std::unique_ptr<BoundedQueue<ChunkItem>> chunk_results_;
+  std::vector<std::thread> shard_threads_;
 };
 
 }  // namespace zv::zql::exec

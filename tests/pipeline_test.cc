@@ -144,23 +144,27 @@ std::shared_ptr<Table> SharedSales() {
 }
 
 Result<ZqlResult> RunCase(Database* db, const Case& c, bool pipelined,
-                          OptLevel level) {
+                          OptLevel level, size_t shards = 1) {
   ZqlOptions opts;
   opts.optimization = level;
   opts.named_sets = MakeP();
   opts.pipelined_execution = pipelined;
+  opts.shards = shards;
   ZqlExecutor exec(db, "sales", opts);
   if (c.needs_sketch) exec.SetUserInput("q", MakeSketch());
   return exec.ExecuteText(c.zql);
 }
 
 /// The oracle matrix: serial staged execution (ZV_THREADS=1, pipelining
-/// off) is the reference; staged/pipelined at ZV_THREADS in {1, 4} must
-/// reproduce it byte for byte — same visuals, same SQL counts — at every
+/// off, one shard) is the reference; staged/pipelined at ZV_THREADS in
+/// {1, 4} and shard fan-out in {1, 3} (over 512-row chunks) must reproduce
+/// it byte for byte — same visuals, same SQL counts — at every
 /// optimization level.
 TEST(PipelineTest, PipelinedMatchesStagedMatchesSerial) {
   ScanDatabase db;
   ZV_ASSERT_OK(db.RegisterTable(SharedSales()));
+  // 6000 rows in 512-row chunks: 12 chunks, so shards=3 genuinely fans out.
+  ZV_ASSERT_OK(db.RebuildChunkMap("sales", 512));
   for (const Case& c : kCases) {
     for (OptLevel level : {OptLevel::kNoOpt, OptLevel::kIntraTask,
                            OptLevel::kInterTask}) {
@@ -172,16 +176,19 @@ TEST(PipelineTest, PipelinedMatchesStagedMatchesSerial) {
       }
       for (size_t nthreads : {size_t{1}, size_t{4}}) {
         for (bool pipelined : {false, true}) {
-          ScopedThreads threads(nthreads);
-          ZV_ASSERT_OK_AND_ASSIGN(ZqlResult got,
-                                  RunCase(&db, c, pipelined, level));
-          EXPECT_TRUE(SameResult(baseline, got))
-              << c.name << " opt=" << OptLevelToString(level)
-              << " threads=" << nthreads << " pipelined=" << pipelined;
-          EXPECT_EQ(baseline.stats.sql_queries, got.stats.sql_queries)
-              << c.name;
-          EXPECT_EQ(baseline.stats.sql_requests, got.stats.sql_requests)
-              << c.name;
+          for (size_t shards : {size_t{1}, size_t{3}}) {
+            ScopedThreads threads(nthreads);
+            ZV_ASSERT_OK_AND_ASSIGN(
+                ZqlResult got, RunCase(&db, c, pipelined, level, shards));
+            EXPECT_TRUE(SameResult(baseline, got))
+                << c.name << " opt=" << OptLevelToString(level)
+                << " threads=" << nthreads << " pipelined=" << pipelined
+                << " shards=" << shards;
+            EXPECT_EQ(baseline.stats.sql_queries, got.stats.sql_queries)
+                << c.name;
+            EXPECT_EQ(baseline.stats.sql_requests, got.stats.sql_requests)
+                << c.name;
+          }
         }
       }
     }

@@ -6,6 +6,8 @@
 #   api_test          (protocol encode/decode, end-to-end wire path)
 #   zql_builder_test  (AST construction + canonical serialization)
 #   server_test       (task lifecycle: shared QueryTask state, caches)
+#   shard_test        (per-chunk row-id buffers crossing the shard
+#                      worker queues; ChunkScanner lifetime)
 #
 # Usage: tools/run_asan.sh [source_root] [build_dir]
 #   source_root  repo root (default: parent of this script)
@@ -18,7 +20,7 @@ set -euo pipefail
 
 ROOT="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 BUILD="${2:-$ROOT/build-asan}"
-SUITES="json_test api_test zql_builder_test server_test"
+SUITES="json_test api_test zql_builder_test server_test shard_test"
 
 echo "== configuring ASan tree at $BUILD =="
 cmake -B "$BUILD" -S "$ROOT" -DZV_ASAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -33,6 +35,6 @@ echo "== running under AddressSanitizer =="
 # first report into a test failure instead of a log line.
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1 abort_on_error=1}"
 (cd "$BUILD" && ctest --output-on-failure \
-  -R '^(json_test|api_test|zql_builder_test|server_test)$')
+  -R '^(json_test|api_test|zql_builder_test|server_test|shard_test)$')
 
 echo "ASan gate passed: no memory errors reported in $SUITES"

@@ -16,6 +16,8 @@
 #                    bench_fig7_4 bench_fig7_5 bench_serve")
 #   ZV_CACHE_MB / ZV_MAX_INFLIGHT / ZV_MAX_QUEUE  serving-layer knobs
 #                    (bench_serve; see src/server/query_service.h)
+#   ZV_BENCH_STRICT  1 = exit nonzero when any case regresses >15% against
+#                    the committed baseline (default: warn only)
 
 set -euo pipefail
 
@@ -36,6 +38,56 @@ for bench in $BENCHES; do
   echo "== running $bench =="
   ZV_BENCH_JSON="$LINES" "$bin"
 done
+
+# Regression gate: diff the fresh records against the committed baseline
+# *before* overwriting it. A case >15% slower than the baseline is reported;
+# under ZV_BENCH_STRICT=1 that fails the run. Sub-5ms cases are skipped
+# (timer noise dominates), as is the whole check when the baseline was
+# recorded at a different ZV_BENCH_SCALE (the numbers aren't comparable).
+check_regressions() {
+  local old="$1" new="$2"
+  if [[ ! -f "$old" ]]; then
+    echo "no baseline at $old — skipping regression check"
+    return 0
+  fi
+  local old_scale
+  old_scale="$(sed -n 's/.*"scale": "\([^"]*\)".*/\1/p' "$old" | head -1)"
+  if [[ "${old_scale:-1}" != "${ZV_BENCH_SCALE:-1}" ]]; then
+    echo "baseline scale ${old_scale:-?} != current ${ZV_BENCH_SCALE:-1} — skipping regression check"
+    return 0
+  fi
+  awk '
+    match($0, /"figure":"[^"]*"/) {
+      fig = substr($0, RSTART + 10, RLENGTH - 11)
+      if (!match($0, /"case":"[^"]*"/)) next
+      c = substr($0, RSTART + 8, RLENGTH - 9)
+      if (!match($0, /"ms":[0-9.]+/)) next
+      ms = substr($0, RSTART + 5, RLENGTH - 5) + 0
+      key = fig "/" c
+      if (FILENAME == ARGV[1]) { base[key] = ms } else { fresh[key] = ms }
+    }
+    END {
+      bad = 0
+      for (k in fresh) {
+        if (!(k in base) || base[k] < 5) continue
+        if (fresh[k] > base[k] * 1.15) {
+          printf "REGRESSION %-55s %9.1f ms -> %9.1f ms (+%.0f%%)\n",
+                 k, base[k], fresh[k], (fresh[k] / base[k] - 1) * 100
+          bad++
+        }
+      }
+      exit bad > 0 ? 1 : 0
+    }
+  ' "$old" "$new"
+}
+
+if ! check_regressions "$OUT" "$LINES"; then
+  if [[ "${ZV_BENCH_STRICT:-0}" == "1" ]]; then
+    echo "ZV_BENCH_STRICT=1: perf regressed >15% vs $OUT — failing" >&2
+    exit 1
+  fi
+  echo "warning: perf regressed >15% vs committed baseline (set ZV_BENCH_STRICT=1 to fail)" >&2
+fi
 
 # Wrap the JSON lines into one array, with run metadata up front.
 {

@@ -6,6 +6,8 @@
 #   server_test    (sessions, caches, async execution, admission control)
 #   pipeline_test  (fetch thread + bounded hand-off queue byte-identity,
 #                   mid-pipeline cancellation)
+#   shard_test     (chunk-sharded scans: worker pool, chunk job/result
+#                   queues, mid-scan cancellation fan-out)
 #
 # Usage: tools/run_tsan.sh [source_root] [build_dir]
 #   source_root  repo root (default: parent of this script)
@@ -18,7 +20,7 @@ set -euo pipefail
 
 ROOT="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 BUILD="${2:-$ROOT/build-tsan}"
-SUITES="parallel_test topk_test server_test pipeline_test"
+SUITES="parallel_test topk_test server_test pipeline_test shard_test"
 
 echo "== configuring TSan tree at $BUILD =="
 cmake -B "$BUILD" -S "$ROOT" -DZV_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -32,6 +34,7 @@ echo "== running under ThreadSanitizer =="
 # halt_on_error surfaces the first race as a test failure instead of a log
 # line; second_deadlock_stack improves lock-inversion reports.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
-(cd "$BUILD" && ctest --output-on-failure -R '^(parallel_test|topk_test|server_test|pipeline_test)$')
+(cd "$BUILD" && ctest --output-on-failure \
+  -R '^(parallel_test|topk_test|server_test|pipeline_test|shard_test)$')
 
 echo "TSan gate passed: no races reported in $SUITES"
