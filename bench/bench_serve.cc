@@ -42,6 +42,7 @@
 #include "api/service.h"
 #include "bench/bench_util.h"
 #include "common/strings.h"
+#include "engine/scan_db.h"
 #include "server/query_service.h"
 #include "workload/datasets.h"
 
@@ -328,6 +329,95 @@ int main() {
                 static_cast<unsigned long long>(wire_errors.load()));
   }
 
+  PrintSubHeader("pass 5: batched (concurrent distinct queries share scan "
+                 "passes)");
+  // Fresh services with the result cache off, so every query really scans
+  // the table. The bar: eight concurrent *distinct* queries (different
+  // measures and thresholds — no cache identity anywhere) finish within
+  // 2x the wall of a single query, possible only because their eight full
+  // scans collapse into shared passes (ServiceOptions::shared_scans; a
+  // short ZV_BATCH_WINDOW_MS-style window widens the coalescing).
+  // The setup where batching earns its keep — the paper's remote-store
+  // scenario: a scan backend with simulated per-request latency (the same
+  // stand-in the fig7 shard sweeps use), so every redundant pass costs a
+  // round trip plus a full row loop. One fixed visualization per query
+  // keeps each query scan-dominated (materializing 40 per-product charts
+  // would measure the single CPU, not the batching). Both measurements run
+  // the *same* service configuration — only the concurrency differs.
+  const size_t kBatchN = 8;
+  std::vector<std::string> batch_queries;
+  for (size_t i = 0; i < kBatchN; ++i) {
+    batch_queries.push_back(zv::StrFormat(
+        "*f1 | 'year' | '%s' | 'product'.'product_%zu' | | "
+        "bar.(y=agg('sum')) |",
+        i % 2 == 0 ? "sales" : "profit", i));
+  }
+  std::atomic<uint64_t> batch_errors{0};
+  double single_wall = 0;
+  double batch_wall = 0;
+  zv::server::ServiceStats batch_stats;
+  {
+    zv::server::ServiceOptions sopts;
+    sopts.result_cache = false;
+    sopts.max_inflight = kBatchN;  // all N execute (and coalesce) at once
+    sopts.batch_window_ms = 2;
+    zv::server::QueryService batched(sopts);
+    auto remote_db = std::make_shared<zv::ScanDatabase>();
+    remote_db->set_request_latency_micros(10000);  // 10 ms round trips
+    if (auto s = remote_db->RegisterTable(table); !s.ok()) {
+      std::fprintf(stderr, "register failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (auto s = batched.RegisterDataset(table, remote_db); !s.ok()) {
+      std::fprintf(stderr, "register failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::vector<zv::server::SessionId> bsessions;
+    for (size_t s = 0; s < kBatchN; ++s) {
+      bsessions.push_back(std::move(batched.CreateSession()).value());
+    }
+    for (int rep = 0; rep < 3; ++rep) {  // best of 3: the lone-scan floor
+      zv::bench::WallTimer timer;
+      auto submitted =
+          batched.Submit(bsessions[0], table->name(), batch_queries[0]);
+      if (!submitted.ok() || !submitted->Wait().ok()) {
+        batch_errors.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      const double ms = timer.ElapsedMs();
+      if (single_wall == 0 || ms < single_wall) single_wall = ms;
+    }
+    zv::bench::WallTimer timer;
+    std::vector<std::thread> threads;
+    for (size_t s = 0; s < kBatchN; ++s) {
+      threads.emplace_back([&, s] {
+        auto submitted =
+            batched.Submit(bsessions[s], table->name(), batch_queries[s]);
+        if (!submitted.ok() || !submitted->Wait().ok()) {
+          batch_errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    batch_wall = timer.ElapsedMs();
+    batch_stats = batched.stats();
+  }
+  const double batch_ratio = single_wall > 0 ? batch_wall / single_wall : 0;
+  std::printf("  single scan (best of 3): %.3f ms; %zu concurrent distinct: "
+              "%.3f ms — %.2fx (bar <= 2x: %s)\n",
+              single_wall, kBatchN, batch_wall, batch_ratio,
+              batch_ratio <= 2.0 ? "pass" : "FAIL");
+  std::printf("  shared-scan passes: %llu (%llu carried >1 query) serving "
+              "%llu statements\n",
+              static_cast<unsigned long long>(batch_stats.batch_passes),
+              static_cast<unsigned long long>(
+                  batch_stats.batch_passes_shared),
+              static_cast<unsigned long long>(batch_stats.batch_statements));
+  if (batch_errors.load() > 0) {
+    std::printf("  !! %llu batched queries failed\n",
+                static_cast<unsigned long long>(batch_errors.load()));
+  }
+
   if (errors.load() > 0) {
     std::printf("\n!! %llu queries failed\n",
                 static_cast<unsigned long long>(errors.load()));
@@ -364,6 +454,17 @@ int main() {
               {{"p50_ms", zv::StrFormat("%.4f", wire_p.p50)},
                {"p99_ms", zv::StrFormat("%.4f", wire_p.p99)},
                {"sessions", std::to_string(num_sessions)}});
+  json.Record("batched_single", single_wall,
+              {{"reps", "3"}, {"sessions", std::to_string(kBatchN)}});
+  json.Record("batched_concurrent", batch_wall,
+              {{"n", std::to_string(kBatchN)},
+               {"single_ms", zv::StrFormat("%.3f", single_wall)},
+               {"ratio", zv::StrFormat("%.2f", batch_ratio)},
+               {"passes", std::to_string(batch_stats.batch_passes)},
+               {"passes_shared",
+                std::to_string(batch_stats.batch_passes_shared)},
+               {"threshold", "2.0"},
+               {"pass", batch_ratio <= 2.0 ? "yes" : "no"}});
   json.Record("wire_codec", codec_p.mean,
               {{"p99_ms", zv::StrFormat("%.4f", codec_p.p99)},
                {"warm_p50_ms", zv::StrFormat("%.4f", wire_p.p50)},

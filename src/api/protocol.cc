@@ -451,6 +451,10 @@ Json EncodeStats(const zql::ZqlStats& stats) {
           Json::Int(static_cast<int64_t>(stats.contexts_reused)));
   out.Set("chunks_scanned",
           Json::Int(static_cast<int64_t>(stats.chunks_scanned)));
+  out.Set("batched_scans",
+          Json::Int(static_cast<int64_t>(stats.batched_scans)));
+  out.Set("scans_shared",
+          Json::Int(static_cast<int64_t>(stats.scans_shared)));
   out.Set("total_ms", Json::Double(stats.total_ms));
   out.Set("exec_ms", Json::Double(stats.exec_ms));
   out.Set("compute_ms", Json::Double(stats.compute_ms));
@@ -476,6 +480,8 @@ zql::ZqlStats DecodeStats(const Json& json) {
   stats.cache_misses = u64("cache_misses");
   stats.contexts_reused = u64("contexts_reused");
   stats.chunks_scanned = u64("chunks_scanned");
+  stats.batched_scans = u64("batched_scans");
+  stats.scans_shared = u64("scans_shared");
   stats.total_ms = GetDoubleOr(json, "total_ms", 0);
   stats.exec_ms = GetDoubleOr(json, "exec_ms", 0);
   stats.compute_ms = GetDoubleOr(json, "compute_ms", 0);

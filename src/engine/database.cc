@@ -51,6 +51,43 @@ class PredicateChunkScanner : public ChunkScanner {
   std::optional<CompiledPredicate> pred_;
 };
 
+/// The generic multi-statement scanner: one prepared ChunkScanner per
+/// statement, run back-to-back over each range. No fused row loop — each
+/// part keeps whatever evaluation strategy its backend compiled (bitmap
+/// probes for Roaring) — but a shared pass still schedules all parts as
+/// one set of chunk jobs. Absorb concatenates two wrappers over the same
+/// table snapshot.
+class WrappedMultiScanner : public MultiChunkScanner {
+ public:
+  WrappedMultiScanner(const void* table_tag,
+                      std::vector<std::unique_ptr<ChunkScanner>> parts)
+      : table_tag_(table_tag), parts_(std::move(parts)) {}
+
+  size_t num_statements() const override { return parts_.size(); }
+
+  Status ScanRange(uint32_t begin, uint32_t end,
+                   std::vector<std::vector<uint32_t>>* outs) const override {
+    for (size_t i = 0; i < parts_.size(); ++i) {
+      ZV_RETURN_NOT_OK(parts_[i]->ScanRange(begin, end, &(*outs)[i]));
+    }
+    return Status::OK();
+  }
+
+  bool Absorb(std::unique_ptr<MultiChunkScanner>& other) override {
+    auto* peer = dynamic_cast<WrappedMultiScanner*>(other.get());
+    if (peer == nullptr || peer->table_tag_ != table_tag_) return false;
+    for (auto& part : peer->parts_) parts_.push_back(std::move(part));
+    other.reset();
+    return true;
+  }
+
+ private:
+  /// Identity of the table snapshot the parts were compiled against; the
+  /// parts themselves keep it alive, so equal tags mean the same snapshot.
+  const void* table_tag_;
+  std::vector<std::unique_ptr<ChunkScanner>> parts_;
+};
+
 }  // namespace
 
 Status Database::RegisterTable(std::shared_ptr<Table> table) {
@@ -86,6 +123,26 @@ Result<std::unique_ptr<ChunkScanner>> Database::PrepareChunkScan(
   }
   return std::unique_ptr<ChunkScanner>(
       new PredicateChunkScanner(std::move(table), std::move(pred)));
+}
+
+Result<std::unique_ptr<MultiChunkScanner>> Database::PrepareMultiChunkScan(
+    const std::vector<const sql::SelectStatement*>& stmts) {
+  if (stmts.empty()) {
+    return Status::InvalidArgument("empty multi-chunk scan batch");
+  }
+  ZV_ASSIGN_OR_RETURN(std::shared_ptr<Table> table, GetTable(stmts[0]->table));
+  std::vector<std::unique_ptr<ChunkScanner>> parts;
+  parts.reserve(stmts.size());
+  for (const sql::SelectStatement* stmt : stmts) {
+    if (stmt->table != stmts[0]->table) {
+      return Status::InvalidArgument("multi-chunk scan batch spans tables");
+    }
+    ZV_ASSIGN_OR_RETURN(std::unique_ptr<ChunkScanner> scanner,
+                        PrepareChunkScan(*stmt));
+    parts.push_back(std::move(scanner));
+  }
+  return std::unique_ptr<MultiChunkScanner>(
+      new WrappedMultiScanner(table.get(), std::move(parts)));
 }
 
 Result<ResultSet> Database::FinishChunkScan(const sql::SelectStatement& stmt,

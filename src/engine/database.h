@@ -51,6 +51,39 @@ class ChunkScanner {
                            std::vector<uint32_t>* out) const = 0;
 };
 
+/// \brief Several statements' WHERE clauses compiled for one shared
+/// chunk-range pass — the unit the cross-query batch queue
+/// (engine/shared_scan.h) executes.
+///
+/// Same contract as ChunkScanner, vectorized over statements: ScanRange is
+/// const and may run concurrently on disjoint ranges, and for each
+/// statement i it appends to (*outs)[i] exactly the ascending row ids that
+/// statement's own ChunkScanner would select — demultiplexing a shared
+/// pass therefore reproduces every solo scan byte-for-byte. Scanners are
+/// self-contained (they pin the table snapshot they were compiled
+/// against), so a pass may finish after the preparing query has gone away.
+class MultiChunkScanner {
+ public:
+  virtual ~MultiChunkScanner() = default;
+
+  /// Number of statements this scanner evaluates per range.
+  virtual size_t num_statements() const = 0;
+
+  /// Appends the surviving rows of [begin, end) per statement;
+  /// outs->size() must equal num_statements(). Polls the calling thread's
+  /// cancellation token at least every ~64K rows, like ChunkScanner.
+  virtual Status ScanRange(uint32_t begin, uint32_t end,
+                           std::vector<std::vector<uint32_t>>* outs) const = 0;
+
+  /// Attempts to fuse `other` into this scanner so a single ScanRange pass
+  /// evaluates both statement sets, other's lists slotted after this
+  /// one's. On success takes ownership (other is reset); returns false and
+  /// leaves `other` untouched when the two cannot share a pass (different
+  /// implementation or table snapshot). Fusion never changes any
+  /// statement's output, only how many row loops produce it.
+  virtual bool Absorb(std::unique_ptr<MultiChunkScanner>& other) = 0;
+};
+
 /// \brief Abstract SQL execution backend with instrumentation.
 class Database {
  public:
@@ -118,6 +151,17 @@ class Database {
   /// backend overrides it to reuse its bitmap indexes.
   virtual Result<std::unique_ptr<ChunkScanner>> PrepareChunkScan(
       const sql::SelectStatement& stmt);
+
+  /// Compiles a statement batch for one shared chunk-range pass over this
+  /// backend — the cross-query batching entry point (engine/shared_scan.h).
+  /// All statements must target the same table. The base implementation
+  /// wraps the per-statement PrepareChunkScan scanners, so index-aware
+  /// overrides (Roaring's bitmap scanner) are picked up automatically;
+  /// ScanDatabase overrides it with a fused evaluator that tests every
+  /// statement's predicate in a single row loop. Fails with the first
+  /// statement's compile error.
+  virtual Result<std::unique_ptr<MultiChunkScanner>> PrepareMultiChunkScan(
+      const std::vector<const sql::SelectStatement*>& stmts);
 
   /// Aggregates the merged (ascending) surviving-row list through the
   /// shared blocked runner — the same code path both backends' unsharded

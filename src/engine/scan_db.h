@@ -17,6 +17,13 @@ class ScanDatabase : public Database {
  public:
   std::string name() const override { return "scan"; }
 
+  /// Fused multi-statement chunk scan: every statement's compiled
+  /// predicate is tested inside a single row loop, so a shared pass over N
+  /// batched queries walks the column data once instead of N times. The
+  /// per-statement row lists are exactly what N solo scans would select.
+  Result<std::unique_ptr<MultiChunkScanner>> PrepareMultiChunkScan(
+      const std::vector<const sql::SelectStatement*>& stmts) override;
+
  protected:
   Result<ResultSet> ExecuteInternal(const sql::SelectStatement& stmt) override;
 };

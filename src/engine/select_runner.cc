@@ -1,6 +1,7 @@
 #include "engine/select_runner.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "common/cancel.h"
@@ -23,15 +24,37 @@ Result<SelectRunner> SelectRunner::Plan(const Table& table,
   r.aggregation_ = any_agg || !stmt.group_by.empty();
 
   // Resolve group-by columns.
-  for (const std::string& g : stmt.group_by) {
+  if (!stmt.group_bins.empty() &&
+      stmt.group_bins.size() != stmt.group_by.size()) {
+    return Status::InvalidArgument(
+        "group_bins must parallel group_by when present");
+  }
+  for (size_t gi = 0; gi < stmt.group_by.size(); ++gi) {
+    const std::string& g = stmt.group_by[gi];
     const int col = table.schema().Find(g);
     if (col < 0) {
       return Status::NotFound(
           StrFormat("unknown GROUP BY column '%s'", g.c_str()));
     }
+    const double bin = gi < stmt.group_bins.size() ? stmt.group_bins[gi] : 0;
+    if (bin < 0 || bin != bin) {
+      return Status::InvalidArgument(
+          StrFormat("invalid bin width for GROUP BY column '%s'", g.c_str()));
+    }
     r.group_cols_.push_back(col);
-    if (table.column_type(static_cast<size_t>(col)) ==
-        ColumnType::kCategorical) {
+    r.group_bin_widths_.push_back(bin);
+    if (bin > 0) {
+      // Binned keys carry computed Value tuples, so they always take the
+      // generic path regardless of the column's physical type.
+      if (table.column_type(static_cast<size_t>(col)) ==
+          ColumnType::kCategorical) {
+        return Status::InvalidArgument(StrFormat(
+            "binned GROUP BY column '%s' must be numeric", g.c_str()));
+      }
+      r.groups_categorical_ = false;
+      r.group_dict_sizes_.push_back(0);
+    } else if (table.column_type(static_cast<size_t>(col)) ==
+               ColumnType::kCategorical) {
       r.group_dict_sizes_.push_back(table.DictSize(static_cast<size_t>(col)));
     } else {
       r.groups_categorical_ = false;
@@ -186,11 +209,22 @@ void SelectRunner::Consume(size_t row) {
     }
     return;
   }
-  // Generic path: group key is a Value tuple.
+  // Generic path: group key is a Value tuple. Binned keys reduce the raw
+  // value to its bin's lower edge with exactly the client binner's
+  // arithmetic (viz/binning.cc BinVisualization) so a pushed-down binned
+  // fetch emits the same edge values the client transform would.
   std::vector<Value> key;
   key.reserve(group_cols_.size());
-  for (int col : group_cols_) {
-    key.push_back(table_->ValueAt(row, static_cast<size_t>(col)));
+  for (size_t i = 0; i < group_cols_.size(); ++i) {
+    const size_t col = static_cast<size_t>(group_cols_[i]);
+    const double w = group_bin_widths_[i];
+    if (w > 0) {
+      const int64_t bin =
+          static_cast<int64_t>(std::floor(table_->NumericAt(row, col) / w));
+      key.push_back(Value::Double(static_cast<double>(bin) * w));
+    } else {
+      key.push_back(table_->ValueAt(row, col));
+    }
   }
   auto [it, inserted] =
       generic_slots_.try_emplace(key, static_cast<uint32_t>(generic_keys_.size()));

@@ -90,6 +90,9 @@ class SelectRunner {
 
   // Aggregation state.
   std::vector<int> group_cols_;
+  /// Parallel to group_cols_: bin width per key (0 = raw grouping). Any
+  /// positive width forces the generic path (computed Value keys).
+  std::vector<double> group_bin_widths_;
   std::vector<uint64_t> group_dict_sizes_;
   /// Mixed-radix divisor per group position (suffix products of
   /// group_dict_sizes_), precomputed once at Plan() time so GroupColValue

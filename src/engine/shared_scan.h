@@ -1,0 +1,161 @@
+/// \file shared_scan.h
+/// \brief Cross-query shared scan batching: the BatchScanQueue coalesces
+/// the row-selection passes of concurrently executing queries over the
+/// same backend and table into one chunk-parallel scan pass.
+///
+/// zenvisage's interactive workload is many sessions hammering one dataset
+/// with overlapping queries; at production concurrency the redundant full
+/// scans — not the scoring — dominate (Fig. 7 at scale). The queue turns N
+/// concurrent selections into ~1 pass: callers enqueue their prepared
+/// MultiChunkScanners, a coordinator cuts a *pass* from everything waiting
+/// for the same (backend, table) group, fuses the scanners that can share
+/// a row loop (ScanDatabase tests all predicates per row; Roaring keeps
+/// its bitmap probes), fans the chunks out over a persistent worker pool,
+/// and demultiplexes per-statement row-id lists back to each caller.
+///
+/// Batching model: *group commit*. With the default window of 0 a lone
+/// query is never delayed — its pass is cut immediately — but any queries
+/// that arrive while a pass is executing pile up and form the next pass
+/// together, which under concurrency is exactly where the sharing comes
+/// from. A positive ZV_BATCH_WINDOW_MS additionally holds the pass open
+/// that long after the first member arrives, trading first-query latency
+/// for wider sharing (useful when queries trickle in over a slow client).
+///
+/// Determinism contract: selection stays in the scan (each statement's
+/// rows are exactly its solo ChunkScanner's, concatenated in chunk order)
+/// and aggregation stays with the caller (FinishChunkScan's blocked
+/// runner, a pure function of table size) — so batched results are
+/// byte-identical to the unbatched oracle at any worker count, window,
+/// chunk size, or co-tenancy (tests/batch_test.cc locks the matrix).
+///
+/// Cancellation: a caller whose token fires while waiting abandons its
+/// request and returns kCancelled; the pass (and every sibling) completes
+/// unaffected — requests are self-contained (scanners pin their table
+/// snapshot), so delivery into an abandoned request is harmless. An
+/// epoch bump (QueryService::ReplaceDataset) swaps in a fresh Database,
+/// i.e. a fresh group key: in-flight queries finish against the snapshot
+/// they hold, new queries form new groups, and the two never share a pass.
+///
+/// Thread-safety: all public methods are thread-safe. The queue must
+/// outlive every thread that may be blocked in SelectRows (the serving
+/// layer destroys it only after joining its workers).
+
+#ifndef ZV_ENGINE_SHARED_SCAN_H_
+#define ZV_ENGINE_SHARED_SCAN_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/chunk_map.h"
+#include "engine/database.h"
+
+namespace zv {
+
+struct BatchScanOptions {
+  /// Batching window in milliseconds (see file comment). Negative resolves
+  /// the ZV_BATCH_WINDOW_MS environment variable, default 0 (group
+  /// commit: coalesce only work already waiting, never delay a lone
+  /// query).
+  double window_ms = -1;
+  /// Scan worker pool size; 0 = min(4, hardware concurrency). The
+  /// coordinator thread also scans, so even workers=0 would make progress.
+  size_t workers = 0;
+};
+
+/// \brief The shared-scan coordinator. One instance serves every session
+/// of a QueryService; executors reach it through ZqlOptions::batch_scans.
+class BatchScanQueue {
+ public:
+  explicit BatchScanQueue(BatchScanOptions options = {});
+  ~BatchScanQueue();
+
+  BatchScanQueue(const BatchScanQueue&) = delete;
+  BatchScanQueue& operator=(const BatchScanQueue&) = delete;
+
+  /// What one SelectRows call got back from its pass.
+  struct Selection {
+    Status status = Status::OK();
+    /// Per statement: the ascending surviving-row list, identical to what
+    /// the statement's solo chunk scan would select. Empty on error.
+    std::vector<std::vector<uint32_t>> rows;
+    /// Chunk sub-scans attributable to this call (chunks × statements,
+    /// matching the per-statement accounting of the sharded path).
+    uint64_t chunks_scanned = 0;
+    /// Wall time of the covering pass (shared by every member).
+    double scan_ms = 0;
+    /// True when the pass also carried statements from other SelectRows
+    /// calls — the redundant scans actually eliminated.
+    bool shared = false;
+  };
+
+  /// Runs the statements' row selection through the shared-scan
+  /// coordinator. Prepares the scanners on the calling thread (so `db`
+  /// only needs to be alive here, not for the pass), enqueues, and blocks
+  /// until the covering pass completes — or until the calling thread's
+  /// cancellation token fires, in which case the request is abandoned
+  /// (status kCancelled) and its pass, if any, completes without it.
+  /// Statements must all target `table`. An empty table (0 chunks)
+  /// returns empty row lists without a pass.
+  Selection SelectRows(Database* db, const std::string& table,
+                       const std::vector<const sql::SelectStatement*>& stmts);
+
+  /// --- Monitoring ------------------------------------------------------
+  uint64_t passes() const { return passes_.load(std::memory_order_relaxed); }
+  uint64_t shared_passes() const {
+    return shared_passes_.load(std::memory_order_relaxed);
+  }
+  uint64_t statements_served() const {
+    return statements_.load(std::memory_order_relaxed);
+  }
+  double window_ms() const { return window_ms_; }
+  size_t workers() const { return num_workers_; }
+
+ private:
+  struct Request;
+  struct Pass;
+
+  void EnsureThreadsLocked();
+  void CoordinatorMain();
+  void WorkerMain();
+  /// Executes one pass over `members` (no queue lock held). Fills each
+  /// member's results; the caller marks them done under the lock.
+  void ExecutePass(const std::vector<std::shared_ptr<Request>>& members);
+  /// Claims and runs jobs of `pass` until none remain.
+  static void RunJobs(Pass* pass);
+
+  double window_ms_ = 0;
+  size_t num_workers_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< wakes the coordinator
+  std::condition_variable done_cv_;  ///< wakes callers whose request finished
+  std::deque<std::shared_ptr<Request>> pending_;
+  bool stop_ = false;
+  bool threads_started_ = false;
+  std::thread coordinator_;
+  std::vector<std::thread> workers_;
+
+  /// Pass hand-off to the workers: a generation counter plus the shared
+  /// pass object. Workers re-check the generation after each pass, so a
+  /// pass is never scanned twice by the same worker.
+  std::shared_ptr<Pass> current_pass_;
+  uint64_t pass_gen_ = 0;
+  std::condition_variable pass_cv_;
+
+  std::atomic<uint64_t> passes_{0};
+  std::atomic<uint64_t> shared_passes_{0};
+  std::atomic<uint64_t> statements_{0};
+};
+
+}  // namespace zv
+
+#endif  // ZV_ENGINE_SHARED_SCAN_H_

@@ -180,9 +180,15 @@ QueryService::QueryService(ServiceOptions options)
       clock_(options.clock != nullptr ? options.clock : Clock::System()),
       result_cache_(ResolveCacheBytes(options.cache_mb) / 4 * 3),
       context_cache_(ResolveCacheBytes(options.cache_mb) / 4),
+      context_pool_(&context_cache_),
       sessions_(clock_, options.session_ttl_ms) {
   base_zql_.sql_trace = nullptr;  // executors run concurrently
   if (result_cache_.max_bytes_total() == 0) result_cache_enabled_ = false;
+  if (options.shared_scans) {
+    BatchScanOptions bopts;
+    bopts.window_ms = options.batch_window_ms;
+    batch_scans_ = std::make_unique<BatchScanQueue>(bopts);
+  }
   current_.resize(max_inflight_);
   workers_.reserve(max_inflight_);
   for (size_t i = 0; i < max_inflight_; ++i) {
@@ -523,6 +529,10 @@ void QueryService::RunTask(const std::shared_ptr<QueryTask>& task) {
   if (context_cache_.max_bytes_total() > 0) {
     opts.context_cache = &context_cache_;
   }
+  // The pool deduplicates in-flight builds even when the cache budget is
+  // 0 (its cache probe just never hits).
+  opts.context_pool = &context_pool_;
+  if (batch_scans_ != nullptr) opts.batch_scans = batch_scans_.get();
   if (task->opt_override.has_value()) {
     opts.optimization = *task->opt_override;
   }
@@ -615,6 +625,11 @@ ServiceStats QueryService::stats() const {
   s.cache_hits = result_cache_.hits();
   s.cache_misses = result_cache_.misses();
   s.contexts_reused = contexts_reused_.load(std::memory_order_relaxed);
+  if (batch_scans_ != nullptr) {
+    s.batch_passes = batch_scans_->passes();
+    s.batch_passes_shared = batch_scans_->shared_passes();
+    s.batch_statements = batch_scans_->statements_served();
+  }
   s.result_cache_bytes = result_cache_.bytes();
   s.result_cache_entries = result_cache_.entries();
   s.context_cache_bytes = context_cache_.bytes();

@@ -26,12 +26,20 @@
 ///    max_queue wait; past that Submit() returns kUnavailable immediately
 ///    instead of queueing unboundedly (fail fast beats convoying an
 ///    interactive UI).
+///  - Shared scans (engine/shared_scan.h): concurrent queries over the
+///    same dataset snapshot coalesce their row-selection passes into one
+///    chunk-parallel scan (docs/architecture.md "Batched execution"),
+///    byte-identically to per-query scans.
+///  - ScoringContextPool (tasks/context_pool.h): single-flight context
+///    builds across the workers, feeding the ContextCache.
 ///
 /// Knobs (constructor options override; 0 / unset falls back to env):
-///   ZV_CACHE_MB      total cache budget, MB (default 64; 3/4 results,
-///                    1/4 contexts; 0 disables both caches)
-///   ZV_MAX_INFLIGHT  concurrent executing queries (default 4)
-///   ZV_MAX_QUEUE     waiting queries before kUnavailable (default 32)
+///   ZV_CACHE_MB          total cache budget, MB (default 64; 3/4 results,
+///                        1/4 contexts; 0 disables both caches)
+///   ZV_MAX_INFLIGHT      concurrent executing queries (default 4)
+///   ZV_MAX_QUEUE         waiting queries before kUnavailable (default 32)
+///   ZV_BATCH_WINDOW_MS   shared-scan group-commit window (default 0:
+///                        coalesce only work already waiting)
 
 #ifndef ZV_SERVER_QUERY_SERVICE_H_
 #define ZV_SERVER_QUERY_SERVICE_H_
@@ -51,9 +59,11 @@
 #include "common/clock.h"
 #include "common/status.h"
 #include "engine/database.h"
+#include "engine/shared_scan.h"
 #include "server/result_cache.h"
 #include "server/session.h"
 #include "tasks/context_cache.h"
+#include "tasks/context_pool.h"
 #include "zql/executor.h"
 
 namespace zv::server {
@@ -73,6 +83,12 @@ struct ServiceOptions {
   /// Serve repeat queries from the ResultCache (tests disable this to
   /// isolate ContextCache effects while keeping the budget).
   bool result_cache = true;
+  /// Route concurrent queries' row selections through one shared scan
+  /// pass (engine/shared_scan.h); false = a private scan per query.
+  bool shared_scans = true;
+  /// Shared-scan group-commit window, ms; negative = resolve from
+  /// ZV_BATCH_WINDOW_MS (default 0 — never delay a lone query).
+  double batch_window_ms = -1;
   /// Idle sessions expire after this long; <= 0 never expires.
   int64_t session_ttl_ms = 10 * 60 * 1000;
   /// Time source for TTLs (tests inject ManualClock); null = system.
@@ -89,6 +105,9 @@ struct ServiceStats {
   uint64_t cache_hits = 0;  ///< ResultCache
   uint64_t cache_misses = 0;
   uint64_t contexts_reused = 0;  ///< ScoringContext dedupe + cache hits
+  uint64_t batch_passes = 0;         ///< shared-scan passes executed
+  uint64_t batch_passes_shared = 0;  ///< …that carried >1 query's work
+  uint64_t batch_statements = 0;     ///< statements served by those passes
   size_t sessions = 0;
   size_t in_flight = 0;
   size_t queued = 0;
@@ -266,6 +285,12 @@ class QueryService {
 
   ResultCache result_cache_;
   ContextCache context_cache_;
+  /// Single-flight ScoringContext builds across workers (wraps the cache).
+  ScoringContextPool context_pool_;
+  /// Cross-query shared-scan coordinator; null when shared_scans is off.
+  /// Destroyed after the workers join (dtor body), so no caller can still
+  /// be blocked in SelectRows when it goes down.
+  std::unique_ptr<BatchScanQueue> batch_scans_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;

@@ -168,6 +168,7 @@ SelectStatement& SelectStatement::operator=(const SelectStatement& other) {
   table = other.table;
   where = other.where ? other.where->Clone() : nullptr;
   group_by = other.group_by;
+  group_bins = other.group_bins;
   order_by = other.order_by;
   limit = other.limit;
   return *this;
@@ -179,7 +180,21 @@ std::string SelectStatement::ToSql() const {
   for (const auto& item : items) cols.push_back(item.DisplayName());
   std::string sql = "SELECT " + Join(cols, ", ") + " FROM " + table;
   if (where) sql += " WHERE " + where->ToSql();
-  if (!group_by.empty()) sql += " GROUP BY " + Join(group_by, ", ");
+  if (!group_by.empty()) {
+    std::vector<std::string> keys;
+    keys.reserve(group_by.size());
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i < group_bins.size() && group_bins[i] > 0) {
+        // Engine-internal binned key: rendered distinctly so statements
+        // differing only in bin width never collide in logs/fingerprints.
+        keys.push_back(StrFormat("BIN(%s, %g)", group_by[i].c_str(),
+                                 group_bins[i]));
+      } else {
+        keys.push_back(group_by[i]);
+      }
+    }
+    sql += " GROUP BY " + Join(keys, ", ");
+  }
   if (!order_by.empty()) {
     std::vector<std::string> keys;
     keys.reserve(order_by.size());

@@ -78,6 +78,13 @@ struct SelectStatement {
   std::string table;
   std::unique_ptr<Expr> where;  ///< may be null
   std::vector<std::string> group_by;
+  /// When non-empty, parallel to `group_by`: a positive entry bins that
+  /// (numeric) key column by width — rows group by the bin's lower edge
+  /// `floor(v / w) * w`, which is also the value the key column emits —
+  /// and 0 groups by the raw value as usual. Engine-side form of
+  /// viz/binning.h, produced by the ZQL layer's binning pushdown; the
+  /// text parser does not produce it.
+  std::vector<double> group_bins;
   std::vector<OrderKey> order_by;
   int64_t limit = -1;  ///< -1 = no limit
 

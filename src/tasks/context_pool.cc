@@ -1,0 +1,81 @@
+#include "tasks/context_pool.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/cancel.h"
+
+namespace zv {
+
+namespace {
+
+/// How often a waiting caller re-checks its cancellation token; the wait
+/// is otherwise event-driven (the builder notifies on completion).
+constexpr std::chrono::milliseconds kCancelPollInterval{2};
+
+}  // namespace
+
+std::shared_ptr<const ScoringContext> ScoringContextPool::GetOrBuild(
+    const std::string& fingerprint, const Builder& build, bool* reused) {
+  if (reused != nullptr) *reused = false;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (cache_ != nullptr) {
+      // Cache probe under the pool lock: cheap (sharded LRU lookup), and
+      // it closes the window where a finished build has landed in the
+      // cache but its in-flight entry is already gone.
+      std::shared_ptr<const ScoringContext> cached = cache_->Get(fingerprint);
+      if (cached != nullptr) {
+        if (reused != nullptr) *reused = true;
+        return cached;
+      }
+    }
+    auto it = in_flight_.find(fingerprint);
+    if (it == in_flight_.end()) break;  // become the builder
+    // Someone is building this fingerprint right now: wait for their
+    // round to finish, polling our own cancellation.
+    const std::shared_ptr<InFlight> entry = it->second;
+    while (!entry->done) {
+      cv_.wait_for(lock, kCancelPollInterval);
+      if (entry->done) break;
+      if (CancellationRequested()) return nullptr;
+    }
+    if (entry->ctx != nullptr) {
+      ++waits_shared_;
+      if (reused != nullptr) *reused = true;
+      return entry->ctx;
+    }
+    // The builder's round produced nothing (it was cancelled mid-build):
+    // loop to re-elect — possibly us this time.
+  }
+
+  const auto entry = std::make_shared<InFlight>();
+  in_flight_[fingerprint] = entry;
+  lock.unlock();
+  std::shared_ptr<const ScoringContext> ctx = build();
+  lock.lock();
+  entry->done = true;
+  entry->ctx = ctx;
+  // Erase our round so the next miss elects a fresh builder; waiters hold
+  // the entry by shared_ptr and read its result regardless.
+  auto it = in_flight_.find(fingerprint);
+  if (it != in_flight_.end() && it->second == entry) in_flight_.erase(it);
+  if (ctx != nullptr) {
+    ++builds_;
+    if (cache_ != nullptr) cache_->Put(fingerprint, ctx);
+  }
+  cv_.notify_all();
+  return ctx;
+}
+
+uint64_t ScoringContextPool::builds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return builds_;
+}
+
+uint64_t ScoringContextPool::waits_shared() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waits_shared_;
+}
+
+}  // namespace zv

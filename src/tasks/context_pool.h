@@ -1,0 +1,86 @@
+/// \file context_pool.h
+/// \brief Single-flight ScoringContext construction across concurrent
+/// queries — the in-flight generalization of ContextCache.
+///
+/// The cache (tasks/context_cache.h) deduplicates *completed* builds; it
+/// does nothing for the thundering-herd case the serving layer actually
+/// sees, where N sessions fire the same exploration query within one
+/// window and all N miss, then all N build the same alignment matrix. The
+/// pool closes that gap: the first caller for a fingerprint becomes the
+/// builder, concurrent callers for the same fingerprint block and share
+/// the built context, and the result lands in the cache (when one is
+/// attached) for later queries.
+///
+/// Sharing is bit-exact for the same reason cache reuse is: fingerprints
+/// (ScoringSetFingerprint) cover candidate identity, fetched data, and
+/// scoring configuration, so two queries with equal fingerprints would
+/// have built byte-identical contexts anyway.
+///
+/// Thread-safe. A caller cancelled while waiting gets nullptr back and
+/// should build locally (its query is about to observe the cancel at the
+/// next poll anyway); a builder never blocks on anyone.
+
+#ifndef ZV_TASKS_CONTEXT_POOL_H_
+#define ZV_TASKS_CONTEXT_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "tasks/context_cache.h"
+
+namespace zv {
+
+class ScoringContextPool {
+ public:
+  /// `cache` (optional) receives completed builds and answers lookups
+  /// first; it must outlive the pool. Without a cache the pool still
+  /// deduplicates concurrent in-flight builds.
+  explicit ScoringContextPool(ContextCache* cache = nullptr)
+      : cache_(cache) {}
+
+  ScoringContextPool(const ScoringContextPool&) = delete;
+  ScoringContextPool& operator=(const ScoringContextPool&) = delete;
+
+  /// The context builder: runs at most once per GetOrBuild round, outside
+  /// the pool lock, on the electing caller's thread. May return nullptr
+  /// (the build observed cancellation); waiters then re-elect.
+  using Builder =
+      std::function<std::shared_ptr<const ScoringContext>()>;
+
+  /// Returns the context for `fingerprint` — from the cache, from a
+  /// concurrent builder, or by running `build` on this thread. `reused`
+  /// (optional) is set true when the context arrived without this thread
+  /// building it. Returns nullptr only when this caller was cancelled
+  /// while waiting (or its own build returned nullptr).
+  std::shared_ptr<const ScoringContext> GetOrBuild(
+      const std::string& fingerprint, const Builder& build,
+      bool* reused = nullptr);
+
+  /// --- Monitoring ------------------------------------------------------
+  uint64_t builds() const;
+  uint64_t waits_shared() const;  ///< calls served by a concurrent builder
+
+ private:
+  struct InFlight {
+    bool done = false;
+    std::shared_ptr<const ScoringContext> ctx;
+  };
+
+  ContextCache* cache_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  /// Fingerprint -> the build currently in flight. Entries are erased by
+  /// their builder on completion; waiters keep theirs alive via
+  /// shared_ptr, so a late waiter of a finished round simply retries.
+  std::map<std::string, std::shared_ptr<InFlight>> in_flight_;
+  uint64_t builds_ = 0;
+  uint64_t waits_shared_ = 0;
+};
+
+}  // namespace zv
+
+#endif  // ZV_TASKS_CONTEXT_POOL_H_

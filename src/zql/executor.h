@@ -40,6 +40,11 @@
 #include "viz/visualization.h"
 #include "zql/ast.h"
 
+namespace zv {
+class BatchScanQueue;      // engine/shared_scan.h
+class ScoringContextPool;  // tasks/context_pool.h
+}  // namespace zv
+
 namespace zv::zql {
 
 enum class OptLevel { kNoOpt, kIntraLine, kIntraTask, kInterTask };
@@ -113,6 +118,37 @@ struct ZqlOptions {
   /// when chunk scans wait on a remote store); 1 disables sharding. A pure execution strategy: results are byte-identical at
   /// any setting (tests/shard_test.cc locks the matrix).
   size_t shards = 0;
+  /// Cross-query shared-scan batching (docs/architecture.md "Batched
+  /// execution"): when set, every flush's row selection is routed through
+  /// this queue (engine/shared_scan.h), which coalesces compatible
+  /// statements from concurrently executing queries over the same backend
+  /// and table into one shared chunk pass — the serving layer wires the
+  /// QueryService's queue in here. Selection stays in the scan and
+  /// aggregation in the table-size-pure blocked runner, so results are
+  /// byte-identical to the unbatched schedules regardless of which
+  /// queries happen to share a pass (tests/batch_test.cc locks the
+  /// matrix). Ignored for tables without a chunk map.
+  BatchScanQueue* batch_scans = nullptr;
+  /// Single-flight ScoringContext construction across concurrent queries
+  /// (tasks/context_pool.h): when set, context acquisition goes through
+  /// the pool, which lets the first query for a fingerprint build while
+  /// identical concurrent requests wait and share the result, layered in
+  /// front of the optional context_cache. Reuse is bit-exact for the same
+  /// reason the cache's is: fingerprints cover identity, data, and
+  /// configuration.
+  ScoringContextPool* context_pool = nullptr;
+  /// Binning pushdown: viz specs that bin the x axis aggregate inside the
+  /// backend scan (GROUP BY the bin's lower edge) instead of fetching
+  /// every raw row and binning client-side — fetched volume drops from
+  /// O(rows) to O(bins). Bin edges, ordering, and aggregate semantics
+  /// match the client-side binner exactly; for float-valued measures the
+  /// summation *order* differs (blocked scan order vs fetched-row order),
+  /// so sums can differ in final ulps between on and off. Each setting is
+  /// individually deterministic across threads/shards/schedules/batching,
+  /// and integer measures are exact either way (tests/batch_test.cc locks
+  /// on/off identity on integer data). Box-plot specs always bin
+  /// client-side (they need the raw rows).
+  bool binning_pushdown = true;
 };
 
 /// \brief Execution instrumentation for the Chapter 7 experiments.
@@ -156,6 +192,14 @@ struct ZqlStats {
   /// stay 0 when sharding is off or the table fits in one chunk.
   uint64_t chunks_scanned = 0;
   double shard_ms = 0;
+  /// Shared-scan batching instrumentation (ZqlOptions::batch_scans):
+  /// batched_scans counts this query's statements whose row selection ran
+  /// through the cross-query batch queue; scans_shared is the subset whose
+  /// scan pass also carried statements from other concurrent queries — the
+  /// redundant table passes actually eliminated. Both stay 0 when batching
+  /// is off (or the table has no chunk map).
+  uint64_t batched_scans = 0;
+  uint64_t scans_shared = 0;
 };
 
 struct ZqlOutput {

@@ -10,6 +10,7 @@
 #include "common/parallel.h"
 #include "common/strings.h"
 #include "sql/parser.h"
+#include "tasks/context_pool.h"
 #include "tasks/topk.h"
 #include "viz/binning.h"
 
@@ -391,8 +392,9 @@ Status ResolveSpecDefaults(const AxisValue& xv, const AxisValue& yv,
               spec->chart == ChartType::kDotPlot)) {
     spec->y_agg = def.y_agg;
   }
-  // Binned x axes aggregate client-side (see viz/binning.h): fetch raw.
-  if (spec->x_bin > 0) spec->y_agg = spec->y_agg;  // keep for binner
+  // Binned x axes keep their y_agg: it applies per bin — engine-side when
+  // the binning pushdown is active (BuildStatement), else in
+  // viz/binning.cc over the raw fetch.
   return Status::OK();
 }
 
@@ -401,7 +403,26 @@ Status BuildStatement(PendingFetch* pf, const std::string& constraints,
   sql::SelectStatement& stmt = pf->stmt;
   stmt.table = st.table_name;
   const bool binned = pf->spec.x_bin > 0;
-  const bool aggregated = pf->aggregated && !binned;
+  // Binning pushdown: a binned single-attribute numeric x axis can group
+  // in the engine — GROUP BY the bin edge (SelectStatement::group_bins)
+  // instead of fetching every raw row and re-aggregating client-side in
+  // viz/binning.cc. Box charts always fetch raw (the five-number summary
+  // needs every point), and categorical/composite x axes keep the client
+  // binner, which knows how to skip non-numeric labels.
+  bool push_bin = false;
+  if (binned && st.opts->binning_pushdown &&
+      pf->spec.chart != ChartType::kBox && pf->x_attrs.size() == 1) {
+    const int xc = st.table->schema().Find(pf->x_attrs[0]);
+    push_bin = xc >= 0 && st.table->column_type(static_cast<size_t>(xc)) !=
+                              ColumnType::kCategorical;
+  }
+  pf->bin_pushed = push_bin;
+  const bool aggregated = (pf->aggregated && !binned) || push_bin;
+  // The client binner treats an unaggregated y as SUM-per-bin; the pushed
+  // statement must aggregate the same way.
+  const sql::AggFunc eff_agg =
+      push_bin && pf->spec.y_agg == sql::AggFunc::kNone ? sql::AggFunc::kSum
+                                                        : pf->spec.y_agg;
 
   for (const std::string& xa : pf->x_attrs) stmt.items.push_back({xa, {}});
   for (const std::string& za : pf->varying_z_attrs) {
@@ -419,7 +440,7 @@ Status BuildStatement(PendingFetch* pf, const std::string& constraints,
   for (const std::string& ya : y_attrs) {
     sql::SelectItem item;
     item.column = ya;
-    item.agg = aggregated ? pf->spec.y_agg : sql::AggFunc::kNone;
+    item.agg = aggregated ? eff_agg : sql::AggFunc::kNone;
     pf->y_columns[ya] = item.DisplayName();
     stmt.items.push_back(std::move(item));
   }
@@ -443,6 +464,11 @@ Status BuildStatement(PendingFetch* pf, const std::string& constraints,
     for (const std::string& xa : pf->x_attrs) stmt.group_by.push_back(xa);
     for (const std::string& za : pf->varying_z_attrs) {
       stmt.group_by.push_back(za);
+    }
+    if (push_bin) {
+      // Bin width for the x key (position 0); z keys group plainly.
+      stmt.group_bins.assign(stmt.group_by.size(), 0);
+      stmt.group_bins[0] = pf->spec.x_bin;
     }
   }
   for (const std::string& za : pf->varying_z_attrs) {
@@ -666,12 +692,13 @@ Status RouteFetch(const PendingFetch& pf, const ResultSet& rs, ExecState* st) {
   }
   // Client-side statistical transformations: bin(w) binning and box-plot
   // five-number summarization (both operate on raw fetched points).
-  if (pf.spec.x_bin > 0 || pf.spec.chart == ChartType::kBox) {
+  const bool client_bin = pf.spec.x_bin > 0 && !pf.bin_pushed;
+  if (client_bin || pf.spec.chart == ChartType::kBox) {
     std::set<size_t> positions;
     for (const auto& m : pf.members) positions.insert(m.position);
     for (size_t p : positions) {
       Visualization& viz = pf.comp->visuals[p];
-      if (pf.spec.x_bin > 0) viz = BinVisualization(viz);
+      if (client_bin) viz = BinVisualization(viz);
       if (pf.spec.chart == ChartType::kBox && !pf.aggregated) {
         viz = BoxPlotSummarize(viz);
       }
@@ -1116,6 +1143,28 @@ void PrepareScoring(const ProcessDecl& decl, ExecState* st) {
     st->scoring_ctx = it->second;
     ++st->stats.contexts_reused;
     return;
+  }
+  if (st->opts->context_pool != nullptr) {
+    // Single-flight across concurrent queries (tasks/context_pool.h): at
+    // most one of N same-fingerprint queries builds; the rest share. The
+    // pool probes and feeds the serving layer's cache itself.
+    bool reused = false;
+    auto ctx = st->opts->context_pool->GetOrBuild(
+        key,
+        [&]() -> std::shared_ptr<const ScoringContext> {
+          if (CancellationRequested()) return nullptr;
+          return std::make_shared<const ScoringContext>(
+              pool, topts.normalization, topts.alignment);
+        },
+        &reused);
+    if (ctx != nullptr) {
+      st->scoring_ctx = std::move(ctx);
+      st->query_contexts[key] = st->scoring_ctx;
+      if (reused) ++st->stats.contexts_reused;
+      return;
+    }
+    // Cancelled while waiting on another query's build: fall through to
+    // the local build — the cancel surfaces at the next scoring poll.
   }
   if (st->opts->context_cache != nullptr) {
     if (auto cached = st->opts->context_cache->Get(key)) {

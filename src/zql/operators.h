@@ -97,6 +97,10 @@ struct PendingFetch {
   /// For each varying attribute, the distinct values to fetch.
   std::vector<std::vector<Value>> varying_z_values;
   bool aggregated = true;
+  /// True when a binned x axis (spec.x_bin) was pushed into the statement
+  /// as an engine-side GROUP BY over bin edges (sql::SelectStatement::
+  /// group_bins); routing then skips the client-side binner.
+  bool bin_pushed = false;
   struct Member {
     size_t position;
     std::string z_key;

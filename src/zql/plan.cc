@@ -316,6 +316,7 @@ Result<PhysicalPlan> BuildPhysicalPlan(const ZqlQuery& query,
   plan.optimization = options.optimization;
   plan.pipelined = options.pipelined_execution;
   plan.shard_workers = ResolveShardWorkers(options);
+  plan.shared_scans = options.batch_scans != nullptr;
   PlanEmitter emit(&plan);
 
   if (options.optimization == OptLevel::kInterTask) {
@@ -393,6 +394,9 @@ std::string PhysicalPlan::Render(const ZqlQuery& query,
           detail += StrFormat(", chunks=%zu, shards=%zu", table_chunks,
                               std::min(shard_workers, table_chunks));
         }
+        // Row selection goes through the cross-query batch queue; whether
+        // a pass is actually shared depends on run-time co-tenancy.
+        if (shared_scans) detail += ", shared-scan";
         out += StrFormat("  %-15s%s  [%s]\n", "FetchOp", name.c_str(),
                          detail.c_str());
         break;

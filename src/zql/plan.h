@@ -67,6 +67,11 @@ struct PhysicalPlan {
   /// engages depends on the table's chunk count, which the scheduler
   /// resolves at run time — a plan never touches data.
   size_t shard_workers = 1;
+  /// True when the option set routes row selection through a cross-query
+  /// BatchScanQueue (ZqlOptions::batch_scans). Structural, like
+  /// shard_workers: whether a given flush actually shares its pass with
+  /// another query is decided by co-tenancy at run time.
+  bool shared_scans = false;
 
   /// EXPLAIN rendering: the operator tree, one line per operator, grouped
   /// by stage, with each ScoreOp annotated with its scoring path (batch

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/cancel.h"
+#include "engine/shared_scan.h"
 
 namespace zv::zql::exec {
 
@@ -17,12 +18,19 @@ PipelineScheduler::PipelineScheduler(const PhysicalPlan& plan,
                                      const ZqlQuery& query, ExecState* st)
     : plan_(plan), query_(query), st_(st) {
   cancel_flag_ = CurrentCancelFlag();
-  // Resolve the fan-out once per query: the plan's requested worker count
-  // against the table's chunk catalog. Single-chunk (or empty) tables and
-  // shards<=1 run the plain unsharded path.
-  if (plan.shard_workers > 1 && st->db != nullptr) {
+  // Resolve the scan strategy once per query against the table's chunk
+  // catalog. Cross-query batching engages for any non-empty chunked table
+  // (the queue is chunk-parallel on its own, so it supersedes the
+  // per-query shard pool); otherwise sharding engages when the plan wants
+  // >1 worker and the table splits into >=2 chunks; otherwise the plain
+  // unsharded path runs.
+  if (st->db != nullptr) {
     Result<ChunkMap> map = st->db->GetChunkMap(st->table_name);
-    if (map.ok() && map.value().num_chunks() >= 2) {
+    if (map.ok() && map.value().num_chunks() >= 1 &&
+        st->opts->batch_scans != nullptr) {
+      batch_queue_ = st->opts->batch_scans;
+    } else if (map.ok() && map.value().num_chunks() >= 2 &&
+               plan.shard_workers > 1) {
       chunk_map_ = map.value();
       shard_workers_ = plan.shard_workers;
       sharded_ = true;
@@ -138,6 +146,8 @@ Status PipelineScheduler::StepFlush() {
   double scan_ms = 0;
   uint64_t chunks_scanned = 0;
   double shard_ms = 0;
+  uint64_t batched_scans = 0;
+  uint64_t scans_shared = 0;
   RunBatch(
       stmts, batched,
       [&](size_t i, Result<ResultSet> rs) {
@@ -148,11 +158,13 @@ Status PipelineScheduler::StepFlush() {
         first_error = RouteFetch(pending[i], rs.value(), st_);
         return first_error.ok();
       },
-      &scan_ms, &chunks_scanned, &shard_ms);
+      &scan_ms, &chunks_scanned, &shard_ms, &batched_scans, &scans_shared);
   st_->stats.fetch_ms += scan_ms;
   st_->stats.exec_ms += MsSince(t0);
   st_->stats.chunks_scanned += chunks_scanned;
   st_->stats.shard_ms += shard_ms;
+  st_->stats.batched_scans += batched_scans;
+  st_->stats.scans_shared += scans_shared;
   return first_error;
 }
 
@@ -183,6 +195,8 @@ Status PipelineScheduler::DrainUpTo(size_t limit_tag) {
     st_->stats.fetch_ms += item.scan_ms;
     st_->stats.chunks_scanned += item.chunks_scanned;
     st_->stats.shard_ms += item.shard_ms;
+    st_->stats.batched_scans += item.batched_scans;
+    st_->stats.scans_shared += item.scans_shared;
     if (!item.result.ok()) return item.result.status();
     const auto t0 = std::chrono::steady_clock::now();
     const Status routed = RouteFetch(pf, item.result.value(), st_);
@@ -216,6 +230,10 @@ void PipelineScheduler::FetchWorkerMain() {
       uint64_t chunks_last = 0;
       double shard_total = 0;
       double shard_last = 0;
+      uint64_t batched_total = 0;
+      uint64_t batched_last = 0;
+      uint64_t shared_total = 0;
+      uint64_t shared_last = 0;
       RunBatch(
           job.stmts, job.batched,
           [&](size_t, Result<ResultSet> rs) {
@@ -228,6 +246,10 @@ void PipelineScheduler::FetchWorkerMain() {
             chunks_last = chunks_total;
             item.shard_ms = shard_total - shard_last;
             shard_last = shard_total;
+            item.batched_scans = batched_total - batched_last;
+            batched_last = batched_total;
+            item.scans_shared = shared_total - shared_last;
+            shared_last = shared_total;
             results_->Push(std::move(item));
             ++produced;
             // Stop at the first failed statement (matching the staged
@@ -236,7 +258,8 @@ void PipelineScheduler::FetchWorkerMain() {
             return ok && !abandon_.load(std::memory_order_relaxed) &&
                    !CancellationRequested();
           },
-          &scan_total, &chunks_total, &shard_total);
+          &scan_total, &chunks_total, &shard_total, &batched_total,
+          &shared_total);
     }
     // Exactly one item per statement, always: statements skipped by an
     // early stop yield placeholders so the coordinator's accounting (one
@@ -252,7 +275,13 @@ void PipelineScheduler::FetchWorkerMain() {
 void PipelineScheduler::RunBatch(
     const std::vector<sql::SelectStatement>& stmts, bool batched,
     const std::function<bool(size_t, Result<ResultSet>)>& sink,
-    double* scan_ms, uint64_t* chunks_scanned, double* shard_ms) {
+    double* scan_ms, uint64_t* chunks_scanned, double* shard_ms,
+    uint64_t* batched_scans, uint64_t* scans_shared) {
+  if (batch_queue_ != nullptr) {
+    RunBatchShared(stmts, batched, sink, scan_ms, chunks_scanned,
+                   batched_scans, scans_shared);
+    return;
+  }
   if (!sharded_) {
     st_->db->ScanBatch(stmts, batched, sink, scan_ms);
     return;
@@ -267,6 +296,42 @@ void PipelineScheduler::RunBatch(
     const auto t0 = std::chrono::steady_clock::now();
     Result<ResultSet> rs = ExecuteSharded(stmts[i], chunks_scanned, shard_ms);
     if (scan_ms != nullptr) *scan_ms += MsSince(t0);
+    if (!sink(i, std::move(rs))) return;
+  }
+}
+
+void PipelineScheduler::RunBatchShared(
+    const std::vector<sql::SelectStatement>& stmts, bool batched,
+    const std::function<bool(size_t, Result<ResultSet>)>& sink,
+    double* scan_ms, uint64_t* chunks_scanned, uint64_t* batched_scans,
+    uint64_t* scans_shared) {
+  // Accounting mirrors ScanBatch exactly: batched = one round trip for
+  // the whole flush, counted up front; unbatched = one per statement,
+  // stopped by an early sink exit. The shared pass changes how rows are
+  // *selected*, never what a round trip means.
+  if (batched) st_->db->AccountRequest(stmts.size());
+  std::vector<const sql::SelectStatement*> ptrs;
+  ptrs.reserve(stmts.size());
+  for (const sql::SelectStatement& stmt : stmts) ptrs.push_back(&stmt);
+  const auto t0 = std::chrono::steady_clock::now();
+  BatchScanQueue::Selection sel =
+      batch_queue_->SelectRows(st_->db, st_->table_name, ptrs);
+  if (scan_ms != nullptr) *scan_ms += MsSince(t0);
+  if (chunks_scanned != nullptr) *chunks_scanned += sel.chunks_scanned;
+  if (batched_scans != nullptr) *batched_scans += stmts.size();
+  if (scans_shared != nullptr && sel.shared) *scans_shared += stmts.size();
+  for (size_t i = 0; i < stmts.size(); ++i) {
+    if (!batched) st_->db->AccountRequest(1);
+    if (!sel.status.ok()) {
+      if (!sink(i, sel.status)) return;
+      continue;
+    }
+    // Same split as the sharded path: the pass selected the rows, the
+    // table-size-pure blocked runner aggregates them — so the bytes can
+    // not depend on who shared the pass.
+    const auto tf = std::chrono::steady_clock::now();
+    Result<ResultSet> rs = st_->db->FinishChunkScan(stmts[i], sel.rows[i]);
+    if (scan_ms != nullptr) *scan_ms += MsSince(tf);
     if (!sink(i, std::move(rs))) return;
   }
 }

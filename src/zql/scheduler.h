@@ -22,6 +22,14 @@
 /// (FinishChunkScan) — so the ResultSet bytes match the unsharded scan at
 /// any ZV_SHARDS / chunk size.
 ///
+/// When the options carry a BatchScanQueue (docs/architecture.md "Batched
+/// execution"), a flush's row selection is instead routed through the
+/// cross-query shared-scan coordinator (engine/shared_scan.h): the whole
+/// flush joins one chunk-parallel pass, possibly alongside other queries'
+/// statements, and each statement still finishes through the same
+/// FinishChunkScan aggregation — so what a pass happens to share never
+/// shows up in the bytes.
+///
 /// Determinism contract: everything except the backend scan — routing,
 /// derivations, scoring, reduction, variable binding — runs on the
 /// coordinating thread in plan order under both schedules, and a scan's
@@ -79,6 +87,9 @@ class PipelineScheduler {
     /// Sharded-scan deltas for this statement (0 when unsharded).
     uint64_t chunks_scanned = 0;
     double shard_ms = 0;
+    /// Shared-scan deltas for this statement (0 when batching is off).
+    uint64_t batched_scans = 0;
+    uint64_t scans_shared = 0;
   };
   /// One flush's statement batch, handed to the fetch thread.
   struct FetchJob {
@@ -120,7 +131,19 @@ class PipelineScheduler {
   /// coordinator (staged) or the fetch thread (pipelined) — never both.
   void RunBatch(const std::vector<sql::SelectStatement>& stmts, bool batched,
                 const std::function<bool(size_t, Result<ResultSet>)>& sink,
-                double* scan_ms, uint64_t* chunks_scanned, double* shard_ms);
+                double* scan_ms, uint64_t* chunks_scanned, double* shard_ms,
+                uint64_t* batched_scans, uint64_t* scans_shared);
+  /// The cross-query batched form of RunBatch (engaged when the options
+  /// carry a BatchScanQueue and the table has a chunk map): the whole
+  /// flush goes to the queue in one SelectRows call — so its statements
+  /// always share one pass, possibly joined by other queries' — and each
+  /// statement finishes through FinishChunkScan on the calling thread,
+  /// with AccountRequest mirroring ScanBatch's round-trip accounting.
+  void RunBatchShared(
+      const std::vector<sql::SelectStatement>& stmts, bool batched,
+      const std::function<bool(size_t, Result<ResultSet>)>& sink,
+      double* scan_ms, uint64_t* chunks_scanned, uint64_t* batched_scans,
+      uint64_t* scans_shared);
   Result<ResultSet> ExecuteSharded(const sql::SelectStatement& stmt,
                                    uint64_t* chunks_scanned, double* shard_ms);
 
@@ -155,6 +178,12 @@ class PipelineScheduler {
   // is copied in, pinning the partitioning for this query even if the
   // backend's map is rebuilt. Queues are sized to the chunk count so a
   // full fan-out can never wedge on its own results.
+  /// Cross-query shared-scan batching (resolved in the constructor:
+  /// ZqlOptions::batch_scans when the table has a non-empty chunk map).
+  /// Takes precedence over the per-query shard pool — the queue has its
+  /// own chunk-parallel workers.
+  BatchScanQueue* batch_queue_ = nullptr;
+
   bool sharded_ = false;
   ChunkMap chunk_map_;
   size_t shard_workers_ = 0;

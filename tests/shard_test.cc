@@ -123,12 +123,17 @@ void RunIdentityMatrix() {
       ZV_ASSERT_OK_AND_ASSIGN(
           baseline, RunZql(&db, zql, /*shards=*/1, /*pipelined=*/false));
     }
-    // Chunk sizes: 1 row per chunk (maximal fan-out), a mid split, and the
-    // default 2^18 rows — which the 3000-row table fits inside, so the
-    // "table < 1 chunk" case degenerates to the unsharded path.
-    for (size_t chunk_rows : {size_t{1}, size_t{256}, size_t{0}}) {
+    // Chunk sizes: 1 row per chunk (maximal fan-out), a mid split, an
+    // exact divisor of the 3000-row table (1500: the last chunk boundary
+    // lands exactly on the last row — no ragged tail chunk), and the
+    // default 2^18 rows — which the table fits inside, so the "table < 1
+    // chunk" case degenerates to the unsharded path. Shard counts include
+    // 8, which exceeds the chunk count at chunk_rows=1500 (2 chunks):
+    // surplus shard workers must idle out without disturbing the bytes.
+    for (size_t chunk_rows :
+         {size_t{1}, size_t{256}, size_t{1500}, size_t{0}}) {
       ZV_ASSERT_OK(db.RebuildChunkMap("sales", chunk_rows));
-      for (size_t shards : {size_t{2}, size_t{4}}) {
+      for (size_t shards : {size_t{2}, size_t{4}, size_t{8}}) {
         for (size_t nthreads : {size_t{1}, size_t{4}}) {
           for (bool pipelined : {false, true}) {
             ScopedThreads threads(nthreads);
@@ -168,6 +173,52 @@ TEST(ShardTest, ChunkStatsPopulated) {
   EXPECT_EQ(sharded.stats.chunks_scanned, 6 * sharded.stats.sql_queries);
   EXPECT_EQ(unsharded.stats.chunks_scanned, 0u);
   EXPECT_EQ(unsharded.stats.shard_ms, 0.0);
+}
+
+/// Chunk-boundary edge geometry. An exact divisor leaves no ragged tail:
+/// the last chunk's end is exactly the row count, and the ranges tile
+/// [0, num_rows) without overlap. A non-divisor leaves one short tail
+/// chunk, never an extra empty one.
+TEST(ShardTest, ChunkBoundaryExactlyOnLastRow) {
+  const ChunkMap exact = ChunkMap::Build(3000, 1500);
+  ASSERT_EQ(exact.num_chunks(), 2u);
+  EXPECT_EQ(exact.chunk_range(0), (std::pair<uint32_t, uint32_t>{0, 1500}));
+  EXPECT_EQ(exact.chunk_range(1),
+            (std::pair<uint32_t, uint32_t>{1500, 3000}));
+  const ChunkMap ragged = ChunkMap::Build(3000, 1700);
+  ASSERT_EQ(ragged.num_chunks(), 2u);
+  EXPECT_EQ(ragged.chunk_range(1).second, 3000u);
+  // Tiling invariant across both shapes: contiguous, complete, in order.
+  for (const ChunkMap& map : {exact, ragged}) {
+    uint32_t next = 0;
+    for (size_t c = 0; c < map.num_chunks(); ++c) {
+      const auto [begin, end] = map.chunk_range(c);
+      EXPECT_EQ(begin, next);
+      EXPECT_LT(begin, end);
+      next = end;
+    }
+    EXPECT_EQ(next, 3000u);
+  }
+}
+
+/// More shard workers than chunks: with 2 chunks and 8 shards the surplus
+/// workers find no chunk to claim and exit idle; results and the
+/// chunks_scanned accounting match the exactly-subscribed run.
+TEST(ShardTest, MoreShardsThanChunks) {
+  ScanDatabase db;
+  ZV_ASSERT_OK(db.RegisterTable(MediumSales()));
+  ZV_ASSERT_OK(db.RebuildChunkMap("sales", 1500));  // exactly 2 chunks
+  ScopedThreads threads(4);
+  ZqlResult baseline;
+  {
+    ScopedThreads serial(1);
+    ZV_ASSERT_OK_AND_ASSIGN(baseline, RunZql(&db, kSetQuery, 1, false));
+  }
+  ZV_ASSERT_OK_AND_ASSIGN(ZqlResult matched, RunZql(&db, kSetQuery, 2, true));
+  ZV_ASSERT_OK_AND_ASSIGN(ZqlResult surplus, RunZql(&db, kSetQuery, 8, true));
+  EXPECT_TRUE(SameResult(baseline, matched));
+  EXPECT_TRUE(SameResult(baseline, surplus));
+  EXPECT_EQ(surplus.stats.chunks_scanned, matched.stats.chunks_scanned);
 }
 
 /// An empty table has zero chunks; sharded options must degrade to the

@@ -8,6 +8,14 @@
 #   server_test       (task lifecycle: shared QueryTask state, caches)
 #   shard_test        (per-chunk row-id buffers crossing the shard
 #                      worker queues; ChunkScanner lifetime)
+#   batch_test        (per-statement row-id buffers fanning out of shared
+#                      scan passes; MultiChunkScanner + snapshot lifetime
+#                      across epoch bumps and abandoning members)
+#   zql_roundtrip_test (parser + canonical serializer over generated
+#                      inputs — string-buffer heavy, cheap to keep)
+#
+# After the suites, the "stress" configuration runs the randomized
+# multi-session soak (batch_stress) under the same instrumented build.
 #
 # Usage: tools/run_asan.sh [source_root] [build_dir]
 #   source_root  repo root (default: parent of this script)
@@ -20,7 +28,8 @@ set -euo pipefail
 
 ROOT="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 BUILD="${2:-$ROOT/build-asan}"
-SUITES="json_test api_test zql_builder_test server_test shard_test"
+SUITES="json_test api_test zql_builder_test server_test shard_test \
+batch_test zql_roundtrip_test"
 
 echo "== configuring ASan tree at $BUILD =="
 cmake -B "$BUILD" -S "$ROOT" -DZV_ASAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -35,6 +44,9 @@ echo "== running under AddressSanitizer =="
 # first report into a test failure instead of a log line.
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1 abort_on_error=1}"
 (cd "$BUILD" && ctest --output-on-failure \
-  -R '^(json_test|api_test|zql_builder_test|server_test|shard_test)$')
+  -R '^(json_test|api_test|zql_builder_test|server_test|shard_test|batch_test|zql_roundtrip_test)$')
 
-echo "ASan gate passed: no memory errors reported in $SUITES"
+echo "== running the randomized soak (stress configuration) =="
+(cd "$BUILD" && ctest --output-on-failure -C stress -L stress)
+
+echo "ASan gate passed: no memory errors reported in $SUITES + batch_stress"

@@ -8,6 +8,14 @@
 #                   mid-pipeline cancellation)
 #   shard_test     (chunk-sharded scans: worker pool, chunk job/result
 #                   queues, mid-scan cancellation fan-out)
+#   batch_test     (cross-query shared scans: group-commit coordinator,
+#                   fused-pass worker pool, ScoringContextPool
+#                   single-flight, mid-batch cancellation)
+#   zql_roundtrip_test (canonical serialization / fingerprint property
+#                   suite — serial, but cheap enough to keep in the gate)
+#
+# After the suites, the "stress" configuration runs the randomized
+# multi-session soak (batch_stress) under the same instrumented build.
 #
 # Usage: tools/run_tsan.sh [source_root] [build_dir]
 #   source_root  repo root (default: parent of this script)
@@ -20,7 +28,8 @@ set -euo pipefail
 
 ROOT="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 BUILD="${2:-$ROOT/build-tsan}"
-SUITES="parallel_test topk_test server_test pipeline_test shard_test"
+SUITES="parallel_test topk_test server_test pipeline_test shard_test \
+batch_test zql_roundtrip_test"
 
 echo "== configuring TSan tree at $BUILD =="
 cmake -B "$BUILD" -S "$ROOT" -DZV_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -35,6 +44,9 @@ echo "== running under ThreadSanitizer =="
 # line; second_deadlock_stack improves lock-inversion reports.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 (cd "$BUILD" && ctest --output-on-failure \
-  -R '^(parallel_test|topk_test|server_test|pipeline_test|shard_test)$')
+  -R '^(parallel_test|topk_test|server_test|pipeline_test|shard_test|batch_test|zql_roundtrip_test)$')
 
-echo "TSan gate passed: no races reported in $SUITES"
+echo "== running the randomized soak (stress configuration) =="
+(cd "$BUILD" && ctest --output-on-failure -C stress -L stress)
+
+echo "TSan gate passed: no races reported in $SUITES + batch_stress"
