@@ -18,6 +18,14 @@
 ///   :async                submit the buffered query without waiting
 ///   :wait N | :cancel N   wait on / cancel async query #N
 ///   :stats                service counters (cache hit rate, sessions, …)
+///   :trace                toggle per-query tracing; traced queries print
+///                         their span tree (where each millisecond went)
+///   :trace show           re-print the last traced query's span tree
+///   :trace chrome FILE    write the last trace as Chrome trace_event JSON
+///                         (load in chrome://tracing for a flame view)
+///   :metrics              metrics registry snapshot: latency histograms
+///                         (p50/p90/p99/p999), counters, gauges
+///   :slow                 the slow-query log (queries over ZV_SLOW_QUERY_MS)
 ///   :reload               regenerate the dataset — bumps its epoch, so
 ///                         every cached result for it is invalidated
 ///   :json                 enter wire mode: each subsequent line is one
@@ -43,7 +51,9 @@
 #include <vector>
 
 #include "api/service.h"
+#include "common/metrics.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "server/query_service.h"
 #include "viz/vega_emitter.h"
 #include "workload/datasets.h"
@@ -75,6 +85,14 @@ std::shared_ptr<zv::Table> LoadDataset(const std::string& name) {
   return zv::MakeSalesTable(opts);
 }
 
+/// Canonical ZQL text on one line (slow-query log entries are multi-row).
+std::string OneLine(std::string s) {
+  for (char& c : s) {
+    if (c == '\n') c = ' ';
+  }
+  return zv::Trim(s);
+}
+
 void PrintResult(const zv::zql::ZqlResult& result) {
   for (const auto& output : result.outputs) {
     std::printf("=== %s: %zu visualizations ===\n", output.name.c_str(),
@@ -98,9 +116,15 @@ void PrintResult(const zv::zql::ZqlResult& result) {
 }
 
 /// Waits on one query handle and prints its outcome, including the serving
-/// layer's cache verdict and end-to-end latency.
-void WaitAndPrint(zv::server::QueryHandle& handle) {
+/// layer's cache verdict and end-to-end latency. A traced query also
+/// prints its span tree and parks the trace in `last_trace` for
+/// ":trace show" / ":trace chrome FILE".
+void WaitAndPrint(zv::server::QueryHandle& handle,
+                  std::shared_ptr<const zv::Trace>* last_trace) {
   const zv::Status status = handle.Wait();
+  if (std::shared_ptr<const zv::Trace> trace = handle.trace()) {
+    *last_trace = trace;
+  }
   if (!status.ok()) {
     std::printf("error: %s\n", status.ToString().c_str());
     return;
@@ -113,6 +137,9 @@ void WaitAndPrint(zv::server::QueryHandle& handle) {
                 stats.total_ms);
   }
   PrintResult(*handle.result());
+  if (std::shared_ptr<const zv::Trace> trace = handle.trace()) {
+    std::printf("%s", zv::RenderTraceTree(trace->root()).c_str());
+  }
 }
 
 }  // namespace
@@ -146,10 +173,12 @@ int main(int argc, char** argv) {
   std::string line;
   std::vector<zv::server::QueryHandle> async_handles;
   bool wire_mode = false;
+  bool trace_on = false;
+  std::shared_ptr<const zv::Trace> last_trace;
 
   auto submit_buffered = [&](bool async) {
     auto submitted =
-        service.Submit(session, table_name, buffer, opt_override);
+        service.Submit(session, table_name, buffer, opt_override, trace_on);
     buffer.clear();
     if (!submitted.ok()) {
       std::printf("submit error: %s\n", submitted.status().ToString().c_str());
@@ -164,7 +193,7 @@ int main(int argc, char** argv) {
       return;
     }
     zv::server::QueryHandle handle = std::move(submitted).value();
-    WaitAndPrint(handle);
+    WaitAndPrint(handle, &last_trace);
   };
 
   while (true) {
@@ -309,7 +338,63 @@ int main(int argc, char** argv) {
         std::printf("cancel requested; status: %s\n",
                     async_handles[idx].Wait().ToString().c_str());
       } else {
-        WaitAndPrint(async_handles[idx]);
+        WaitAndPrint(async_handles[idx], &last_trace);
+      }
+      continue;
+    }
+    if (zv::StartsWith(trimmed, ":trace")) {
+      const std::string arg = zv::Trim(trimmed.substr(6));
+      if (arg.empty()) {
+        trace_on = !trace_on;
+        std::printf("tracing %s — %s\n", trace_on ? "ON" : "OFF",
+                    trace_on ? "queries now return a span tree"
+                             : "queries run untraced");
+      } else if (arg == "show") {
+        if (last_trace == nullptr) {
+          std::printf("no trace yet — run a query with tracing on\n");
+        } else {
+          std::printf("%s", zv::RenderTraceTree(last_trace->root()).c_str());
+        }
+      } else if (zv::StartsWith(arg, "chrome")) {
+        const std::string path = zv::Trim(arg.substr(6));
+        if (last_trace == nullptr) {
+          std::printf("no trace yet — run a query with tracing on\n");
+        } else if (path.empty()) {
+          std::printf("usage: :trace chrome FILE\n");
+        } else if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+          const std::string chrome = zv::ToChromeTrace(last_trace->root());
+          std::fwrite(chrome.data(), 1, chrome.size(), f);
+          std::fclose(f);
+          std::printf("wrote %s — open chrome://tracing and load it\n",
+                      path.c_str());
+        } else {
+          std::printf("cannot open %s for writing\n", path.c_str());
+        }
+      } else {
+        std::printf("usage: :trace | :trace show | :trace chrome FILE\n");
+      }
+      continue;
+    }
+    if (trimmed == ":metrics") {
+      std::printf("%s", service.metrics()->Snapshot().ToText().c_str());
+      continue;
+    }
+    if (trimmed == ":slow") {
+      const auto slow = service.SlowQueries();
+      if (slow.empty()) {
+        std::printf("no slow queries (threshold: %.0f ms; ZV_SLOW_QUERY_MS)\n",
+                    service.slow_query_ms());
+        continue;
+      }
+      std::printf("last %zu queries over %.0f ms (most recent first):\n",
+                  slow.size(), service.slow_query_ms());
+      for (const auto& q : slow) {
+        std::printf("  %8.1f ms  %-10s %s  fetch %.1f ms, score %.1f ms%s\n",
+                    q.total_ms, q.dataset.c_str(),
+                    q.status.ok() ? "ok" : q.status.ToString().c_str(),
+                    q.stats.fetch_ms, q.stats.score_ms,
+                    q.trace != nullptr ? "  [traced]" : "");
+        std::printf("      %s\n", OneLine(q.zql).c_str());
       }
       continue;
     }

@@ -325,8 +325,14 @@ Result<QueryRequest> QueryRequest::FromText(std::string dataset,
 Json EncodeRequest(const QueryRequest& request) {
   Json out = Json::MakeObject();
   out.Set("v", Json::Int(request.version));
-  out.Set("dataset", Json::Str(request.dataset));
-  out.Set("zql", Json::Str(zql::CanonicalText(request.query)));
+  // Metrics requests are process-scoped: dataset/zql travel only when the
+  // caller actually set them, keeping Encode∘Decode byte-stable.
+  if (!request.metrics || !request.dataset.empty()) {
+    out.Set("dataset", Json::Str(request.dataset));
+  }
+  if (!request.metrics || !request.query.rows.empty()) {
+    out.Set("zql", Json::Str(zql::CanonicalText(request.query)));
+  }
   if (request.optimization.has_value()) {
     out.Set("opt", Json::Str(OptLevelWireName(*request.optimization)));
   }
@@ -339,6 +345,8 @@ Json EncodeRequest(const QueryRequest& request) {
   if (request.include_vega) out.Set("include_vega", Json::Bool(true));
   if (!request.include_data) out.Set("include_data", Json::Bool(false));
   if (request.explain) out.Set("explain", Json::Bool(true));
+  if (request.trace) out.Set("trace", Json::Bool(true));
+  if (request.metrics) out.Set("metrics", Json::Bool(true));
   if (!request.client_tag.empty()) {
     out.Set("client", Json::Str(request.client_tag));
   }
@@ -360,10 +368,22 @@ Result<QueryRequest> DecodeRequest(const Json& json,
     }
     request.version = static_cast<int>(v->as_int());
   }
-  ZV_ASSIGN_OR_RETURN(request.dataset,
-                      GetString(json, "dataset", "request"));
-  ZV_ASSIGN_OR_RETURN(std::string zql, GetString(json, "zql", "request"));
-  ZV_ASSIGN_OR_RETURN(request.query, zql::ParseQuery(zql, diag));
+  ZV_ASSIGN_OR_RETURN(request.metrics,
+                      GetBoolOr(json, "metrics", false, "request"));
+  if (request.metrics) {
+    // Process-scoped request kind: dataset/zql are optional passengers.
+    request.dataset = GetStringOr(json, "dataset", "");
+    if (const Json* zql = json.Find("zql");
+        zql != nullptr && zql->is_string() && !zql->as_string().empty()) {
+      ZV_ASSIGN_OR_RETURN(request.query,
+                          zql::ParseQuery(zql->as_string(), diag));
+    }
+  } else {
+    ZV_ASSIGN_OR_RETURN(request.dataset,
+                        GetString(json, "dataset", "request"));
+    ZV_ASSIGN_OR_RETURN(std::string zql, GetString(json, "zql", "request"));
+    ZV_ASSIGN_OR_RETURN(request.query, zql::ParseQuery(zql, diag));
+  }
   if (const Json* opt = json.Find("opt")) {
     if (!opt->is_string()) {
       return Status::ParseError("request: 'opt' must be a string");
@@ -387,6 +407,8 @@ Result<QueryRequest> DecodeRequest(const Json& json,
                       GetBoolOr(json, "include_data", true, "request"));
   ZV_ASSIGN_OR_RETURN(request.explain,
                       GetBoolOr(json, "explain", false, "request"));
+  ZV_ASSIGN_OR_RETURN(request.trace,
+                      GetBoolOr(json, "trace", false, "request"));
   request.client_tag = GetStringOr(json, "client", "");
   return request;
 }
@@ -561,6 +583,12 @@ Json EncodeResponse(const QueryResponse& response) {
   if (!response.plan.empty()) {
     out.Set("plan", Json::Str(response.plan));
   }
+  if (!response.trace.is_null()) {
+    out.Set("trace", response.trace);
+  }
+  if (!response.metrics.is_null()) {
+    out.Set("metrics", response.metrics);
+  }
   if (!response.client_tag.empty()) {
     out.Set("client", Json::Str(response.client_tag));
   }
@@ -629,6 +657,10 @@ Result<QueryResponse> DecodeResponse(const Json& json) {
   }
   response.fingerprint = GetStringOr(json, "fingerprint", "");
   response.plan = GetStringOr(json, "plan", "");
+  // Observability payloads round-trip as structured JSON verbatim — the
+  // span tree and snapshot schemas live in common/trace.h / metrics.h.
+  if (const Json* trace = json.Find("trace")) response.trace = *trace;
+  if (const Json* metrics = json.Find("metrics")) response.metrics = *metrics;
   response.client_tag = GetStringOr(json, "client", "");
   return response;
 }

@@ -120,6 +120,16 @@ struct QueryRequest {
   /// the query would run, rendered into QueryResponse::plan. Plan building
   /// is pure (no data access), so no query is admitted or executed.
   bool explain = false;
+  /// Trace this query: the response carries the span tree
+  /// (QueryResponse::trace) recording where each millisecond went —
+  /// queue wait, cache lookup, per-operator execution, scan passes.
+  /// Tracing is a pure observer: results are byte-identical either way.
+  bool trace = false;
+  /// Metrics request kind: instead of executing, return a snapshot of the
+  /// service's MetricsRegistry plus the slow-query log in
+  /// QueryResponse::metrics. `dataset` and `zql` are optional here — the
+  /// snapshot is process-scoped, not per dataset.
+  bool metrics = false;
   /// Opaque client tag, echoed in the response (request correlation).
   std::string client_tag;
 
@@ -161,6 +171,14 @@ struct QueryResponse {
   /// EXPLAIN payload: the rendered physical operator tree (zql/plan.h),
   /// present only when the request set `explain`.
   std::string plan;
+  /// Trace payload: the query's span tree (common/trace.h,
+  /// EncodeTraceSpan), present only when the request set `trace` (or the
+  /// service traces everything via ZV_TRACE). Null otherwise.
+  Json trace;
+  /// Metrics payload: the registry snapshot ({counters, gauges,
+  /// histograms}) plus a `slow_queries` array, present only on `metrics`
+  /// requests. Null otherwise.
+  Json metrics;
   std::string client_tag;  ///< echoed from the request
 
   bool ok() const { return error.ok(); }

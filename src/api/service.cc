@@ -1,10 +1,43 @@
 #include "api/service.h"
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "zql/plan.h"
 
 namespace zv::api {
 
 namespace {
+
+/// Metrics request kind: snapshot the service's registry and slow-query
+/// log without admitting or executing anything. The session is still
+/// validated (and touched), matching EXPLAIN's lifecycle semantics.
+QueryResponse MetricsRequest(server::QueryService& service,
+                             server::SessionId session,
+                             const QueryRequest& request, int version) {
+  QueryResponse response;
+  response.version = version;
+  response.client_tag = request.client_tag;
+  if (Status touched = service.TouchSession(session); !touched.ok()) {
+    response.error = ErrorFromStatus(touched);
+    return response;
+  }
+  Json payload = service.metrics()->Snapshot().ToJson();
+  Json slow = Json::MakeArray();
+  for (const auto& q : service.SlowQueries()) {
+    Json one = Json::MakeObject();
+    one.Set("dataset", Json::Str(q.dataset));
+    one.Set("zql", Json::Str(q.zql));
+    one.Set("fingerprint", Json::Str(q.fingerprint));
+    one.Set("status", Json::Str(WireErrorName(q.status.code())));
+    one.Set("total_ms", Json::Double(q.total_ms));
+    one.Set("fetch_ms", Json::Double(q.stats.fetch_ms));
+    one.Set("score_ms", Json::Double(q.stats.score_ms));
+    slow.Append(std::move(one));
+  }
+  payload.Set("slow_queries", std::move(slow));
+  response.metrics = std::move(payload);
+  return response;
+}
 
 /// EXPLAIN path: render the physical plan the query would execute under —
 /// the service's base options with the request's optimization override —
@@ -61,11 +94,15 @@ QueryResponse ExecuteRequest(server::QueryService& service,
   if (!version.ok()) {
     return BuildErrorResponse(version.status(), request);
   }
+  if (request.metrics) {
+    return MetricsRequest(service, session, request, *version);
+  }
   if (request.explain) {
     return ExplainRequest(service, session, request, *version);
   }
   Result<server::QueryHandle> submitted = service.Submit(
-      session, request.dataset, request.query, request.optimization);
+      session, request.dataset, request.query, request.optimization,
+      request.trace);
   if (!submitted.ok()) {
     QueryResponse response = BuildErrorResponse(submitted.status(), request);
     response.version = *version;
@@ -77,6 +114,11 @@ QueryResponse ExecuteRequest(server::QueryService& service,
     QueryResponse response = BuildErrorResponse(status, request);
     response.version = *version;
     response.fingerprint = handle.fingerprint();
+    // A failed traced query still carries its spans up to the failure
+    // point — exactly what a latency investigation wants.
+    if (std::shared_ptr<const Trace> trace = handle.trace()) {
+      response.trace = EncodeTraceSpan(trace->root());
+    }
     return response;
   }
   QueryResponse response =
@@ -85,6 +127,9 @@ QueryResponse ExecuteRequest(server::QueryService& service,
   // The serving layer's verdict (hit/miss, lookup latency) supersedes the
   // executing run's embedded stats.
   response.stats = handle.stats();
+  if (std::shared_ptr<const Trace> trace = handle.trace()) {
+    response.trace = EncodeTraceSpan(trace->root());
+  }
   return response;
 }
 

@@ -2,6 +2,10 @@
 /// \brief Monotonic time source abstraction so TTL logic (session eviction,
 /// cache aging) is testable without sleeping: production code reads the
 /// steady clock, tests inject a ManualClock and advance it by hand.
+///
+/// Also home of the steady-clock interval helpers (MsSince / MsBetween)
+/// every stat and trace-span duration is measured with — one
+/// implementation instead of a copy per layer.
 
 #ifndef ZV_COMMON_CLOCK_H_
 #define ZV_COMMON_CLOCK_H_
@@ -11,6 +15,17 @@
 #include <cstdint>
 
 namespace zv {
+
+/// Milliseconds between two steady-clock points (fractional).
+inline double MsBetween(std::chrono::steady_clock::time_point from,
+                        std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+/// Milliseconds elapsed since `start` on the steady clock.
+inline double MsSince(std::chrono::steady_clock::time_point start) {
+  return MsBetween(start, std::chrono::steady_clock::now());
+}
 
 /// \brief Monotonic milliseconds source. Implementations are thread-safe.
 class Clock {

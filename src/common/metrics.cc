@@ -1,0 +1,170 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace zv {
+
+size_t Histogram::BucketOf(double ms) {
+  if (!(ms > kMinBucketMs)) return 0;  // also catches NaN and negatives
+  // Invert the ladder, then nudge across any floating-point boundary so
+  // the invariant ms <= BucketUpperMs(bucket) < ms * 2^(1/octave) holds.
+  double idx = std::log2(ms / kMinBucketMs) * kBucketsPerOctave;
+  size_t bucket = static_cast<size_t>(std::max(0.0, std::ceil(idx)));
+  if (bucket >= kNumBuckets) return kNumBuckets - 1;
+  while (bucket > 0 && ms <= BucketUpperMs(bucket - 1)) --bucket;
+  while (bucket + 1 < kNumBuckets && ms > BucketUpperMs(bucket)) ++bucket;
+  return bucket;
+}
+
+void Histogram::Record(double ms) {
+  buckets_[BucketOf(ms)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Integer-nanosecond accumulation: addition commutes exactly, so the
+  // sum (and every derived mean) is independent of recording order.
+  const double ns = ms * 1e6;
+  const int64_t add =
+      ns >= 9.2e18 ? INT64_MAX / 2 : static_cast<int64_t>(std::llround(ns));
+  sum_ns_.fetch_add(add, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum_ms = static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) / 1e6;
+  return s;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+}
+
+double Histogram::Snapshot::Percentile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return BucketUpperMs(i);
+  }
+  return BucketUpperMs(kNumBuckets - 1);
+}
+
+Json MetricsSnapshot::ToJson() const {
+  Json j = Json::MakeObject();
+  Json cs = Json::MakeObject();
+  for (const auto& [name, value] : counters) {
+    cs.Set(name, Json::Int(static_cast<int64_t>(value)));
+  }
+  j.Set("counters", std::move(cs));
+  Json gs = Json::MakeObject();
+  for (const auto& [name, value] : gauges) {
+    gs.Set(name, Json::Int(value));
+  }
+  j.Set("gauges", std::move(gs));
+  Json hs = Json::MakeObject();
+  for (const HistogramStats& h : histograms) {
+    Json hj = Json::MakeObject();
+    hj.Set("count", Json::Int(static_cast<int64_t>(h.count)));
+    hj.Set("sum_ms", Json::Double(h.sum_ms));
+    hj.Set("mean_ms", Json::Double(h.mean_ms));
+    hj.Set("p50", Json::Double(h.p50));
+    hj.Set("p90", Json::Double(h.p90));
+    hj.Set("p99", Json::Double(h.p99));
+    hj.Set("p999", Json::Double(h.p999));
+    hs.Set(h.name, std::move(hj));
+  }
+  j.Set("histograms", std::move(hs));
+  return j;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    out += "# TYPE " + name + " counter\n";
+    out += StrFormat("%s %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : gauges) {
+    out += "# TYPE " + name + " gauge\n";
+    out += StrFormat("%s %lld\n", name.c_str(), static_cast<long long>(value));
+  }
+  for (const HistogramStats& h : histograms) {
+    out += "# TYPE " + h.name + " summary\n";
+    out += StrFormat("%s_count %llu\n", h.name.c_str(),
+                     static_cast<unsigned long long>(h.count));
+    out += StrFormat("%s_sum %.6f\n", h.name.c_str(), h.sum_ms);
+    out += StrFormat("%s{quantile=\"0.5\"} %.6f\n", h.name.c_str(), h.p50);
+    out += StrFormat("%s{quantile=\"0.9\"} %.6f\n", h.name.c_str(), h.p90);
+    out += StrFormat("%s{quantile=\"0.99\"} %.6f\n", h.name.c_str(), h.p99);
+    out += StrFormat("%s{quantile=\"0.999\"} %.6f\n", h.name.c_str(), h.p999);
+  }
+  return out;
+}
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->value());
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace_back(name, g->value());
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot hs = h->snapshot();
+    MetricsSnapshot::HistogramStats stats;
+    stats.name = name;
+    stats.count = hs.count;
+    stats.sum_ms = hs.sum_ms;
+    stats.mean_ms = hs.mean_ms();
+    stats.p50 = hs.Percentile(0.50);
+    stats.p90 = hs.Percentile(0.90);
+    stats.p99 = hs.Percentile(0.99);
+    stats.p999 = hs.Percentile(0.999);
+    s.histograms.push_back(std::move(stats));
+  }
+  return s;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace zv

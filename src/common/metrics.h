@@ -1,0 +1,163 @@
+/// \file metrics.h
+/// \brief Process-wide metrics: a registry of named counters, gauges, and
+/// fixed-log-bucket latency histograms, feeding percentile snapshots
+/// (p50/p90/p99/p999) and a text exposition for scraping.
+///
+/// Design constraints, in order:
+///  - *Pure observer*: recording is lock-free (atomic adds) and never
+///    touches query results, fingerprints, or caches.
+///  - *Deterministic snapshots*: histogram bucket bounds are a fixed
+///    geometric ladder (kBucketsPerOctave buckets per power of two above
+///    kMinBucketMs), the sum accumulates in integer nanoseconds, and
+///    percentiles are bucket upper bounds — so the same multiset of
+///    samples yields byte-identical snapshots regardless of recording
+///    order or thread interleaving (tests/metrics_test.cc locks this).
+///  - *One registry per scope*: MetricsRegistry::Global() serves the
+///    process; tests and benches construct private registries so runs
+///    never bleed into each other. Metric objects are pointer-stable for
+///    the registry's lifetime — resolve once, record forever.
+///
+/// The serving layer (server/query_service.h) records submit→complete
+/// latency, admission queue wait, per-stage fetch/score/shard time, cache
+/// hits/misses, and shared-scan batch hold time here; the wire exposes a
+/// snapshot through the `metrics` request kind (api/protocol.h) and
+/// zql_shell's `:metrics`.
+
+#ifndef ZV_COMMON_METRICS_H_
+#define ZV_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+
+namespace zv {
+
+/// \brief Monotonic event count. Thread-safe, lock-free.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Last-write-wins instantaneous value. Thread-safe, lock-free.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Fixed-log-bucket latency histogram (milliseconds).
+///
+/// Bucket i covers (BucketUpperMs(i-1), BucketUpperMs(i)] with
+/// BucketUpperMs(i) = kMinBucketMs * 2^(i / kBucketsPerOctave) — a fixed
+/// geometric ladder from 0.1 µs to ~50 minutes at ~9% resolution.
+/// Values at or below the floor land in bucket 0; values beyond the
+/// ceiling clamp into the last bucket. Percentiles are the upper bound of
+/// the bucket holding the requested rank, so they are exact ladder values
+/// and independent of recording order.
+class Histogram {
+ public:
+  static constexpr double kMinBucketMs = 1e-4;
+  static constexpr int kBucketsPerOctave = 8;
+  static constexpr size_t kNumBuckets = 280;
+
+  /// The fixed upper bound of bucket `i` in milliseconds.
+  static double BucketUpperMs(size_t i) {
+    return kMinBucketMs * std::exp2(static_cast<double>(i) / kBucketsPerOctave);
+  }
+  /// The bucket a sample of `ms` lands in.
+  static size_t BucketOf(double ms);
+
+  void Record(double ms);
+
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum_ms = 0;  ///< accumulated in integer ns — order-independent
+    std::array<uint64_t, kNumBuckets> buckets{};
+
+    /// The ladder value at quantile `q` in [0, 1]; 0 when empty.
+    double Percentile(double q) const;
+    double mean_ms() const { return count == 0 ? 0 : sum_ms / count; }
+  };
+  Snapshot snapshot() const;
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<int64_t> sum_ns_{0};
+};
+
+/// \brief Point-in-time view of a whole registry, ordered by metric name
+/// (std::map iteration) — the payload behind the wire `metrics` request
+/// and `:metrics`.
+struct MetricsSnapshot {
+  struct HistogramStats {
+    std::string name;
+    uint64_t count = 0;
+    double sum_ms = 0;
+    double mean_ms = 0;
+    double p50 = 0;
+    double p90 = 0;
+    double p99 = 0;
+    double p999 = 0;
+  };
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramStats> histograms;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum_ms,
+  /// mean_ms,p50,p90,p99,p999}}} — deterministic key order.
+  Json ToJson() const;
+  /// Prometheus-style text exposition (counters, gauges, histogram
+  /// count/sum/quantile lines) for a future /metrics endpoint.
+  std::string ToText() const;
+};
+
+/// \brief Named metric registry. Get* creates on first use and returns a
+/// pointer stable for the registry's lifetime; lookups take a mutex, so
+/// resolve once at wiring time, not per record.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry (what ZV-prefixed knobs and the default
+  /// QueryService record into).
+  static MetricsRegistry* Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+  /// Zeroes every registered metric (benches isolate passes with this).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace zv
+
+#endif  // ZV_COMMON_METRICS_H_

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/cancel.h"
+#include "common/clock.h"
 
 namespace zv {
 
@@ -29,11 +30,6 @@ size_t ResolveWorkers(size_t requested) {
   if (requested > 0) return requested;
   const size_t hw = std::thread::hardware_concurrency();
   return std::min<size_t>(4, std::max<size_t>(1, hw));
-}
-
-double MsBetween(std::chrono::steady_clock::time_point a,
-                 std::chrono::steady_clock::time_point b) {
-  return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
 }  // namespace
@@ -86,7 +82,13 @@ struct BatchScanQueue::Pass {
 
 BatchScanQueue::BatchScanQueue(BatchScanOptions options)
     : window_ms_(ResolveWindowMs(options.window_ms)),
-      num_workers_(ResolveWorkers(options.workers)) {}
+      num_workers_(ResolveWorkers(options.workers)) {
+  MetricsRegistry* metrics = options.metrics != nullptr
+                                 ? options.metrics
+                                 : MetricsRegistry::Global();
+  hold_hist_ = metrics->GetHistogram("zv_batch_hold_ms");
+  pass_hist_ = metrics->GetHistogram("zv_batch_pass_ms");
+}
 
 BatchScanQueue::~BatchScanQueue() {
   {
@@ -254,6 +256,11 @@ void BatchScanQueue::RunJobs(Pass* pass) {
 void BatchScanQueue::ExecutePass(
     const std::vector<std::shared_ptr<Request>>& members) {
   const auto t0 = std::chrono::steady_clock::now();
+  // Group-commit hold: how long each member waited from arrival to the
+  // pass being cut (the window plus any time behind an executing pass).
+  for (const auto& m : members) {
+    hold_hist_->Record(MsBetween(m->arrival, t0));
+  }
   auto pass = std::make_shared<Pass>();
   pass->map = members[0]->map;
   pass->chunks = pass->map.num_chunks();
@@ -302,6 +309,7 @@ void BatchScanQueue::ExecutePass(
     current_pass_.reset();
   }
   const double wall_ms = MsBetween(t0, std::chrono::steady_clock::now());
+  pass_hist_->Record(wall_ms);
 
   // Demultiplex: per member, per statement, concatenate the chunk lists in
   // chunk order — the positional merge that equals a serial scan. Errors

@@ -54,6 +54,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "engine/chunk_map.h"
 #include "engine/database.h"
@@ -69,6 +70,10 @@ struct BatchScanOptions {
   /// Scan worker pool size; 0 = min(4, hardware concurrency). The
   /// coordinator thread also scans, so even workers=0 would make progress.
   size_t workers = 0;
+  /// Where the queue records its latency histograms — zv_batch_hold_ms
+  /// (request arrival → pass cut: the group-commit hold) and
+  /// zv_batch_pass_ms (pass wall time). Null = MetricsRegistry::Global().
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// \brief The shared-scan coordinator. One instance serves every session
@@ -154,6 +159,10 @@ class BatchScanQueue {
   std::atomic<uint64_t> passes_{0};
   std::atomic<uint64_t> shared_passes_{0};
   std::atomic<uint64_t> statements_{0};
+
+  /// Resolved once at construction (see BatchScanOptions::metrics).
+  Histogram* hold_hist_ = nullptr;
+  Histogram* pass_hist_ = nullptr;
 };
 
 }  // namespace zv

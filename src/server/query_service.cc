@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 
 #include "common/cancel.h"
@@ -34,10 +35,13 @@ size_t EnvSizePositive(const char* name, size_t def) {
   return def;
 }
 
-double MsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - start)
-      .count();
+double EnvDouble(const char* name, double def) {
+  if (const char* env = std::getenv(name)) {
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end != env) return v;
+  }
+  return def;
 }
 
 /// ZV_CACHE_MB split: results dominate by value-per-byte for an
@@ -60,6 +64,13 @@ struct QueryTask {
   std::string dataset;
   zql::ZqlQuery query;  ///< the typed payload (parsed or builder-built)
   std::string fingerprint;
+  std::string canonical;  ///< canonical ZQL text (for the slow-query log)
+  /// Submission instant — the epoch for queue-wait and submit→complete
+  /// latency (and the owning Trace's epoch, when traced).
+  std::chrono::steady_clock::time_point submit_tp;
+  /// The query's span tree; null for untraced queries. Written by the
+  /// executing worker, published by task resolution, then immutable.
+  std::shared_ptr<Trace> trace;
   std::shared_ptr<Database> db;  ///< snapshot: ReplaceDataset can't race us
   std::string table_name;
   std::map<std::string, Visualization> user_inputs;  ///< session snapshot
@@ -164,6 +175,14 @@ std::string QueryHandle::fingerprint() const {
   return task_ == nullptr ? std::string() : task_->fingerprint;
 }
 
+std::shared_ptr<const Trace> QueryHandle::trace() const {
+  if (task_ == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lock(task_->mu);
+  // Gated on resolution: the tree is still being written until then (the
+  // ResolveTask handshake orders those writes before this read).
+  return task_->done ? task_->trace : nullptr;
+}
+
 // ===========================================================================
 // QueryService
 // ===========================================================================
@@ -178,15 +197,40 @@ QueryService::QueryService(ServiceOptions options)
                      : EnvSizePositive("ZV_MAX_QUEUE", 32)),
       result_cache_enabled_(options.result_cache),
       clock_(options.clock != nullptr ? options.clock : Clock::System()),
+      trace_all_(options.trace_all >= 0 ? options.trace_all != 0
+                                        : EnvSize("ZV_TRACE", 0) != 0),
+      slow_query_ms_(std::isnan(options.slow_query_ms)
+                         ? EnvDouble("ZV_SLOW_QUERY_MS", 100)
+                         : options.slow_query_ms),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : MetricsRegistry::Global()),
       result_cache_(ResolveCacheBytes(options.cache_mb) / 4 * 3),
       context_cache_(ResolveCacheBytes(options.cache_mb) / 4),
       context_pool_(&context_cache_),
       sessions_(clock_, options.session_ttl_ms) {
   base_zql_.sql_trace = nullptr;  // executors run concurrently
+  // Traces are per-task (QueryTask::trace); a caller-provided shared span
+  // tree would interleave concurrent queries' spans.
+  base_zql_.trace = nullptr;
+  base_zql_.trace_parent = nullptr;
+  m_latency_ = metrics_->GetHistogram("zv_query_latency_ms");
+  m_queue_wait_ = metrics_->GetHistogram("zv_queue_wait_ms");
+  m_fetch_ = metrics_->GetHistogram("zv_fetch_stage_ms");
+  m_score_ = metrics_->GetHistogram("zv_score_stage_ms");
+  m_shard_ = metrics_->GetHistogram("zv_shard_scan_ms");
+  c_submitted_ = metrics_->GetCounter("zv_queries_submitted");
+  c_completed_ = metrics_->GetCounter("zv_queries_completed");
+  c_failed_ = metrics_->GetCounter("zv_queries_failed");
+  c_cancelled_ = metrics_->GetCounter("zv_queries_cancelled");
+  c_rejected_ = metrics_->GetCounter("zv_queries_rejected");
+  c_cache_hits_ = metrics_->GetCounter("zv_result_cache_hits");
+  c_cache_misses_ = metrics_->GetCounter("zv_result_cache_misses");
+  c_ctx_reused_ = metrics_->GetCounter("zv_context_cache_reused");
   if (result_cache_.max_bytes_total() == 0) result_cache_enabled_ = false;
   if (options.shared_scans) {
     BatchScanOptions bopts;
     bopts.window_ms = options.batch_window_ms;
+    bopts.metrics = metrics_;
     batch_scans_ = std::make_unique<BatchScanQueue>(bopts);
   }
   current_.resize(max_inflight_);
@@ -207,6 +251,7 @@ QueryService::~QueryService() {
                   {});
       ReleaseQueueSlot(*task);
       cancelled_.fetch_add(1, std::memory_order_relaxed);
+      c_cancelled_->Increment();
     }
     ready_.clear();
     for (const auto& session : sessions_.All()) {
@@ -347,7 +392,8 @@ Status QueryService::TouchSession(SessionId id) {
 
 Result<QueryHandle> QueryService::Submit(
     SessionId session_id, const std::string& dataset,
-    const std::string& zql_text, std::optional<zql::OptLevel> optimization) {
+    const std::string& zql_text, std::optional<zql::OptLevel> optimization,
+    bool trace) {
   // Parse outside the service lock; the shared canonical path does the
   // rest. A parse failure is a property of the query, not the service —
   // it surfaces on the handle, exactly as execution errors do.
@@ -358,16 +404,17 @@ Result<QueryHandle> QueryService::Submit(
   zql::ZqlQuery query = std::move(parsed).value();
   std::string canonical = zql::CanonicalText(query);
   return SubmitCanonical(session_id, dataset, std::move(query), canonical,
-                         optimization);
+                         optimization, trace);
 }
 
 Result<QueryHandle> QueryService::Submit(
     SessionId session_id, const std::string& dataset,
-    const zql::ZqlQuery& query, std::optional<zql::OptLevel> optimization) {
+    const zql::ZqlQuery& query, std::optional<zql::OptLevel> optimization,
+    bool trace) {
   // Canonicalize outside the lock: this serialization is the cache
   // identity, shared by text- and builder-submitted queries.
   return SubmitCanonical(session_id, dataset, query,
-                         zql::CanonicalText(query), optimization);
+                         zql::CanonicalText(query), optimization, trace);
 }
 
 Result<QueryHandle> QueryService::SubmitParseError(SessionId session_id,
@@ -390,6 +437,8 @@ Result<QueryHandle> QueryService::SubmitParseError(SessionId session_id,
   ++session->queries_completed;
   submitted_.fetch_add(1, std::memory_order_relaxed);
   failed_.fetch_add(1, std::memory_order_relaxed);
+  c_submitted_->Increment();
+  c_failed_->Increment();
   auto task = std::make_shared<QueryTask>();
   task->session = session_id;
   task->dataset = dataset;
@@ -399,7 +448,8 @@ Result<QueryHandle> QueryService::SubmitParseError(SessionId session_id,
 
 Result<QueryHandle> QueryService::SubmitCanonical(
     SessionId session_id, const std::string& dataset, zql::ZqlQuery query,
-    const std::string& canonical, std::optional<zql::OptLevel> optimization) {
+    const std::string& canonical, std::optional<zql::OptLevel> optimization,
+    bool trace) {
   std::shared_ptr<QueryTask> task;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -419,6 +469,7 @@ Result<QueryHandle> QueryService::SubmitCanonical(
         queued_count_->load(std::memory_order_relaxed);
     if (waiting >= static_cast<int64_t>(max_queue_)) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
+      c_rejected_->Increment();
       return Status::Unavailable(StrFormat(
           "admission control: %lld queries already waiting "
           "(ZV_MAX_QUEUE=%zu) — retry later",
@@ -427,6 +478,7 @@ Result<QueryHandle> QueryService::SubmitCanonical(
     sessions_.Touch(*session);
     ++session->queries_submitted;
     submitted_.fetch_add(1, std::memory_order_relaxed);
+    c_submitted_->Increment();
 
     task = std::make_shared<QueryTask>();
     task->session = session_id;
@@ -436,11 +488,20 @@ Result<QueryHandle> QueryService::SubmitCanonical(
     task->table_name = dit->second.table->name();
     task->user_inputs = session->user_inputs;
     task->opt_override = optimization;
+    task->canonical = canonical;
     const zql::OptLevel effective =
         optimization.value_or(base_zql_.optimization);
     task->fingerprint = QueryFingerprint(
         dataset, dit->second.epoch, dit->second.db->name(), effective,
         canonical, session->inputs_fingerprint);
+    task->submit_tp = std::chrono::steady_clock::now();
+    if (trace || trace_all_) {
+      // The trace epoch is the submission instant: span offsets measure
+      // time since submit, including the admission queue wait.
+      task->trace = std::make_shared<Trace>();
+      task->trace->root()->SetStr("dataset", dataset);
+      task->trace->root()->SetStr("fingerprint", task->fingerprint);
+    }
 
     // Fast path: an *idle* session's repeat query is a shard-local hash
     // lookup — serve it here, consuming neither a queue slot nor a worker,
@@ -450,13 +511,23 @@ Result<QueryHandle> QueryService::SubmitCanonical(
     // responses (per-session FIFO); queued tasks re-probe in RunTask.
     if (result_cache_enabled_ && !session->running) {
       const auto t0 = std::chrono::steady_clock::now();
-      if (auto hit = result_cache_.Probe(task->fingerprint)) {
+      std::shared_ptr<const zql::ZqlResult> hit;
+      {
+        TraceScope lookup(task->trace.get(), nullptr, "cache_lookup");
+        hit = result_cache_.Probe(task->fingerprint);
+        lookup.SetBool("hit", hit != nullptr);
+      }
+      if (hit != nullptr) {
         zql::ZqlStats stats = hit->stats;
         stats.cache_hits = 1;
         stats.cache_misses = 0;
         stats.total_ms = MsSince(t0);
         completed_.fetch_add(1, std::memory_order_relaxed);
+        c_completed_->Increment();
+        c_cache_hits_->Increment();
         ++session->queries_completed;
+        RecordCompletion(*task, Status::OK(), stats,
+                         MsSince(task->submit_tp));
         ResolveTask(*task, Status::OK(), std::move(hit), stats);
         return QueryHandle(std::move(task));
       }
@@ -500,6 +571,7 @@ void QueryService::WorkerMain(size_t worker_index) {
     }
     if (skip) {
       cancelled_.fetch_add(1, std::memory_order_relaxed);
+      c_cancelled_->Increment();
     } else {
       RunTask(task);
     }
@@ -513,19 +585,39 @@ void QueryService::WorkerMain(size_t worker_index) {
 
 void QueryService::RunTask(const std::shared_ptr<QueryTask>& task) {
   const auto t0 = std::chrono::steady_clock::now();
+  Trace* trace = task->trace.get();
+  // Admission wait: everything between Submit and this worker picking the
+  // task up (the trace epoch is the submission instant, so the span runs
+  // from 0 to now).
+  const double wait_ms = MsBetween(task->submit_tp, t0);
+  m_queue_wait_->Record(wait_ms);
+  if (trace != nullptr) {
+    trace->Add(nullptr, "queue_wait", 0.0, wait_ms);
+  }
   if (result_cache_enabled_) {
-    if (auto hit = result_cache_.Get(task->fingerprint)) {
+    std::shared_ptr<const zql::ZqlResult> hit;
+    {
+      TraceScope lookup(trace, nullptr, "cache_lookup");
+      hit = result_cache_.Get(task->fingerprint);
+      lookup.SetBool("hit", hit != nullptr);
+    }
+    if (hit != nullptr) {
       zql::ZqlStats stats = hit->stats;
       stats.cache_hits = 1;
       stats.cache_misses = 0;
       stats.total_ms = MsSince(t0);  // the lookup, not the original run
       completed_.fetch_add(1, std::memory_order_relaxed);
+      c_completed_->Increment();
+      c_cache_hits_->Increment();
+      RecordCompletion(*task, Status::OK(), stats, MsSince(task->submit_tp));
       ResolveTask(*task, Status::OK(), std::move(hit), stats);
       return;
     }
   }
 
   zql::ZqlOptions opts = base_zql_;
+  opts.trace = trace;
+  opts.trace_parent = nullptr;  // operator spans nest under the root
   if (context_cache_.max_bytes_total() > 0) {
     opts.context_cache = &context_cache_;
   }
@@ -544,9 +636,11 @@ void QueryService::RunTask(const std::shared_ptr<QueryTask>& task) {
   CancelScope cancel_scope(task->token);
   Result<zql::ZqlResult> res = executor.Execute(task->query);
   if (!res.ok()) {
-    auto& counter =
-        res.status().code() == StatusCode::kCancelled ? cancelled_ : failed_;
+    const bool was_cancel = res.status().code() == StatusCode::kCancelled;
+    auto& counter = was_cancel ? cancelled_ : failed_;
     counter.fetch_add(1, std::memory_order_relaxed);
+    (was_cancel ? c_cancelled_ : c_failed_)->Increment();
+    RecordCompletion(*task, res.status(), {}, MsSince(task->submit_tp));
     ResolveTask(*task, res.status(), nullptr, {});
     return;
   }
@@ -554,7 +648,18 @@ void QueryService::RunTask(const std::shared_ptr<QueryTask>& task) {
   zql::ZqlResult result = std::move(res).value();
   contexts_reused_.fetch_add(result.stats.contexts_reused,
                              std::memory_order_relaxed);
-  if (result_cache_enabled_) result.stats.cache_misses = 1;
+  c_ctx_reused_->Increment(result.stats.contexts_reused);
+  if (result_cache_enabled_) {
+    result.stats.cache_misses = 1;
+    c_cache_misses_->Increment();
+  }
+  // Stage histograms: pure scan and scoring time per executed query (the
+  // shard histogram only when the shard pool actually scanned chunks).
+  m_fetch_->Record(result.stats.fetch_ms);
+  m_score_->Record(result.stats.score_ms);
+  if (result.stats.chunks_scanned > 0) {
+    m_shard_->Record(result.stats.shard_ms);
+  }
   auto shared = std::make_shared<const zql::ZqlResult>(std::move(result));
   // A cancel that arrived after the last cancellation point must not
   // poison the cache with a result we'll report as kCancelled elsewhere —
@@ -563,7 +668,42 @@ void QueryService::RunTask(const std::shared_ptr<QueryTask>& task) {
     result_cache_.Put(task->fingerprint, shared);
   }
   completed_.fetch_add(1, std::memory_order_relaxed);
+  c_completed_->Increment();
+  RecordCompletion(*task, Status::OK(), shared->stats,
+                   MsSince(task->submit_tp));
   ResolveTask(*task, Status::OK(), shared, shared->stats);
+}
+
+void QueryService::RecordCompletion(QueryTask& task, const Status& status,
+                                    const zql::ZqlStats& stats,
+                                    double total_ms) {
+  // Submit → resolve, cache hits and errors included — the latency a
+  // client actually observed.
+  m_latency_->Record(total_ms);
+  if (task.trace != nullptr) {
+    // Close the root span; the caller publishes it via ResolveTask, after
+    // which the tree is immutable.
+    task.trace->root()->duration_ms = task.trace->NowMs();
+  }
+  if (slow_query_ms_ < 0 || total_ms < slow_query_ms_) return;
+  slow_queries_.fetch_add(1, std::memory_order_relaxed);
+  SlowQuery entry;
+  entry.session = task.session;
+  entry.dataset = task.dataset;
+  entry.zql = task.canonical;
+  entry.fingerprint = task.fingerprint;
+  entry.status = status;
+  entry.stats = stats;
+  entry.total_ms = total_ms;
+  entry.trace = task.trace;
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  slow_ring_.push_back(std::move(entry));
+  if (slow_ring_.size() > kSlowRingCapacity) slow_ring_.pop_front();
+}
+
+std::vector<QueryService::SlowQuery> QueryService::SlowQueries() const {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  return std::vector<SlowQuery>(slow_ring_.rbegin(), slow_ring_.rend());
 }
 
 void QueryService::AdvanceSessionLocked(
@@ -584,6 +724,7 @@ void QueryService::AdvanceSessionLocked(
     }
     if (already_done) {  // cancelled while in the FIFO
       cancelled_.fetch_add(1, std::memory_order_relaxed);
+      c_cancelled_->Increment();
       continue;
     }
     session->active = next;
@@ -599,6 +740,7 @@ void QueryService::DrainSessionLocked(Session& session) {
     ResolveTask(*task, Status::Cancelled("session ended"), nullptr, {});
     ReleaseQueueSlot(*task);
     cancelled_.fetch_add(1, std::memory_order_relaxed);
+    c_cancelled_->Increment();
   }
   session.fifo.clear();
   if (session.active != nullptr) {
@@ -630,6 +772,7 @@ ServiceStats QueryService::stats() const {
     s.batch_passes_shared = batch_scans_->shared_passes();
     s.batch_statements = batch_scans_->statements_served();
   }
+  s.slow_queries = slow_queries_.load(std::memory_order_relaxed);
   s.result_cache_bytes = result_cache_.bytes();
   s.result_cache_entries = result_cache_.entries();
   s.context_cache_bytes = context_cache_.bytes();

@@ -40,6 +40,19 @@
 ///   ZV_MAX_QUEUE         waiting queries before kUnavailable (default 32)
 ///   ZV_BATCH_WINDOW_MS   shared-scan group-commit window (default 0:
 ///                        coalesce only work already waiting)
+///   ZV_TRACE             1 = trace every query (default 0: only queries
+///                        that ask, via Submit's trace flag / wire field)
+///   ZV_SLOW_QUERY_MS     slow-query log threshold, ms (default 100;
+///                        negative disables the log)
+///
+/// Observability (docs/architecture.md "Observability"): every query can
+/// carry a TraceSpan tree (common/trace.h) through the scheduler and scan
+/// layers, the service records latency histograms and counters into a
+/// MetricsRegistry (common/metrics.h), and queries slower than
+/// ZV_SLOW_QUERY_MS land in a bounded slow-query ring (SlowQueries()).
+/// All of it is pure observation: results are byte-identical with tracing
+/// on or off, and no trace or metric state enters QueryFingerprint or any
+/// cache.
 
 #ifndef ZV_SERVER_QUERY_SERVICE_H_
 #define ZV_SERVER_QUERY_SERVICE_H_
@@ -48,6 +61,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -57,7 +71,9 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "engine/database.h"
 #include "engine/shared_scan.h"
 #include "server/result_cache.h"
@@ -93,6 +109,17 @@ struct ServiceOptions {
   int64_t session_ttl_ms = 10 * 60 * 1000;
   /// Time source for TTLs (tests inject ManualClock); null = system.
   Clock* clock = nullptr;
+  /// Trace every query, not just those whose Submit asks; negative =
+  /// resolve from ZV_TRACE (default off).
+  int trace_all = -1;
+  /// Queries slower than this (submit → resolve, ms) enter the slow-query
+  /// ring; NaN = resolve from ZV_SLOW_QUERY_MS (default 100). Negative
+  /// disables the log.
+  double slow_query_ms = std::numeric_limits<double>::quiet_NaN();
+  /// Where the service records its histograms and counters; null =
+  /// MetricsRegistry::Global(). Tests and benches inject a private
+  /// registry so concurrent services never bleed into each other.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Monitoring snapshot (see QueryService::stats()).
@@ -108,6 +135,7 @@ struct ServiceStats {
   uint64_t batch_passes = 0;         ///< shared-scan passes executed
   uint64_t batch_passes_shared = 0;  ///< …that carried >1 query's work
   uint64_t batch_statements = 0;     ///< statements served by those passes
+  uint64_t slow_queries = 0;  ///< queries that crossed ZV_SLOW_QUERY_MS
   size_t sessions = 0;
   size_t in_flight = 0;
   size_t queued = 0;
@@ -153,6 +181,11 @@ class QueryHandle {
   /// sketches). Stable across handle copies; empty for a handle that was
   /// resolved before fingerprinting (e.g. a parse error).
   std::string fingerprint() const;
+
+  /// The query's span tree: null until the query resolves (the tree is
+  /// still being written) and for untraced queries. Immutable once
+  /// returned; shared with the service's slow-query ring.
+  std::shared_ptr<const Trace> trace() const;
 
  private:
   friend class QueryService;
@@ -222,9 +255,12 @@ class QueryService {
   /// wrapper: parses the text and forwards to the typed overload below, so
   /// both entry points share one fingerprint space (a retyped query and
   /// its builder-built equivalent hit the same cache entry).
+  /// `trace` requests a span tree for this query (QueryHandle::trace());
+  /// ZV_TRACE / ServiceOptions::trace_all traces regardless.
   Result<QueryHandle> Submit(SessionId session, const std::string& dataset,
                              const std::string& zql_text,
-                             std::optional<zql::OptLevel> optimization = {});
+                             std::optional<zql::OptLevel> optimization = {},
+                             bool trace = false);
 
   /// Typed entry point: enqueues an already-built AST (from ZqlBuilder or a
   /// prior parse) — no text round trip. The cache key is the canonical AST
@@ -237,9 +273,35 @@ class QueryService {
   /// instead (ZqlBuilder makes that cheap).
   Result<QueryHandle> Submit(SessionId session, const std::string& dataset,
                              const zql::ZqlQuery& query,
-                             std::optional<zql::OptLevel> optimization = {});
+                             std::optional<zql::OptLevel> optimization = {},
+                             bool trace = false);
 
   ServiceStats stats() const;
+
+  /// --- Observability ----------------------------------------------------
+
+  /// One slow-query ring entry (queries whose submit → resolve time
+  /// crossed the threshold, cache hits and errors included).
+  struct SlowQuery {
+    SessionId session = 0;
+    std::string dataset;
+    std::string zql;  ///< canonical text (empty for parse errors)
+    std::string fingerprint;
+    Status status;
+    zql::ZqlStats stats;
+    double total_ms = 0;
+    /// The query's span tree when it was traced; null otherwise.
+    std::shared_ptr<const Trace> trace;
+  };
+
+  /// The last (up to) kSlowRingCapacity slow queries, most recent first.
+  std::vector<SlowQuery> SlowQueries() const;
+  static constexpr size_t kSlowRingCapacity = 32;
+
+  /// The registry this service records into (never null).
+  MetricsRegistry* metrics() const { return metrics_; }
+  bool trace_all() const { return trace_all_; }
+  double slow_query_ms() const { return slow_query_ms_; }
 
   /// The base ZqlOptions every query executes under (modulo the per-query
   /// `optimization` override) — the configuration EXPLAIN plans against.
@@ -262,8 +324,12 @@ class QueryService {
   /// serialization (already computed so the text path canonicalizes once).
   Result<QueryHandle> SubmitCanonical(
       SessionId session, const std::string& dataset, zql::ZqlQuery query,
-      const std::string& canonical,
-      std::optional<zql::OptLevel> optimization);
+      const std::string& canonical, std::optional<zql::OptLevel> optimization,
+      bool trace);
+  /// Closes out one resolved query: latency histogram, the slow-query
+  /// ring, and the trace root span's duration.
+  void RecordCompletion(QueryTask& task, const Status& status,
+                        const zql::ZqlStats& stats, double total_ms);
   /// Admits a query whose parse already failed: the error surfaces on the
   /// returned handle (kNotFound still surfaces here for a dead session or
   /// dataset, matching the typed path).
@@ -282,6 +348,30 @@ class QueryService {
   size_t max_queue_ = 32;
   bool result_cache_enabled_ = true;
   Clock* clock_;
+  bool trace_all_ = false;
+  double slow_query_ms_ = 100;
+
+  /// Metrics, resolved once at construction (see ServiceOptions::metrics).
+  MetricsRegistry* metrics_ = nullptr;
+  Histogram* m_latency_ = nullptr;     ///< zv_query_latency_ms
+  Histogram* m_queue_wait_ = nullptr;  ///< zv_queue_wait_ms
+  Histogram* m_fetch_ = nullptr;       ///< zv_fetch_stage_ms
+  Histogram* m_score_ = nullptr;       ///< zv_score_stage_ms
+  Histogram* m_shard_ = nullptr;       ///< zv_shard_scan_ms
+  Counter* c_submitted_ = nullptr;
+  Counter* c_completed_ = nullptr;
+  Counter* c_failed_ = nullptr;
+  Counter* c_cancelled_ = nullptr;
+  Counter* c_rejected_ = nullptr;
+  Counter* c_cache_hits_ = nullptr;    ///< zv_result_cache_hits
+  Counter* c_cache_misses_ = nullptr;  ///< zv_result_cache_misses
+  Counter* c_ctx_reused_ = nullptr;    ///< zv_context_cache_reused
+
+  /// Slow-query ring (most recent at the back), its own lock so a slow
+  /// burst never contends with the scheduling mutex.
+  mutable std::mutex slow_mu_;
+  std::deque<SlowQuery> slow_ring_;
+  std::atomic<uint64_t> slow_queries_{0};
 
   ResultCache result_cache_;
   ContextCache context_cache_;

@@ -49,7 +49,16 @@ Result<ZqlResult> ZqlExecutor::Execute(const ZqlQuery& query) {
 
   exec::ExecState state;
   ZV_RETURN_NOT_OK(state.Init(db_, table_name_, options_, user_inputs_));
+  // The "execute" span covers plan building through the last routed fetch;
+  // operator spans nest under it. Ends on every exit path (RAII), so a
+  // failed query still carries the spans up to its failure point.
+  TraceScope exec_scope(options_.trace, options_.trace_parent, "execute");
+  state.trace = options_.trace;
+  state.trace_span = exec_scope.span();
   ZV_ASSIGN_OR_RETURN(PhysicalPlan plan, BuildPhysicalPlan(query, options_));
+  exec_scope.SetStr("optimization", OptLevelToString(plan.optimization));
+  exec_scope.SetBool("pipelined", plan.pipelined);
+  exec_scope.SetInt("stages", plan.num_stages);
   {
     exec::PipelineScheduler scheduler(plan, query, &state);
     ZV_RETURN_NOT_OK(scheduler.Run());
@@ -73,7 +82,7 @@ Result<ZqlResult> ZqlExecutor::Execute(const ZqlQuery& query) {
   result.stats = state.stats;
   result.stats.sql_queries = db_->queries_executed() - q0;
   result.stats.sql_requests = db_->requests_made() - r0;
-  result.stats.total_ms = exec::MsSince(t0);
+  result.stats.total_ms = MsSince(t0);
   return result;
 }
 

@@ -43,6 +43,8 @@
 namespace zv {
 class BatchScanQueue;      // engine/shared_scan.h
 class ScoringContextPool;  // tasks/context_pool.h
+class Trace;               // common/trace.h
+struct TraceSpan;          // common/trace.h
 }  // namespace zv
 
 namespace zv::zql {
@@ -149,6 +151,18 @@ struct ZqlOptions {
   /// on/off identity on integer data). Box-plot specs always bin
   /// client-side (they need the raw rows).
   bool binning_pushdown = true;
+  /// Per-query execution tracing (common/trace.h): when set, the executor
+  /// records a span tree under `trace_parent` (null = the trace root) —
+  /// one "execute" span holding one span per plan operator
+  /// (FetchOp/MaterializeOp/ScoreOp/ReduceOp/OutputOp, names matching the
+  /// EXPLAIN rendering), plus per-batch scan spans ("Flush"/"FetchBatch"),
+  /// per chunk-scan pass ("ChunkScanPass"), and per shared-scan
+  /// group-commit pass ("SharedScanPass"). A pure observer: spans never
+  /// influence scheduling, results are byte-identical with tracing on or
+  /// off (tests/trace_test.cc locks the matrix), and the serving layer
+  /// keeps trace state out of QueryFingerprint and every cache.
+  Trace* trace = nullptr;
+  TraceSpan* trace_parent = nullptr;
 };
 
 /// \brief Execution instrumentation for the Chapter 7 experiments.

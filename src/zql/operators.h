@@ -34,7 +34,9 @@
 #include <variant>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "engine/database.h"
 #include "sql/ast.h"
 #include "tasks/series_cache.h"
@@ -43,12 +45,6 @@
 #include "zql/executor.h"
 
 namespace zv::zql::exec {
-
-inline double MsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - start)
-      .count();
-}
 
 /// A value bound to an axis variable: an axis (X/Y) attribute combination,
 /// a Z slice, or a Viz spec.
@@ -127,6 +123,14 @@ struct ExecState {
   std::map<std::string, std::shared_ptr<VarDomain>> vars;
   std::map<std::string, std::shared_ptr<Component>> comps;
   ZqlStats stats;
+
+  /// Per-query trace (ZqlOptions::trace; null when tracing is off) and
+  /// the "execute" span operator spans parent under. Wired by the
+  /// executor before the scheduler runs and immutable afterwards — the
+  /// fetch thread and shard workers read them concurrently, the Trace
+  /// itself synchronizes span creation.
+  Trace* trace = nullptr;
+  TraceSpan* trace_span = nullptr;
 
   /// Batch-scoring state for the process declaration currently being
   /// evaluated (see ScoreProcess). Read-only while the parallel scoring

@@ -12,6 +12,21 @@ namespace {
 
 constexpr size_t kDrainAll = static_cast<size_t>(-1);
 
+/// Tags an operator span with its plan coordinates, mirroring what the
+/// EXPLAIN rendering shows for the same step — so a traced query's
+/// operator spans line up with its plan (tests/trace_test.cc matches them
+/// step for step).
+void AnnotateStep(TraceScope& scope, const PlanStep& step,
+                  const ZqlQuery& query) {
+  if (scope.span() == nullptr) return;
+  scope.SetInt("stage", step.stage);
+  if (step.row >= 0) {
+    scope.SetInt("row", step.row);
+    scope.SetStr("name", query.rows[static_cast<size_t>(step.row)].name.name);
+  }
+  if (step.decl >= 0) scope.SetInt("decl", step.decl);
+}
+
 }  // namespace
 
 PipelineScheduler::PipelineScheduler(const PhysicalPlan& plan,
@@ -71,6 +86,8 @@ Status PipelineScheduler::Run() {
     switch (step.kind) {
       case PlanStep::Kind::kFetch: {
         const ZqlRow& row = query_.rows[static_cast<size_t>(step.row)];
+        TraceScope span(st_->trace, st_->trace_span, "FetchOp");
+        AnnotateStep(span, step, query_);
         ZV_RETURN_NOT_OK(PlanRowFetches(
             row, static_cast<size_t>(step.row), st_, &buffer_));
         break;
@@ -80,6 +97,8 @@ Status PipelineScheduler::Run() {
         break;
       case PlanStep::Kind::kMaterialize: {
         const ZqlRow& row = query_.rows[static_cast<size_t>(step.row)];
+        TraceScope span(st_->trace, st_->trace_span, "MaterializeOp");
+        AnnotateStep(span, step, query_);
         ZV_RETURN_NOT_OK(
             StepMaterialize(row, static_cast<size_t>(step.row)));
         break;
@@ -88,10 +107,14 @@ Status PipelineScheduler::Run() {
         const ZqlRow& row = query_.rows[static_cast<size_t>(step.row)];
         const ProcessDecl& decl =
             row.processes[static_cast<size_t>(step.decl)];
+        TraceScope span(st_->trace, st_->trace_span, "ScoreOp");
+        AnnotateStep(span, step, query_);
         const auto t0 = std::chrono::steady_clock::now();
         pending_score = ScoreResult();
         const Status scored = ScoreProcess(decl, st_, &pending_score);
         st_->stats.compute_ms += MsSince(t0);
+        span.SetInt("scores",
+                    static_cast<int64_t>(pending_score.scores.size()));
         ZV_RETURN_NOT_OK(scored);
         break;
       }
@@ -99,6 +122,8 @@ Status PipelineScheduler::Run() {
         const ZqlRow& row = query_.rows[static_cast<size_t>(step.row)];
         const ProcessDecl& decl =
             row.processes[static_cast<size_t>(step.decl)];
+        TraceScope span(st_->trace, st_->trace_span, "ReduceOp");
+        AnnotateStep(span, step, query_);
         const auto t0 = std::chrono::steady_clock::now();
         const Status reduced =
             ReduceProcess(decl, std::move(pending_score), st_);
@@ -106,9 +131,12 @@ Status PipelineScheduler::Run() {
         ZV_RETURN_NOT_OK(reduced);
         break;
       }
-      case PlanStep::Kind::kOutput:
+      case PlanStep::Kind::kOutput: {
+        TraceScope span(st_->trace, st_->trace_span, "OutputOp");
+        AnnotateStep(span, step, query_);
         ZV_RETURN_NOT_OK(DrainUpTo(kDrainAll));
         break;
+      }
     }
   }
   return Status::OK();
@@ -129,7 +157,8 @@ Status PipelineScheduler::StepFlush() {
 
   if (plan_.pipelined) {
     // Hand the batch to the fetch thread and keep walking the plan — the
-    // results come back through the bounded queue at drain points.
+    // results come back through the bounded queue at drain points. The
+    // scan itself is traced on the fetch thread ("FetchBatch", track 1).
     StartWorker();
     for (PendingFetch& pf : buffer_) in_flight_.push_back(std::move(pf));
     buffer_.clear();
@@ -139,6 +168,9 @@ Status PipelineScheduler::StepFlush() {
 
   // Staged: execute and route the whole batch before anything downstream
   // runs — the serial oracle the pipelined schedule is checked against.
+  TraceScope flush_span(st_->trace, st_->trace_span, "Flush");
+  flush_span.SetInt("statements", static_cast<int64_t>(stmts.size()));
+  flush_span.SetBool("batched", batched);
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<PendingFetch> pending = std::move(buffer_);
   buffer_.clear();
@@ -158,7 +190,8 @@ Status PipelineScheduler::StepFlush() {
         first_error = RouteFetch(pending[i], rs.value(), st_);
         return first_error.ok();
       },
-      &scan_ms, &chunks_scanned, &shard_ms, &batched_scans, &scans_shared);
+      &scan_ms, &chunks_scanned, &shard_ms, &batched_scans, &scans_shared,
+      flush_span.span(), /*track=*/0);
   st_->stats.fetch_ms += scan_ms;
   st_->stats.exec_ms += MsSince(t0);
   st_->stats.chunks_scanned += chunks_scanned;
@@ -224,6 +257,12 @@ void PipelineScheduler::FetchWorkerMain() {
   while (jobs_->Pop(&job)) {
     size_t produced = 0;
     if (!abandon_.load(std::memory_order_relaxed)) {
+      // One span per dispatched batch, on the fetch thread's timeline lane
+      // — the pipelined counterpart of the staged "Flush" span.
+      TraceScope batch_span(st_->trace, st_->trace_span, "FetchBatch",
+                            /*track=*/1);
+      batch_span.SetInt("statements", static_cast<int64_t>(job.stmts.size()));
+      batch_span.SetBool("batched", job.batched);
       double scan_total = 0;
       double scan_last = 0;
       uint64_t chunks_total = 0;
@@ -259,7 +298,7 @@ void PipelineScheduler::FetchWorkerMain() {
                    !CancellationRequested();
           },
           &scan_total, &chunks_total, &shard_total, &batched_total,
-          &shared_total);
+          &shared_total, batch_span.span(), /*track=*/1);
     }
     // Exactly one item per statement, always: statements skipped by an
     // early stop yield placeholders so the coordinator's accounting (one
@@ -276,10 +315,11 @@ void PipelineScheduler::RunBatch(
     const std::vector<sql::SelectStatement>& stmts, bool batched,
     const std::function<bool(size_t, Result<ResultSet>)>& sink,
     double* scan_ms, uint64_t* chunks_scanned, double* shard_ms,
-    uint64_t* batched_scans, uint64_t* scans_shared) {
+    uint64_t* batched_scans, uint64_t* scans_shared, TraceSpan* span_parent,
+    int track) {
   if (batch_queue_ != nullptr) {
     RunBatchShared(stmts, batched, sink, scan_ms, chunks_scanned,
-                   batched_scans, scans_shared);
+                   batched_scans, scans_shared, span_parent, track);
     return;
   }
   if (!sharded_) {
@@ -294,7 +334,8 @@ void PipelineScheduler::RunBatch(
   for (size_t i = 0; i < stmts.size(); ++i) {
     if (!batched) st_->db->AccountRequest(1);
     const auto t0 = std::chrono::steady_clock::now();
-    Result<ResultSet> rs = ExecuteSharded(stmts[i], chunks_scanned, shard_ms);
+    Result<ResultSet> rs =
+        ExecuteSharded(stmts[i], chunks_scanned, shard_ms, span_parent, track);
     if (scan_ms != nullptr) *scan_ms += MsSince(t0);
     if (!sink(i, std::move(rs))) return;
   }
@@ -304,7 +345,7 @@ void PipelineScheduler::RunBatchShared(
     const std::vector<sql::SelectStatement>& stmts, bool batched,
     const std::function<bool(size_t, Result<ResultSet>)>& sink,
     double* scan_ms, uint64_t* chunks_scanned, uint64_t* batched_scans,
-    uint64_t* scans_shared) {
+    uint64_t* scans_shared, TraceSpan* span_parent, int track) {
   // Accounting mirrors ScanBatch exactly: batched = one round trip for
   // the whole flush, counted up front; unbatched = one per statement,
   // stopped by an early sink exit. The shared pass changes how rows are
@@ -314,8 +355,18 @@ void PipelineScheduler::RunBatchShared(
   ptrs.reserve(stmts.size());
   for (const sql::SelectStatement& stmt : stmts) ptrs.push_back(&stmt);
   const auto t0 = std::chrono::steady_clock::now();
-  BatchScanQueue::Selection sel =
-      batch_queue_->SelectRows(st_->db, st_->table_name, ptrs);
+  BatchScanQueue::Selection sel;
+  {
+    // The group-commit span covers the whole SelectRows stay — window
+    // hold, queueing, and the covering pass — while pass_ms is the pass's
+    // own wall time; the difference is time spent waiting to be grouped.
+    TraceScope pass_span(st_->trace, span_parent, "SharedScanPass", track);
+    sel = batch_queue_->SelectRows(st_->db, st_->table_name, ptrs);
+    pass_span.SetInt("statements", static_cast<int64_t>(stmts.size()));
+    pass_span.SetBool("shared", sel.shared);
+    pass_span.SetInt("chunks", static_cast<int64_t>(sel.chunks_scanned));
+    pass_span.SetDouble("pass_ms", sel.scan_ms);
+  }
   if (scan_ms != nullptr) *scan_ms += MsSince(t0);
   if (chunks_scanned != nullptr) *chunks_scanned += sel.chunks_scanned;
   if (batched_scans != nullptr) *batched_scans += stmts.size();
@@ -338,10 +389,14 @@ void PipelineScheduler::RunBatchShared(
 
 Result<ResultSet> PipelineScheduler::ExecuteSharded(
     const sql::SelectStatement& stmt, uint64_t* chunks_scanned,
-    double* shard_ms) {
+    double* shard_ms, TraceSpan* span_parent, int track) {
+  TraceScope pass_span(st_->trace, span_parent, "ChunkScanPass", track);
   ZV_ASSIGN_OR_RETURN(std::unique_ptr<ChunkScanner> scanner,
                       st_->db->PrepareChunkScan(stmt));
   const size_t chunks = chunk_map_.num_chunks();
+  pass_span.SetInt("chunks", static_cast<int64_t>(chunks));
+  pass_span.SetInt("workers",
+                   static_cast<int64_t>(std::min(shard_workers_, chunks)));
   for (size_t c = 0; c < chunks; ++c) {
     const auto [begin, end] = chunk_map_.chunk_range(c);
     chunk_jobs_->Push({scanner.get(), c, begin, end});
@@ -371,6 +426,7 @@ Result<ResultSet> PipelineScheduler::ExecuteSharded(
     if (shard_ms != nullptr) *shard_ms += slot.scan_ms;
   }
   if (chunks_scanned != nullptr) *chunks_scanned += chunks;
+  pass_span.SetInt("rows", static_cast<int64_t>(total_rows));
   return st_->db->FinishChunkScan(stmt, rows);
 }
 

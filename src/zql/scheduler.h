@@ -129,10 +129,14 @@ class PipelineScheduler {
   /// FinishChunkScan; accounting mirrors ScanBatch via AccountRequest so
   /// sql_queries/sql_requests deltas are unchanged. Runs on the
   /// coordinator (staged) or the fetch thread (pipelined) — never both.
+  /// `span_parent`/`track` locate this batch's trace spans (per chunk-scan
+  /// pass, per shared-scan pass) in the query's span tree; null parent
+  /// with tracing off records nothing.
   void RunBatch(const std::vector<sql::SelectStatement>& stmts, bool batched,
                 const std::function<bool(size_t, Result<ResultSet>)>& sink,
                 double* scan_ms, uint64_t* chunks_scanned, double* shard_ms,
-                uint64_t* batched_scans, uint64_t* scans_shared);
+                uint64_t* batched_scans, uint64_t* scans_shared,
+                TraceSpan* span_parent, int track);
   /// The cross-query batched form of RunBatch (engaged when the options
   /// carry a BatchScanQueue and the table has a chunk map): the whole
   /// flush goes to the queue in one SelectRows call — so its statements
@@ -143,9 +147,10 @@ class PipelineScheduler {
       const std::vector<sql::SelectStatement>& stmts, bool batched,
       const std::function<bool(size_t, Result<ResultSet>)>& sink,
       double* scan_ms, uint64_t* chunks_scanned, uint64_t* batched_scans,
-      uint64_t* scans_shared);
+      uint64_t* scans_shared, TraceSpan* span_parent, int track);
   Result<ResultSet> ExecuteSharded(const sql::SelectStatement& stmt,
-                                   uint64_t* chunks_scanned, double* shard_ms);
+                                   uint64_t* chunks_scanned, double* shard_ms,
+                                   TraceSpan* span_parent, int track);
 
   void FetchWorkerMain();
   void StartWorker();

@@ -1,0 +1,245 @@
+/// \file metrics_test.cc
+/// \brief The metrics contract: histogram snapshots are a pure function of
+/// the recorded multiset (any recording order or thread interleaving yields
+/// byte-identical buckets, count, and integer-ns sum); bucket bounds follow
+/// the fixed geometric ladder; percentiles are exact ladder values with
+/// sane edge behavior (empty, q=0, q=1, beyond-ceiling clamp); registry
+/// metric pointers are stable and snapshots are name-ordered; and the JSON
+/// / text expositions carry every registered metric. Runs under the
+/// tsan/asan ctest gates: recording is relaxed atomics hammered from many
+/// threads here.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/metrics.h"
+#include "tests/test_util.h"
+
+namespace zv {
+namespace {
+
+bool SameSnapshot(const Histogram::Snapshot& a, const Histogram::Snapshot& b) {
+  return a.count == b.count && a.sum_ms == b.sum_ms && a.buckets == b.buckets;
+}
+
+TEST(Histogram, BucketLadder) {
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperMs(0), Histogram::kMinBucketMs);
+  // One octave (kBucketsPerOctave buckets) doubles the bound.
+  EXPECT_DOUBLE_EQ(
+      Histogram::BucketUpperMs(Histogram::kBucketsPerOctave),
+      2 * Histogram::kMinBucketMs);
+  EXPECT_DOUBLE_EQ(
+      Histogram::BucketUpperMs(2 * Histogram::kBucketsPerOctave),
+      4 * Histogram::kMinBucketMs);
+  // Bounds are strictly increasing across the whole ladder.
+  for (size_t i = 1; i < Histogram::kNumBuckets; ++i) {
+    EXPECT_LT(Histogram::BucketUpperMs(i - 1), Histogram::BucketUpperMs(i));
+  }
+  // At-or-below the floor lands in bucket 0; beyond the ceiling clamps.
+  EXPECT_EQ(Histogram::BucketOf(0.0), 0u);
+  EXPECT_EQ(Histogram::BucketOf(-1.0), 0u);
+  EXPECT_EQ(Histogram::BucketOf(Histogram::kMinBucketMs), 0u);
+  EXPECT_EQ(Histogram::BucketOf(1e12), Histogram::kNumBuckets - 1);
+  // A sample sits in the bucket whose bound range covers it.
+  const double ms = 3.7;
+  const size_t b = Histogram::BucketOf(ms);
+  EXPECT_LE(ms, Histogram::BucketUpperMs(b));
+  ASSERT_GT(b, 0u);
+  EXPECT_GT(ms, Histogram::BucketUpperMs(b - 1));
+}
+
+TEST(Histogram, SnapshotIsOrderIndependent) {
+  std::vector<double> samples;
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> dist(0.001, 500.0);
+  for (int i = 0; i < 2000; ++i) samples.push_back(dist(rng));
+
+  Histogram forward;
+  for (double s : samples) forward.Record(s);
+
+  std::shuffle(samples.begin(), samples.end(), rng);
+  Histogram shuffled;
+  for (double s : samples) shuffled.Record(s);
+
+  const Histogram::Snapshot a = forward.snapshot();
+  const Histogram::Snapshot b = shuffled.snapshot();
+  EXPECT_TRUE(SameSnapshot(a, b));
+  EXPECT_EQ(a.count, 2000u);
+  // Identical including the sum: it accumulates in integer nanoseconds,
+  // so addition order cannot perturb it.
+  EXPECT_EQ(a.sum_ms, b.sum_ms);
+  for (double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(a.Percentile(q), b.Percentile(q)) << q;
+  }
+}
+
+TEST(Histogram, ConcurrentRecordingMatchesSerial) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 5000;
+  Histogram concurrent;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&concurrent, t] {
+      std::mt19937 rng(static_cast<uint32_t>(t));
+      std::uniform_real_distribution<double> dist(0.01, 50.0);
+      for (size_t i = 0; i < kPerThread; ++i) concurrent.Record(dist(rng));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  Histogram serial;
+  for (size_t t = 0; t < kThreads; ++t) {
+    std::mt19937 rng(static_cast<uint32_t>(t));
+    std::uniform_real_distribution<double> dist(0.01, 50.0);
+    for (size_t i = 0; i < kPerThread; ++i) serial.Record(dist(rng));
+  }
+
+  const Histogram::Snapshot a = concurrent.snapshot();
+  EXPECT_EQ(a.count, kThreads * kPerThread);
+  EXPECT_TRUE(SameSnapshot(a, serial.snapshot()));
+}
+
+TEST(Histogram, PercentileEdges) {
+  Histogram h;
+  const Histogram::Snapshot empty = h.snapshot();
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.Percentile(0.5), 0.0);
+  EXPECT_EQ(empty.mean_ms(), 0.0);
+
+  h.Record(10.0);
+  const Histogram::Snapshot one = h.snapshot();
+  EXPECT_EQ(one.count, 1u);
+  // Every quantile of a single sample is that sample's bucket bound:
+  // an exact ladder value within one bucket (~9%) of the sample.
+  const double expect = Histogram::BucketUpperMs(Histogram::BucketOf(10.0));
+  for (double q : {0.0, 0.5, 1.0}) {
+    EXPECT_EQ(one.Percentile(q), expect) << q;
+  }
+  EXPECT_GE(expect, 10.0);
+  EXPECT_LE(expect, 10.0 * 1.10);
+  // The mean is the true sum (ns-rounded), not a bucket bound.
+  EXPECT_NEAR(one.mean_ms(), 10.0, 1e-6);
+
+  h.Reset();
+  EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+TEST(Histogram, PercentileRanksSplitTheLadder) {
+  Histogram h;
+  // 90 fast + 10 slow: p50 must come from the fast bucket, p99 and p999
+  // from the slow one.
+  for (int i = 0; i < 90; ++i) h.Record(1.0);
+  for (int i = 0; i < 10; ++i) h.Record(100.0);
+  const Histogram::Snapshot snap = h.snapshot();
+  const double fast = Histogram::BucketUpperMs(Histogram::BucketOf(1.0));
+  const double slow = Histogram::BucketUpperMs(Histogram::BucketOf(100.0));
+  EXPECT_EQ(snap.Percentile(0.5), fast);
+  EXPECT_EQ(snap.Percentile(0.9), fast);
+  EXPECT_EQ(snap.Percentile(0.99), slow);
+  EXPECT_EQ(snap.Percentile(0.999), slow);
+}
+
+TEST(Registry, PointerStableAndCreateOnFirstUse) {
+  MetricsRegistry registry;
+  Counter* c1 = registry.GetCounter("zv_test_counter");
+  Counter* c2 = registry.GetCounter("zv_test_counter");
+  EXPECT_EQ(c1, c2);
+  Gauge* g1 = registry.GetGauge("zv_test_gauge");
+  EXPECT_EQ(g1, registry.GetGauge("zv_test_gauge"));
+  Histogram* h1 = registry.GetHistogram("zv_test_hist");
+  EXPECT_EQ(h1, registry.GetHistogram("zv_test_hist"));
+
+  c1->Increment(3);
+  g1->Set(-7);
+  h1->Record(2.5);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "zv_test_counter");
+  EXPECT_EQ(snap.counters[0].second, 3u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second, -7);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  EXPECT_GT(snap.histograms[0].p50, 0.0);
+
+  registry.Reset();
+  EXPECT_EQ(c1->value(), 0u);
+  EXPECT_EQ(g1->value(), 0);
+  EXPECT_EQ(h1->snapshot().count, 0u);
+}
+
+TEST(Registry, SnapshotIsNameOrdered) {
+  MetricsRegistry registry;
+  registry.GetCounter("zv_b");
+  registry.GetCounter("zv_a");
+  registry.GetCounter("zv_c");
+  registry.GetHistogram("zv_z_hist");
+  registry.GetHistogram("zv_a_hist");
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].first, "zv_a");
+  EXPECT_EQ(snap.counters[1].first, "zv_b");
+  EXPECT_EQ(snap.counters[2].first, "zv_c");
+  ASSERT_EQ(snap.histograms.size(), 2u);
+  EXPECT_EQ(snap.histograms[0].name, "zv_a_hist");
+  EXPECT_EQ(snap.histograms[1].name, "zv_z_hist");
+}
+
+TEST(Registry, GlobalIsAProcessSingleton) {
+  MetricsRegistry* g = MetricsRegistry::Global();
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g, MetricsRegistry::Global());
+  // A private registry is disjoint from the global one.
+  MetricsRegistry local;
+  EXPECT_NE(g->GetCounter("zv_metrics_test_global"),
+            local.GetCounter("zv_metrics_test_global"));
+}
+
+TEST(Exposition, JsonCarriesEveryMetricDeterministically) {
+  MetricsRegistry registry;
+  registry.GetCounter("zv_requests")->Increment(5);
+  registry.GetGauge("zv_depth")->Set(2);
+  Histogram* h = registry.GetHistogram("zv_latency_ms");
+  h->Record(1.0);
+  h->Record(2.0);
+
+  const Json json = registry.Snapshot().ToJson();
+  const Json* counters = json.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find("zv_requests"), nullptr);
+  EXPECT_EQ(counters->Find("zv_requests")->as_int(), 5);
+  const Json* gauges = json.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->Find("zv_depth")->as_int(), 2);
+  const Json* hists = json.Find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const Json* lat = hists->Find("zv_latency_ms");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->Find("count")->as_int(), 2);
+  for (const char* key : {"sum_ms", "mean_ms", "p50", "p90", "p99", "p999"}) {
+    ASSERT_NE(lat->Find(key), nullptr) << key;
+  }
+  // Deterministic: encoding twice yields the same bytes.
+  EXPECT_EQ(registry.Snapshot().ToJson().Dump(), json.Dump());
+}
+
+TEST(Exposition, TextCarriesCountSumAndQuantiles) {
+  MetricsRegistry registry;
+  registry.GetCounter("zv_requests")->Increment(5);
+  registry.GetHistogram("zv_latency_ms")->Record(3.0);
+  const std::string text = registry.Snapshot().ToText();
+  EXPECT_NE(text.find("zv_requests"), std::string::npos);
+  EXPECT_NE(text.find("zv_latency_ms"), std::string::npos);
+  EXPECT_NE(text.find("count"), std::string::npos);
+  EXPECT_NE(text.find("sum"), std::string::npos);
+  EXPECT_NE(text.find("0.5"), std::string::npos);  // the p50 quantile line
+}
+
+}  // namespace
+}  // namespace zv

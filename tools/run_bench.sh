@@ -89,6 +89,17 @@ if ! check_regressions "$OUT" "$LINES"; then
   echo "warning: perf regressed >15% vs committed baseline (set ZV_BENCH_STRICT=1 to fail)" >&2
 fi
 
+# Trace-overhead gate: bench_serve's trace_overhead record asserts traced
+# warm p50 <= untraced p50 * 1.05 + 0.05 ms (tracing is supposed to be a
+# near-free observer). "pass":"no" warns; under ZV_BENCH_STRICT=1 it fails.
+if grep '"case":"trace_overhead"' "$LINES" | grep -q '"pass":"no"'; then
+  if [[ "${ZV_BENCH_STRICT:-0}" == "1" ]]; then
+    echo "ZV_BENCH_STRICT=1: tracing overhead exceeded budget (see trace_overhead record) — failing" >&2
+    exit 1
+  fi
+  echo "warning: tracing overhead exceeded budget (set ZV_BENCH_STRICT=1 to fail)" >&2
+fi
+
 # Wrap the JSON lines into one array, with run metadata up front.
 {
   printf '{\n'

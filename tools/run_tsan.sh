@@ -13,6 +13,10 @@
 #                   single-flight, mid-batch cancellation)
 #   zql_roundtrip_test (canonical serialization / fingerprint property
 #                   suite — serial, but cheap enough to keep in the gate)
+#   trace_test     (trace spans opened concurrently from the coordinator,
+#                   fetch thread, and shard workers; trace mutex)
+#   metrics_test   (lock-free histogram recording hammered from many
+#                   threads; registry mutex)
 #
 # After the suites, the "stress" configuration runs the randomized
 # multi-session soak (batch_stress) under the same instrumented build.
@@ -29,7 +33,7 @@ set -euo pipefail
 ROOT="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 BUILD="${2:-$ROOT/build-tsan}"
 SUITES="parallel_test topk_test server_test pipeline_test shard_test \
-batch_test zql_roundtrip_test"
+batch_test zql_roundtrip_test trace_test metrics_test"
 
 echo "== configuring TSan tree at $BUILD =="
 cmake -B "$BUILD" -S "$ROOT" -DZV_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -44,7 +48,7 @@ echo "== running under ThreadSanitizer =="
 # line; second_deadlock_stack improves lock-inversion reports.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 (cd "$BUILD" && ctest --output-on-failure \
-  -R '^(parallel_test|topk_test|server_test|pipeline_test|shard_test|batch_test|zql_roundtrip_test)$')
+  -R '^(parallel_test|topk_test|server_test|pipeline_test|shard_test|batch_test|zql_roundtrip_test|trace_test|metrics_test)$')
 
 echo "== running the randomized soak (stress configuration) =="
 (cd "$BUILD" && ctest --output-on-failure -C stress -L stress)
