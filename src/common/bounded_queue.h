@@ -33,7 +33,10 @@ class BoundedQueue {
                    [this] { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
     items_.push_back(std::move(item));
-    lock.unlock();
+    // Deliberate unlock-before-notify: the woken consumer must not find
+    // the mutex still held by its waker. No relock follows, so a scoped
+    // guard has nothing to scope here.
+    lock.unlock();  // zv-lint: manual-lock
     not_empty_.notify_one();
     return true;
   }
@@ -46,7 +49,8 @@ class BoundedQueue {
     if (items_.empty()) return false;
     *out = std::move(items_.front());
     items_.pop_front();
-    lock.unlock();
+    // Same unlock-before-notify as Push, for the producer side.
+    lock.unlock();  // zv-lint: manual-lock
     not_full_.notify_one();
     return true;
   }

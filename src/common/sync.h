@@ -1,0 +1,47 @@
+/// \file sync.h
+/// \brief Scoped synchronization helpers beyond what <mutex> ships.
+///
+/// The project bans bare .lock()/.unlock() calls (zv-lint rule
+/// manual-lock): a manual unlock/relock pair leaks the lock on every
+/// early return and exception path between the two calls, and the relock
+/// is exactly the line that gets lost in a refactor. The recurring
+/// pattern that used to be written by hand — drop a held lock around a
+/// blocking call, reacquire after — is ScopedUnlock.
+
+#ifndef ZV_COMMON_SYNC_H_
+#define ZV_COMMON_SYNC_H_
+
+#include <mutex>
+
+namespace zv {
+
+/// \brief Inverse RAII over a held std::unique_lock: unlocks on entry,
+/// relocks on every scope exit.
+///
+///   std::unique_lock<std::mutex> lock(mu_);
+///   ...
+///   {
+///     ScopedUnlock unlocked(lock);
+///     RunBlockingWork();  // lock released here
+///   }                     // reacquired here, on return and on throw alike
+///
+/// The lock must be held on entry; it is held again after the scope ends.
+class ScopedUnlock {
+ public:
+  explicit ScopedUnlock(std::unique_lock<std::mutex>& lock) : lock_(lock) {
+    lock_.unlock();  // zv-lint: manual-lock — the guard's own implementation
+  }
+  ~ScopedUnlock() {
+    lock_.lock();  // zv-lint: manual-lock — the guard's own implementation
+  }
+
+  ScopedUnlock(const ScopedUnlock&) = delete;
+  ScopedUnlock& operator=(const ScopedUnlock&) = delete;
+
+ private:
+  std::unique_lock<std::mutex>& lock_;
+};
+
+}  // namespace zv
+
+#endif  // ZV_COMMON_SYNC_H_

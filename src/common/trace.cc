@@ -1,5 +1,6 @@
 #include "common/trace.h"
 
+#include "common/clock.h"
 #include "common/strings.h"
 
 namespace zv {
@@ -75,15 +76,15 @@ void AppendChromeEvents(const TraceSpan& span, Json* events) {
 
 }  // namespace
 
-const TraceSpan* TraceSpan::FindChild(const std::string& name) const {
+const TraceSpan* TraceSpan::FindChild(const std::string& child_name) const {
   for (const auto& child : children) {
-    if (child->name == name) return child.get();
+    if (child->name == child_name) return child.get();
   }
   return nullptr;
 }
 
 Trace::Trace(std::string root_name)
-    : epoch_(std::chrono::steady_clock::now()) {
+    : epoch_(SteadyNow()) {
   root_.name = std::move(root_name);
 }
 

@@ -64,7 +64,7 @@ struct TraceSpan {
   void SetBool(std::string key, bool v) { attrs.emplace_back(std::move(key), TraceValue(v)); }
 
   /// The first direct child named `name` (nullptr if none) — test helper.
-  const TraceSpan* FindChild(const std::string& name) const;
+  const TraceSpan* FindChild(const std::string& child_name) const;
 };
 
 /// \brief One query's span tree. Begin/End/Add are thread-safe; the tree

@@ -6,6 +6,7 @@
 
 #include "common/cancel.h"
 #include "common/clock.h"
+#include "common/sync.h"
 
 namespace zv {
 
@@ -131,7 +132,7 @@ BatchScanQueue::Selection BatchScanQueue::SelectRows(
   req->map = map.value();
   req->scanner = std::move(scanner.value());
   req->num_stmts = stmts.size();
-  req->arrival = std::chrono::steady_clock::now();
+  req->arrival = SteadyNow();
 
   std::unique_lock<std::mutex> lock(mu_);
   if (stop_) {
@@ -197,7 +198,7 @@ void BatchScanQueue::CoordinatorMain() {
           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
               std::chrono::duration<double, std::milli>(window_ms_));
       while (!stop_ && !pending_.empty() &&
-             std::chrono::steady_clock::now() < deadline) {
+             SteadyNow() < deadline) {
         work_cv_.wait_until(lock, deadline);
       }
       if (stop_) return;
@@ -213,9 +214,10 @@ void BatchScanQueue::CoordinatorMain() {
         ++it;
       }
     }
-    lock.unlock();
-    ExecutePass(members);
-    lock.lock();
+    {
+      ScopedUnlock unlocked(lock);  // the pass runs without the queue lock
+      ExecutePass(members);
+    }
     for (const auto& m : members) m->done = true;
     done_cv_.notify_all();
   }
@@ -229,9 +231,10 @@ void BatchScanQueue::WorkerMain() {
     if (stop_) return;
     seen_gen = pass_gen_;
     const std::shared_ptr<Pass> pass = current_pass_;
-    lock.unlock();
-    if (pass != nullptr) RunJobs(pass.get());
-    lock.lock();
+    {
+      ScopedUnlock unlocked(lock);  // scan chunks without the queue lock
+      if (pass != nullptr) RunJobs(pass.get());
+    }
   }
 }
 
@@ -255,7 +258,7 @@ void BatchScanQueue::RunJobs(Pass* pass) {
 
 void BatchScanQueue::ExecutePass(
     const std::vector<std::shared_ptr<Request>>& members) {
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = SteadyNow();
   // Group-commit hold: how long each member waited from arrival to the
   // pass being cut (the window plus any time behind an executing pass).
   for (const auto& m : members) {
@@ -308,7 +311,7 @@ void BatchScanQueue::ExecutePass(
     std::lock_guard<std::mutex> lock(mu_);
     current_pass_.reset();
   }
-  const double wall_ms = MsBetween(t0, std::chrono::steady_clock::now());
+  const double wall_ms = MsBetween(t0, SteadyNow());
   pass_hist_->Record(wall_ms);
 
   // Demultiplex: per member, per statement, concatenate the chunk lists in

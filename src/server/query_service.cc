@@ -6,6 +6,8 @@
 #include <cstdlib>
 
 #include "common/cancel.h"
+#include "common/clock.h"
+#include "common/sync.h"
 #include "common/strings.h"
 #include "engine/roaring_db.h"
 #include "server/fingerprint.h"
@@ -328,6 +330,7 @@ std::vector<std::string> QueryService::DatasetNames() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(datasets_.size());
+  // zv-lint: order-independent — sorted before returning.
   for (const auto& [name, d] : datasets_) names.push_back(name);
   std::sort(names.begin(), names.end());
   return names;
@@ -494,7 +497,7 @@ Result<QueryHandle> QueryService::SubmitCanonical(
     task->fingerprint = QueryFingerprint(
         dataset, dit->second.epoch, dit->second.db->name(), effective,
         canonical, session->inputs_fingerprint);
-    task->submit_tp = std::chrono::steady_clock::now();
+    task->submit_tp = SteadyNow();
     if (trace || trace_all_) {
       // The trace epoch is the submission instant: span offsets measure
       // time since submit, including the admission queue wait.
@@ -510,7 +513,7 @@ Result<QueryHandle> QueryService::SubmitCanonical(
     // because serving it early would otherwise reorder the session's
     // responses (per-session FIFO); queued tasks re-probe in RunTask.
     if (result_cache_enabled_ && !session->running) {
-      const auto t0 = std::chrono::steady_clock::now();
+      const auto t0 = SteadyNow();
       std::shared_ptr<const zql::ZqlResult> hit;
       {
         TraceScope lookup(task->trace.get(), nullptr, "cache_lookup");
@@ -557,26 +560,25 @@ void QueryService::WorkerMain(size_t worker_index) {
     ready_.pop_front();
     ++in_flight_;
     current_[worker_index] = task;
-    lock.unlock();
-
-    bool skip = false;
     {
-      std::lock_guard<std::mutex> tl(task->mu);
-      ReleaseQueueSlotLocked(*task);  // no longer waiting (it's ours now)
-      if (task->done) {
-        skip = true;  // cancelled while queued; already resolved
+      ScopedUnlock unlocked(lock);  // run the task outside the service lock
+      bool skip = false;
+      {
+        std::lock_guard<std::mutex> tl(task->mu);
+        ReleaseQueueSlotLocked(*task);  // no longer waiting (it's ours now)
+        if (task->done) {
+          skip = true;  // cancelled while queued; already resolved
+        } else {
+          task->started = true;
+        }
+      }
+      if (skip) {
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
+        c_cancelled_->Increment();
       } else {
-        task->started = true;
+        RunTask(task);
       }
     }
-    if (skip) {
-      cancelled_.fetch_add(1, std::memory_order_relaxed);
-      c_cancelled_->Increment();
-    } else {
-      RunTask(task);
-    }
-
-    lock.lock();
     current_[worker_index] = nullptr;
     --in_flight_;
     AdvanceSessionLocked(task);
@@ -584,7 +586,7 @@ void QueryService::WorkerMain(size_t worker_index) {
 }
 
 void QueryService::RunTask(const std::shared_ptr<QueryTask>& task) {
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = SteadyNow();
   Trace* trace = task->trace.get();
   // Admission wait: everything between Submit and this worker picking the
   // task up (the trace epoch is the submission instant, so the span runs

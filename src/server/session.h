@@ -20,6 +20,7 @@
 #ifndef ZV_SERVER_SESSION_H_
 #define ZV_SERVER_SESSION_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -96,6 +97,8 @@ class SessionManager {
   /// so eviction is purely a bookkeeping cleanup.
   size_t SweepExpired() {
     size_t evicted = 0;
+    // zv-lint: order-independent — pure eviction sweep; each erase
+    // decision depends only on the session itself.
     for (auto it = sessions_.begin(); it != sessions_.end();) {
       if (Expired(*it->second)) {
         it = sessions_.erase(it);
@@ -112,11 +115,16 @@ class SessionManager {
   size_t size() const { return sessions_.size(); }
   int64_t ttl_ms() const { return ttl_ms_; }
 
-  /// All live sessions (for stats / shutdown drains).
+  /// All live sessions (for stats / shutdown drains), in ascending id
+  /// order so consumers never observe hash order.
   std::vector<std::shared_ptr<Session>> All() const {
     std::vector<std::shared_ptr<Session>> out;
     out.reserve(sessions_.size());
+    // zv-lint: order-independent — sorted by id before returning.
     for (const auto& [id, s] : sessions_) out.push_back(s);
+    std::sort(out.begin(), out.end(),
+              [](const std::shared_ptr<Session>& a,
+                 const std::shared_ptr<Session>& b) { return a->id < b->id; });
     return out;
   }
 

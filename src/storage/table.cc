@@ -1,5 +1,7 @@
 #include "storage/table.h"
 
+#include <algorithm>
+
 #include "common/strings.h"
 
 namespace zv {
@@ -169,7 +171,11 @@ Result<std::shared_ptr<Table>> Catalog::GetTable(
 std::vector<std::string> Catalog::TableNames() const {
   std::vector<std::string> names;
   names.reserve(tables_.size());
+  // zv-lint: order-independent — sorted before returning. (The sort is
+  // load-bearing: this used to return hash order, which leaks the
+  // unordered_map's layout into anything that renders the catalog.)
   for (const auto& [name, t] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
   return names;
 }
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/cancel.h"
+#include "common/sync.h"
 
 namespace zv {
 
@@ -51,9 +52,13 @@ std::shared_ptr<const ScoringContext> ScoringContextPool::GetOrBuild(
 
   const auto entry = std::make_shared<InFlight>();
   in_flight_[fingerprint] = entry;
-  lock.unlock();
-  std::shared_ptr<const ScoringContext> ctx = build();
-  lock.lock();
+  std::shared_ptr<const ScoringContext> ctx;
+  {
+    // The build runs outside the pool lock so waiters can park and other
+    // fingerprints can elect their own builders meanwhile.
+    ScopedUnlock unlocked(lock);
+    ctx = build();
+  }
   entry->done = true;
   entry->ctx = ctx;
   // Erase our round so the next miss elects a fresh builder; waiters hold

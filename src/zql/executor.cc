@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/cancel.h"
+#include "common/clock.h"
 #include "zql/operators.h"
 #include "zql/parser.h"
 #include "zql/plan.h"
@@ -43,7 +44,7 @@ void ZqlExecutor::SetUserInput(const std::string& name, Visualization viz) {
 }
 
 Result<ZqlResult> ZqlExecutor::Execute(const ZqlQuery& query) {
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = SteadyNow();
   const uint64_t q0 = db_->queries_executed();
   const uint64_t r0 = db_->requests_made();
 

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "common/cancel.h"
+#include "common/clock.h"
 #include "common/parallel.h"
 #include "common/strings.h"
 #include "sql/parser.h"
@@ -620,10 +621,10 @@ Status PlanRowFetches(const ZqlRow& row, size_t row_tag, ExecState* st,
         const Slot& s = zslots[si];
         std::vector<Value> values;
         for (const auto& tuple : s.domain->tuples) {
-          const Value& v =
+          const Value& zval =
               std::get<ZValue>(tuple[static_cast<size_t>(s.pos)]).value;
-          if (std::find(values.begin(), values.end(), v) == values.end()) {
-            values.push_back(v);
+          if (std::find(values.begin(), values.end(), zval) == values.end()) {
+            values.push_back(zval);
           }
         }
         pf.varying_z_values.push_back(std::move(values));
@@ -1337,7 +1338,7 @@ void BindOutputs(const std::vector<std::string>& iter_vars,
 }  // namespace
 
 Status ScoreProcess(const ProcessDecl& decl, ExecState* st, ScoreResult* out) {
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = SteadyNow();
   if (decl.kind == ProcessDecl::Kind::kRepresentative) {
     const Status s = ScoreRepresentative(decl, st, out);
     st->stats.score_ms += MsSince(t0);

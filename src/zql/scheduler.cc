@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/cancel.h"
+#include "common/clock.h"
 #include "engine/shared_scan.h"
 
 namespace zv::zql::exec {
@@ -109,7 +110,7 @@ Status PipelineScheduler::Run() {
             row.processes[static_cast<size_t>(step.decl)];
         TraceScope span(st_->trace, st_->trace_span, "ScoreOp");
         AnnotateStep(span, step, query_);
-        const auto t0 = std::chrono::steady_clock::now();
+        const auto t0 = SteadyNow();
         pending_score = ScoreResult();
         const Status scored = ScoreProcess(decl, st_, &pending_score);
         st_->stats.compute_ms += MsSince(t0);
@@ -124,7 +125,7 @@ Status PipelineScheduler::Run() {
             row.processes[static_cast<size_t>(step.decl)];
         TraceScope span(st_->trace, st_->trace_span, "ReduceOp");
         AnnotateStep(span, step, query_);
-        const auto t0 = std::chrono::steady_clock::now();
+        const auto t0 = SteadyNow();
         const Status reduced =
             ReduceProcess(decl, std::move(pending_score), st_);
         st_->stats.compute_ms += MsSince(t0);
@@ -171,7 +172,7 @@ Status PipelineScheduler::StepFlush() {
   TraceScope flush_span(st_->trace, st_->trace_span, "Flush");
   flush_span.SetInt("statements", static_cast<int64_t>(stmts.size()));
   flush_span.SetBool("batched", batched);
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = SteadyNow();
   std::vector<PendingFetch> pending = std::move(buffer_);
   buffer_.clear();
   Status first_error = Status::OK();
@@ -231,7 +232,7 @@ Status PipelineScheduler::DrainUpTo(size_t limit_tag) {
     st_->stats.batched_scans += item.batched_scans;
     st_->stats.scans_shared += item.scans_shared;
     if (!item.result.ok()) return item.result.status();
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = SteadyNow();
     const Status routed = RouteFetch(pf, item.result.value(), st_);
     st_->stats.exec_ms += item.scan_ms + MsSince(t0);
     ZV_RETURN_NOT_OK(routed);
@@ -333,7 +334,7 @@ void PipelineScheduler::RunBatch(
   if (batched) st_->db->AccountRequest(stmts.size());
   for (size_t i = 0; i < stmts.size(); ++i) {
     if (!batched) st_->db->AccountRequest(1);
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = SteadyNow();
     Result<ResultSet> rs =
         ExecuteSharded(stmts[i], chunks_scanned, shard_ms, span_parent, track);
     if (scan_ms != nullptr) *scan_ms += MsSince(t0);
@@ -354,7 +355,7 @@ void PipelineScheduler::RunBatchShared(
   std::vector<const sql::SelectStatement*> ptrs;
   ptrs.reserve(stmts.size());
   for (const sql::SelectStatement& stmt : stmts) ptrs.push_back(&stmt);
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = SteadyNow();
   BatchScanQueue::Selection sel;
   {
     // The group-commit span covers the whole SelectRows stay — window
@@ -380,7 +381,7 @@ void PipelineScheduler::RunBatchShared(
     // Same split as the sharded path: the pass selected the rows, the
     // table-size-pure blocked runner aggregates them — so the bytes can
     // not depend on who shared the pass.
-    const auto tf = std::chrono::steady_clock::now();
+    const auto tf = SteadyNow();
     Result<ResultSet> rs = st_->db->FinishChunkScan(stmts[i], sel.rows[i]);
     if (scan_ms != nullptr) *scan_ms += MsSince(tf);
     if (!sink(i, std::move(rs))) return;
@@ -450,7 +451,7 @@ void PipelineScheduler::ShardWorkerMain() {
   while (chunk_jobs_->Pop(&job)) {
     ChunkItem item;
     item.chunk = job.chunk;
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = SteadyNow();
     if (abandon_.load(std::memory_order_relaxed) || CancellationRequested()) {
       item.status = Status(StatusCode::kCancelled, "query cancelled");
     } else {

@@ -160,8 +160,8 @@ TEST_P(BackendInvariantTest, MinLeMaxAndWithinRange) {
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, BackendInvariantTest,
                          ::testing::Values(Backend::kScan, Backend::kRoaring),
-                         [](const auto& info) {
-                           return BackendName(info.param);
+                         [](const auto& suite_info) {
+                           return BackendName(suite_info.param);
                          });
 
 // ---------------------------------------------------------------------------
@@ -243,7 +243,7 @@ INSTANTIATE_TEST_SUITE_P(
         QueryShape{"NotPredicate",
                    "SELECT size, COUNT(*) FROM sales WHERE NOT (size = "
                    "'medium') GROUP BY size ORDER BY size"}),
-    [](const auto& info) { return info.param.label; });
+    [](const auto& suite_info) { return suite_info.param.label; });
 
 // ---------------------------------------------------------------------------
 // Selectivity sweep: agreement and monotone costs across predicates of

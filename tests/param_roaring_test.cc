@@ -132,7 +132,7 @@ INSTANTIATE_TEST_SUITE_P(
         DensityCase{"VeryDenseRuns", 1u << 16, 60'000, true},
         DensityCase{"SingleChunk", 1u << 16, 3'000, false},
         DensityCase{"HugeUniverse", 1u << 28, 50'000, false}),
-    [](const auto& info) { return info.param.label; });
+    [](const auto& suite_info) { return suite_info.param.label; });
 
 }  // namespace
 }  // namespace zv::roaring

@@ -83,9 +83,9 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(Normalization::kNone,
                                          Normalization::kZScore,
                                          Normalization::kMinMax)),
-    [](const auto& info) {
-      const DistanceMetric metric = std::get<0>(info.param);
-      const Normalization norm = std::get<1>(info.param);
+    [](const auto& suite_info) {
+      const DistanceMetric metric = std::get<0>(suite_info.param);
+      const Normalization norm = std::get<1>(suite_info.param);
       std::string name = DistanceMetricToString(metric);
       name += norm == Normalization::kNone      ? "_raw"
               : norm == Normalization::kZScore ? "_zscore"
@@ -210,7 +210,7 @@ INSTANTIATE_TEST_SUITE_P(
                       MechanismCase{"ArgAnyTop7", Mechanism::kArgAny, TopK(7)},
                       MechanismCase{"ArgAnyAbove1", Mechanism::kArgAny,
                                     Above(1)}),
-    [](const auto& info) { return info.param.label; });
+    [](const auto& suite_info) { return suite_info.param.label; });
 
 // ---------------------------------------------------------------------------
 // Representative sweep: k vs set size.

@@ -235,7 +235,7 @@ TEST(RoaringTest, ForEachAscendingOrder) {
   bool first = true;
   uint64_t count = 0;
   bm.ForEach([&](uint32_t v) {
-    if (!first) EXPECT_GT(v, prev);
+    if (!first) { EXPECT_GT(v, prev); }
     prev = v;
     first = false;
     ++count;

@@ -359,7 +359,7 @@ TEST(QueryServiceTest, ParseErrorsResolveOnTheHandleWithDiagnostics) {
   EXPECT_EQ(status.code(), StatusCode::kParseError);
   EXPECT_NE(status.message().find("line 1"), std::string::npos)
       << status.message();
-  EXPECT_NE(status.message().find("'???'"), std::string::npos)
+  EXPECT_NE(status.message().find("'?\?\?'"), std::string::npos)
       << status.message();
   EXPECT_EQ(handle.result(), nullptr);
   EXPECT_EQ(service.stats().failed, 1u);

@@ -391,7 +391,7 @@ TEST(ZqlDiagnosticsTest, ErrorsCarryLineColumnAndToken) {
   // "???" starts at 1-based column 16 of the third line.
   EXPECT_EQ(diag.column, 16);
   EXPECT_EQ(diag.token, "???");
-  EXPECT_NE(r.status().message().find("line 3, column 16 near '???'"),
+  EXPECT_NE(r.status().message().find("line 3, column 16 near '?\?\?'"),
             std::string::npos)
       << r.status().message();
 }

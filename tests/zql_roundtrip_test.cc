@@ -35,6 +35,12 @@ class QueryGen {
  public:
   explicit QueryGen(uint32_t seed) : rng_(seed) {}
 
+  /// A draw in [lo, lo + mod) narrowed to unsigned — mt19937 yields
+  /// unsigned long on LP64, which does not match the %u conversions below.
+  unsigned U(unsigned lo, unsigned mod) {
+    return lo + static_cast<unsigned>(rng_() % mod);
+  }
+
   std::string NextQuery() {
     switch (rng_() % 6) {
       case 0:  // single output row, every cell populated
@@ -53,21 +59,21 @@ class QueryGen {
             "f1 | %s | %s | %s | %s | | v2 <- argmax_v1[k=%u] T(f1)\n"
             "*f2=f1[%u:%u] | | | | | |\n",
             X().c_str(), Y().c_str(), Z("v1").c_str(), Constraint().c_str(),
-            2 + rng_() % 8, rng_() % 2, 2 + rng_() % 3);
+            U(2, 8), U(0, 2), U(2, 3));
       case 3:  // axis variables: iterate x and y attribute sets
         return StrFormat(
             "f1 | x1 <- {%s} | y1 <- {'sales', 'profit'} | %s | | | "
             "x2, y2 <- argmin_x1,y1[k=%u] D(f1, f1)\n"
             "*f2 | x2 | y2 | 'product'.'chair' | | %s |\n",
             rng_() % 2 ? "'year', 'month'" : "'year'", Z("v1").c_str(),
-            1 + rng_() % 5, Viz().c_str());
+            U(1, 5), Viz().c_str());
       case 4:  // two independent scored rows in one query
         return StrFormat(
             "f1 | 'year' | %s | %s | | | (v2 <- argmax_v1[k=%u] T(f1)), "
             "(v3 <- argmin_v1[k=%u] T(f1))\n"
             "*f2 | 'year' | %s | v2 | | |\n"
             "*f3 | 'year' | %s | v3 | | |\n",
-            Y().c_str(), Z("v1").c_str(), 1 + rng_() % 4, 1 + rng_() % 4,
+            Y().c_str(), Z("v1").c_str(), U(1, 4), U(1, 4),
             Y().c_str(), Y().c_str());
       default:  // representatives / filtered process forms
         return StrFormat(
@@ -76,8 +82,8 @@ class QueryGen {
             X().c_str(), Y().c_str(), Z("v1").c_str(), Constraint().c_str(),
             Viz().c_str(),
             rng_() % 2
-                ? StrFormat("v2 <- R(%u, v1, f1)", 2 + rng_() % 8).c_str()
-                : StrFormat("v2 <- argany_v1[t > %u] T(f1)", rng_() % 50)
+                ? StrFormat("v2 <- R(%u, v1, f1)", U(2, 8)).c_str()
+                : StrFormat("v2 <- argany_v1[t > %u] T(f1)", U(0, 50))
                       .c_str(),
             X().c_str(), Y().c_str());
     }
@@ -129,7 +135,7 @@ class QueryGen {
       case 1:
         return "bar.(y=agg('sum'))";
       case 2:
-        return StrFormat("bar.(x=bin(%u), y=agg('sum'))", 5 + rng_() % 40);
+        return StrFormat("bar.(x=bin(%u), y=agg('sum'))", U(5, 40));
       case 3:
         return "t1 <- {bar, dotplot}.(x=bin(20), y=agg('sum'))";
       default:
@@ -139,9 +145,9 @@ class QueryGen {
   std::string Process() {
     switch (rng_() % 3) {
       case 0:
-        return StrFormat("v2 <- argmin_v1[k=%u] D(f1, f2)", 1 + rng_() % 10);
+        return StrFormat("v2 <- argmin_v1[k=%u] D(f1, f2)", U(1, 10));
       case 1:
-        return StrFormat("v2 <- argmax_v1[k=%u] D(f1, f2)", 1 + rng_() % 10);
+        return StrFormat("v2 <- argmax_v1[k=%u] D(f1, f2)", U(1, 10));
       default:
         return "v2 <- argmin_v1[k=inf] D(f1, f2)";
     }

@@ -121,6 +121,25 @@ for f in $stats_fields; do
   fi
 done
 
+# zv-lint rule ids: the Rules() registry in tools/zv_lint.cc is the
+# source of truth; every rule id must appear (as `rule-id`, in backticks)
+# in docs/architecture.md so the Static analysis section cannot drift.
+ARCH_DOC="$ROOT/docs/architecture.md"
+lint_rules="$(sed -n '/std::vector<RuleInfo>& Rules()/,/^}/p' \
+                "$ROOT/tools/zv_lint.cc" |
+              grep -oE '\{"[a-z-]+"' | grep -oE '[a-z-]+' | sort -u)"
+[[ -n "$lint_rules" ]] || {
+  echo "check_docs: no lint rules extracted from tools/zv_lint.cc" >&2
+  exit 1
+}
+for r in $lint_rules; do
+  if ! grep -qE "\`$r\`" "$ARCH_DOC"; then
+    echo "check_docs: zv-lint rule '$r' is not documented in" \
+         "docs/architecture.md" >&2
+    fail=1
+  fi
+done
+
 if [[ "$fail" -ne 0 ]]; then
   exit 1
 fi
@@ -128,4 +147,5 @@ echo "check_docs: OK (primitives: $(echo $prims | tr '\n' ' ')| mechanisms:" \
      "$(echo $mechs | tr '\n' ' ')| metrics: $(echo $metrics | tr '\n' ' ')|" \
      "chart types: $(echo $charts | tr '\n' ' ')| protocol fields:" \
      "$(echo $proto_fields | tr '\n' ' ')| stats fields:" \
-     "$(echo $stats_fields | tr '\n' ' '))"
+     "$(echo $stats_fields | tr '\n' ' ')| lint rules:" \
+     "$(echo $lint_rules | tr '\n' ' '))"

@@ -40,7 +40,12 @@ cmake -B "$BUILD" -S "$ROOT" -DZV_ASAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 
 echo "== building $SUITES =="
 # shellcheck disable=SC2086  # word-splitting the target list is the point
-cmake --build "$BUILD" -j --target $SUITES
+cmake --build "$BUILD" -j --target $SUITES zv_lint
+
+echo "== zv-lint preflight =="
+# A cheap static gate before the expensive instrumented run: a raw clock
+# read or layering break fails here in seconds, not after the soak.
+"$BUILD/zv_lint" "$ROOT" --baseline "$ROOT/tools/zv_lint_baseline.txt"
 
 echo "== running under AddressSanitizer =="
 # detect_leaks catches forgotten Json/AST nodes; abort_on_error turns the

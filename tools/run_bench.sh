@@ -26,6 +26,14 @@ BUILD_DIR="${1:-$ROOT/build}"
 OUT="${2:-$ROOT/BENCH_fig7.json}"
 BENCHES="${ZV_BENCH_ONLY:-bench_fig7_1 bench_fig7_2 bench_fig7_3 bench_fig7_4 bench_fig7_5 bench_serve}"
 
+echo "== zv-lint preflight =="
+# Perf numbers from a tree that violates the determinism invariants are
+# not worth recording; gate before spending bench minutes.
+if [[ ! -x "$BUILD_DIR/zv_lint" ]]; then
+  cmake --build "$BUILD_DIR" -j --target zv_lint > /dev/null
+fi
+"$BUILD_DIR/zv_lint" "$ROOT" --baseline "$ROOT/tools/zv_lint_baseline.txt"
+
 LINES="$(mktemp)"
 trap 'rm -f "$LINES"' EXIT
 

@@ -1,0 +1,139 @@
+/// \file zv_lint_main.cc
+/// \brief CLI driver for the zv-lint static-analysis pass (registered as
+/// the `zv_lint` ctest, label "lint").
+///
+/// Usage:
+///   zv_lint <repo_root> [--baseline FILE] [--write-baseline FILE]
+///           [--list-rules]
+///
+/// Lints every .h/.cc under <repo_root>/src. With --baseline, violations
+/// whose keys appear in FILE are accepted (the ratchet); stale baseline
+/// entries are reported as warnings. --write-baseline regenerates the
+/// baseline from the current violations (use once, when adopting the
+/// tool or after an intentional mass change). Exit: 0 clean, 1 new
+/// violations, 2 usage/IO error.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/zv_lint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool ReadFile(const fs::path& p, std::string* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const zv::lint::RuleInfo& r : zv::lint::Rules()) {
+        std::cout << r.id << "\t" << r.summary << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--write-baseline" && i + 1 < argc) {
+      write_baseline_path = argv[++i];
+    } else if (!arg.empty() && arg[0] != '-' && root.empty()) {
+      root = arg;
+    } else {
+      std::cerr << "usage: zv_lint <repo_root> [--baseline FILE] "
+                   "[--write-baseline FILE] [--list-rules]\n";
+      return 2;
+    }
+  }
+  if (root.empty()) {
+    std::cerr << "zv_lint: missing repo root argument\n";
+    return 2;
+  }
+  const fs::path src_dir = fs::path(root) / "src";
+  if (!fs::is_directory(src_dir)) {
+    std::cerr << "zv_lint: " << src_dir.string() << " is not a directory\n";
+    return 2;
+  }
+
+  std::vector<zv::lint::SourceFile> files;
+  for (const fs::directory_entry& e :
+       fs::recursive_directory_iterator(src_dir)) {
+    if (!e.is_regular_file()) continue;
+    const std::string ext = e.path().extension().string();
+    if (ext != ".h" && ext != ".cc") continue;
+    zv::lint::SourceFile f;
+    f.path = fs::relative(e.path(), root).generic_string();
+    if (!ReadFile(e.path(), &f.content)) {
+      std::cerr << "zv_lint: cannot read " << e.path().string() << "\n";
+      return 2;
+    }
+    files.push_back(std::move(f));
+  }
+  std::sort(files.begin(), files.end(),
+            [](const zv::lint::SourceFile& a, const zv::lint::SourceFile& b) {
+              return a.path < b.path;
+            });
+
+  std::vector<zv::lint::Violation> violations = zv::lint::LintAll(files);
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    out << zv::lint::FormatBaseline(violations);
+    std::cout << "zv_lint: wrote " << write_baseline_path << " ("
+              << violations.size() << " accepted sites)\n";
+    return 0;
+  }
+
+  zv::lint::Baseline baseline;
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!ReadFile(baseline_path, &text)) {
+      std::cerr << "zv_lint: cannot read baseline " << baseline_path << "\n";
+      return 2;
+    }
+    baseline = zv::lint::ParseBaseline(text);
+  }
+  std::vector<std::string> stale;
+  const std::vector<zv::lint::Violation> fresh =
+      zv::lint::ApplyBaseline(violations, baseline, &stale);
+
+  for (const std::string& k : stale) {
+    std::cerr << "zv_lint: stale baseline entry (site fixed — delete the "
+                 "line): "
+              << k << "\n";
+  }
+  for (const zv::lint::Violation& v : fresh) {
+    std::cerr << v.file << ":" << v.line << ": [" << v.rule << "] "
+              << v.detail << "\n";
+  }
+  if (!fresh.empty()) {
+    std::cerr << "zv_lint: " << fresh.size() << " violation"
+              << (fresh.size() == 1 ? "" : "s") << " over " << files.size()
+              << " files (suppress inline with `// zv-lint: <tag>` only "
+                 "when the invariant truly holds)\n";
+    return 1;
+  }
+  std::cout << "zv_lint: clean (" << files.size() << " files, "
+            << (baseline.keys.empty() ? "empty baseline"
+                                      : std::to_string(baseline.keys.size()) +
+                                            " baselined sites")
+            << ")\n";
+  return 0;
+}
