@@ -1,79 +1,150 @@
 /// \file bench_distance.cc
-/// \brief Ablation (DESIGN.md §3): per-comparison cost of the distance
-/// metrics available for D and of the trend primitive T, across series
-/// lengths. The Process column's computation time in Fig 7.4 is
-/// #comparisons x these unit costs; DTW's quadratic cost explains why the
-/// prototype defaults to L2.
+/// \brief Kernel-layer ablation (DESIGN.md §3, docs/architecture.md "Kernel
+/// layer"): per-comparison cost of the distance metrics across series
+/// lengths, and the explicit SIMD tiers against the portable scalar loops.
+/// The Process column's computation time in Fig 7.4 is #comparisons x these
+/// unit costs; the `simd_speedup` record asserts the raw-speed floor the
+/// kernel layer promises (L2 >= 2x over scalar at n=512 on AVX2 hosts).
+///
+/// Emits one JSON record per case to ZV_BENCH_JSON (kernel variant and
+/// series length in the labels) so tools/run_bench.sh folds the kernel
+/// trajectory into BENCH_fig7.json behind the >15% regression gate.
 
-#include <benchmark/benchmark.h>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench/bench_util.h"
 #include "common/rng.h"
 #include "tasks/distance.h"
-#include "tasks/kmeans.h"
-#include "tasks/primitives.h"
+#include "tasks/simd.h"
 
 namespace {
 
 using zv::DistanceMetric;
 using zv::Rng;
-using zv::Visualization;
 
-Visualization MakeSeries(size_t n, uint64_t seed) {
-  Visualization v;
-  v.x_attr = "t";
-  v.y_attr = "y";
+std::vector<double> MakeSeries(size_t n, uint64_t seed) {
   Rng rng(seed);
-  zv::Series s;
-  s.name = "y";
+  std::vector<double> ys(n);
   for (size_t i = 0; i < n; ++i) {
-    v.xs.push_back(zv::Value::Int(static_cast<int64_t>(i)));
-    s.ys.push_back(rng.Normal(0, 1) + 0.1 * static_cast<double>(i));
+    ys[i] = rng.Normal(0, 1) + 0.1 * static_cast<double>(i);
   }
-  v.series.push_back(std::move(s));
-  return v;
+  return ys;
 }
 
-void BM_Distance(benchmark::State& state) {
-  const auto metric = static_cast<DistanceMetric>(state.range(0));
-  const size_t n = static_cast<size_t>(state.range(1));
-  const Visualization a = MakeSeries(n, 1), b = MakeSeries(n, 2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(zv::Distance(a, b, metric));
+/// EuclideanSpan's exact composition with an explicit kernel table, so both
+/// tiers can be timed in one process regardless of what dispatch resolved.
+double EuclideanWith(const zv::simd::Kernels& kernels, const double* a,
+                     const double* b, size_t n) {
+  double s[zv::simd::kSumLanes] = {};
+  const size_t n16 = n & ~(zv::simd::kSumLanes - 1);
+  kernels.sum_sq_diff16(a, b, n16, s);
+  for (size_t i = n16; i < n; ++i) {
+    const double d = a[i] - b[i];
+    s[(i - n16) & 3] += d * d;
   }
-  state.SetLabel(std::string(zv::DistanceMetricToString(metric)) + "/n=" +
-                 std::to_string(n));
+  return std::sqrt(zv::simd::CombineSums(s));
 }
-BENCHMARK(BM_Distance)
-    ->Args({static_cast<int>(DistanceMetric::kEuclidean), 12})
-    ->Args({static_cast<int>(DistanceMetric::kEuclidean), 100})
-    ->Args({static_cast<int>(DistanceMetric::kDtw), 12})
-    ->Args({static_cast<int>(DistanceMetric::kDtw), 100})
-    ->Args({static_cast<int>(DistanceMetric::kKlDivergence), 100})
-    ->Args({static_cast<int>(DistanceMetric::kEmd), 100});
 
-void BM_Trend(benchmark::State& state) {
-  const Visualization a = MakeSeries(static_cast<size_t>(state.range(0)), 1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(zv::Trend(a));
+/// Ms for `reps` L2 evaluations at length `n` under `level`; the checksum
+/// keeps the optimizer honest.
+double TimeL2(zv::simd::Level level, size_t n, size_t reps) {
+  const std::vector<double> a = MakeSeries(n, 1), b = MakeSeries(n, 2);
+  const zv::simd::Kernels& kernels = zv::simd::KernelsFor(level);
+  double sink = 0;
+  const zv::bench::WallTimer timer;
+  for (size_t r = 0; r < reps; ++r) {
+    sink += EuclideanWith(kernels, a.data(), b.data(), n);
   }
+  const double ms = timer.ElapsedMs();
+  if (sink < 0) std::printf("impossible %f\n", sink);
+  return ms;
 }
-BENCHMARK(BM_Trend)->Arg(12)->Arg(100);
-
-// R's cost: k-means over n aligned visualizations of width w.
-void BM_KMeansRepresentatives(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  Rng rng(7);
-  std::vector<std::vector<double>> points(n);
-  for (auto& p : points) {
-    p.resize(12);
-    for (double& x : p) x = rng.Normal(0, 1);
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(zv::KMeans(points, 10, 42));
-  }
-}
-BENCHMARK(BM_KMeansRepresentatives)->Arg(100)->Arg(1000)->Arg(10000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  zv::bench::PrintHeader("distance kernels (unit costs & SIMD tiers)");
+  zv::bench::JsonRecorder rec("distance_kernels");
+  const char* active = zv::simd::LevelName(zv::simd::ActiveLevel());
+  std::printf("dispatch: kernel=%s (width %zu)\n", active,
+              zv::simd::ActiveWidth());
+
+  // --- L2 tier sweep across series lengths --------------------------------
+  zv::bench::PrintSubHeader("L2 scalar vs avx2 by series length");
+  const bool have_avx2 = zv::simd::Supported(zv::simd::Level::kAvx2);
+  double scalar512 = 0, avx512 = 0;
+  for (const size_t n : {size_t{64}, size_t{512}, size_t{4096}}) {
+    const size_t reps = zv::bench::ScaledRows(20'000'000 / n);
+    const double ms_scalar = TimeL2(zv::simd::Level::kScalar, n, reps);
+    rec.Record("l2_scalar_n" + std::to_string(n), ms_scalar,
+               {{"kernel", "scalar"}, {"n", std::to_string(n)}});
+    std::printf("  n=%-5zu scalar %8.1f ms", n, ms_scalar);
+    if (have_avx2) {
+      const double ms_avx2 = TimeL2(zv::simd::Level::kAvx2, n, reps);
+      rec.Record("l2_avx2_n" + std::to_string(n), ms_avx2,
+                 {{"kernel", "avx2"}, {"n", std::to_string(n)}});
+      std::printf("   avx2 %8.1f ms   speedup %.2fx", ms_avx2,
+                  ms_scalar / ms_avx2);
+      if (n == 512) {
+        scalar512 = ms_scalar;
+        avx512 = ms_avx2;
+      }
+    }
+    std::printf("\n");
+  }
+
+  // The kernel layer's acceptance floor: vectorized L2 at n=512 at least 2x
+  // over scalar. Recorded like trace_overhead — "pass":"no" warns, and
+  // fails under ZV_BENCH_STRICT=1 in tools/run_bench.sh.
+  if (have_avx2) {
+    const double speedup = scalar512 / avx512;
+    const bool pass = speedup >= 2.0;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f", speedup);
+    rec.Record("simd_speedup_n512", avx512,
+               {{"kernel", "avx2"},
+                {"n", "512"},
+                {"speedup", buf},
+                {"pass", pass ? "yes" : "no"}});
+    std::printf("  simd_speedup n=512: %.2fx (%s)\n", speedup,
+                pass ? "pass" : "FAIL: below the 2x floor");
+  } else {
+    std::printf("  simd_speedup n=512: skipped (no AVX2 tier)\n");
+  }
+
+  // --- full metric sweep through the dispatched path ----------------------
+  zv::bench::PrintSubHeader("per-comparison metric cost (active kernel)");
+  struct MetricCase {
+    const char* label;
+    DistanceMetric metric;
+    size_t n;
+    size_t reps;
+  };
+  const MetricCase cases[] = {
+      {"euclidean_n256", DistanceMetric::kEuclidean, 256, 40'000},
+      {"euclidean_n2048", DistanceMetric::kEuclidean, 2048, 8'000},
+      {"dtw_n128", DistanceMetric::kDtw, 128, 400},
+      {"dtw_n256", DistanceMetric::kDtw, 256, 100},
+      {"kl_n256", DistanceMetric::kKlDivergence, 256, 8'000},
+      {"emd_n256", DistanceMetric::kEmd, 256, 8'000},
+  };
+  for (const MetricCase& c : cases) {
+    const std::vector<double> a = MakeSeries(c.n, 3), b = MakeSeries(c.n, 4);
+    const size_t reps = zv::bench::ScaledRows(c.reps);
+    double sink = 0;
+    const zv::bench::WallTimer timer;
+    for (size_t r = 0; r < reps; ++r) {
+      sink += zv::SpanDistance(a.data(), b.data(), c.n, c.metric);
+    }
+    const double ms = timer.ElapsedMs();
+    if (sink < 0) std::printf("impossible %f\n", sink);
+    rec.Record(c.label, ms, {{"kernel", active}, {"n", std::to_string(c.n)}});
+    std::printf("  %-16s %9.1f ms  (%zu reps, %.2f us/cmp)\n", c.label, ms,
+                reps, ms * 1000.0 / static_cast<double>(reps));
+  }
+
+  return 0;
+}

@@ -1,17 +1,31 @@
 /// \file bench_roaring.cc
-/// \brief Ablation (DESIGN.md §3): Roaring container-level costs — the
-/// 4096 array/bitmap cutover and the run-container trade-off — plus
-/// bitmap-level AND/OR throughput at the densities the RoaringDatabase
-/// actually sees (one bitmap per dictionary value).
+/// \brief Adaptive-container ablation (DESIGN.md §3, docs/architecture.md
+/// "Kernel layer"): bitmap-level AND/OR throughput at the container mixes
+/// the RoaringDatabase actually sees (one bitmap per dictionary value),
+/// decode throughput per representation, and the galloping vs linear
+/// array-intersection walk. The `gallop_speedup` record asserts the >= 2x
+/// win on skewed inputs the adaptive containers promise.
+///
+/// Emits one JSON record per case to ZV_BENCH_JSON (container mix in the
+/// labels) so tools/run_bench.sh folds the container trajectory into
+/// BENCH_fig7.json behind the >15% regression gate.
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
 
+#include "bench/bench_util.h"
 #include "common/rng.h"
+#include "roaring/container.h"
 #include "roaring/roaring.h"
 
 namespace {
 
 using zv::Rng;
+using zv::roaring::Container;
+using zv::roaring::IntersectMode;
+using zv::roaring::IntersectSorted;
 using zv::roaring::RoaringBitmap;
 
 RoaringBitmap RandomBitmap(uint32_t universe, uint32_t count, uint64_t seed) {
@@ -24,87 +38,124 @@ RoaringBitmap RandomBitmap(uint32_t universe, uint32_t count, uint64_t seed) {
   return RoaringBitmap::FromValues(vals);
 }
 
-// Intersection cost across density regimes: sparse&sparse (array
-// containers), dense&dense (bitmap containers), sparse&dense (the common
-// index-probe shape).
-void BM_RoaringAnd(benchmark::State& state) {
-  const uint32_t universe = 10'000'000;
-  const auto a = RandomBitmap(universe, static_cast<uint32_t>(state.range(0)), 1);
-  const auto b = RandomBitmap(universe, static_cast<uint32_t>(state.range(1)), 2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(RoaringBitmap::And(a, b));
+std::vector<uint16_t> RandomChunkValues(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::set<uint16_t> vals;
+  while (vals.size() < count) {
+    vals.insert(static_cast<uint16_t>(rng.Uniform(65536)));
   }
-  state.SetLabel("|a|=" + std::to_string(a.Cardinality()) +
-                 " |b|=" + std::to_string(b.Cardinality()));
+  return {vals.begin(), vals.end()};
 }
-BENCHMARK(BM_RoaringAnd)
-    ->Args({10'000, 10'000})
-    ->Args({10'000, 5'000'000})
-    ->Args({5'000'000, 5'000'000});
-
-void BM_RoaringAndCardinality(benchmark::State& state) {
-  const uint32_t universe = 10'000'000;
-  const auto a = RandomBitmap(universe, static_cast<uint32_t>(state.range(0)), 1);
-  const auto b = RandomBitmap(universe, static_cast<uint32_t>(state.range(1)), 2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(RoaringBitmap::AndCardinality(a, b));
-  }
-}
-BENCHMARK(BM_RoaringAndCardinality)
-    ->Args({10'000, 5'000'000})
-    ->Args({5'000'000, 5'000'000});
-
-void BM_RoaringOr(benchmark::State& state) {
-  const uint32_t universe = 10'000'000;
-  const auto a = RandomBitmap(universe, static_cast<uint32_t>(state.range(0)), 1);
-  const auto b = RandomBitmap(universe, static_cast<uint32_t>(state.range(0)), 2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(RoaringBitmap::Or(a, b));
-  }
-}
-BENCHMARK(BM_RoaringOr)->Arg(10'000)->Arg(1'000'000);
-
-// ForEach decode throughput — the row-id iteration driving every
-// RoaringDatabase aggregation (Fig 7.5's 100%-selectivity regime).
-void BM_RoaringForEach(benchmark::State& state) {
-  const uint32_t universe = 10'000'000;
-  const auto a = RandomBitmap(universe, static_cast<uint32_t>(state.range(0)), 1);
-  for (auto _ : state) {
-    uint64_t sum = 0;
-    a.ForEach([&sum](uint32_t v) { sum += v; });
-    benchmark::DoNotOptimize(sum);
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(a.Cardinality()));
-}
-BENCHMARK(BM_RoaringForEach)->Arg(100'000)->Arg(5'000'000);
-
-// Run-container compression: contiguous ranges (sorted row ids from
-// sequential loads) before and after RunOptimize.
-void BM_RoaringRunOptimizedAnd(benchmark::State& state) {
-  RoaringBitmap a = RoaringBitmap::FromRange(0, 5'000'000);
-  RoaringBitmap b = RoaringBitmap::FromRange(2'500'000, 7'500'000);
-  if (state.range(0) == 1) {
-    a.RunOptimize();
-    b.RunOptimize();
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(RoaringBitmap::And(a, b));
-  }
-  state.SetLabel(state.range(0) == 1 ? "run-optimized" : "bitmap");
-}
-BENCHMARK(BM_RoaringRunOptimizedAnd)->Arg(0)->Arg(1);
-
-void BM_RoaringContains(benchmark::State& state) {
-  const auto a = RandomBitmap(10'000'000, 1'000'000, 1);
-  Rng rng(3);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        a.Contains(static_cast<uint32_t>(rng.Uniform(10'000'000))));
-  }
-}
-BENCHMARK(BM_RoaringContains);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  zv::bench::PrintHeader("roaring containers (mixes & galloping intersect)");
+  zv::bench::JsonRecorder rec("roaring_containers");
+
+  // --- bitmap-level ops across container mixes ----------------------------
+  // Mix labels name the dominant container pair the cardinalities induce:
+  // array&array (sparse), bitmap&bitmap (dense), array&bitmap (index
+  // probe), inverted&array (a near-full WHERE against a sparse one), and
+  // all&bitmap (a full chunk run against a dense filter).
+  zv::bench::PrintSubHeader("And/Or by container mix");
+  const uint32_t universe = 10'000'000;
+  struct MixCase {
+    const char* label;
+    RoaringBitmap a;
+    RoaringBitmap b;
+  };
+  const MixCase mixes[] = {
+      {"and_array_array", RandomBitmap(universe, 10'000, 1),
+       RandomBitmap(universe, 10'000, 2)},
+      {"and_bitmap_bitmap", RandomBitmap(universe, 5'000'000, 3),
+       RandomBitmap(universe, 5'000'000, 4)},
+      {"and_array_bitmap", RandomBitmap(universe, 10'000, 5),
+       RandomBitmap(universe, 5'000'000, 6)},
+      {"and_inverted_array", RoaringBitmap::FromRange(50, universe),
+       RandomBitmap(universe, 10'000, 7)},
+      {"and_all_bitmap", RoaringBitmap::FromRange(0, universe),
+       RandomBitmap(universe, 5'000'000, 8)},
+  };
+  for (const MixCase& m : mixes) {
+    const size_t reps = zv::bench::ScaledRows(20);
+    uint64_t sink = 0;
+    const zv::bench::WallTimer timer;
+    for (size_t r = 0; r < reps; ++r) {
+      sink += RoaringBitmap::And(m.a, m.b).Cardinality();
+    }
+    const double ms = timer.ElapsedMs();
+    if (sink == 0xffffffffffffffffULL) std::printf("impossible\n");
+    rec.Record(m.label, ms, {{"mix", m.label + 4}});
+    std::printf("  %-22s %9.1f ms  (|a|=%llu |b|=%llu)\n", m.label, ms,
+                static_cast<unsigned long long>(m.a.Cardinality()),
+                static_cast<unsigned long long>(m.b.Cardinality()));
+  }
+
+  // --- decode throughput per representation -------------------------------
+  zv::bench::PrintSubHeader("ForEach decode by representation");
+  struct DecodeCase {
+    const char* label;
+    RoaringBitmap bm;
+  };
+  const DecodeCase decodes[] = {
+      {"foreach_array", RandomBitmap(universe, 100'000, 9)},
+      {"foreach_bitmap", RandomBitmap(universe, 5'000'000, 10)},
+      {"foreach_inverted", RoaringBitmap::FromRange(500, universe)},
+      {"foreach_all", RoaringBitmap::FromRange(0, universe)},
+  };
+  for (const DecodeCase& d : decodes) {
+    const size_t reps = zv::bench::ScaledRows(5);
+    uint64_t sum = 0;
+    const zv::bench::WallTimer timer;
+    for (size_t r = 0; r < reps; ++r) {
+      d.bm.ForEach([&sum](uint32_t v) { sum += v; });
+    }
+    const double ms = timer.ElapsedMs();
+    if (sum == 0xffffffffffffffffULL) std::printf("impossible\n");
+    rec.Record(d.label, ms, {{"mix", d.label + 8}});
+    std::printf("  %-22s %9.1f ms  (%llu values/pass)\n", d.label, ms,
+                static_cast<unsigned long long>(d.bm.Cardinality()));
+  }
+
+  // --- galloping vs linear array intersection -----------------------------
+  // The skewed shape a dictionary-value probe produces: a handful of set
+  // values against a populous container. Linear walks both lists; galloping
+  // skips through the large one in log-sized hops.
+  zv::bench::PrintSubHeader("array intersect: linear vs galloping (skewed)");
+  const std::vector<uint16_t> small = RandomChunkValues(48, 11);
+  const std::vector<uint16_t> large = RandomChunkValues(4096, 12);
+  const size_t reps = zv::bench::ScaledRows(200'000);
+  double ms_by_mode[3] = {0, 0, 0};
+  const IntersectMode modes[] = {IntersectMode::kLinear,
+                                 IntersectMode::kGalloping,
+                                 IntersectMode::kAuto};
+  const char* mode_names[] = {"linear", "galloping", "auto"};
+  for (int mi = 0; mi < 3; ++mi) {
+    size_t sink = 0;
+    const zv::bench::WallTimer timer;
+    for (size_t r = 0; r < reps; ++r) {
+      sink += IntersectSorted(small, large, modes[mi]).size();
+    }
+    ms_by_mode[mi] = timer.ElapsedMs();
+    if (sink == static_cast<size_t>(-1)) std::printf("impossible\n");
+    rec.Record(std::string("intersect_") + mode_names[mi], ms_by_mode[mi],
+               {{"mix", "skewed_48_4096"}, {"mode", mode_names[mi]}});
+    std::printf("  %-22s %9.1f ms\n", mode_names[mi], ms_by_mode[mi]);
+  }
+
+  // The adaptive-container acceptance floor: galloping at least 2x over
+  // linear on this skew. "pass":"no" warns; fails under ZV_BENCH_STRICT=1.
+  const double speedup = ms_by_mode[0] / ms_by_mode[1];
+  const bool pass = speedup >= 2.0;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", speedup);
+  rec.Record("gallop_speedup", ms_by_mode[1],
+             {{"mix", "skewed_48_4096"},
+              {"speedup", buf},
+              {"pass", pass ? "yes" : "no"}});
+  std::printf("  gallop_speedup: %.2fx (%s)\n", speedup,
+              pass ? "pass" : "FAIL: below the 2x floor");
+
+  return 0;
+}

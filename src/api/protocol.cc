@@ -477,6 +477,9 @@ Json EncodeStats(const zql::ZqlStats& stats) {
           Json::Int(static_cast<int64_t>(stats.batched_scans)));
   out.Set("scans_shared",
           Json::Int(static_cast<int64_t>(stats.scans_shared)));
+  out.Set("simd_width", Json::Int(static_cast<int64_t>(stats.simd_width)));
+  out.Set("container_conversions",
+          Json::Int(static_cast<int64_t>(stats.container_conversions)));
   out.Set("total_ms", Json::Double(stats.total_ms));
   out.Set("exec_ms", Json::Double(stats.exec_ms));
   out.Set("compute_ms", Json::Double(stats.compute_ms));
@@ -504,6 +507,8 @@ zql::ZqlStats DecodeStats(const Json& json) {
   stats.chunks_scanned = u64("chunks_scanned");
   stats.batched_scans = u64("batched_scans");
   stats.scans_shared = u64("scans_shared");
+  stats.simd_width = u64("simd_width");
+  stats.container_conversions = u64("container_conversions");
   stats.total_ms = GetDoubleOr(json, "total_ms", 0);
   stats.exec_ms = GetDoubleOr(json, "exec_ms", 0);
   stats.compute_ms = GetDoubleOr(json, "compute_ms", 0);

@@ -185,6 +185,13 @@ class Database {
   uint64_t requests_made() const {
     return requests_.load(std::memory_order_relaxed);
   }
+  /// Roaring container representation changes attributable to this
+  /// backend's predicate work. Zero for backends without a bitmap index;
+  /// RoaringDatabase reports the process-wide adaptive-container counter.
+  /// The executor samples the delta per query (like queries_executed), so
+  /// concurrent queries on other sessions can inflate an individual
+  /// query's figure — the same caveat the sql_* counters carry.
+  virtual uint64_t container_conversions() const { return 0; }
   void ResetCounters() {
     queries_.store(0, std::memory_order_relaxed);
     requests_.store(0, std::memory_order_relaxed);

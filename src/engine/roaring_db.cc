@@ -44,6 +44,10 @@ Status RoaringDatabase::RegisterTable(std::shared_ptr<Table> table) {
   return Status::OK();
 }
 
+uint64_t RoaringDatabase::container_conversions() const {
+  return roaring::ContainerConversions();
+}
+
 size_t RoaringDatabase::IndexBytes(const std::string& table_name) const {
   auto it = indexes_.find(table_name);
   if (it == indexes_.end()) return 0;

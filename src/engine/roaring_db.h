@@ -31,6 +31,11 @@ class RoaringDatabase : public Database {
   /// Total index memory for a table (bytes), for reporting.
   size_t IndexBytes(const std::string& table_name) const;
 
+  /// Adaptive-container representation changes (process-wide counter from
+  /// the roaring layer; see Database::container_conversions for sampling
+  /// semantics).
+  uint64_t container_conversions() const override;
+
   /// Chunk-scan compilation reusing the bitmap indexes: the index-answerable
   /// part of the WHERE becomes one Roaring filter (built once per
   /// statement), and ScanRange extracts the filter's values inside each

@@ -1,12 +1,22 @@
 #include "roaring/container.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstddef>
+#include <iterator>
 
 namespace zv::roaring {
 
 namespace {
+
+std::atomic<uint64_t> g_container_conversions{0};
+
+/// Every representation change funnels through here so the wire stat can
+/// report how hard the adaptive machinery is working.
+inline void NoteConversion() {
+  g_container_conversions.fetch_add(1, std::memory_order_relaxed);
+}
 
 inline uint32_t PopcountWords(const std::vector<uint64_t>& words) {
   uint32_t c = 0;
@@ -18,14 +28,92 @@ inline bool BitmapContains(const std::vector<uint64_t>& words, uint16_t x) {
   return (words[x >> 6] >> (x & 63)) & 1;
 }
 
+/// First index >= `pos` whose value is >= x, assuming v[0..pos) < x.
+/// Exponential (1, 2, 4, ...) probe from pos brackets the answer in
+/// O(log gap), then a binary search inside the window pins it down.
+size_t GallopLowerBound(const std::vector<uint16_t>& v, size_t pos,
+                        uint16_t x) {
+  size_t lo = pos, hi = pos, step = 1;
+  while (hi < v.size() && v[hi] < x) {
+    lo = hi + 1;
+    hi += step;
+    step <<= 1;
+  }
+  const size_t end = std::min(hi + 1, v.size());
+  return static_cast<size_t>(
+      std::lower_bound(v.begin() + static_cast<ptrdiff_t>(lo),
+                       v.begin() + static_cast<ptrdiff_t>(end), x) -
+      v.begin());
+}
+
 }  // namespace
+
+uint64_t ContainerConversions() {
+  return g_container_conversions.load(std::memory_order_relaxed);
+}
+
+const char* ContainerTypeName(Container::Type type) {
+  switch (type) {
+    case Container::Type::kArray:
+      return "array";
+    case Container::Type::kBitmap:
+      return "bitmap";
+    case Container::Type::kRun:
+      return "run";
+    case Container::Type::kInverted:
+      return "inverted";
+    case Container::Type::kAll:
+      return "all";
+  }
+  return "array";
+}
+
+std::vector<uint16_t> IntersectSorted(const std::vector<uint16_t>& a,
+                                      const std::vector<uint16_t>& b,
+                                      IntersectMode mode) {
+  std::vector<uint16_t> out;
+  out.reserve(std::min(a.size(), b.size()));
+  if (mode == IntersectMode::kAuto) {
+    // Galloping wins when one side is much smaller: it skips through the
+    // large list in log-sized hops instead of visiting every element.
+    const bool lopsided = a.size() * 16 < b.size() || b.size() * 16 < a.size();
+    mode = lopsided ? IntersectMode::kGalloping : IntersectMode::kLinear;
+  }
+  if (mode == IntersectMode::kGalloping) {
+    const auto& small = a.size() <= b.size() ? a : b;
+    const auto& large = a.size() <= b.size() ? b : a;
+    size_t pos = 0;
+    for (uint16_t v : small) {
+      pos = GallopLowerBound(large, pos, v);
+      if (pos == large.size()) break;
+      if (large[pos] == v) {
+        out.push_back(v);
+        ++pos;
+      }
+    }
+  } else {
+    size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+      if (a[i] < b[j]) {
+        ++i;
+      } else if (b[j] < a[i]) {
+        ++j;
+      } else {
+        out.push_back(a[i]);
+        ++i;
+        ++j;
+      }
+    }
+  }
+  return out;
+}
 
 Container Container::MakeArray(std::vector<uint16_t> sorted_values) {
   Container c;
   c.type_ = Type::kArray;
   c.array_ = std::move(sorted_values);
   c.cardinality_ = static_cast<uint32_t>(c.array_.size());
-  if (c.cardinality_ > kArrayMaxCardinality) c.ConvertArrayToBitmap();
+  if (c.cardinality_ > kArrayMaxCardinality) c.Normalize();
   return c;
 }
 
@@ -35,7 +123,7 @@ Container Container::MakeBitmap(std::vector<uint64_t> words) {
   c.type_ = Type::kBitmap;
   c.bitmap_ = std::move(words);
   c.cardinality_ = PopcountWords(c.bitmap_);
-  c.ConvertBitmapToArrayIfSmall();
+  c.Normalize();
   return c;
 }
 
@@ -48,12 +136,31 @@ Container Container::MakeRuns(std::vector<Run> runs) {
   return c;
 }
 
+Container Container::MakeInverted(std::vector<uint16_t> sorted_absent) {
+  Container c;
+  c.type_ = Type::kInverted;
+  c.array_ = std::move(sorted_absent);
+  c.cardinality_ = kChunkCardinality - static_cast<uint32_t>(c.array_.size());
+  if (c.array_.empty() || c.array_.size() > kArrayMaxCardinality) {
+    c.Normalize();  // kAll when nothing is absent; bitmap when out of range
+  }
+  return c;
+}
+
+Container Container::MakeAll() {
+  Container c;
+  c.type_ = Type::kAll;
+  c.cardinality_ = kChunkCardinality;
+  return c;
+}
+
 void Container::ConvertArrayToBitmap() {
   bitmap_.assign(kBitmapWords, 0);
   for (uint16_t v : array_) bitmap_[v >> 6] |= 1ULL << (v & 63);
   array_.clear();
   array_.shrink_to_fit();
   type_ = Type::kBitmap;
+  NoteConversion();
 }
 
 void Container::ConvertBitmapToArrayIfSmall() {
@@ -72,15 +179,36 @@ void Container::ConvertBitmapToArrayIfSmall() {
   bitmap_.clear();
   bitmap_.shrink_to_fit();
   type_ = Type::kArray;
+  NoteConversion();
 }
 
 Container Container::ToBitmapCopy() const {
   Container c;
   c.type_ = Type::kBitmap;
-  c.bitmap_.assign(kBitmapWords, 0);
-  ForEach([&c](uint16_t v) { c.bitmap_[v >> 6] |= 1ULL << (v & 63); });
+  c.bitmap_ = ToWords();
   c.cardinality_ = cardinality_;
   return c;
+}
+
+std::vector<uint64_t> Container::ToWords() const {
+  switch (type_) {
+    case Type::kBitmap:
+      return bitmap_;
+    case Type::kAll:
+      return std::vector<uint64_t>(kBitmapWords, ~0ULL);
+    case Type::kInverted: {
+      std::vector<uint64_t> words(kBitmapWords, ~0ULL);
+      for (uint16_t v : array_) words[v >> 6] &= ~(1ULL << (v & 63));
+      return words;
+    }
+    case Type::kArray:
+    case Type::kRun: {
+      std::vector<uint64_t> words(kBitmapWords, 0);
+      ForEach([&words](uint16_t v) { words[v >> 6] |= 1ULL << (v & 63); });
+      return words;
+    }
+  }
+  return std::vector<uint64_t>(kBitmapWords, 0);
 }
 
 std::vector<uint16_t> Container::ToArrayValues() const {
@@ -90,22 +218,70 @@ std::vector<uint16_t> Container::ToArrayValues() const {
   return vals;
 }
 
-void Container::Normalize() {
-  if (type_ == Type::kRun) {
-    if (cardinality_ <= kArrayMaxCardinality) {
-      array_ = ToArrayValues();
-      runs_.clear();
-      type_ = Type::kArray;
-    } else {
-      *this = ToBitmapCopy();
+std::vector<uint16_t> Container::AbsentValues() const {
+  if (type_ == Type::kAll) return {};
+  if (type_ == Type::kInverted) return array_;
+  std::vector<uint16_t> absent;
+  absent.reserve(kChunkCardinality - cardinality_);
+  const std::vector<uint64_t> words = ToWords();
+  for (uint32_t w = 0; w < kBitmapWords; ++w) {
+    uint64_t inv = ~words[w];
+    while (inv != 0) {
+      const int bit = __builtin_ctzll(inv);
+      absent.push_back(static_cast<uint16_t>((w << 6) + bit));
+      inv &= inv - 1;
     }
-    return;
   }
-  if (type_ == Type::kArray && cardinality_ > kArrayMaxCardinality) {
-    ConvertArrayToBitmap();
-  } else if (type_ == Type::kBitmap) {
-    ConvertBitmapToArrayIfSmall();
+  return absent;
+}
+
+void Container::Normalize() {
+  Type want;
+  if (cardinality_ == kChunkCardinality) {
+    want = Type::kAll;
+  } else if (cardinality_ >= kInvertedMinCardinality) {
+    want = Type::kInverted;
+  } else if (cardinality_ > kArrayMaxCardinality) {
+    want = Type::kBitmap;
+  } else {
+    want = Type::kArray;
   }
+  if (want == type_) return;
+  switch (want) {
+    case Type::kAll:
+      array_.clear();
+      array_.shrink_to_fit();
+      bitmap_.clear();
+      bitmap_.shrink_to_fit();
+      runs_.clear();
+      runs_.shrink_to_fit();
+      break;
+    case Type::kInverted:
+      array_ = AbsentValues();
+      bitmap_.clear();
+      bitmap_.shrink_to_fit();
+      runs_.clear();
+      runs_.shrink_to_fit();
+      break;
+    case Type::kBitmap:
+      bitmap_ = ToWords();
+      array_.clear();
+      array_.shrink_to_fit();
+      runs_.clear();
+      runs_.shrink_to_fit();
+      break;
+    case Type::kArray:
+      array_ = ToArrayValues();
+      bitmap_.clear();
+      bitmap_.shrink_to_fit();
+      runs_.clear();
+      runs_.shrink_to_fit();
+      break;
+    case Type::kRun:
+      break;  // unreachable: Normalize never targets runs
+  }
+  type_ = want;
+  NoteConversion();
 }
 
 bool Container::Add(uint16_t x) {
@@ -124,6 +300,7 @@ bool Container::Add(uint16_t x) {
       if (word & mask) return false;
       word |= mask;
       ++cardinality_;
+      if (cardinality_ >= kInvertedMinCardinality) Normalize();
       return true;
     }
     case Type::kRun: {
@@ -153,6 +330,17 @@ bool Container::Add(uint16_t x) {
       ++cardinality_;
       return true;
     }
+    case Type::kInverted: {
+      // Present unless on the absent list; adding erases from that list.
+      auto it = std::lower_bound(array_.begin(), array_.end(), x);
+      if (it == array_.end() || *it != x) return false;
+      array_.erase(it);
+      ++cardinality_;
+      if (array_.empty()) Normalize();  // -> kAll
+      return true;
+    }
+    case Type::kAll:
+      return false;
   }
   return false;
 }
@@ -204,6 +392,20 @@ bool Container::Remove(uint16_t x) {
       }
       return false;
     }
+    case Type::kInverted: {
+      auto it = std::lower_bound(array_.begin(), array_.end(), x);
+      if (it != array_.end() && *it == x) return false;  // already absent
+      array_.insert(it, x);
+      --cardinality_;
+      if (array_.size() > kArrayMaxCardinality) Normalize();  // -> bitmap
+      return true;
+    }
+    case Type::kAll:
+      array_.assign(1, x);
+      type_ = Type::kInverted;
+      --cardinality_;
+      NoteConversion();
+      return true;
   }
   return false;
 }
@@ -223,6 +425,10 @@ bool Container::Contains(uint16_t x) const {
       --it;
       return x <= static_cast<uint32_t>(it->start) + it->length;
     }
+    case Type::kInverted:
+      return !std::binary_search(array_.begin(), array_.end(), x);
+    case Type::kAll:
+      return true;
   }
   return false;
 }
@@ -251,6 +457,13 @@ uint32_t Container::Rank(uint16_t x) const {
       }
       return count;
     }
+    case Type::kInverted: {
+      // Values < x, minus the absent ones < x.
+      auto it = std::lower_bound(array_.begin(), array_.end(), x);
+      return x - static_cast<uint32_t>(it - array_.begin());
+    }
+    case Type::kAll:
+      return x;
   }
   return 0;
 }
@@ -260,34 +473,44 @@ void Container::AppendValues(uint32_t base, std::vector<uint32_t>* out) const {
 }
 
 // --- Binary operations -----------------------------------------------------
+//
+// Every pairing lands on the smallest canonical representation. The
+// inverted/all encodings get native complement-space paths: an operation on
+// two nearly-full containers touches only the (short) absent lists instead
+// of 8 KiB of bitmap words.
+
+namespace {
+
+/// Returns a canonical copy (runs collapsed, thresholds re-applied).
+Container CanonicalCopy(const Container& c) {
+  Container out = c;
+  out.Normalize();
+  return out;
+}
+
+std::vector<uint16_t> UnionSorted(const std::vector<uint16_t>& a,
+                                  const std::vector<uint16_t>& b) {
+  std::vector<uint16_t> out;
+  out.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<uint16_t> SymmetricDifferenceSorted(
+    const std::vector<uint16_t>& a, const std::vector<uint16_t>& b) {
+  std::vector<uint16_t> out;
+  out.reserve(a.size() + b.size());
+  std::set_symmetric_difference(a.begin(), a.end(), b.begin(), b.end(),
+                                std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
 
 Container Container::AndArrayArray(const std::vector<uint16_t>& a,
                                    const std::vector<uint16_t>& b) {
-  std::vector<uint16_t> out;
-  out.reserve(std::min(a.size(), b.size()));
-  // Galloping intersection when sizes are lopsided, merge otherwise.
-  if (a.size() * 32 < b.size() || b.size() * 32 < a.size()) {
-    const auto& small = a.size() < b.size() ? a : b;
-    const auto& large = a.size() < b.size() ? b : a;
-    auto lo = large.begin();
-    for (uint16_t v : small) {
-      lo = std::lower_bound(lo, large.end(), v);
-      if (lo == large.end()) break;
-      if (*lo == v) out.push_back(v);
-    }
-  } else {
-    size_t i = 0, j = 0;
-    while (i < a.size() && j < b.size()) {
-      if (a[i] < b[j]) ++i;
-      else if (b[j] < a[i]) ++j;
-      else {
-        out.push_back(a[i]);
-        ++i;
-        ++j;
-      }
-    }
-  }
-  return MakeArray(std::move(out));
+  return MakeArray(IntersectSorted(a, b, IntersectMode::kAuto));
 }
 
 Container Container::AndArrayBitmap(const std::vector<uint16_t>& a,
@@ -335,6 +558,31 @@ std::vector<Run> IntersectRuns(const std::vector<Run>& a,
 
 Container Container::And(const Container& a, const Container& b) {
   if (a.Empty() || b.Empty()) return Container();
+  // All-set sentinel: intersection is the other side, verbatim.
+  if (a.type_ == Type::kAll) return CanonicalCopy(b);
+  if (b.type_ == Type::kAll) return CanonicalCopy(a);
+  if (a.type_ == Type::kInverted && b.type_ == Type::kInverted) {
+    // ¬A ∩ ¬B = ¬(A ∪ B): union the short absent lists.
+    return MakeInverted(UnionSorted(a.array_, b.array_));
+  }
+  if (a.type_ == Type::kInverted || b.type_ == Type::kInverted) {
+    const Container& inv = a.type_ == Type::kInverted ? a : b;
+    const Container& other = a.type_ == Type::kInverted ? b : a;
+    if (other.type_ == Type::kArray) {
+      // Keep the array values not on the absent list.
+      std::vector<uint16_t> out;
+      out.reserve(other.array_.size());
+      for (uint16_t v : other.array_) {
+        if (!std::binary_search(inv.array_.begin(), inv.array_.end(), v))
+          out.push_back(v);
+      }
+      return MakeArray(std::move(out));
+    }
+    // Bitmap/run side: clear the absent bits out of its words.
+    std::vector<uint64_t> words = other.ToWords();
+    for (uint16_t v : inv.array_) words[v >> 6] &= ~(1ULL << (v & 63));
+    return MakeBitmap(std::move(words));
+  }
   // Native run-container paths (runs stay runs where the result is still
   // run-friendly; see bench_roaring's run-optimized ablation).
   if (a.type_ == Type::kRun && b.type_ == Type::kRun) {
@@ -385,6 +633,21 @@ Container Container::And(const Container& a, const Container& b) {
 
 uint32_t Container::AndCardinality(const Container& a, const Container& b) {
   if (a.Empty() || b.Empty()) return 0;
+  if (a.type_ == Type::kAll) return b.cardinality_;
+  if (b.type_ == Type::kAll) return a.cardinality_;
+  if (a.type_ == Type::kInverted && b.type_ == Type::kInverted) {
+    // |¬A ∩ ¬B| = 65536 - |A ∪ B|.
+    return kChunkCardinality -
+           static_cast<uint32_t>(UnionSorted(a.array_, b.array_).size());
+  }
+  if (a.type_ == Type::kInverted || b.type_ == Type::kInverted) {
+    // |other ∩ ¬absent| = |other| - |other ∩ absent|.
+    const Container& inv = a.type_ == Type::kInverted ? a : b;
+    const Container& other = a.type_ == Type::kInverted ? b : a;
+    uint32_t hit = 0;
+    for (uint16_t v : inv.array_) hit += other.Contains(v);
+    return other.cardinality_ - hit;
+  }
   if (a.type_ == Type::kBitmap && b.type_ == Type::kBitmap) {
     uint32_t c = 0;
     for (uint32_t w = 0; w < kBitmapWords; ++w)
@@ -405,11 +668,7 @@ uint32_t Container::AndCardinality(const Container& a, const Container& b) {
 
 Container Container::OrArrayArray(const std::vector<uint16_t>& a,
                                   const std::vector<uint16_t>& b) {
-  std::vector<uint16_t> out;
-  out.reserve(a.size() + b.size());
-  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return MakeArray(std::move(out));
+  return MakeArray(UnionSorted(a, b));
 }
 
 Container Container::OrBitmapAny(const Container& bitmap,
@@ -424,19 +683,30 @@ Container Container::OrBitmapAny(const Container& bitmap,
       ++out.cardinality_;
     }
   });
+  out.Normalize();
   return out;
 }
 
 Container Container::Or(const Container& a, const Container& b) {
-  if (a.Empty()) {
-    Container c = b;
-    c.Normalize();
-    return c;
+  if (a.Empty()) return CanonicalCopy(b);
+  if (b.Empty()) return CanonicalCopy(a);
+  // All-set sentinel absorbs everything.
+  if (a.type_ == Type::kAll || b.type_ == Type::kAll) return MakeAll();
+  if (a.type_ == Type::kInverted && b.type_ == Type::kInverted) {
+    // ¬A ∪ ¬B = ¬(A ∩ B): intersect the short absent lists.
+    return MakeInverted(
+        IntersectSorted(a.array_, b.array_, IntersectMode::kAuto));
   }
-  if (b.Empty()) {
-    Container c = a;
-    c.Normalize();
-    return c;
+  if (a.type_ == Type::kInverted || b.type_ == Type::kInverted) {
+    // ¬A ∪ other = ¬(A \ other): drop the absents the other side covers.
+    const Container& inv = a.type_ == Type::kInverted ? a : b;
+    const Container& other = a.type_ == Type::kInverted ? b : a;
+    std::vector<uint16_t> absent;
+    absent.reserve(inv.array_.size());
+    for (uint16_t v : inv.array_) {
+      if (!other.Contains(v)) absent.push_back(v);
+    }
+    return MakeInverted(std::move(absent));
   }
   if (a.type_ == Type::kArray && b.type_ == Type::kArray)
     return OrArrayArray(a.array_, b.array_);
@@ -447,11 +717,38 @@ Container Container::Or(const Container& a, const Container& b) {
 }
 
 Container Container::AndNot(const Container& a, const Container& b) {
-  if (a.Empty()) return Container();
-  if (b.Empty()) {
-    Container c = a;
-    c.Normalize();
-    return c;
+  if (a.Empty() || b.type_ == Type::kAll) return Container();
+  if (b.Empty()) return CanonicalCopy(a);
+  if (b.type_ == Type::kInverted) {
+    // a \ ¬B = a ∩ B: the subtrahend's absent list IS the intersection mask.
+    return And(a, MakeArray(b.array_));
+  }
+  if (a.type_ == Type::kAll) {
+    // Complement of b.
+    switch (b.type_) {
+      case Type::kArray:
+        return MakeInverted(b.array_);
+      case Type::kBitmap:
+      case Type::kRun: {
+        std::vector<uint64_t> words = b.ToWords();
+        for (uint64_t& w : words) w = ~w;
+        return MakeBitmap(std::move(words));
+      }
+      case Type::kInverted:
+      case Type::kAll:
+        break;  // handled above
+    }
+    return Container();
+  }
+  if (a.type_ == Type::kInverted) {
+    // ¬A \ b = ¬(A ∪ b).
+    if (b.type_ == Type::kArray) {
+      return MakeInverted(UnionSorted(a.array_, b.array_));
+    }
+    std::vector<uint64_t> words = b.ToWords();
+    for (uint16_t v : a.array_) words[v >> 6] |= 1ULL << (v & 63);
+    for (uint64_t& w : words) w = ~w;
+    return MakeBitmap(std::move(words));
   }
   if (a.type_ == Type::kArray || a.type_ == Type::kRun) {
     std::vector<uint16_t> out;
@@ -472,15 +769,20 @@ Container Container::AndNot(const Container& a, const Container& b) {
 }
 
 Container Container::Xor(const Container& a, const Container& b) {
-  if (a.Empty()) {
-    Container c = b;
-    c.Normalize();
-    return c;
+  if (a.Empty()) return CanonicalCopy(b);
+  if (b.Empty()) return CanonicalCopy(a);
+  // all ⊕ x = ¬x.
+  if (a.type_ == Type::kAll) return AndNot(MakeAll(), b);
+  if (b.type_ == Type::kAll) return AndNot(MakeAll(), a);
+  if (a.type_ == Type::kInverted && b.type_ == Type::kInverted) {
+    // ¬A ⊕ ¬B = A ⊕ B: symmetric difference of the absent lists.
+    return MakeArray(SymmetricDifferenceSorted(a.array_, b.array_));
   }
-  if (b.Empty()) {
-    Container c = a;
-    c.Normalize();
-    return c;
+  if (a.type_ == Type::kInverted || b.type_ == Type::kInverted) {
+    // ¬A ⊕ b = ¬(A ⊕ b).
+    const Container& inv = a.type_ == Type::kInverted ? a : b;
+    const Container& other = a.type_ == Type::kInverted ? b : a;
+    return AndNot(MakeAll(), Xor(MakeArray(inv.array_), other));
   }
   if (a.type_ == Type::kBitmap && b.type_ == Type::kBitmap) {
     std::vector<uint64_t> words(kBitmapWords);
@@ -494,6 +796,8 @@ Container Container::Xor(const Container& a, const Container& b) {
 
 bool Container::RunOptimize() {
   if (type_ == Type::kRun || cardinality_ == 0) return false;
+  // The all-set sentinel costs zero bytes; no run list can beat it.
+  if (type_ == Type::kAll) return false;
   // Count runs.
   std::vector<Run> runs;
   bool open = false;
@@ -522,23 +826,31 @@ bool Container::RunOptimize() {
   bitmap_.clear();
   bitmap_.shrink_to_fit();
   type_ = Type::kRun;
+  NoteConversion();
   return true;
 }
 
 size_t Container::SizeInBytes() const {
   switch (type_) {
     case Type::kArray:
+    case Type::kInverted:
       return array_.size() * sizeof(uint16_t);
     case Type::kBitmap:
       return kBitmapWords * sizeof(uint64_t);
     case Type::kRun:
       return runs_.size() * sizeof(Run);
+    case Type::kAll:
+      return 0;
   }
   return 0;
 }
 
 bool Container::SameSetAs(const Container& other) const {
   if (cardinality_ != other.cardinality_) return false;
+  if (type_ == Type::kAll && other.type_ == Type::kAll) return true;
+  if (type_ == Type::kInverted && other.type_ == Type::kInverted) {
+    return array_ == other.array_;
+  }
   std::vector<uint16_t> a = ToArrayValues();
   std::vector<uint16_t> b = other.ToArrayValues();
   return a == b;

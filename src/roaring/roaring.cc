@@ -66,7 +66,22 @@ RoaringBitmap RoaringBitmap::FromRange(uint32_t lo, uint32_t hi) {
     const uint16_t from = (key == HighBits(lo)) ? LowBits(lo) : 0;
     const uint16_t to = (key == HighBits(last)) ? LowBits(last) : 0xFFFF;
     const uint32_t count = static_cast<uint32_t>(to) - from + 1;
-    if (count > kArrayMaxCardinality) {
+    if (count == kChunkCardinality) {
+      // Fully covered chunk: the zero-byte all-set sentinel, no bit loop.
+      bm.chunks_.emplace_back(static_cast<uint16_t>(key), Container::MakeAll());
+    } else if (count >= kInvertedMinCardinality) {
+      // Nearly full chunk: store the short absent prefix/suffix instead of
+      // populating 8 KiB of words.
+      std::vector<uint16_t> absent;
+      absent.reserve(kChunkCardinality - count);
+      for (uint32_t v = 0; v < from; ++v)
+        absent.push_back(static_cast<uint16_t>(v));
+      for (uint32_t v = static_cast<uint32_t>(to) + 1; v < kChunkCardinality;
+           ++v)
+        absent.push_back(static_cast<uint16_t>(v));
+      bm.chunks_.emplace_back(static_cast<uint16_t>(key),
+                              Container::MakeInverted(std::move(absent)));
+    } else if (count > kArrayMaxCardinality) {
       std::vector<uint64_t> words(kBitmapWords, 0);
       for (uint32_t v = from; v <= to; ++v) words[v >> 6] |= 1ULL << (v & 63);
       bm.chunks_.emplace_back(static_cast<uint16_t>(key),

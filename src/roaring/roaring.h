@@ -92,9 +92,15 @@ class RoaringBitmap {
       if (base >= lo && base + 0xFFFF < hi) {
         it->second.ForEach([&fn, base](uint16_t low) { fn(base | low); });
       } else {
-        it->second.ForEach([&fn, base, lo, hi](uint16_t low) {
-          const uint32_t v = base | low;
-          if (v >= lo && v < hi) fn(v);
+        // Boundary chunk: clamp the window once and let the container skip
+        // straight to it (no per-value filtering at any representation).
+        const uint16_t w_lo =
+            base >= lo ? 0 : static_cast<uint16_t>(lo - base);
+        const uint16_t w_hi = base + 0xFFFF < hi
+                                  ? static_cast<uint16_t>(0xFFFF)
+                                  : static_cast<uint16_t>(hi - 1 - base);
+        it->second.ForEachInWindow(w_lo, w_hi, [&fn, base](uint16_t low) {
+          fn(base | low);
         });
       }
     }

@@ -6,6 +6,7 @@
 
 #include "common/stats.h"
 #include "common/strings.h"
+#include "tasks/simd.h"
 
 namespace zv {
 
@@ -51,29 +52,41 @@ void ToDistributionSpan(const double* a, size_t n, double* out) {
 
 }  // namespace
 
-// Both Euclidean kernels accumulate through four independent partial sums
-// so the loop has no single carried dependence chain and auto-vectorizes;
-// they must stay structurally identical (same unroll, same tail, same final
-// combine) for the bounded kernel's completing calls to be bit-exact.
+// Both Euclidean kernels accumulate through sixteen independent partial
+// sums — lane k takes elements k, k+16, k+32, ... — which is exactly the
+// contract of simd::Kernels::sum_sq_diff16, so the scalar and AVX2 tiers
+// (and the bounded kernel's block-at-a-time calls) are all bit-exact with
+// one another. Only the sub-16 tail lives here, outside the kernel table;
+// the final fold goes through simd::CombineSums, the one sanctioned
+// reduction order.
+
+// Which NaN bit pattern an add chain propagates when *both* operands are
+// NaN is pinned by neither C++ nor the kernel contract (the compiler may
+// commute an add; x86 keeps the first source operand's payload), so a NaN
+// distance is collapsed to the one canonical quiet NaN before it escapes —
+// kernel tiers stay byte-identical even on NaN/inf data.
+inline double CanonicalNaN(double d) {
+  return std::isnan(d) ? std::numeric_limits<double>::quiet_NaN() : d;
+}
+
+// The sub-16 tail rotates through lanes 0..3 (element n16+j adds into lane
+// j mod 4) rather than chaining serially into one lane: short series — the
+// paper's month/week-shaped visualizations — are *all* tail, and a single
+// serial FP-add chain would run at latency, not throughput.
+inline void SumSqDiffTail(const double* a, const double* b, size_t n16,
+                          size_t n, double s[simd::kSumLanes]) {
+  for (size_t i = n16; i < n; ++i) {
+    const double d = a[i] - b[i];
+    s[(i - n16) & 3] += d * d;
+  }
+}
 
 double EuclideanSpan(const double* a, const double* b, size_t n) {
-  double s0 = 0, s1 = 0, s2 = 0, s3 = 0;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    const double d0 = a[i] - b[i];
-    const double d1 = a[i + 1] - b[i + 1];
-    const double d2 = a[i + 2] - b[i + 2];
-    const double d3 = a[i + 3] - b[i + 3];
-    s0 += d0 * d0;
-    s1 += d1 * d1;
-    s2 += d2 * d2;
-    s3 += d3 * d3;
-  }
-  for (; i < n; ++i) {
-    const double d = a[i] - b[i];
-    s0 += d * d;
-  }
-  return std::sqrt((s0 + s1) + (s2 + s3));
+  double s[simd::kSumLanes] = {};
+  const size_t n16 = n & ~(simd::kSumLanes - 1);
+  simd::ActiveKernels().sum_sq_diff16(a, b, n16, s);
+  SumSqDiffTail(a, b, n16, n, s);
+  return CanonicalNaN(std::sqrt(simd::CombineSums(s)));
 }
 
 double EuclideanSpanBounded(const double* a, const double* b, size_t n,
@@ -83,22 +96,19 @@ double EuclideanSpanBounded(const double* a, const double* b, size_t n,
   // strided loop + periodic sqrt.
   if (std::isinf(bound)) return EuclideanSpan(a, b, n);
   // Check cadence: often enough to abandon early, seldom enough that the
-  // inner unrolled loop still vectorizes between checks.
+  // vector kernel amortizes its call between checks.
   constexpr size_t kCheckStride = 32;
-  double s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  static_assert(kCheckStride % simd::kSumLanes == 0,
+                "check blocks must be whole kernel blocks so checkpoint "
+                "sums equal the unbounded kernel's prefix sums");
+  const simd::Kernels& kernels = simd::ActiveKernels();
+  double s[simd::kSumLanes] = {};
+  const size_t n16 = n & ~(simd::kSumLanes - 1);
   size_t i = 0;
-  while (i + 4 <= n) {
-    const size_t stop = i + kCheckStride;
-    for (; i + 4 <= n && i + 4 <= stop; i += 4) {
-      const double d0 = a[i] - b[i];
-      const double d1 = a[i + 1] - b[i + 1];
-      const double d2 = a[i + 2] - b[i + 2];
-      const double d3 = a[i + 3] - b[i + 3];
-      s0 += d0 * d0;
-      s1 += d1 * d1;
-      s2 += d2 * d2;
-      s3 += d3 * d3;
-    }
+  while (i < n16) {
+    const size_t block = std::min(kCheckStride, n16 - i);
+    kernels.sum_sq_diff16(a + i, b + i, block, s);
+    i += block;
     // The partial sum only grows and sqrt is monotone, so once
     // sqrt(partial) exceeds the bound the final distance must too. The
     // comparison happens in *distance* space — comparing against
@@ -106,15 +116,12 @@ double EuclideanSpanBounded(const double* a, const double* b, size_t n,
     // equals the bound exactly (squaring a rounded sqrt can round below
     // the original sum), and exact ties must reach the collector for the
     // index tie-break. Strict >: never abandons at the bound itself.
-    if (std::sqrt((s0 + s1) + (s2 + s3)) > bound) {
+    if (std::sqrt(simd::CombineSums(s)) > bound) {
       return std::numeric_limits<double>::infinity();
     }
   }
-  for (; i < n; ++i) {
-    const double d = a[i] - b[i];
-    s0 += d * d;
-  }
-  return std::sqrt((s0 + s1) + (s2 + s3));
+  SumSqDiffTail(a, b, i, n, s);
+  return CanonicalNaN(std::sqrt(simd::CombineSums(s)));
 }
 
 double DtwSpan(const double* a, size_t na, const double* b, size_t nb) {
@@ -126,15 +133,18 @@ double DtwSpan(const double* a, size_t na, const double* b, size_t nb) {
     return std::sqrt(s);
   }
   constexpr double kInf = 1e300;
-  // Rolling two-row DP.
-  std::vector<double> prev(nb + 1, kInf), cur(nb + 1, kInf);
+  // Rolling two-row DP. The elementwise |ai - b[j]| cost row vectorizes
+  // (fabs is bit-exact at any width); the min-chain recurrence stays scalar
+  // because it carries a serial dependence — and reassociating std::min
+  // would change NaN propagation.
+  const simd::Kernels& kernels = simd::ActiveKernels();
+  std::vector<double> prev(nb + 1, kInf), cur(nb + 1, kInf), row(nb);
   prev[0] = 0;
   for (size_t i = 1; i <= na; ++i) {
     cur[0] = kInf;
-    const double ai = a[i - 1];
+    kernels.abs_diff_row(a[i - 1], b, nb, row.data());
     for (size_t j = 1; j <= nb; ++j) {
-      const double cost = std::fabs(ai - b[j - 1]);
-      cur[j] = cost + std::min({prev[j], cur[j - 1], prev[j - 1]});
+      cur[j] = row[j - 1] + std::min({prev[j], cur[j - 1], prev[j - 1]});
     }
     std::swap(prev, cur);
   }
@@ -148,15 +158,15 @@ double DtwSpanBounded(const double* a, size_t na, const double* b, size_t nb,
   if (std::isinf(bound)) return DtwSpan(a, na, b, nb);
   if (na == 0 || nb == 0) return DtwSpan(a, na, b, nb);
   constexpr double kInf = 1e300;
-  std::vector<double> prev(nb + 1, kInf), cur(nb + 1, kInf);
+  const simd::Kernels& kernels = simd::ActiveKernels();
+  std::vector<double> prev(nb + 1, kInf), cur(nb + 1, kInf), row(nb);
   prev[0] = 0;
   for (size_t i = 1; i <= na; ++i) {
     cur[0] = kInf;
-    const double ai = a[i - 1];
+    kernels.abs_diff_row(a[i - 1], b, nb, row.data());
     double row_min = kInf;
     for (size_t j = 1; j <= nb; ++j) {
-      const double cost = std::fabs(ai - b[j - 1]);
-      cur[j] = cost + std::min({prev[j], cur[j - 1], prev[j - 1]});
+      cur[j] = row[j - 1] + std::min({prev[j], cur[j - 1], prev[j - 1]});
       row_min = std::min(row_min, cur[j]);
     }
     // Every warping path passes through row i and later steps only add

@@ -48,13 +48,19 @@ enum class Alignment {
 /// DP/distribution scratch DTW/KL/EMD need), so the compiler can vectorize
 /// them and ScoringContext can score straight out of its row-major matrix.
 ///
-/// The L2 kernel accumulates into four independent partial sums (4-wide
-/// unrolled), which breaks the loop-carried dependence and lets the
-/// compiler keep four vector accumulators in flight. The bounded variants
-/// below use the *identical* accumulation order, so a bounded call that
-/// runs to completion returns the exact same bits as the unbounded kernel
-/// (topk_test.cc asserts this) — the top-k pruned scan can mix the two
-/// freely without perturbing results.
+/// The L2 kernel accumulates into sixteen independent partial sums
+/// (simd::kSumLanes), which breaks the loop-carried dependence; the inner
+/// loop is dispatched through `tasks/simd.h`, whose AVX2 tier keeps the
+/// sixteen sums as four vector registers in the *identical* per-lane
+/// accumulation order (see simd.h for the bit-exactness contract and the
+/// `ZV_SIMD` override). The bounded variants below reuse the same kernel
+/// block-wise,
+/// so a bounded call that runs to completion returns the exact same bits as
+/// the unbounded kernel at every dispatch tier (topk_test.cc and
+/// param_tasks_test.cc assert this) — the top-k pruned scan can mix the two
+/// freely without perturbing results. DTW routes its elementwise |a-b| cost
+/// row through the same dispatch layer; its min-chain recurrence stays
+/// scalar (serial dependence, NaN-ordering sensitive).
 
 /// Pointwise L2 over n aligned points.
 double EuclideanSpan(const double* a, const double* b, size_t n);

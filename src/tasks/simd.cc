@@ -1,0 +1,191 @@
+#include "tasks/simd.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/strings.h"
+
+#if !defined(ZV_SIMD_DISABLED) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define ZV_SIMD_HAVE_AVX2 1
+// zv-lint: raw-simd — this translation unit is the sanctioned intrinsic home.
+#include <immintrin.h>
+#else
+#define ZV_SIMD_HAVE_AVX2 0
+#endif
+
+namespace zv::simd {
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels. These define the accumulation order everything
+// else reproduces: sixteen independent partial sums, lane k taking elements
+// k, k+16, k+32, ...
+//
+// Sixteen lanes, not the historical four: with only four chains both tiers
+// sit on the FP-add latency wall (four adds in flight regardless of vector
+// width), so a 4-lane AVX2 kernel measures ~1.0x against the 4-sum scalar
+// loop. Sixteen chains clear the latency bound and let the AVX2 tier run at
+// port throughput.
+//
+// The reference is pinned un-vectorized: the `scalar` tier is the portable
+// bit-reference and the ZV_SIMD=off escape hatch, and with auto-vectorization
+// the compiler quietly turns this loop into SSE code — making the knob a
+// no-op and the scalar-vs-vector comparison in bench_distance circular. The
+// attribute only pins *this* function; it does not change the bits, only the
+// instruction selection (verified lane-for-lane by param_tasks_test).
+#if defined(__GNUC__) && !defined(__clang__)
+__attribute__((optimize("no-tree-vectorize")))
+#endif
+void SumSqDiff16Scalar(const double* a, const double* b, size_t n16,
+                       double s[kSumLanes]) {
+  double t[kSumLanes];
+  std::memcpy(t, s, sizeof t);
+  for (size_t i = 0; i + kSumLanes <= n16; i += kSumLanes) {
+#if defined(__clang__)
+#pragma clang loop vectorize(disable)
+#endif
+    for (size_t k = 0; k < kSumLanes; ++k) {
+      const double d = a[i + k] - b[i + k];
+      t[k] += d * d;
+    }
+  }
+  std::memcpy(s, t, sizeof t);
+}
+
+void AbsDiffRowScalar(double x, const double* b, size_t n, double* out) {
+  for (size_t j = 0; j < n; ++j) out[j] = std::fabs(x - b[j]);
+}
+
+#if ZV_SIMD_HAVE_AVX2
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels. Compiled with a per-function target attribute so the rest of
+// the binary needs no -mavx2; only reachable after the cpuid probe passes.
+//
+// Bit-exactness notes:
+//  - four __m256d accumulators whose lanes are exactly the scalar t[0..15]:
+//    accumulator j holds lanes 4j..4j+3, and each vector step adds
+//    (a[i+k]-b[i+k])^2 to lane k — the same per-lane order and rounding as
+//    the scalar reference body (lanes are independent chains, so the order
+//    *between* lanes within a block is immaterial to the bits);
+//  - separate _mm256_mul_pd + _mm256_add_pd, never _mm256_fmadd_pd — FMA's
+//    single rounding would change bits;
+//  - |v| as andnot with the sign mask, IEEE-754 bit-exact (incl. NaN/inf).
+
+__attribute__((target("avx2"))) void SumSqDiff16Avx2(const double* a,
+                                                     const double* b,
+                                                     size_t n16,
+                                                     double s[kSumLanes]) {
+  __m256d acc0 = _mm256_loadu_pd(s);
+  __m256d acc1 = _mm256_loadu_pd(s + 4);
+  __m256d acc2 = _mm256_loadu_pd(s + 8);
+  __m256d acc3 = _mm256_loadu_pd(s + 12);
+  for (size_t i = 0; i + kSumLanes <= n16; i += kSumLanes) {
+    const __m256d d0 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    const __m256d d1 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i + 4), _mm256_loadu_pd(b + i + 4));
+    const __m256d d2 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i + 8), _mm256_loadu_pd(b + i + 8));
+    const __m256d d3 = _mm256_sub_pd(_mm256_loadu_pd(a + i + 12),
+                                     _mm256_loadu_pd(b + i + 12));
+    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(d0, d0));
+    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(d1, d1));
+    acc2 = _mm256_add_pd(acc2, _mm256_mul_pd(d2, d2));
+    acc3 = _mm256_add_pd(acc3, _mm256_mul_pd(d3, d3));
+  }
+  _mm256_storeu_pd(s, acc0);
+  _mm256_storeu_pd(s + 4, acc1);
+  _mm256_storeu_pd(s + 8, acc2);
+  _mm256_storeu_pd(s + 12, acc3);
+}
+
+__attribute__((target("avx2"))) void AbsDiffRowAvx2(double x, const double* b,
+                                                    size_t n, double* out) {
+  const __m256d vx = _mm256_set1_pd(x);
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d d = _mm256_sub_pd(vx, _mm256_loadu_pd(b + j));
+    _mm256_storeu_pd(out + j, _mm256_andnot_pd(sign, d));
+  }
+  for (; j < n; ++j) out[j] = std::fabs(x - b[j]);
+}
+
+#endif  // ZV_SIMD_HAVE_AVX2
+
+const Kernels kScalarKernels = {&SumSqDiff16Scalar, &AbsDiffRowScalar};
+#if ZV_SIMD_HAVE_AVX2
+const Kernels kAvx2Kernels = {&SumSqDiff16Avx2, &AbsDiffRowAvx2};
+#endif
+
+Level ResolveLevel() {
+  Level want = Level::kAvx2;  // auto: the widest tier we compiled
+  if (const char* env = std::getenv("ZV_SIMD")) {
+    const std::string v = ToLower(Trim(env));
+    if (v == "off" || v == "scalar" || v == "0") {
+      want = Level::kScalar;
+    } else if (v == "avx2" || v == "auto" || v.empty()) {
+      want = Level::kAvx2;
+    } else {
+      want = Level::kScalar;  // unknown spelling: fail safe, stay portable
+    }
+  }
+  if (want == Level::kAvx2 && !Supported(Level::kAvx2)) want = Level::kScalar;
+  return want;
+}
+
+}  // namespace
+
+bool Supported(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return true;
+    case Level::kAvx2:
+#if ZV_SIMD_HAVE_AVX2
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Level ActiveLevel() {
+  static const Level level = ResolveLevel();
+  return level;
+}
+
+size_t ActiveWidth() {
+  return ActiveLevel() == Level::kAvx2 ? 4 : 1;
+}
+
+const Kernels& KernelsFor(Level level) {
+#if ZV_SIMD_HAVE_AVX2
+  if (level == Level::kAvx2) return kAvx2Kernels;
+#else
+  (void)level;
+#endif
+  return kScalarKernels;
+}
+
+const Kernels& ActiveKernels() {
+  static const Kernels& kernels = KernelsFor(ActiveLevel());
+  return kernels;
+}
+
+}  // namespace zv::simd

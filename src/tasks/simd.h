@@ -1,0 +1,117 @@
+#ifndef ZV_TASKS_SIMD_H_
+#define ZV_TASKS_SIMD_H_
+
+/// The kernel layer: explicit SIMD inner loops behind a runtime-dispatched
+/// function table, with a portable scalar fallback.
+///
+/// This header is the *only* sanctioned home for vector intrinsics in the
+/// tree (enforced by the `raw-simd` zv-lint rule): everything above it —
+/// distance kernels, scoring, pruning — calls through the kernel table and
+/// stays intrinsic-free.
+///
+/// ## Bit-exactness contract
+///
+/// Every kernel here is a drop-in replacement for a specific scalar loop in
+/// `tasks/distance.cc`, and the vector implementations reproduce that loop's
+/// *exact* floating-point evaluation order:
+///
+///  - `sum_sq_diff16` carries `kSumLanes` (16) independent partial sums
+///    where lane `k` accumulates elements `k, k+16, k+32, ...`. The AVX2
+///    version holds the sixteen sums as four `__m256d` accumulators and uses
+///    separate multiply and add (never FMA, which would skip the
+///    intermediate rounding the scalar code performs). Sixteen lanes rather
+///    than the historical four because four independent FP-add chains are
+///    latency-bound at the *same* throughput at any vector width — the
+///    scalar and vector tiers would tie; see the note in simd.cc.
+///  - `abs_diff_row` computes `out[j] = |x - b[j]|`; clearing the sign bit
+///    is bit-exact for every input including NaN and infinity.
+///  - NaN carve-out: when an accumulator lane and its addend are *both*
+///    NaN, which payload survives is pinned by neither C++ nor hardware
+///    conventions (the compiler may commute an add; x86 keeps the first
+///    source operand) — so raw `sum_sq_diff16` lanes promise only "NaN on
+///    one tier iff NaN on every tier", not the NaN's bit pattern. The
+///    public span kernels in tasks/distance.cc canonicalize a NaN distance
+///    to the one quiet NaN before returning, restoring full byte-identity
+///    for everything observable above the kernel table.
+///  - `CombineSums` below is the one sanctioned reduction of the sixteen
+///    partial sums to a scalar; every caller (unbounded span, bounded
+///    checkpoints, tests, benches) must fold through it so the combine
+///    order cannot drift between call sites.
+///
+/// Because the accumulation order is fixed, scalar/AVX2/bounded/unbounded
+/// paths all return the same bits, so top-k pruning, ScoringContext reuse,
+/// result fingerprints, and the ResultCache are untouched by dispatch.
+///
+/// ## Dispatch
+///
+/// The active level is resolved once per process: compile-time opt-out
+/// (CMake `-DZV_SIMD=OFF` → `ZV_SIMD_DISABLED`), then the `ZV_SIMD`
+/// environment knob (`off`/`scalar` forces the fallback, `avx2` requests
+/// AVX2, `auto`/unset probes), then `__builtin_cpu_supports("avx2")`.
+/// Requesting an unsupported level silently degrades to scalar — the
+/// contract above makes that invisible except in throughput.
+
+#include <cstddef>
+
+namespace zv::simd {
+
+/// Kernel implementation tiers, ordered by width.
+enum class Level {
+  kScalar,  ///< portable C++, one element per step
+  kAvx2,    ///< 4 x double per vector (x86-64 AVX2)
+};
+
+/// Lowercase spelling used in EXPLAIN notes, stats docs and bench records.
+const char* LevelName(Level level);
+
+/// Independent partial sums every `sum_sq_diff16` tier carries. Enough
+/// chains to clear the FP-add latency wall at AVX2 width; fixed by the
+/// bit-exactness contract, so changing it changes distance bits.
+inline constexpr size_t kSumLanes = 16;
+
+/// The dispatchable inner loops. All pointers may be unaligned; `n16`
+/// counts must be multiples of `kSumLanes` (callers handle the scalar tail
+/// themselves so the tail order matches the reference kernel).
+struct Kernels {
+  /// Accumulates squared differences over the length-`n16` prefix into the
+  /// sixteen partial sums `s[0..15]`: lane `k` adds `(a[i+k]-b[i+k])^2` for
+  /// `i = 0, 16, 32, ...`. Sums are read-modify-write so bounded kernels
+  /// can call once per check-stride block and keep accumulating.
+  void (*sum_sq_diff16)(const double* a, const double* b, size_t n16,
+                        double s[kSumLanes]);
+  /// Writes `out[j] = |x - b[j]|` for `j in [0, n)` (any `n`). `out` must
+  /// not alias `b`.
+  void (*abs_diff_row)(double x, const double* b, size_t n, double* out);
+};
+
+/// The one sanctioned reduction of the sixteen partial sums: a fixed
+/// pairwise tree (adjacent pairs, then pairs of pairs, ...). Part of the
+/// bit-exactness contract — any other association would change bits.
+inline double CombineSums(const double s[kSumLanes]) {
+  const double q0 = (s[0] + s[1]) + (s[2] + s[3]);
+  const double q1 = (s[4] + s[5]) + (s[6] + s[7]);
+  const double q2 = (s[8] + s[9]) + (s[10] + s[11]);
+  const double q3 = (s[12] + s[13]) + (s[14] + s[15]);
+  return (q0 + q1) + (q2 + q3);
+}
+
+/// True when `level` has a compiled implementation *and* the CPU can run it.
+bool Supported(Level level);
+
+/// The level dispatch resolved for this process (env + cpuid, cached).
+Level ActiveLevel();
+
+/// Doubles processed per vector step at the active level (1 scalar, 4 AVX2).
+/// Surfaced as the `simd_width` wire stat.
+size_t ActiveWidth();
+
+/// Kernel table for an explicit level. Pre: `Supported(level)`. Tests use
+/// this to compare tiers bit-for-bit on one machine.
+const Kernels& KernelsFor(Level level);
+
+/// Kernel table for `ActiveLevel()` — what the distance kernels call.
+const Kernels& ActiveKernels();
+
+}  // namespace zv::simd
+
+#endif  // ZV_TASKS_SIMD_H_

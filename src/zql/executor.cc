@@ -4,6 +4,7 @@
 
 #include "common/cancel.h"
 #include "common/clock.h"
+#include "tasks/simd.h"
 #include "zql/operators.h"
 #include "zql/parser.h"
 #include "zql/plan.h"
@@ -47,6 +48,7 @@ Result<ZqlResult> ZqlExecutor::Execute(const ZqlQuery& query) {
   const auto t0 = SteadyNow();
   const uint64_t q0 = db_->queries_executed();
   const uint64_t r0 = db_->requests_made();
+  const uint64_t c0 = db_->container_conversions();
 
   exec::ExecState state;
   ZV_RETURN_NOT_OK(state.Init(db_, table_name_, options_, user_inputs_));
@@ -83,6 +85,8 @@ Result<ZqlResult> ZqlExecutor::Execute(const ZqlQuery& query) {
   result.stats = state.stats;
   result.stats.sql_queries = db_->queries_executed() - q0;
   result.stats.sql_requests = db_->requests_made() - r0;
+  result.stats.container_conversions = db_->container_conversions() - c0;
+  result.stats.simd_width = simd::ActiveWidth();
   result.stats.total_ms = MsSince(t0);
   return result;
 }

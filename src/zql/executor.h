@@ -214,6 +214,16 @@ struct ZqlStats {
   /// is off (or the table has no chunk map).
   uint64_t batched_scans = 0;
   uint64_t scans_shared = 0;
+  /// Active distance-kernel vector width in doubles (tasks/simd.h dispatch:
+  /// 1 = scalar fallback, 4 = AVX2). Constant for a process unless ZV_SIMD
+  /// overrides it; recorded per query so wire consumers can attribute
+  /// latency to the kernel tier that produced it.
+  uint64_t simd_width = 1;
+  /// Adaptive Roaring container representation changes (array/bitmap/
+  /// run/inverted/all transitions) during this query, sampled as a delta of
+  /// the backend's process-wide counter — same interleaving caveat as
+  /// sql_queries. Stays 0 on backends without a bitmap index.
+  uint64_t container_conversions = 0;
 };
 
 struct ZqlOutput {

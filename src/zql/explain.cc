@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/strings.h"
+#include "tasks/simd.h"
 
 namespace zv::zql {
 
@@ -88,6 +89,10 @@ std::string DescribeTaskScoring(const ProcessDecl& p) {
       out += StrFormat(", top-k pruned k=%lld",
                        static_cast<long long>(*p.filter.k));
     }
+    // The active distance-kernel tier (tasks/simd.h runtime dispatch) —
+    // constant per process, but EXPLAIN consumers comparing latency across
+    // machines need to know which kernel produced the numbers.
+    out += StrFormat(", kernel=%s", simd::LevelName(simd::ActiveLevel()));
     out += ", context-cacheable";
     return out;
   }

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "tasks/simd.h"
 #include "tests/test_util.h"
 #include "zql/explain.h"
 #include "zql/parser.h"
@@ -82,8 +83,9 @@ TEST(ExplainTest, AnnotatesTaskScoringPaths) {
   ZV_ASSERT_OK_AND_ASSIGN(QueryPlan plan, ExplainQuery(q));
   ASSERT_EQ(plan.rows[1].task_scoring.size(), 1u);
   EXPECT_EQ(plan.rows[1].task_scoring[0],
-            "D: ScoringContext batch scan, top-k pruned k=2, "
-            "context-cacheable");
+            "D: ScoringContext batch scan, top-k pruned k=2, kernel=" +
+                std::string(simd::LevelName(simd::ActiveLevel())) +
+                ", context-cacheable");
   ASSERT_EQ(plan.rows[2].task_scoring.size(), 1u);
   EXPECT_EQ(plan.rows[2].task_scoring[0], "T: parallel trend scan");
   const std::string rendered = plan.ToString();

@@ -144,6 +144,47 @@ TEST(RawRandTest, RngHomeIsExemptAndSuppressionWorks) {
 }
 
 // ---------------------------------------------------------------------------
+// raw-simd
+// ---------------------------------------------------------------------------
+
+TEST(RawSimdTest, FlagsIntrinsicsAndImmintrinInclude) {
+  const auto vs = LintFile(
+      File("src/engine/scoring.cc",
+           "#include <immintrin.h>\n"
+           "__m256d v = _mm256_setzero_pd();\n"));
+  ASSERT_EQ(vs.size(), 2u);
+  EXPECT_EQ(vs[0].rule, "raw-simd");
+  EXPECT_EQ(vs[0].line, 1);
+  EXPECT_EQ(vs[1].rule, "raw-simd");
+  EXPECT_EQ(vs[1].line, 2);
+}
+
+TEST(RawSimdTest, PrefixInsideIdentifierDoesNotFire) {
+  // `_mm` only counts at an identifier start; mentions inside longer
+  // names or inside string literals are not intrinsic use.
+  const auto vs = LintFile(
+      File("src/engine/scoring.cc",
+           "int warm_mm256_count = 0;\n"
+           "const char* doc = \"_mm256_add_pd\";\n"));
+  EXPECT_TRUE(vs.empty());
+}
+
+TEST(RawSimdTest, SimdHomeIsExemptAndSuppressionWorks) {
+  EXPECT_TRUE(LintFile(File("src/tasks/simd.cc",
+                            "#include <immintrin.h>\n"
+                            "__m256d v = _mm256_setzero_pd();\n"))
+                  .empty());
+  EXPECT_TRUE(LintFile(File("src/tasks/simd.h",
+                            "__m256d Lanes(__m256d v);\n"))
+                  .empty());
+  EXPECT_TRUE(LintFile(File("src/engine/scoring.cc",
+                            "// Prefetch hint only; no vector math here.\n"
+                            "// zv-lint: raw-simd\n"
+                            "_mm_prefetch(p, 1);\n"))
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
 // unordered-iter
 // ---------------------------------------------------------------------------
 
@@ -426,8 +467,8 @@ TEST(RulesTest, EveryRuleIdIsRegistered) {
   std::vector<std::string> ids;
   for (const RuleInfo& r : Rules()) ids.push_back(r.id);
   for (const char* expected :
-       {"raw-clock", "raw-rand", "unordered-iter", "manual-lock", "layering",
-        "include-cycle"}) {
+       {"raw-clock", "raw-rand", "unordered-iter", "manual-lock", "raw-simd",
+        "layering", "include-cycle"}) {
     EXPECT_NE(std::find(ids.begin(), ids.end(), expected), ids.end())
         << expected;
   }

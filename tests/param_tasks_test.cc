@@ -4,6 +4,8 @@
 /// and mechanism laws for every mechanism x filter shape.
 
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <tuple>
 
 #include <gtest/gtest.h>
@@ -11,6 +13,7 @@
 #include "common/rng.h"
 #include "tasks/distance.h"
 #include "tasks/primitives.h"
+#include "tasks/simd.h"
 
 namespace zv {
 namespace {
@@ -242,6 +245,189 @@ INSTANTIATE_TEST_SUITE_P(
     Sizes, RepresentativeSweepTest,
     ::testing::Combine(::testing::Values<size_t>(1, 5, 30, 120),
                        ::testing::Values<size_t>(1, 3, 10)));
+
+// ---------------------------------------------------------------------------
+// Kernel layer: every tier must agree with scalar bit-for-bit (tasks/simd.h
+// contract), at every length, at every pointer misalignment, including NaN
+// and infinity inputs, and at every bounded-kernel cut point.
+// ---------------------------------------------------------------------------
+
+uint64_t Bits(double d) {
+  uint64_t u;
+  std::memcpy(&u, &d, sizeof u);
+  return u;
+}
+
+/// Random buffer with NaN / +inf / -inf sprinkled at fixed positions so
+/// special-value propagation is exercised at every length and offset.
+std::vector<double> KernelBuf(size_t n, uint64_t seed, bool specials) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = rng.Normal(0, 1);
+    if (!specials) continue;
+    if (i % 11 == 5) v[i] = std::numeric_limits<double>::quiet_NaN();
+    if (i % 13 == 7) v[i] = std::numeric_limits<double>::infinity();
+    if (i % 17 == 9) v[i] = -std::numeric_limits<double>::infinity();
+  }
+  return v;
+}
+
+/// The scalar composition EuclideanSpan promises to match at any tier:
+/// kernel-table prefix, scalar tail rotating through lanes 0..3,
+/// CombineSums fold, NaN canonicalized (see the carve-out in tasks/simd.h).
+double ScalarEuclidean(const double* a, const double* b, size_t n) {
+  double s[simd::kSumLanes] = {};
+  const size_t n16 = n & ~(simd::kSumLanes - 1);
+  simd::KernelsFor(simd::Level::kScalar).sum_sq_diff16(a, b, n16, s);
+  for (size_t i = n16; i < n; ++i) {
+    const double d = a[i] - b[i];
+    s[(i - n16) & 3] += d * d;
+  }
+  const double r = std::sqrt(simd::CombineSums(s));
+  return std::isnan(r) ? std::numeric_limits<double>::quiet_NaN() : r;
+}
+
+/// Raw kernel lanes are bit-equal except that a NaN lane's payload is
+/// outside the contract — both tiers must agree the lane is NaN.
+::testing::AssertionResult LanesAgree(double s, double v) {
+  if (Bits(s) == Bits(v)) return ::testing::AssertionSuccess();
+  if (std::isnan(s) && std::isnan(v)) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "scalar " << s << " (0x" << std::hex << Bits(s) << ") vs vector "
+         << v << " (0x" << Bits(v) << ")";
+}
+
+// Lengths 0..67 cover empty, sub-vector, exact-multiple, and
+// tail-after-blocks shapes (the bounded kernel's 32-element check stride
+// falls twice inside 67, and 64 is an exact four-block multiple).
+class SimdKernelIdentityTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SimdKernelIdentityTest, SumSqDiff16MatchesScalarBitwise) {
+  if (!simd::Supported(simd::Level::kAvx2)) {
+    GTEST_SKIP() << "AVX2 tier not compiled or not supported on this CPU";
+  }
+  const size_t n = GetParam();
+  const size_t n16 = n & ~(simd::kSumLanes - 1);
+  for (const bool specials : {false, true}) {
+    for (size_t offset = 0; offset < 4; ++offset) {
+      const std::vector<double> a =
+          KernelBuf(n + offset, 1000 + 2 * n + offset, specials);
+      const std::vector<double> b =
+          KernelBuf(n + offset, 2000 + 3 * n + offset, specials);
+      // Nontrivial carried partial sums: the kernels are read-modify-write.
+      double ss[simd::kSumLanes], sv[simd::kSumLanes];
+      const double carried[4] = {0.125, -3.5, 0.0, 2e-17};
+      for (size_t k = 0; k < simd::kSumLanes; ++k) {
+        ss[k] = sv[k] = carried[k % 4];
+      }
+      simd::KernelsFor(simd::Level::kScalar)
+          .sum_sq_diff16(a.data() + offset, b.data() + offset, n16, ss);
+      simd::KernelsFor(simd::Level::kAvx2)
+          .sum_sq_diff16(a.data() + offset, b.data() + offset, n16, sv);
+      for (size_t k = 0; k < simd::kSumLanes; ++k) {
+        EXPECT_TRUE(LanesAgree(ss[k], sv[k]))
+            << "lane " << k << " n=" << n << " offset=" << offset
+            << " specials=" << specials;
+      }
+    }
+  }
+}
+
+TEST_P(SimdKernelIdentityTest, AbsDiffRowMatchesScalarBitwise) {
+  if (!simd::Supported(simd::Level::kAvx2)) {
+    GTEST_SKIP() << "AVX2 tier not compiled or not supported on this CPU";
+  }
+  const size_t n = GetParam();
+  const double xs[] = {0.75, -2.5, std::numeric_limits<double>::quiet_NaN(),
+                       std::numeric_limits<double>::infinity()};
+  for (const bool specials : {false, true}) {
+    for (size_t offset = 0; offset < 4; ++offset) {
+      const std::vector<double> b =
+          KernelBuf(n + offset, 3000 + 5 * n + offset, specials);
+      for (const double x : xs) {
+        std::vector<double> out_s(n, -1), out_v(n, -1);
+        simd::KernelsFor(simd::Level::kScalar)
+            .abs_diff_row(x, b.data() + offset, n, out_s.data());
+        simd::KernelsFor(simd::Level::kAvx2)
+            .abs_diff_row(x, b.data() + offset, n, out_v.data());
+        for (size_t j = 0; j < n; ++j) {
+          EXPECT_EQ(Bits(out_s[j]), Bits(out_v[j]))
+              << "j=" << j << " n=" << n << " offset=" << offset
+              << " x=" << x << " specials=" << specials;
+        }
+      }
+    }
+  }
+}
+
+// The public span kernels dispatch to whatever tier this process resolved;
+// both must reproduce the scalar composition exactly (including NaN/inf
+// propagation through the accumulators).
+TEST_P(SimdKernelIdentityTest, EuclideanSpanMatchesScalarComposition) {
+  const size_t n = GetParam();
+  for (const bool specials : {false, true}) {
+    const std::vector<double> a = KernelBuf(n, 7000 + n, specials);
+    const std::vector<double> b = KernelBuf(n, 8000 + n, specials);
+    EXPECT_EQ(Bits(EuclideanSpan(a.data(), b.data(), n)),
+              Bits(ScalarEuclidean(a.data(), b.data(), n)))
+        << "n=" << n << " specials=" << specials;
+    EXPECT_EQ(Bits(EuclideanSpanBounded(
+                  a.data(), b.data(), n,
+                  std::numeric_limits<double>::infinity())),
+              Bits(EuclideanSpan(a.data(), b.data(), n)))
+        << "n=" << n << " specials=" << specials;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, SimdKernelIdentityTest,
+                         ::testing::Range<size_t>(0, 68));
+
+// Bounded early exit must fire at exactly the same cut points at any tier:
+// the check value after each 32-element block equals the unbounded distance
+// of that prefix, a bound just below it abandons, the bound itself (strict
+// >) and anything above complete bit-identically.
+TEST(SimdBoundedCutPointTest, EarlyExitAtEveryCutPoint) {
+  const size_t n = 67;  // blocks end at 32 and 64; 3-element scalar tail
+  const std::vector<double> a = KernelBuf(n, 41, false);
+  const std::vector<double> b = KernelBuf(n, 42, false);
+  const double full = EuclideanSpan(a.data(), b.data(), n);
+  for (const size_t cut : {size_t{32}, size_t{64}}) {
+    const double prefix = EuclideanSpan(a.data(), b.data(), cut);
+    // Just below the prefix distance: the check at this cut fires.
+    EXPECT_TRUE(std::isinf(EuclideanSpanBounded(
+        a.data(), b.data(), n, std::nextafter(prefix, 0.0))))
+        << "cut=" << cut;
+    // At the prefix distance exactly: strict > does not abandon here, and
+    // later checks see a larger bound still — the call completes.
+    if (prefix == full) continue;
+    EXPECT_EQ(Bits(EuclideanSpanBounded(a.data(), b.data(), n, full)),
+              Bits(full))
+        << "cut=" << cut;
+  }
+  // A bound above every check completes bit-identically to the unbounded
+  // kernel even though the final distance may exceed it (the last partial
+  // check is at 64, the tail is unchecked by design).
+  EXPECT_EQ(Bits(EuclideanSpanBounded(a.data(), b.data(), n, full)),
+            Bits(full));
+}
+
+// DTW dispatches only its elementwise cost row; the recurrence is
+// tier-independent. Bounded-with-infinite-bound must equal unbounded
+// bitwise, and both must be finite on ordinary inputs.
+TEST(SimdBoundedCutPointTest, DtwBoundedDegeneratesBitwise) {
+  for (const size_t n : {1u, 5u, 33u, 67u}) {
+    const std::vector<double> a = KernelBuf(n, 51 + n, false);
+    const std::vector<double> b = KernelBuf(n, 61 + n, false);
+    const double d = DtwSpan(a.data(), n, b.data(), n);
+    EXPECT_TRUE(std::isfinite(d));
+    EXPECT_EQ(Bits(DtwSpanBounded(a.data(), n, b.data(), n,
+                                  std::numeric_limits<double>::infinity())),
+              Bits(d));
+    // A bound below the first row's minimum abandons immediately.
+    EXPECT_TRUE(std::isinf(DtwSpanBounded(a.data(), n, b.data(), n, -1.0)));
+  }
+}
 
 }  // namespace
 }  // namespace zv

@@ -7,6 +7,7 @@
 
 #include <set>
 
+#include "tasks/simd.h"
 #include "tests/test_util.h"
 #include "zql/explain.h"
 #include "zql/parser.h"
@@ -14,6 +15,13 @@
 
 namespace zv::zql {
 namespace {
+
+/// The ScoreOp note names the dispatched distance-kernel tier, which
+/// depends on the machine (and ZV_SIMD) — golden trees splice in whatever
+/// this process resolved so they hold on any hardware.
+std::string KernelNote() {
+  return std::string(", kernel=") + simd::LevelName(simd::ActiveLevel());
+}
 
 // Table 5.2: most-different sales-over-location between 2010 and 2015.
 const char* const kTable5_2 =
@@ -36,7 +44,8 @@ TEST(PlanTest, GoldenInterTaskOperatorTree) {
             "  MaterializeOp  f1\n"
             "  MaterializeOp  f2\n"
             "  ScoreOp        f2: v2 <- argmax_v1[k=10] D(f1, f2)  "
-            "[D: ScoringContext batch scan, context-cacheable]\n"
+            "[D: ScoringContext batch scan" + KernelNote() +
+            ", context-cacheable]\n"
             "  ReduceOp       f2 -> {v2}\n"
             "stage 1:\n"
             "  FetchOp        *f3  [batched scan]\n"
@@ -63,8 +72,8 @@ TEST(PlanTest, GoldenUserInputAndDerivedTree) {
             "  MaterializeOp  -q  [user input]\n"
             "  MaterializeOp  f1\n"
             "  ScoreOp        f1: o1 <- argmin_v1[k=2] D(f1, q)  "
-            "[D: ScoringContext batch scan, top-k pruned k=2, "
-            "context-cacheable]\n"
+            "[D: ScoringContext batch scan, top-k pruned k=2" + KernelNote() +
+            ", context-cacheable]\n"
             "  ReduceOp       f1 -> {o1}\n"
             "  MaterializeOp  *f2=f1.order  [derived]\n"
             "OutputOp       *f2\n");

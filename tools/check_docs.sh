@@ -140,6 +140,46 @@ for r in $lint_rules; do
   fi
 done
 
+# Kernel variants: simd::LevelName in src/tasks/simd.cc is the canonical
+# spelling of each dispatch tier (what EXPLAIN, simd_width docs, and bench
+# records use); every variant must appear in backticks in the Kernel layer
+# section of docs/architecture.md.
+kernel_variants="$(sed -n '/const char\* LevelName/,/^}/p' \
+                     "$ROOT/src/tasks/simd.cc" |
+                   grep -oE 'return "[a-z0-9]+"' | grep -oE '"[a-z0-9]+"' |
+                   tr -d '"' | sort -u)"
+[[ -n "$kernel_variants" ]] || {
+  echo "check_docs: no kernel variants extracted from src/tasks/simd.cc" >&2
+  exit 1
+}
+for k in $kernel_variants; do
+  if ! grep -qE "\`$k\`" "$ARCH_DOC"; then
+    echo "check_docs: kernel variant '$k' is not documented in" \
+         "docs/architecture.md" >&2
+    fail=1
+  fi
+done
+
+# Roaring container types: ContainerTypeName in src/roaring/container.cc
+# enumerates the adaptive representations; every type must appear in
+# backticks in docs/architecture.md so the container state machine cannot
+# gain an encoding silently.
+container_types="$(sed -n '/const char\* ContainerTypeName/,/^}/p' \
+                     "$ROOT/src/roaring/container.cc" |
+                   grep -oE 'return "[a-z]+"' | grep -oE '"[a-z]+"' |
+                   tr -d '"' | sort -u)"
+[[ -n "$container_types" ]] || {
+  echo "check_docs: no container types extracted from container.cc" >&2
+  exit 1
+}
+for c in $container_types; do
+  if ! grep -qE "\`$c\`" "$ARCH_DOC"; then
+    echo "check_docs: container type '$c' is not documented in" \
+         "docs/architecture.md" >&2
+    fail=1
+  fi
+done
+
 if [[ "$fail" -ne 0 ]]; then
   exit 1
 fi
@@ -148,4 +188,6 @@ echo "check_docs: OK (primitives: $(echo $prims | tr '\n' ' ')| mechanisms:" \
      "chart types: $(echo $charts | tr '\n' ' ')| protocol fields:" \
      "$(echo $proto_fields | tr '\n' ' ')| stats fields:" \
      "$(echo $stats_fields | tr '\n' ' ')| lint rules:" \
-     "$(echo $lint_rules | tr '\n' ' '))"
+     "$(echo $lint_rules | tr '\n' ' ')| kernel variants:" \
+     "$(echo $kernel_variants | tr '\n' ' ')| container types:" \
+     "$(echo $container_types | tr '\n' ' '))"

@@ -13,7 +13,11 @@
 #                    section additionally sweeps 1 vs 4 itself
 #   ZV_BENCH_ONLY    space-separated list of harness names to run
 #                    (default: "bench_fig7_1 bench_fig7_2 bench_fig7_3
-#                    bench_fig7_4 bench_fig7_5 bench_serve")
+#                    bench_fig7_4 bench_fig7_5 bench_serve bench_distance
+#                    bench_roaring")
+#   ZV_SIMD          distance-kernel tier for the dispatched paths
+#                    (bench_distance times scalar and avx2 side by side
+#                    regardless; see docs/architecture.md "Kernel layer")
 #   ZV_CACHE_MB / ZV_MAX_INFLIGHT / ZV_MAX_QUEUE  serving-layer knobs
 #                    (bench_serve; see src/server/query_service.h)
 #   ZV_BENCH_STRICT  1 = exit nonzero when any case regresses >15% against
@@ -24,7 +28,7 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$ROOT/build}"
 OUT="${2:-$ROOT/BENCH_fig7.json}"
-BENCHES="${ZV_BENCH_ONLY:-bench_fig7_1 bench_fig7_2 bench_fig7_3 bench_fig7_4 bench_fig7_5 bench_serve}"
+BENCHES="${ZV_BENCH_ONLY:-bench_fig7_1 bench_fig7_2 bench_fig7_3 bench_fig7_4 bench_fig7_5 bench_serve bench_distance bench_roaring}"
 
 echo "== zv-lint preflight =="
 # Perf numbers from a tree that violates the determinism invariants are
@@ -107,6 +111,21 @@ if grep '"case":"trace_overhead"' "$LINES" | grep -q '"pass":"no"'; then
   fi
   echo "warning: tracing overhead exceeded budget (set ZV_BENCH_STRICT=1 to fail)" >&2
 fi
+
+# Kernel-layer floors: bench_distance's simd_speedup_n512 record asserts
+# vectorized L2 >= 2x over scalar (AVX2 hosts only — absent otherwise),
+# and bench_roaring's gallop_speedup asserts galloping intersection >= 2x
+# over the linear walk on skewed inputs. "pass":"no" warns; under
+# ZV_BENCH_STRICT=1 it fails, like the trace-overhead budget above.
+for floor in simd_speedup_n512 gallop_speedup; do
+  if grep "\"case\":\"$floor\"" "$LINES" | grep -q '"pass":"no"'; then
+    if [[ "${ZV_BENCH_STRICT:-0}" == "1" ]]; then
+      echo "ZV_BENCH_STRICT=1: $floor below its 2x floor (see the $floor record) — failing" >&2
+      exit 1
+    fi
+    echo "warning: $floor below its 2x floor (set ZV_BENCH_STRICT=1 to fail)" >&2
+  fi
+done
 
 # Wrap the JSON lines into one array, with run metadata up front.
 {

@@ -192,6 +192,24 @@ bool HasRawRand(const std::string& code) {
   return FindIdent(code, "random_device") != npos;
 }
 
+/// Vector-intrinsic use: an immintrin.h include, an `_mm*`/`_mm256_*`/
+/// `_mm512_*` intrinsic call, or an `__m64`/`__m128`/`__m256`/`__m512`
+/// vector type. Intrinsics outside the sanctioned kernel layer bypass the
+/// scalar-fallback and bit-exactness contracts tasks/simd.h enforces.
+bool HasRawSimd(const std::string& code) {
+  if (code.find("immintrin.h") != npos) return true;
+  for (const char* prefix : {"_mm_", "_mm256_", "_mm512_", "__m64", "__m128",
+                             "__m256", "__m512"}) {
+    size_t pos = 0;
+    const size_t len = std::strlen(prefix);
+    while ((pos = code.find(prefix, pos)) != npos) {
+      if (pos == 0 || !IsIdentChar(code[pos - 1])) return true;
+      pos += len;
+    }
+  }
+  return false;
+}
+
 /// A member call `.lock()` / `->unlock()` etc.
 bool HasManualLock(const std::string& code) {
   for (const char* fn : {"lock", "unlock"}) {
@@ -425,6 +443,8 @@ const std::vector<RuleInfo>& Rules() {
        "unordered-container iteration without an order-independent "
        "annotation"},
       {"manual-lock", "bare .lock()/.unlock() instead of a scoped guard"},
+      {"raw-simd",
+       "vector intrinsics (immintrin.h, _mm*/__m*) outside tasks/simd.{h,cc}"},
       {"layering", "#include edge not in the layer DAG"},
       {"include-cycle", "cycle in the file-level include graph"},
   };
@@ -447,6 +467,8 @@ std::vector<Violation> LintFile(const SourceFile& f,
   const bool clock_home = EndsWith(f.path, "common/clock.h") ||
                           EndsWith(f.path, "common/clock.cc");
   const bool rng_home = EndsWith(f.path, "common/rng.h");
+  const bool simd_home = EndsWith(f.path, "tasks/simd.h") ||
+                         EndsWith(f.path, "tasks/simd.cc");
 
   // Container names declared here or in companion headers (a .cc iterating
   // a member its own header declares is the common case).
@@ -475,6 +497,14 @@ std::vector<Violation> LintFile(const SourceFile& f,
       out.push_back(MakeViolation(
           "raw-rand", f.path, i, code,
           "nondeterministic RNG; use the seeded zv::Rng (common/rng.h)"));
+    }
+
+    if (!simd_home && HasRawSimd(code) && !Suppressed(lines, i, "raw-simd")) {
+      out.push_back(MakeViolation(
+          "raw-simd", f.path, i, code,
+          "raw vector intrinsics; the only sanctioned home is the "
+          "tasks/simd.h kernel layer, which pairs every vector path with a "
+          "bit-identical scalar fallback and runtime dispatch"));
     }
 
     if (HasManualLock(code) && !Suppressed(lines, i, "manual-lock")) {
